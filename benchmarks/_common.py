@@ -1,0 +1,15 @@
+"""Helpers shared by benchmark modules (non-fixture)."""
+
+import os
+
+__all__ = ["large_bounds_enabled", "run_once"]
+
+
+def large_bounds_enabled() -> bool:
+    """``REPRO_BENCH_LARGE=1`` extends sweeps by one bound."""
+    return os.environ.get("REPRO_BENCH_LARGE", "") == "1"
+
+
+def run_once(benchmark, fn):
+    """Time a heavy experiment exactly once through pytest-benchmark."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)

@@ -1,0 +1,31 @@
+"""Shared fixtures for the benchmark harness.
+
+Each benchmark module regenerates one of the paper's tables or figures
+and prints paper-vs-measured rows.  Absolute numbers depend on bounds
+and hardware; the *assertions* check the shape results the paper
+emphasizes (who saturates, what grows, who subsumes whom).
+
+Set ``REPRO_BENCH_LARGE=1`` to extend sweeps by one instruction-count
+bound (minutes instead of seconds per suite — the paper's own runtime
+curves are super-exponential).
+"""
+
+import pytest
+
+
+@pytest.fixture(scope="session")
+def report():
+    """Collects result rows; prints them and appends to bench_report.txt."""
+    rows: list[str] = []
+    yield rows
+    if not rows:
+        return
+    header = "=" * 72
+    block = "\n".join(
+        [header, "benchmark harness results (paper vs measured)", header]
+        + rows
+    )
+    print()
+    print(block)
+    with open("bench_report.txt", "a") as fh:
+        fh.write(block + "\n")

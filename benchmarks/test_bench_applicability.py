@@ -1,0 +1,62 @@
+"""Table 2: the relaxation applicability matrix."""
+
+from repro.relax.applicability import (
+    RELAXATION_COLUMNS,
+    Applicability,
+    applicability_table,
+    format_table,
+)
+
+from _common import run_once
+
+#: The paper's Table 2, transcribed (Y yes, - no, 1/2 its footnotes).
+PAPER_TABLE = {
+    "sc":      {"RI": "Y", "DRMW": "Y", "DF": "-", "DMO": "-", "RD": "-", "DS": "-"},
+    "tso":     {"RI": "Y", "DRMW": "Y", "DF": "-", "DMO": "-", "RD": "-", "DS": "-"},
+    "power":   {"RI": "Y", "DRMW": "Y", "DF": "Y", "DMO": "-", "RD": "Y", "DS": "-"},
+    "armv7":   {"RI": "Y", "DRMW": "Y", "DF": "-", "DMO": "-", "RD": "Y", "DS": "-"},
+    "armv8":   {"RI": "Y", "DRMW": "Y", "DF": "1", "DMO": "Y", "RD": "Y", "DS": "-"},
+    "itanium": {"RI": "Y", "DRMW": "Y", "DF": "Y", "DMO": "Y", "RD": "1", "DS": "-"},
+    "scc":     {"RI": "Y", "DRMW": "Y", "DF": "Y", "DMO": "Y", "RD": "2", "DS": "-"},
+    "hsa":     {"RI": "Y", "DRMW": "Y", "DF": "Y", "DMO": "Y", "RD": "2", "DS": "Y"},
+    "c11":     {"RI": "Y", "DRMW": "Y", "DF": "Y", "DMO": "Y", "RD": "2", "DS": "-"},
+    "opencl":  {"RI": "Y", "DRMW": "Y", "DF": "Y", "DMO": "Y", "RD": "2", "DS": "Y"},
+}
+
+
+class TestTable2:
+    def test_matrix_matches_paper(self, report, benchmark):
+        table = run_once(benchmark, applicability_table)
+        mismatches = []
+        for model, expected_row in PAPER_TABLE.items():
+            for col in RELAXATION_COLUMNS:
+                got = table[model][col].value
+                want = expected_row[col]
+                if got != want:
+                    mismatches.append(f"{model}/{col}: {got} != {want}")
+        report.append(
+            "[Table 2] applicability matrix matches the paper: "
+            + ("yes" if not mismatches else f"NO ({mismatches})")
+        )
+        assert not mismatches
+
+    def test_render(self, report, benchmark):
+        text = run_once(benchmark, format_table)
+        for line in text.splitlines():
+            report.append(f"[Table 2] {line}")
+        assert "tso" in text
+
+    def test_derived_rows_cannot_drift(self, benchmark):
+        """Rows for implemented models derive from vocabularies, so the
+        code and the table agree by construction."""
+        from repro.models.registry import MODEL_CLASSES
+
+        def check():
+            table = applicability_table()
+            for name in MODEL_CLASSES:
+                vocab = MODEL_CLASSES[name]().vocabulary
+                assert bool(table[name]["DRMW"]) == vocab.allows_rmw
+                assert bool(table[name]["DMO"]) == vocab.has_orders
+            return True
+
+        assert run_once(benchmark, check)

@@ -1,0 +1,92 @@
+"""Table 4: the Owens x86-TSO suite vs the synthesized causality suite.
+
+The paper's claim: every Owens test the synthesis does not emit directly
+*contains* (via instruction relaxations) a test that it does emit, so the
+synthesized suite subsumes the hand-written one while adding new tests.
+"""
+
+import pytest
+
+from repro.core.compare import compare_suites, is_subtest
+from repro.core.enumerator import EnumerationConfig
+from repro.core.synthesis import synthesize
+from repro.litmus.catalog import CATALOG, owens_forbidden
+from repro.models.registry import get_model
+
+from _common import large_bounds_enabled, run_once
+
+BOUND = 6 if large_bounds_enabled() else 5
+
+
+@pytest.fixture(scope="module")
+def comparison():
+    tso = get_model("tso")
+    result = synthesize(
+        tso, BOUND, config=EnumerationConfig(max_events=BOUND)
+    )
+    return result, compare_suites(owens_forbidden(), result.union, tso)
+
+
+class TestTable4:
+    def test_table4_report(self, comparison, report, benchmark):
+        run_once(benchmark, lambda: None)
+        result, comp = comparison
+        report.append(
+            f"[Table 4] TSO bound {BOUND}: union={len(result.union)}, "
+            f"Owens forbidden={len(owens_forbidden())}"
+        )
+        for name in comp.both:
+            report.append(f"[Table 4]   BOTH      {name}")
+        for name, sub in comp.reference_only.items():
+            size = CATALOG[name].test.num_events
+            if sub is not None:
+                report.append(
+                    f"[Table 4]   OWENS-ONLY {name} ({size} insts) "
+                    f"contains a synthesized {sub.num_events}-inst test"
+                )
+            else:
+                report.append(
+                    f"[Table 4]   OWENS-ONLY {name} ({size} insts) "
+                    f"exceeds bound {BOUND}"
+                )
+        report.append(
+            f"[Table 4]   +{len(comp.synthesized_only)} synthesized tests "
+            "not in Owens"
+        )
+
+    def test_every_small_owens_test_covered(self, comparison, benchmark):
+        """Within the bound, the paper's subsumption claim must hold
+        exactly: emitted directly, or containing an emitted subtest."""
+        run_once(benchmark, lambda: None)
+        _, comp = comparison
+        for name, sub in comp.reference_only.items():
+            if CATALOG[name].test.num_events <= BOUND:
+                assert sub is not None, f"{name} neither emitted nor subsumed"
+
+    def test_minimal_owens_tests_emitted_directly(
+        self, comparison, benchmark
+    ):
+        run_once(benchmark, lambda: None)
+        _, comp = comparison
+        expected_direct = {"MP", "LB", "S", "2+2W", "WRC"}
+        if BOUND >= 6:
+            expected_direct |= {"SB+mfences", "IRIW"}
+        assert expected_direct <= set(comp.both)
+
+    def test_synthesis_adds_new_tests(self, comparison, benchmark):
+        """Paper: 'causality reproduces the entirety of Owens, while also
+        adding new tests that Owens did not include.'"""
+        run_once(benchmark, lambda: None)
+        _, comp = comparison
+        assert len(comp.synthesized_only) > len(owens_forbidden())
+
+    def test_fig10_n5_contains_corw(self, benchmark):
+        """The worked example of §6.1."""
+        tso = get_model("tso")
+        result = run_once(
+            benchmark,
+            lambda: is_subtest(
+                CATALOG["CoRW"].test, CATALOG["n5"].test, tso
+            ),
+        )
+        assert result

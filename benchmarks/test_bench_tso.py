@@ -1,0 +1,138 @@
+"""Figure 13 (+ Figs. 11, 12): TSO suite synthesis.
+
+* Fig. 13a — synthesized tests vs the Owens suite vs the candidate space
+* Fig. 13b — per-axiom counts: ``sc_per_loc`` saturates at 10 tests,
+  ``rmw_atomicity`` saturates, ``causality`` grows without bound
+* Fig. 13c — suite-generation runtime grows super-exponentially
+* Fig. 11  — the sc_per_loc-only tests exist at small sizes
+* Fig. 12  — the rmw_atomicity family
+"""
+
+import pytest
+
+from repro.core.enumerator import EnumerationConfig
+from repro.core.synthesis import synthesize
+from repro.litmus.catalog import owens_forbidden
+from repro.models.registry import get_model
+
+from _common import large_bounds_enabled, run_once
+
+BOUNDS = (2, 3, 4, 5) + ((6,) if large_bounds_enabled() else ())
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    tso = get_model("tso")
+    results = {}
+    for bound in BOUNDS:
+        results[bound] = synthesize(
+            tso, bound, config=EnumerationConfig(max_events=bound)
+        )
+    return results
+
+
+class TestFig13:
+    def test_fig13a_counts_vs_owens(self, sweep, report, benchmark):
+        run_once(benchmark, lambda: None)
+        owens_by_size: dict[int, int] = {}
+        for entry in owens_forbidden():
+            n = entry.test.num_events
+            owens_by_size[n] = owens_by_size.get(n, 0) + 1
+        owens_cum = 0
+        report.append("[Fig 13a] bound | owens(cum) | synthesized | candidates")
+        for bound in BOUNDS:
+            owens_cum += owens_by_size.get(bound, 0)
+            res = sweep[bound]
+            report.append(
+                f"[Fig 13a] {bound:5d} | {owens_cum:10d} | "
+                f"{len(res.union):11d} | {res.candidates:10d}"
+            )
+        # paper: "an order of magnitude more tests than are in Owens,
+        # while remaining tractable compared to all possible tests"
+        top = BOUNDS[-1]
+        assert len(sweep[top].union) > owens_cum
+        assert len(sweep[top].union) < sweep[top].candidates
+
+    def test_fig13b_per_axiom_counts(self, sweep, report, benchmark):
+        run_once(benchmark, lambda: None)
+        report.append(
+            "[Fig 13b] bound | sc_per_loc | rmw_atomicity | causality | union"
+        )
+        for bound in BOUNDS:
+            counts = sweep[bound].counts()
+            report.append(
+                f"[Fig 13b] {bound:5d} | {counts['sc_per_loc']:10d} | "
+                f"{counts['rmw_atomicity']:13d} | "
+                f"{counts['causality']:9d} | {counts['union']:5d}"
+            )
+        # paper: sc_per_loc saturates at ten tests
+        assert sweep[BOUNDS[-1]].counts()["sc_per_loc"] == 10
+        assert sweep[BOUNDS[-2]].counts()["sc_per_loc"] == 10
+        # paper: rmw_atomicity saturates at four (we measure three — see
+        # EXPERIMENTS.md) while causality keeps growing
+        if large_bounds_enabled():
+            assert (
+                sweep[6].counts()["rmw_atomicity"]
+                == sweep[5].counts()["rmw_atomicity"]
+            )
+        causality = [sweep[b].counts()["causality"] for b in BOUNDS]
+        assert causality == sorted(causality)
+        assert causality[-1] > causality[-2]
+
+    def test_fig13c_runtime_growth(self, sweep, report, benchmark):
+        # representative timed payload for the benchmark table; the full
+        # sweep timings come from the (module-cached) sweep fixture
+        run_once(
+            benchmark,
+            lambda: synthesize(
+                get_model("tso"),
+                3,
+                config=EnumerationConfig(max_events=3),
+            ),
+        )
+        report.append("[Fig 13c] bound | runtime (s)")
+        times = []
+        for bound in BOUNDS:
+            t = sweep[bound].elapsed_seconds
+            times.append(t)
+            report.append(f"[Fig 13c] {bound:5d} | {t:11.3f}")
+        # paper: super-exponential runtime — successive ratios increase
+        ratios = [
+            times[i + 1] / max(times[i], 1e-9)
+            for i in range(len(times) - 1)
+        ]
+        assert ratios[-1] > 2.0, "expected steep growth at the top bound"
+
+
+class TestFig11Fig12:
+    def test_fig11_sc_per_loc_family(self, sweep, report, benchmark):
+        run_once(benchmark, lambda: None)
+        suite = sweep[BOUNDS[-1]].per_axiom["sc_per_loc"]
+        sizes = sorted(e.num_events for e in suite)
+        report.append(
+            f"[Fig 11] sc_per_loc family sizes: {sizes} (paper: 10 tests)"
+        )
+        assert len(suite) == 10
+        # the family lives entirely on one location
+        for entry in suite:
+            assert len(entry.test.addresses) == 1
+
+    def test_fig12_rmw_atomicity_family(self, sweep, report, benchmark):
+        def build():
+            return synthesize(
+                get_model("tso"),
+                5,
+                axioms=["rmw_atomicity"],
+                config=EnumerationConfig(max_events=5, max_addresses=1),
+            )
+
+        res = run_once(benchmark, build)
+        suite = res.per_axiom["rmw_atomicity"]
+        report.append(
+            f"[Fig 12] rmw_atomicity tests at bound 5: {len(suite)} "
+            "(paper: saturates at 4; our exact criterion yields 3 — "
+            "RMW||RMW contains RMW||W)"
+        )
+        assert len(suite) == 3
+        for entry in suite:
+            assert entry.test.rmw, "every test exercises an RMW"

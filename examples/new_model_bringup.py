@@ -1,0 +1,97 @@
+"""Bring up a test suite for a brand-new memory model.
+
+Scenario (the paper's §6.3): you have just specified a new model — here
+SCC, the paper's Streamlined Causal Consistency — and need a
+comprehensive litmus suite for it *before* any hand-written corpus
+exists.  Synthesis gives you one per axiom, and the minimality criterion
+explains exactly why each borderline variant is or isn't worth keeping
+(the paper's Fig. 1 vs Fig. 2).
+
+Run:  python examples/new_model_bringup.py
+"""
+
+from repro import (
+    EnumerationConfig,
+    LitmusTest,
+    MinimalityChecker,
+    Order,
+    get_model,
+    read,
+    synthesize,
+    write,
+)
+
+X, Y = 0, 1
+
+
+def fig1_vs_fig2() -> None:
+    """The paper's opening example, under SCC."""
+    scc = get_model("scc")
+    checker = MinimalityChecker(scc)
+
+    minimal_mp = LitmusTest(
+        (
+            (write(X, 1), write(Y, 1, Order.REL)),
+            (read(Y, Order.ACQ), read(X)),
+        ),
+        name="MP (one release, one acquire — Fig. 1)",
+    )
+    overly_synced = LitmusTest(
+        (
+            (write(X, 1, Order.REL), write(Y, 1, Order.REL)),
+            (read(Y, Order.ACQ), read(X, Order.ACQ)),
+        ),
+        name="MP (two releases, two acquires — Fig. 2)",
+    )
+    for test in (minimal_mp, overly_synced):
+        result = checker.check(test)
+        print(test.pretty())
+        if result.is_minimal:
+            print("-> MINIMAL: keep it in the suite")
+        else:
+            assert result.blocking is not None
+            relax, target, detail = result.blocking
+            print(
+                "-> redundant: weakening instruction "
+                f"e{target} via {relax}({detail or 'remove'}) forbids the "
+                "same outcomes"
+            )
+        print()
+
+
+def synthesize_scc_suite() -> None:
+    scc = get_model("scc")
+    result = synthesize(
+        scc,
+        bound=4,
+        config=EnumerationConfig(
+            max_events=4, max_addresses=2, max_deps=1, max_rmws=1
+        ),
+    )
+    print(result.summary())
+    print()
+    print("acquire/release patterns discovered per axiom:")
+    for axiom, suite in result.per_axiom.items():
+        annotated = sum(
+            1
+            for entry in suite
+            if any(
+                inst.order is not Order.PLAIN
+                for inst in entry.test.instructions
+            )
+        )
+        print(
+            f"  {axiom:16s} {len(suite):3d} tests, "
+            f"{annotated} using acquire/release/fences"
+        )
+    print()
+    causality = result.per_axiom["causality"]
+    print("sample causality tests:")
+    for entry in list(causality)[:4]:
+        print()
+        print(entry.pretty())
+
+
+if __name__ == "__main__":
+    fig1_vs_fig2()
+    synthesize_scc_suite()

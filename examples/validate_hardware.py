@@ -1,0 +1,58 @@
+"""Close the loop: run a synthesized suite against an implementation.
+
+The paper synthesizes suites so they can be "fed into any existing
+testing infrastructure".  This example provides that infrastructure — an
+operational x86-TSO machine with per-thread store buffers, explored
+exhaustively — and demonstrates the comprehensiveness claim end to end:
+
+1. the correct machine passes the whole synthesized suite (and, as a
+   bonus, agrees with the axiomatic model *exactly* — the Owens et al.
+   operational/axiomatic equivalence);
+2. every injected microarchitectural bug is caught by some minimal test.
+
+Run:  python examples/validate_hardware.py
+"""
+
+from repro import EnumerationConfig, get_model, synthesize
+from repro.core.oracle import ExplicitOracle
+from repro.litmus.catalog import CATALOG
+from repro.machine import Bug, explore, run_suite
+
+
+def main() -> None:
+    tso = get_model("tso")
+
+    print("=== operational vs axiomatic TSO (Owens et al. equivalence) ===")
+    oracle = ExplicitOracle(tso)
+    for name in ("MP", "SB", "n6", "SB+mfences", "IRIW", "CoWR0"):
+        test = CATALOG[name].test
+        operational = explore(test)
+        axiomatic = oracle.analyze(test).model_valid
+        mark = "==" if operational == axiomatic else "!="
+        print(
+            f"  {name:12s} machine outcomes {len(operational):3d} "
+            f"{mark} model outcomes {len(axiomatic):3d}"
+        )
+    print()
+
+    print("=== synthesize the suite, then attack the machine ===")
+    result = synthesize(
+        tso, 5, config=EnumerationConfig(max_events=5, max_addresses=2)
+    )
+    suite = result.union
+    print(f"suite: {len(suite)} minimal tests (bound 5)")
+    print()
+    for bug in Bug:
+        report = run_suite(suite, tso, bug)
+        print(f"  {report.summary()}")
+        for violation in report.violations[:2]:
+            print(f"      e.g. {violation.pretty()}")
+    print()
+    print(
+        "every broken mechanism that fits within the bound is exposed by "
+        "a minimal test — and the correct machine survives all of them."
+    )
+
+
+if __name__ == "__main__":
+    main()

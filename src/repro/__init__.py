@@ -1,0 +1,105 @@
+"""litmus-synth: automated synthesis of comprehensive memory model litmus
+test suites.
+
+A from-scratch reproduction of Lustig, Wright, Papakonstantinou & Giroux,
+*Automated Synthesis of Comprehensive Memory Model Litmus Test Suites*
+(ASPLOS 2017).
+
+Quick start::
+
+    from repro import get_model, synthesize
+
+    tso = get_model("tso")
+    result = synthesize(tso, bound=4)
+    for entry in result.union:
+        print(entry.pretty())
+
+Package layout:
+
+* :mod:`repro.litmus`    — litmus test IR, executions, outcomes, catalog
+* :mod:`repro.semantics` — relation algebra and execution enumeration
+* :mod:`repro.models`    — SC, TSO, Power, ARMv7, SCC, C11
+* :mod:`repro.relax`     — the six instruction relaxations + Table 2
+* :mod:`repro.core`      — minimality criterion, synthesis, suites
+* :mod:`repro.sat`       — CDCL SAT solver (the Alloy-substitute backend)
+* :mod:`repro.relational`— bounded relational model finder over SAT
+* :mod:`repro.alloy`     — Alloy-style memory-model encodings
+"""
+
+from repro.core import (
+    CriterionMode,
+    EnumerationConfig,
+    MinimalityChecker,
+    MinimalityResult,
+    SuiteEntry,
+    SynthesisResult,
+    TestSuite,
+    canonical_form,
+    compare_suites,
+    is_subtest,
+    synthesize,
+)
+from repro.litmus import (
+    Dep,
+    DepKind,
+    EventKind,
+    Execution,
+    FenceKind,
+    Instruction,
+    LitmusTest,
+    Order,
+    Outcome,
+    Scope,
+    fence,
+    read,
+    write,
+)
+from repro.machine import Bug, TsoMachine, explore, run_suite
+from repro.models import MemoryModel, Vocabulary, available_models, get_model
+from repro.relax import ALL_RELAXATIONS, applicability_table, relaxations_for
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # core
+    "CriterionMode",
+    "EnumerationConfig",
+    "MinimalityChecker",
+    "MinimalityResult",
+    "SuiteEntry",
+    "SynthesisResult",
+    "TestSuite",
+    "canonical_form",
+    "compare_suites",
+    "is_subtest",
+    "synthesize",
+    # litmus
+    "Dep",
+    "DepKind",
+    "EventKind",
+    "Execution",
+    "FenceKind",
+    "Instruction",
+    "LitmusTest",
+    "Order",
+    "Outcome",
+    "Scope",
+    "fence",
+    "read",
+    "write",
+    # operational machine
+    "Bug",
+    "TsoMachine",
+    "explore",
+    "run_suite",
+    # models
+    "MemoryModel",
+    "Vocabulary",
+    "available_models",
+    "get_model",
+    # relaxations
+    "ALL_RELAXATIONS",
+    "applicability_table",
+    "relaxations_for",
+]

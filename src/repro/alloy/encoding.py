@@ -1,0 +1,255 @@
+"""Alloy-style relational encoding of litmus tests (paper Fig. 4).
+
+Given a litmus test, this module builds a bounded relational
+:class:`~repro.relational.problem.Problem` whose atoms are the test's
+events:
+
+* the *static* structure — event classes (``Read``, ``Write``, ``Fence``
+  and the order-annotated subsets), ``po``, same-address ``loc``,
+  ``dep``, ``rmw``, internal/external — becomes exact-bound constants
+  (Kodkod partial instances);
+* the *dynamic* relations — ``rf``, ``co`` (and ``sc`` for SCC) — become
+  free relations bounded above by their well-formedness shape, with the
+  Fig. 4 facts (each read reads at most one write; ``co`` totally orders
+  each address's writes; ``sc`` totally orders SC fences) asserted as
+  formulas.
+
+Enumerating instances of the conjunction of the facts reproduces exactly
+the executions the explicit engine enumerates — the cross-validation
+tests assert equality.
+"""
+
+from __future__ import annotations
+
+from repro.litmus.events import FenceKind
+from repro.litmus.execution import Execution
+from repro.litmus.test import LitmusTest
+from repro.relational import ast
+from repro.relational.problem import Problem
+
+__all__ = ["LitmusEncoding"]
+
+# relation name constants
+RF, CO, SC_REL = "rf", "co", "sc"
+
+
+class LitmusEncoding:
+    """The relational problem for one litmus test."""
+
+    def __init__(self, test: LitmusTest, with_sc: bool = False):
+        self.test = test
+        self.with_sc = with_sc
+        n = test.num_events
+        self.problem = Problem(n)
+        self._declare_static()
+        self._declare_dynamic()
+
+    # -- declarations ----------------------------------------------------------
+
+    def _declare_static(self) -> None:
+        test = self.test
+        n = test.num_events
+        insts = test.instructions
+
+        def unary(mask_pred) -> set[tuple[int, ...]]:
+            return {(e,) for e in range(n) if mask_pred(insts[e])}
+
+        p = self.problem
+        p.constant("Read", unary(lambda i: i.is_read), arity=1)
+        p.constant("Write", unary(lambda i: i.is_write), arity=1)
+        p.constant("Fence", unary(lambda i: i.is_fence), arity=1)
+        p.constant(
+            "Acquire",
+            unary(lambda i: i.is_read and i.order.is_acquire),
+            arity=1,
+        )
+        p.constant(
+            "Release",
+            unary(lambda i: i.is_write and i.order.is_release),
+            arity=1,
+        )
+        p.constant(
+            "FenceSC",
+            unary(lambda i: i.is_fence and i.fence is FenceKind.FENCE_SC),
+            arity=1,
+        )
+        p.constant(
+            "FenceAcqRel",
+            unary(
+                lambda i: i.is_fence
+                and i.fence is FenceKind.FENCE_ACQ_REL
+            ),
+            arity=1,
+        )
+        for kind in FenceKind:
+            p.constant(
+                f"F_{kind.name}",
+                unary(lambda i, k=kind: i.is_fence and i.fence is k),
+                arity=1,
+            )
+
+        po = {
+            (test.eid(t, i), test.eid(t, j))
+            for t, thread in enumerate(test.threads)
+            for i in range(len(thread))
+            for j in range(i + 1, len(thread))
+        }
+        p.constant("po", po)
+        loc = {
+            (a, b)
+            for addr in test.addresses
+            for a in test.accesses_to(addr)
+            for b in test.accesses_to(addr)
+        }
+        p.constant("loc", loc)
+        internal = {
+            (test.eid(t, i), test.eid(t, j))
+            for t, thread in enumerate(test.threads)
+            for i in range(len(thread))
+            for j in range(len(thread))
+            if i != j
+        }
+        p.constant("int", internal)
+        p.constant(
+            "ext",
+            {
+                (a, b)
+                for a in range(n)
+                for b in range(n)
+                if a != b and (a, b) not in internal
+            },
+        )
+        p.constant("rmw", set(test.rmw))
+        p.constant("dep", {(d.src, d.dst) for d in test.deps})
+
+    def _declare_dynamic(self) -> None:
+        test = self.test
+        p = self.problem
+        rf_upper = {
+            (w, r)
+            for r in test.read_eids
+            for w in test.writes_to(test.instruction(r).address)
+        }
+        p.declare(RF, upper=rf_upper)
+        co_upper = {
+            (w1, w2)
+            for addr in test.addresses
+            for w1 in test.writes_to(addr)
+            for w2 in test.writes_to(addr)
+            if w1 != w2
+        }
+        p.declare(CO, upper=co_upper)
+        if self.with_sc:
+            fences = [
+                e
+                for e, inst in enumerate(test.instructions)
+                if inst.is_fence and inst.fence is FenceKind.FENCE_SC
+            ]
+            sc_upper = {
+                (a, b) for a in fences for b in fences if a != b
+            }
+            p.declare(SC_REL, upper=sc_upper)
+
+    # -- facts (well-formedness, Fig. 4) ------------------------------------------
+
+    def atom_set(self, event: int) -> ast.Expr:
+        """A singleton unary constant for one event."""
+        name = f"atom_{event}"
+        if name not in self.problem.declarations:
+            self.problem.constant(name, {(event,)}, arity=1)
+        return ast.Rel(name, 1)
+
+    def facts(self) -> ast.Formula:
+        """Well-formedness: rf functional per read; co and sc total."""
+        test = self.test
+        rf, co = ast.Rel(RF), ast.Rel(CO)
+        formula: ast.Formula = ast.TRUE_F
+        for r in test.read_eids:
+            formula = formula & ast.Lone(
+                rf.range_restrict(self.atom_set(r))
+            )
+        formula = formula & self._total_order(
+            co,
+            [
+                tuple(test.writes_to(addr))
+                for addr in test.addresses
+            ],
+        )
+        if self.with_sc:
+            fences = [
+                e
+                for e, inst in enumerate(test.instructions)
+                if inst.is_fence and inst.fence is FenceKind.FENCE_SC
+            ]
+            formula = formula & self._total_order(
+                ast.Rel(SC_REL), [tuple(fences)]
+            )
+        return formula
+
+    def _total_order(
+        self, rel: ast.Expr, groups: list[tuple[int, ...]]
+    ) -> ast.Formula:
+        """The relation must totally order each group's atoms."""
+        formula: ast.Formula = ast.Irreflexive(rel) & ast.Subset(
+            rel.join(rel), rel
+        )
+        for group in groups:
+            for i, a in enumerate(group):
+                for b in group[i + 1 :]:
+                    pair = self._pair(a, b)
+                    rpair = self._pair(b, a)
+                    formula = formula & (
+                        ast.Subset(pair, rel) | ast.Subset(rpair, rel)
+                    )
+        return formula
+
+    def _pair(self, a: int, b: int) -> ast.Expr:
+        name = f"pair_{a}_{b}"
+        if name not in self.problem.declarations:
+            self.problem.constant(name, {(a, b)})
+        return ast.Rel(name)
+
+    # -- derived expressions --------------------------------------------------------
+
+    @staticmethod
+    def fr() -> ast.Expr:
+        """Fig. 4's ``fr``: same-address read->write pairs minus those
+        reading a co-no-later write.  Handles initial reads."""
+        read, write = ast.Rel("Read", 1), ast.Rel("Write", 1)
+        loc, rf, co = ast.Rel("loc"), ast.Rel(RF), ast.Rel(CO)
+        candidates = read.domain_restrict(loc).range_restrict(write)
+        no_later = (~rf).join(ast.Transpose(co).rclosure())
+        return candidates - no_later
+
+    # -- instance decoding -------------------------------------------------------------
+
+    def decode(self, instance) -> Execution:
+        """Turn a relational instance into an Execution."""
+        test = self.test
+        rf_map = {r: None for r in test.read_eids}
+        for w, r in instance[RF]:
+            rf_map[r] = w
+        rf = tuple((r, rf_map[r]) for r in test.read_eids)
+        co_pairs = set(instance[CO])
+        co = []
+        for addr in test.addresses:
+            co.append(_order_by_predecessors(test.writes_to(addr), co_pairs))
+        sc: tuple[int, ...] = ()
+        if self.with_sc and SC_REL in instance:
+            fences = tuple(
+                e
+                for e, inst in enumerate(test.instructions)
+                if inst.is_fence and inst.fence is FenceKind.FENCE_SC
+            )
+            sc = _order_by_predecessors(fences, set(instance[SC_REL]))
+        return Execution(test, rf, tuple(co), sc)
+
+
+def _order_by_predecessors(
+    atoms: tuple[int, ...], pairs: set[tuple[int, int]]
+) -> tuple[int, ...]:
+    """Linearize a total order given as a pair set (predecessor counts)."""
+    preds = {
+        a: sum(1 for b in atoms if (b, a) in pairs) for a in atoms
+    }
+    return tuple(sorted(atoms, key=preds.__getitem__))

@@ -1,0 +1,96 @@
+"""Alloy-style memory model formulas (paper Figs. 4 and 17).
+
+These are the relational-logic twins of the axiom functions in
+:mod:`repro.models` — same definitions, phrased over free ``rf``/``co``
+(/``sc``) relations instead of a concrete execution.  The
+cross-validation tests assert that, for every test in the catalog, the
+set of executions satisfying these formulas equals the set the explicit
+engine accepts.
+"""
+
+from __future__ import annotations
+
+from repro.alloy.encoding import LitmusEncoding
+from repro.relational import ast
+
+__all__ = ["sc_formulas", "tso_formulas", "scc_formulas", "ALLOY_MODELS"]
+
+
+def _common():
+    rf, co = ast.Rel("rf"), ast.Rel("co")
+    po, loc, ext = ast.Rel("po"), ast.Rel("loc"), ast.Rel("ext")
+    fr = LitmusEncoding.fr()
+    return rf, co, po, loc, ext, fr
+
+
+def sc_formulas() -> dict[str, ast.Formula]:
+    """Sequential consistency: one total order embeds everything."""
+    rf, co, po, loc, ext, fr = _common()
+    rmw = ast.Rel("rmw")
+    return {
+        "sequential_consistency": ast.Acyclic(po + rf + co + fr),
+        "rmw_atomicity": ast.No(fr.join(co) & rmw),
+    }
+
+
+def tso_formulas() -> dict[str, ast.Formula]:
+    """Fig. 4's three TSO axioms, verbatim."""
+    rf, co, po, loc, ext, fr = _common()
+    rmw = ast.Rel("rmw")
+    read, write = ast.Rel("Read", 1), ast.Rel("Write", 1)
+    fence_set = ast.Rel("Fence", 1)
+    po_loc = po & loc
+    ppo = po - write.product(read)
+    fence = po.range_restrict(fence_set).join(po)
+    rfe = rf & ext
+    fre = fr & ext
+    coe = co & ext
+    return {
+        "sc_per_loc": ast.Acyclic(rf + co + fr + po_loc),
+        "rmw_atomicity": ast.No(fre.join(coe) & rmw),
+        "causality": ast.Acyclic(rfe + co + fr + ppo + fence),
+    }
+
+
+def scc_formulas() -> dict[str, ast.Formula]:
+    """Fig. 17's SCC axioms, verbatim."""
+    rf, co, po, loc, ext, fr = _common()
+    rmw, dep, sc = ast.Rel("rmw"), ast.Rel("dep"), ast.Rel("sc")
+    acquire, release = ast.Rel("Acquire", 1), ast.Rel("Release", 1)
+    fence_sync = ast.Rel("FenceAcqRel", 1) + ast.Rel("FenceSC", 1)
+    iden = ast.Iden()
+    po_loc = po & loc
+
+    prefix = (
+        iden
+        + fence_sync.domain_restrict(po)
+        + release.domain_restrict(po_loc)
+    )
+    suffix = (
+        iden
+        + po.range_restrict(fence_sync)
+        + po_loc.range_restrict(acquire)
+    )
+    releasers = release + fence_sync
+    acquirers = acquire + fence_sync
+    chain = prefix.join((rf + rmw).closure()).join(suffix)
+    sync = releasers.domain_restrict(chain).range_restrict(acquirers)
+    # cause = *po . (sc + sync) . *po
+    cause = po.rclosure().join(sc + sync).join(po.rclosure())
+    com = rf + co + fr
+    return {
+        "sc_per_loc": ast.Acyclic(rf + co + fr + po_loc),
+        "no_thin_air": ast.Acyclic(rf + dep),
+        "rmw_atomicity": ast.No(fr.join(co) & rmw),
+        "causality": ast.Irreflexive(
+            com.rclosure().join(cause.closure())
+        ),
+    }
+
+
+#: name -> (formula factory, needs an sc order)
+ALLOY_MODELS: dict[str, tuple] = {
+    "sc": (sc_formulas, False),
+    "tso": (tso_formulas, False),
+    "scc": (scc_formulas, True),
+}

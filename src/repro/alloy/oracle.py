@@ -1,0 +1,158 @@
+"""SAT-backed execution oracle — the paper's actual pipeline.
+
+:class:`AlloyOracle` answers the same questions as
+:class:`repro.core.oracle.ExplicitOracle` but by model finding instead of
+explicit enumeration: well-formedness facts plus model formulas are
+compiled to CNF and instances are enumerated through the CDCL solver.
+It is slower (as the paper's runtime curves attest) but is the faithful
+reproduction of the Alloy/Kodkod/MiniSAT stack, and the two oracles are
+cross-validated against each other in the test suite.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+from collections import OrderedDict
+
+from repro.alloy.encoding import LitmusEncoding
+from repro.alloy.models import ALLOY_MODELS
+from repro.core.oracle import TestAnalysis
+from repro.litmus.execution import Execution, Outcome
+from repro.litmus.test import LitmusTest
+from repro.relational import ast
+from repro.relational.solve import ModelFinder
+
+__all__ = ["AlloyOracle"]
+
+
+class AlloyOracle:
+    """Execution-level queries answered via the relational model finder.
+
+    Exposes the same ``analyze``/``observable`` surface as
+    :class:`repro.core.oracle.ExplicitOracle`, so it can be plugged into
+    :class:`repro.core.minimality.MinimalityChecker` — running the
+    paper's criterion end-to-end through the SAT stack.
+    """
+
+    def __init__(self, model_name: str, analysis_cache: int = 1024):
+        if model_name not in ALLOY_MODELS:
+            known = ", ".join(sorted(ALLOY_MODELS))
+            raise KeyError(
+                f"no Alloy encoding for {model_name!r}; available: {known} "
+                "(Power's recursive ppo needs the explicit engine)"
+            )
+        self.model_name = model_name
+        factory, with_sc = ALLOY_MODELS[model_name]
+        self._formulas = factory()
+        self.with_sc = with_sc
+        self._analysis: OrderedDict[LitmusTest, TestAnalysis] = OrderedDict()
+        self._analysis_cache = analysis_cache
+
+    # -- queries -------------------------------------------------------------------
+
+    def axiom_names(self) -> tuple[str, ...]:
+        return tuple(self._formulas)
+
+    def _finder(
+        self, test: LitmusTest
+    ) -> tuple[LitmusEncoding, ModelFinder, ast.Formula]:
+        encoding = LitmusEncoding(test, with_sc=self.with_sc)
+        formula = encoding.facts()  # forces constant declarations
+        finder = ModelFinder(encoding.problem)
+        return encoding, finder, formula
+
+    def executions(self, test: LitmusTest) -> Iterator[Execution]:
+        """All well-formed executions (the facts alone)."""
+        encoding, finder, facts = self._finder(test)
+        for instance in finder.instances(facts):
+            yield encoding.decode(instance)
+
+    def valid_executions(
+        self, test: LitmusTest, axiom: str | None = None
+    ) -> Iterator[Execution]:
+        """Executions satisfying one axiom (or the whole model)."""
+        encoding, finder, facts = self._finder(test)
+        formula = facts
+        if axiom is None:
+            for f in self._formulas.values():
+                formula = formula & f
+        else:
+            formula = formula & self._formulas[axiom]
+        for instance in finder.instances(formula):
+            yield encoding.decode(instance)
+
+    def valid_outcomes(self, test: LitmusTest) -> frozenset[Outcome]:
+        return frozenset(
+            ex.outcome for ex in self.valid_executions(test)
+        )
+
+    def analyze(self, test: LitmusTest) -> TestAnalysis:
+        """Outcome landscape via model finding (one enumeration for the
+        execution space, one per axiom)."""
+        cached = self._analysis.get(test)
+        if cached is not None:
+            return cached
+        all_outcomes = frozenset(
+            ex.outcome for ex in self.executions(test)
+        )
+        axiom_valid = {
+            name: frozenset(
+                ex.outcome for ex in self.valid_executions(test, name)
+            )
+            for name in self._formulas
+        }
+        model_valid = self.valid_outcomes(test)
+        analysis = TestAnalysis(all_outcomes, model_valid, axiom_valid)
+        self._analysis[test] = analysis
+        if len(self._analysis) > self._analysis_cache:
+            self._analysis.popitem(last=False)
+        return analysis
+
+    def observable(self, test: LitmusTest, constraint: Outcome) -> bool:
+        """Does some model-valid execution produce the (partial) outcome?"""
+        return self.analyze(test).admits(constraint)
+
+    def is_valid(self, execution: Execution) -> bool:
+        """Check one concrete execution by pinning rf/co/sc exactly."""
+        encoding, finder, facts = self._finder(execution.test)
+        formula = facts
+        for f in self._formulas.values():
+            formula = formula & f
+        formula = formula & self._pin(execution, encoding)
+        return finder.check(formula)
+
+    def _pin(
+        self, execution: Execution, encoding: LitmusEncoding
+    ) -> ast.Formula:
+        test = execution.test
+        rf_tuples = {
+            (src, r) for r, src in execution.rf if src is not None
+        }
+        co_tuples = set()
+        for order in execution.co:
+            for i, w1 in enumerate(order):
+                for w2 in order[i + 1 :]:
+                    co_tuples.add((w1, w2))
+        pin = self._exactly(encoding, "rf", rf_tuples)
+        pin = pin & self._exactly(encoding, "co", co_tuples)
+        if self.with_sc:
+            sc_tuples = set()
+            seq = execution.sc
+            for i, a in enumerate(seq):
+                for b in seq[i + 1 :]:
+                    sc_tuples.add((a, b))
+            pin = pin & self._exactly(encoding, "sc", sc_tuples)
+        return pin
+
+    @staticmethod
+    def _exactly(
+        encoding: LitmusEncoding, name: str, tuples: set
+    ) -> ast.Formula:
+        rel = ast.Rel(name)
+        if not tuples:
+            return ast.No(rel)
+        const_name = f"pin_{name}"
+        if const_name not in encoding.problem.declarations:
+            encoding.problem.constant(const_name, tuples)
+        return ast.Eq(rel, ast.Rel(const_name))

@@ -1,0 +1,221 @@
+"""The paper's Fig. 5c / Fig. 6 encoding, verbatim: minimality as one
+relational satisfiability query.
+
+For a given litmus test, build a single bounded relational formula
+
+    not axiom[no_r]                       -- the execution is forbidden
+    and (for every applicable (r, e):     -- finite conjunction
+         model[r -> e])                   -- perturbed model holds
+
+over free ``rf``/``co`` and *derived perturbed relations* ``rf_p``,
+``co_p``, ``po_p``, ``rmw_p``, ``fr_p`` (Fig. 6), with ``co_p`` repaired
+by transitive closure before restriction (Fig. 8).  A satisfying
+instance is an execution witnessing (Fig.-5c-)minimality; UNSAT means
+the test fails the criterion.
+
+This module covers the models with Alloy encodings (SC, TSO) and their
+applicable relaxations (RI, DRMW — paper Table 2).  The explicit engine
+(:class:`~repro.core.minimality.MinimalityChecker` in ``EXECUTION``
+mode) implements the same semantics operationally; the test suite
+asserts the two agree on the catalog.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.alloy.encoding import LitmusEncoding
+from repro.litmus.test import LitmusTest
+from repro.relational import ast
+from repro.relational.solve import ModelFinder
+
+__all__ = ["PerturbedRelations", "Fig5cEncoding"]
+
+
+@dataclass(frozen=True)
+class PerturbedRelations:
+    """The ``_p`` view of one relaxation application (Fig. 6)."""
+
+    rf: ast.Expr
+    co: ast.Expr
+    po: ast.Expr
+    rmw: ast.Expr
+    read: ast.Expr   # unary: surviving reads
+    write: ast.Expr  # unary: surviving writes
+    fence: ast.Expr  # unary: surviving fences
+    loc: ast.Expr
+    ext: ast.Expr
+
+    @property
+    def fr(self) -> ast.Expr:
+        """Fig. 4's fr, over the perturbed relations."""
+        candidates = self.read.domain_restrict(self.loc).range_restrict(
+            self.write
+        )
+        no_later = (~self.rf).join(ast.Transpose(self.co).rclosure())
+        return candidates - no_later
+
+    @property
+    def po_loc(self) -> ast.Expr:
+        return self.po & self.loc
+
+
+def _base_relations() -> PerturbedRelations:
+    return PerturbedRelations(
+        rf=ast.Rel("rf"),
+        co=ast.Rel("co"),
+        po=ast.Rel("po"),
+        rmw=ast.Rel("rmw"),
+        read=ast.Rel("Read", 1),
+        write=ast.Rel("Write", 1),
+        fence=ast.Rel("Fence", 1),
+        loc=ast.Rel("loc"),
+        ext=ast.Rel("ext"),
+    )
+
+
+# -- model axioms as functions of (possibly perturbed) relations -------------------
+
+
+def _tso_axioms(p: PerturbedRelations) -> dict[str, ast.Formula]:
+    po_loc = p.po_loc
+    fr = p.fr
+    rfe = p.rf & p.ext
+    fre = fr & p.ext
+    coe = p.co & p.ext
+    ppo = p.po - p.write.product(p.read)
+    fence = p.po.range_restrict(p.fence).join(p.po)
+    return {
+        "sc_per_loc": ast.Acyclic(p.rf + p.co + fr + po_loc),
+        "rmw_atomicity": ast.No(fre.join(coe) & p.rmw),
+        "causality": ast.Acyclic(rfe + p.co + fr + ppo + fence),
+    }
+
+
+def _sc_axioms(p: PerturbedRelations) -> dict[str, ast.Formula]:
+    fr = p.fr
+    return {
+        "sequential_consistency": ast.Acyclic(p.po + p.rf + p.co + fr),
+        "rmw_atomicity": ast.No(fr.join(p.co) & p.rmw),
+    }
+
+
+_AXIOMS = {"tso": _tso_axioms, "sc": _sc_axioms}
+
+
+class Fig5cEncoding:
+    """One-query minimality checking for a given test (Fig. 5c)."""
+
+    def __init__(self, test: LitmusTest, model_name: str):
+        if model_name not in _AXIOMS:
+            raise KeyError(
+                f"Fig. 5c encoding supports {sorted(_AXIOMS)}, not "
+                f"{model_name!r}"
+            )
+        self.test = test
+        self.model_name = model_name
+        self.encoding = LitmusEncoding(test)
+        self._axioms_fn = _AXIOMS[model_name]
+
+    # -- perturbation (Fig. 6) --------------------------------------------------
+
+    def _without(self, unary: ast.Expr, event: int) -> ast.Expr:
+        return unary - self.encoding.atom_set(event)
+
+    def perturb_ri(self, event: int) -> PerturbedRelations:
+        """RI applied to ``event``: every relation restricted away from
+        it; ``co`` transitively repaired first (Fig. 8)."""
+        base = _base_relations()
+        alive = self._alive_set(event)
+        return PerturbedRelations(
+            rf=alive.domain_restrict(base.rf).range_restrict(alive),
+            co=alive.domain_restrict(base.co.closure()).range_restrict(
+                alive
+            ),
+            po=alive.domain_restrict(base.po).range_restrict(alive),
+            rmw=alive.domain_restrict(base.rmw).range_restrict(alive),
+            read=base.read - self.encoding.atom_set(event),
+            write=base.write - self.encoding.atom_set(event),
+            fence=base.fence - self.encoding.atom_set(event),
+            loc=base.loc,
+            ext=base.ext,
+        )
+
+    def _alive_set(self, removed: int) -> ast.Expr:
+        name = f"alive_{removed}"
+        if name not in self.encoding.problem.declarations:
+            self.encoding.problem.constant(
+                name,
+                {
+                    (e,)
+                    for e in range(self.test.num_events)
+                    if e != removed
+                },
+                arity=1,
+            )
+        return ast.Rel(name, 1)
+
+    def perturb_drmw(self, pair: tuple[int, int]) -> PerturbedRelations:
+        """DRMW applied to one rmw pair: drop its pairing edge."""
+        base = _base_relations()
+        name = f"rmw_minus_{pair[0]}_{pair[1]}"
+        if name not in self.encoding.problem.declarations:
+            self.encoding.problem.constant(
+                name, set(self.test.rmw) - {pair}
+            )
+        return PerturbedRelations(
+            rf=base.rf,
+            co=base.co,
+            po=base.po,
+            rmw=ast.Rel(name),
+            read=base.read,
+            write=base.write,
+            fence=base.fence,
+            loc=base.loc,
+            ext=base.ext,
+        )
+
+    # -- the minimality query ----------------------------------------------------------
+
+    def applications(self) -> list[PerturbedRelations]:
+        perturbed = [
+            self.perturb_ri(e) for e in range(self.test.num_events)
+        ]
+        perturbed += [
+            self.perturb_drmw(pair) for pair in sorted(self.test.rmw)
+        ]
+        return perturbed
+
+    def minimality_formula(self, axiom: str | None = None) -> ast.Formula:
+        """Fig. 5c: forbidden under the (base) axiom, valid under the
+        full perturbed model for every application."""
+        base_axioms = self._axioms_fn(_base_relations())
+        if axiom is None:
+            violated: ast.Formula = ast.TRUE_F
+            first = True
+            for f in base_axioms.values():
+                violated = ast.Not(f) if first else ast.Or(violated, ast.Not(f))
+                first = False
+        else:
+            violated = ast.Not(base_axioms[axiom])
+        formula = self.encoding.facts() & violated
+        for perturbed in self.applications():
+            for f in self._axioms_fn(perturbed).values():
+                formula = formula & f
+        return formula
+
+    def check(self, axiom: str | None = None):
+        """Solve the query; returns a witness Execution or None.
+
+        The test has more than one instruction by assumption (RI must
+        apply at least once, per Definition 1)."""
+        if self.test.num_events <= 1:
+            return None
+        finder = ModelFinder(self.encoding.problem)
+        instance = finder.solve(self.minimality_formula(axiom))
+        if instance is None:
+            return None
+        return self.encoding.decode(instance)
+
+    def is_minimal(self, axiom: str | None = None) -> bool:
+        return self.check(axiom) is not None

@@ -1,0 +1,200 @@
+"""Command-line interface.
+
+::
+
+    litmus-synth models
+    litmus-synth table2
+    litmus-synth synthesize --model tso --bound 4 [--axiom causality]
+                            [--mode exact|execution|execution-wa]
+                            [--out suite.json]
+    litmus-synth check --model tso test.litmus
+    litmus-synth show --name MP
+    litmus-synth compare --model tso --bound 5 --reference owens
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.core.compare import compare_suites
+from repro.core.enumerator import EnumerationConfig
+from repro.core.minimality import CriterionMode, MinimalityChecker
+from repro.core.synthesis import synthesize
+from repro.litmus.catalog import (
+    CATALOG,
+    cambridge_power_suite,
+    owens_forbidden,
+)
+from repro.litmus.format import format_test, parse_test
+from repro.models.registry import available_models, get_model
+from repro.relax.applicability import format_table
+
+__all__ = ["main"]
+
+
+def _cmd_models(_args) -> int:
+    for name in available_models():
+        model = get_model(name)
+        axioms = ", ".join(model.axiom_names())
+        print(f"{name:8s} {model.full_name}  [axioms: {axioms}]")
+    return 0
+
+
+def _cmd_table2(_args) -> int:
+    print(format_table())
+    return 0
+
+
+def _cmd_synthesize(args) -> int:
+    model = get_model(args.model)
+    config = EnumerationConfig(
+        max_events=args.bound,
+        max_threads=args.max_threads,
+        max_addresses=args.max_addresses,
+        max_deps=args.max_deps,
+        max_rmws=args.max_rmws,
+    )
+    result = synthesize(
+        model,
+        args.bound,
+        axioms=[args.axiom] if args.axiom else None,
+        mode=CriterionMode(args.mode),
+        config=config,
+    )
+    print(result.summary())
+    if args.verbose:
+        for entry in result.union:
+            print()
+            print(entry.pretty())
+    if args.out:
+        result.union.save(args.out)
+        print(f"union suite written to {args.out}")
+    if args.litmus_dir:
+        written = result.union.save_litmus_dir(args.litmus_dir)
+        print(f"{len(written)} .litmus files written to {args.litmus_dir}")
+    return 0
+
+
+def _cmd_check(args) -> int:
+    model = get_model(args.model)
+    with open(args.test) as fh:
+        test, outcome = parse_test(fh.read())
+    checker = MinimalityChecker(model, CriterionMode(args.mode))
+    print(test.pretty())
+    if outcome is not None:
+        observable = checker.oracle.observable(test, outcome)
+        status = "ALLOWED" if observable else "FORBIDDEN"
+        print(f"recorded outcome {outcome.pretty(test)}: {status}")
+    result = checker.check(test)
+    if result.is_minimal:
+        assert result.witness is not None
+        print(f"MINIMAL — witness {result.witness.pretty(test)}")
+    else:
+        print(
+            "NOT MINIMAL "
+            f"(forbidden outcomes: {result.forbidden_count}, "
+            f"blocked by: {result.blocking})"
+        )
+    return 0
+
+
+def _cmd_show(args) -> int:
+    if args.name:
+        entry = CATALOG.get(args.name)
+        if entry is None:
+            print(f"unknown test {args.name!r}", file=sys.stderr)
+            return 1
+        print(format_test(entry.test, entry.forbidden))
+        if entry.note:
+            print(f"# {entry.note}")
+        return 0
+    for name, entry in sorted(CATALOG.items()):
+        print(f"{name:16s} [{entry.model}] {entry.note}")
+    return 0
+
+
+def _cmd_compare(args) -> int:
+    model = get_model(args.model)
+    reference = (
+        owens_forbidden() if args.reference == "owens" else cambridge_power_suite()
+    )
+    config = EnumerationConfig(
+        max_events=args.bound, max_addresses=args.max_addresses
+    )
+    result = synthesize(model, args.bound, config=config)
+    comparison = compare_suites(reference, result.union, model)
+    print(result.summary())
+    print(comparison.summary())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="litmus-synth",
+        description="Synthesize comprehensive memory model litmus test suites",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("models", help="list available memory models")
+    sub.add_parser("table2", help="print the relaxation applicability matrix")
+
+    p = sub.add_parser("synthesize", help="synthesize suites for a model")
+    p.add_argument("--model", required=True, choices=available_models())
+    p.add_argument("--bound", type=int, default=4)
+    p.add_argument("--axiom", default=None)
+    p.add_argument(
+        "--mode",
+        default="exact",
+        choices=[m.value for m in CriterionMode],
+    )
+    p.add_argument("--max-threads", type=int, default=4)
+    p.add_argument("--max-addresses", type=int, default=3)
+    p.add_argument("--max-deps", type=int, default=2)
+    p.add_argument("--max-rmws", type=int, default=2)
+    p.add_argument("--out", default=None, help="write union suite JSON here")
+    p.add_argument(
+        "--litmus-dir",
+        default=None,
+        help="write one .litmus text file per synthesized test here",
+    )
+    p.add_argument("-v", "--verbose", action="store_true")
+
+    p = sub.add_parser("check", help="check a .litmus file for minimality")
+    p.add_argument("--model", required=True, choices=available_models())
+    p.add_argument(
+        "--mode",
+        default="exact",
+        choices=[m.value for m in CriterionMode],
+    )
+    p.add_argument("test", help="path to a litmus text file")
+
+    p = sub.add_parser("show", help="print catalog tests")
+    p.add_argument("--name", default=None)
+
+    p = sub.add_parser("compare", help="compare against a published suite")
+    p.add_argument("--model", required=True, choices=available_models())
+    p.add_argument("--bound", type=int, default=5)
+    p.add_argument("--max-addresses", type=int, default=3)
+    p.add_argument("--reference", default="owens", choices=["owens", "cambridge"])
+
+    return parser
+
+
+_COMMANDS = {
+    "models": _cmd_models,
+    "table2": _cmd_table2,
+    "synthesize": _cmd_synthesize,
+    "check": _cmd_check,
+    "show": _cmd_show,
+    "compare": _cmd_compare,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

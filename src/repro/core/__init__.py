@@ -1,0 +1,51 @@
+"""The paper's contribution: minimality-driven litmus test synthesis."""
+
+from repro.core.canonical import (
+    CanonicalSet,
+    canonical_form,
+    canonicalize,
+    paper_canonicalize,
+    symmetry_class_size,
+)
+from repro.core.compare import (
+    SuiteComparison,
+    compare_suites,
+    find_subtest,
+    is_subtest,
+    subtests,
+)
+from repro.core.enumerator import EnumerationConfig, enumerate_tests
+from repro.core.minimality import (
+    CriterionMode,
+    MinimalityChecker,
+    MinimalityResult,
+    perturb_execution,
+)
+from repro.core.oracle import ExplicitOracle, TestAnalysis
+from repro.core.suite import SuiteEntry, TestSuite
+from repro.core.synthesis import SynthesisResult, synthesize
+
+__all__ = [
+    "CanonicalSet",
+    "canonical_form",
+    "canonicalize",
+    "paper_canonicalize",
+    "symmetry_class_size",
+    "SuiteComparison",
+    "compare_suites",
+    "find_subtest",
+    "is_subtest",
+    "subtests",
+    "EnumerationConfig",
+    "enumerate_tests",
+    "CriterionMode",
+    "MinimalityChecker",
+    "MinimalityResult",
+    "perturb_execution",
+    "ExplicitOracle",
+    "TestAnalysis",
+    "SuiteEntry",
+    "TestSuite",
+    "SynthesisResult",
+    "synthesize",
+]

@@ -1,0 +1,151 @@
+"""Suite comparison and subsumption analysis (paper §6.1, Table 4).
+
+The paper's key empirical claim for TSO is that every hand-written test
+in the Owens suite that the synthesis does *not* emit "contains inside of
+it a test which is in fact present" in the synthesized suite (e.g.
+n5/coLB contains CoRW).  *Contains* means the smaller test is reachable
+from the larger one by applying instruction relaxations — the very same
+RI/DMO/DF/DRMW/RD/DS machinery — modulo symmetry.
+
+:func:`find_subtest` searches that relaxation reachability space;
+:func:`compare_suites` builds the full Table 4-style report.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.litmus.catalog import CatalogEntry
+from repro.litmus.test import LitmusTest
+from repro.models.base import MemoryModel
+from repro.core.canonical import canonical_form
+from repro.core.suite import TestSuite
+from repro.relax.instruction import relaxations_for
+
+__all__ = [
+    "subtests",
+    "is_subtest",
+    "find_subtest",
+    "SuiteComparison",
+    "compare_suites",
+]
+
+
+def subtests(
+    test: LitmusTest, model: MemoryModel, max_steps: int = 6
+) -> set[LitmusTest]:
+    """Canonical forms reachable from ``test`` by up to ``max_steps``
+    relaxation applications (including the test itself)."""
+    relaxations = relaxations_for(model.vocabulary)
+    vocab = model.vocabulary
+    start = canonical_form(test)
+    seen: set[LitmusTest] = {start}
+    frontier: deque[tuple[LitmusTest, int]] = deque([(start, 0)])
+    while frontier:
+        current, depth = frontier.popleft()
+        if depth >= max_steps:
+            continue
+        for relax in relaxations:
+            for app in relax.applications(current, vocab):
+                relaxed = relax.apply(current, app, vocab)
+                canon = canonical_form(relaxed.test)
+                if canon not in seen:
+                    seen.add(canon)
+                    frontier.append((canon, depth + 1))
+    return seen
+
+
+def is_subtest(
+    small: LitmusTest,
+    big: LitmusTest,
+    model: MemoryModel,
+    max_steps: int = 6,
+) -> bool:
+    """Is ``small`` reachable from ``big`` via relaxations (mod symmetry)?"""
+    return canonical_form(small) in subtests(big, model, max_steps)
+
+
+def find_subtest(
+    big: LitmusTest,
+    suite: TestSuite,
+    model: MemoryModel,
+    max_steps: int = 6,
+) -> LitmusTest | None:
+    """First suite member contained in ``big`` (itself excluded)."""
+    big_canon = canonical_form(big)
+    reachable = subtests(big, model, max_steps)
+    members = {canonical_form(t) for t in suite.tests()}
+    for candidate in sorted(
+        reachable - {big_canon}, key=lambda t: (-t.num_events, repr(t))
+    ):
+        if candidate in members:
+            return candidate
+    return None
+
+
+@dataclass
+class SuiteComparison:
+    """A Table 4-style comparison of a reference suite vs a synthesized
+    suite."""
+
+    model_name: str
+    #: reference tests also present in the synthesized suite
+    both: list[str] = field(default_factory=list)
+    #: reference tests not emitted, mapped to the contained suite test
+    #: (None when no subtest was found — a genuine coverage gap)
+    reference_only: dict[str, LitmusTest | None] = field(default_factory=dict)
+    #: synthesized tests with no symmetric counterpart in the reference
+    synthesized_only: list[LitmusTest] = field(default_factory=list)
+
+    @property
+    def fully_subsumed(self) -> bool:
+        """True when every un-emitted reference test contains an emitted
+        subtest — the paper's reproduction claim."""
+        return all(v is not None for v in self.reference_only.values())
+
+    def summary(self) -> str:
+        lines = [
+            f"model={self.model_name}: both={len(self.both)} "
+            f"reference-only={len(self.reference_only)} "
+            f"synthesized-only={len(self.synthesized_only)}"
+        ]
+        for name in self.both:
+            lines.append(f"  BOTH        {name}")
+        for name, sub in self.reference_only.items():
+            if sub is None:
+                lines.append(f"  REF-ONLY    {name}  (no subtest found!)")
+            else:
+                lines.append(
+                    f"  REF-ONLY    {name}  contains a synthesized "
+                    f"{sub.num_events}-instruction test"
+                )
+        lines.append(
+            f"  +{len(self.synthesized_only)} tests not in the reference"
+        )
+        return "\n".join(lines)
+
+
+def compare_suites(
+    reference: list[CatalogEntry],
+    synthesized: TestSuite,
+    model: MemoryModel,
+    max_steps: int = 6,
+) -> SuiteComparison:
+    """Compare a published suite against a synthesized one (Table 4)."""
+    comparison = SuiteComparison(model.name)
+    member_canons = {canonical_form(t) for t in synthesized.tests()}
+    matched: set[LitmusTest] = set()
+    for entry in reference:
+        canon = canonical_form(entry.test)
+        if canon in member_canons:
+            comparison.both.append(entry.name)
+            matched.add(canon)
+        else:
+            comparison.reference_only[entry.name] = find_subtest(
+                entry.test, synthesized, model, max_steps
+            )
+    comparison.synthesized_only = [
+        t for t in member_canons - matched
+    ]
+    return comparison

@@ -1,0 +1,265 @@
+"""The litmus test minimality criterion (paper Definition 1, §4.2).
+
+    A litmus test satisfies the minimality criterion with respect to a
+    particular memory model if and only if that test has at least one
+    forbidden outcome that becomes observable under every instruction
+    relaxation that can be applied to the test.
+
+Three evaluation modes are provided, mirroring the paper's Fig. 5:
+
+* :attr:`CriterionMode.EXACT` — the sound exists-forall statement of
+  Fig. 5b.  An outcome is *forbidden* iff **no** execution producing it
+  satisfies the axiom (quantifying over all auxiliary relations, ``co``
+  interior and ``sc`` included), and each relaxed test is re-searched for
+  **some** valid execution producing the projected outcome.  Alloy cannot
+  express this first-order; our explicit oracle can.
+* :attr:`CriterionMode.EXECUTION` — the Fig. 5c approximation the paper
+  actually runs: outcomes are equated with whole executions, auxiliary
+  relations are fixed before relaxations apply, and relaxed validity is
+  evaluated on *derived perturbed relations* of the same execution
+  (Fig. 6).  This admits the false negatives (Fig. 18) and the mild false
+  positives (§4.3) the paper describes.
+* :attr:`CriterionMode.EXECUTION_WA` — Fig. 5c plus the Fig. 19 ``sc``
+  reversal workaround (models opt in via ``MemoryModel.wa_axioms``).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.litmus.execution import Execution, Outcome, project_outcome
+from repro.litmus.test import LitmusTest
+from repro.models.base import MemoryModel
+from repro.core.oracle import ExplicitOracle
+from repro.relax.base import Application, RelaxedTest, Relaxation
+from repro.relax.instruction import relaxations_for
+
+__all__ = [
+    "CriterionMode",
+    "MinimalityResult",
+    "MinimalityChecker",
+    "perturb_execution",
+]
+
+
+class CriterionMode(enum.Enum):
+    EXACT = "exact"              # paper Fig. 5b (sound)
+    EXECUTION = "execution"      # paper Fig. 5c (approximate)
+    EXECUTION_WA = "execution-wa"  # Fig. 5c + Fig. 19 workaround
+
+
+@dataclass(frozen=True)
+class MinimalityResult:
+    """Outcome of checking one test against the criterion."""
+
+    test: LitmusTest
+    axiom: str | None
+    is_minimal: bool
+    #: a forbidden outcome observable under every relaxation (if minimal)
+    witness: Outcome | None = None
+    #: the relaxation application that defeated the last candidate
+    #: outcome (if not minimal and some forbidden outcome existed)
+    blocking: tuple[str, int, str] | None = None
+    #: number of forbidden outcomes considered
+    forbidden_count: int = 0
+    #: number of relaxation applications quantified over
+    application_count: int = 0
+    #: per-application relaxed tests for the witness (diagnostics)
+    relaxed_tests: tuple[LitmusTest, ...] = field(default=(), compare=False)
+
+    def __bool__(self) -> bool:
+        return self.is_minimal
+
+
+def perturb_execution(execution: Execution, relaxed: RelaxedTest) -> Execution:
+    """Re-interpret an execution on a relaxed test (Fig. 6's ``_p``).
+
+    Events removed by the relaxation disappear from every relation; a
+    read whose source was removed becomes an initial-state read (the
+    paper's "leave the return value unconstrained" treatment); per-address
+    coherence orders stay in relative order, which is exactly the Fig. 8
+    transitive-closure repair.
+    """
+    emap = relaxed.event_map
+    target = relaxed.test
+    rf = []
+    for read, src in execution.rf:
+        new_read = emap[read]
+        if new_read is None:
+            continue
+        new_src = None if src is None else emap[src]
+        rf.append((new_read, new_src))
+    rf.sort()
+    orig_co = dict(zip(execution.test.addresses, execution.co))
+    co = tuple(
+        tuple(
+            w
+            for w in (emap[x] for x in orig_co.get(addr, ()))
+            if w is not None
+        )
+        for addr in target.addresses
+    )
+    sc = tuple(emap[f] for f in execution.sc if emap[f] is not None)
+    return Execution(target, tuple(rf), co, sc)
+
+
+class MinimalityChecker:
+    """Checks tests against the minimality criterion for one model."""
+
+    def __init__(
+        self,
+        model: MemoryModel,
+        mode: CriterionMode = CriterionMode.EXACT,
+        relaxations: tuple[Relaxation, ...] | None = None,
+        oracle=None,
+    ):
+        """``oracle`` defaults to the explicit-enumeration oracle; pass a
+        :class:`repro.alloy.AlloyOracle` to run the criterion through the
+        paper's SAT pipeline instead (same ``analyze``/``observable``/
+        ``executions`` surface)."""
+        self.model = model
+        self.mode = mode
+        self.relaxations = (
+            relaxations
+            if relaxations is not None
+            else relaxations_for(model.vocabulary)
+        )
+        workaround = mode is CriterionMode.EXECUTION_WA
+        self.oracle = (
+            oracle
+            if oracle is not None
+            else ExplicitOracle(model, workaround=workaround)
+        )
+
+    # -- public API ------------------------------------------------------------
+
+    def applications(
+        self, test: LitmusTest
+    ) -> list[tuple[Relaxation, Application]]:
+        """Every relaxation application the criterion quantifies over."""
+        vocab = self.model.vocabulary
+        return [
+            (relax, app)
+            for relax in self.relaxations
+            for app in relax.applications(test, vocab)
+        ]
+
+    def check(
+        self, test: LitmusTest, axiom: str | None = None
+    ) -> MinimalityResult:
+        """Check the criterion w.r.t. one axiom (or the whole model)."""
+        if self.mode is CriterionMode.EXACT:
+            return self._check_exact(test, axiom)
+        return self._check_execution(test, axiom)
+
+    def is_minimal(self, test: LitmusTest, axiom: str | None = None) -> bool:
+        return self.check(test, axiom).is_minimal
+
+    # -- Fig. 5b: sound, outcome-quantified ----------------------------------------
+
+    def _check_exact(
+        self, test: LitmusTest, axiom: str | None
+    ) -> MinimalityResult:
+        analysis = self.oracle.analyze(test)
+        forbidden = analysis.forbidden(axiom)
+        apps = self.applications(test)
+        if not forbidden or not apps:
+            return MinimalityResult(
+                test, axiom, False, forbidden_count=len(forbidden),
+                application_count=len(apps),
+            )
+        vocab = self.model.vocabulary
+        relaxed_tests = [
+            relax.apply(test, app, vocab) for relax, app in apps
+        ]
+        # Filter the forbidden outcomes application by application: an
+        # outcome survives only if every relaxation renders it observable.
+        # Iterating applications outermost fails fast — one unhelpful
+        # relaxation usually kills every candidate outcome at once.
+        surviving = sorted(forbidden, key=_outcome_key)
+        blocking: tuple[str, int, str] | None = None
+        for (relax, app), relaxed in zip(apps, relaxed_tests):
+            surviving = [
+                outcome
+                for outcome in surviving
+                if self.oracle.observable(
+                    relaxed.test, project_outcome(outcome, relaxed.event_map)
+                )
+            ]
+            if not surviving:
+                blocking = (relax.name, app.target, app.detail)
+                break
+        if surviving:
+            return MinimalityResult(
+                test,
+                axiom,
+                True,
+                witness=surviving[0],
+                forbidden_count=len(forbidden),
+                application_count=len(apps),
+                relaxed_tests=tuple(r.test for r in relaxed_tests),
+            )
+        return MinimalityResult(
+            test, axiom, False, blocking=blocking,
+            forbidden_count=len(forbidden), application_count=len(apps),
+        )
+
+    # -- Fig. 5c: approximate, execution-quantified -----------------------------------
+
+    def _check_execution(
+        self, test: LitmusTest, axiom: str | None
+    ) -> MinimalityResult:
+        apps = self.applications(test)
+        if not apps:
+            return MinimalityResult(test, axiom, False)
+        vocab = self.model.vocabulary
+        relaxed_tests = [
+            relax.apply(test, app, vocab) for relax, app in apps
+        ]
+        axioms = dict(
+            self.model.wa_axioms()
+            if self.mode is CriterionMode.EXECUTION_WA
+            else self.model.axioms()
+        )
+        check_one = axioms[axiom] if axiom is not None else None
+        blocking: tuple[str, int, str] | None = None
+        forbidden_seen = 0
+        for execution in self.oracle.executions(test):
+            view = self.model.view(execution)
+            if check_one is not None:
+                if check_one(view):
+                    continue
+            elif all(fn(view) for fn in axioms.values()):
+                continue
+            forbidden_seen += 1
+            ok = True
+            for (relax, app), relaxed in zip(apps, relaxed_tests):
+                perturbed = perturb_execution(execution, relaxed)
+                pview = self.model.view(perturbed)
+                if not all(fn(pview) for fn in axioms.values()):
+                    blocking = (relax.name, app.target, app.detail)
+                    ok = False
+                    break
+            if ok:
+                return MinimalityResult(
+                    test,
+                    axiom,
+                    True,
+                    witness=execution.outcome,
+                    forbidden_count=forbidden_seen,
+                    application_count=len(apps),
+                    relaxed_tests=tuple(r.test for r in relaxed_tests),
+                )
+        return MinimalityResult(
+            test, axiom, False, blocking=blocking,
+            forbidden_count=forbidden_seen, application_count=len(apps),
+        )
+
+
+def _outcome_key(outcome: Outcome):
+    # None sorts below any event id so outcomes order deterministically.
+    return (
+        tuple((r, -1 if s is None else s) for r, s in outcome.rf_sources),
+        tuple((a, -1 if w is None else w) for a, w in outcome.finals),
+    )

@@ -1,0 +1,138 @@
+"""The synthesis pipeline (paper §5): enumerate → check minimality →
+canonicalize → emit per-axiom and union suites.
+
+``synthesize`` is the top-level entry point the paper's Fig. 5a ``run
+generate`` corresponds to: it streams every candidate test within the
+size bound, keeps those satisfying the minimality criterion for at least
+one axiom, and collects one suite per axiom plus the union suite.
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Callable, Iterable
+from dataclasses import dataclass, field
+
+from repro.litmus.test import LitmusTest
+from repro.models.base import MemoryModel
+from repro.core.canonical import canonical_form
+from repro.core.enumerator import EnumerationConfig, enumerate_tests
+from repro.core.minimality import CriterionMode, MinimalityChecker
+from repro.core.suite import TestSuite
+
+__all__ = ["SynthesisResult", "synthesize"]
+
+
+@dataclass
+class SynthesisResult:
+    """Per-axiom suites, the union suite, and bookkeeping counters."""
+
+    model_name: str
+    bound: int
+    per_axiom: dict[str, TestSuite]
+    union: TestSuite
+    candidates: int = 0
+    unique_candidates: int = 0
+    minimal_tests: int = 0
+    elapsed_seconds: float = 0.0
+    axiom_seconds: dict[str, float] = field(default_factory=dict)
+
+    def counts(self) -> dict[str, int]:
+        out = {name: len(suite) for name, suite in self.per_axiom.items()}
+        out["union"] = len(self.union)
+        return out
+
+    def summary(self) -> str:
+        lines = [
+            f"model={self.model_name} bound={self.bound} "
+            f"candidates={self.candidates} unique={self.unique_candidates} "
+            f"elapsed={self.elapsed_seconds:.2f}s"
+        ]
+        for name, suite in self.per_axiom.items():
+            secs = self.axiom_seconds.get(name, 0.0)
+            lines.append(f"  {name:<16s} {len(suite):5d} tests  {secs:8.2f}s")
+        lines.append(f"  {'union':<16s} {len(self.union):5d} tests")
+        return "\n".join(lines)
+
+
+def synthesize(
+    model: MemoryModel,
+    bound: int,
+    axioms: Iterable[str] | None = None,
+    mode: CriterionMode = CriterionMode.EXACT,
+    config: EnumerationConfig | None = None,
+    exact_symmetry: bool = True,
+    candidates: Iterable[LitmusTest] | None = None,
+    progress: Callable[[int], None] | None = None,
+) -> SynthesisResult:
+    """Synthesize the comprehensive suites for one model.
+
+    Args:
+        model: the memory model to synthesize for.
+        bound: maximum instruction count per test.
+        axioms: which axioms to build suites for (default: all of them).
+        mode: criterion evaluation mode (Fig. 5b exact by default).
+        config: enumeration bounds (defaults derive from ``bound``).
+        exact_symmetry: use the exact canonicalizer (False reproduces the
+            paper's greedy one, WWC blind spot included).
+        candidates: explicit candidate stream (overrides the enumerator —
+            used by tests and by suite-from-corpus workflows).
+        progress: optional callback invoked with the running candidate
+            count every 1000 candidates.
+    """
+    start = time.perf_counter()
+    if config is None:
+        config = EnumerationConfig(max_events=bound)
+    axiom_names = tuple(axioms) if axioms is not None else model.axiom_names()
+    checker = MinimalityChecker(model, mode)
+    per_axiom = {
+        name: TestSuite(model.name, name, exact_symmetry)
+        for name in axiom_names
+    }
+    union = TestSuite(model.name, "union", exact_symmetry)
+    axiom_seconds = {name: 0.0 for name in axiom_names}
+
+    stream = (
+        candidates
+        if candidates is not None
+        else enumerate_tests(model.vocabulary, config)
+    )
+    seen: set[LitmusTest] = set()
+    n_candidates = 0
+    n_unique = 0
+    n_minimal = 0
+    for test in stream:
+        n_candidates += 1
+        if progress is not None and n_candidates % 1000 == 0:
+            progress(n_candidates)
+        canon = canonical_form(test)
+        if canon in seen:
+            continue
+        seen.add(canon)
+        n_unique += 1
+        minimal_for: list[str] = []
+        witness = None
+        for name in axiom_names:
+            t0 = time.perf_counter()
+            result = checker.check(test, name)
+            axiom_seconds[name] += time.perf_counter() - t0
+            if result.is_minimal:
+                minimal_for.append(name)
+                witness = result.witness
+                per_axiom[name].add(test, result.witness, [name])
+        if minimal_for:
+            n_minimal += 1
+            assert witness is not None
+            union.add(test, witness, minimal_for)
+
+    return SynthesisResult(
+        model_name=model.name,
+        bound=bound,
+        per_axiom=per_axiom,
+        union=union,
+        candidates=n_candidates,
+        unique_candidates=n_unique,
+        minimal_tests=n_minimal,
+        elapsed_seconds=time.perf_counter() - start,
+        axiom_seconds=axiom_seconds,
+    )

@@ -1,0 +1,42 @@
+"""Litmus test intermediate representation."""
+
+from repro.litmus.events import (
+    DepKind,
+    EventKind,
+    FenceKind,
+    Instruction,
+    Order,
+    Scope,
+    fence,
+    read,
+    write,
+)
+from repro.litmus.execution import (
+    Execution,
+    Outcome,
+    project_outcome,
+    remap_outcome,
+)
+from repro.litmus.format import ParseError, format_test, parse_test
+from repro.litmus.test import Dep, LitmusTest
+
+__all__ = [
+    "DepKind",
+    "EventKind",
+    "FenceKind",
+    "Instruction",
+    "Order",
+    "Scope",
+    "read",
+    "write",
+    "fence",
+    "Dep",
+    "LitmusTest",
+    "Execution",
+    "Outcome",
+    "project_outcome",
+    "remap_outcome",
+    "ParseError",
+    "format_test",
+    "parse_test",
+]

@@ -1,0 +1,199 @@
+"""Instruction-level vocabulary for litmus tests.
+
+The paper synthesizes tests over a per-model *instruction vocabulary*:
+reads and writes carry a memory-order annotation (paper Table 1 and the
+ARMv8/SCC acquire-release opcodes), fences come in model-specific
+strengths, and dependencies (address / data / control) are explicit edges
+in the test rather than properties of register dataflow.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+__all__ = [
+    "EventKind",
+    "Order",
+    "FenceKind",
+    "DepKind",
+    "Scope",
+    "Instruction",
+    "read",
+    "write",
+    "fence",
+]
+
+
+class EventKind(enum.Enum):
+    """The three base event classes of the paper's Alloy model (Fig. 4)."""
+
+    READ = "R"
+    WRITE = "W"
+    FENCE = "F"
+
+
+class Order(enum.IntEnum):
+    """Memory-order annotations, weakest to strongest.
+
+    ``PLAIN`` is a non-atomic access (or an ISA access with no annotation);
+    ``RLX`` is a C11 relaxed *atomic* access.  The integer ordering mirrors
+    the demotion lattice of the paper's Table 1, which DMO walks downward.
+    """
+
+    PLAIN = 0
+    RLX = 1
+    CON = 2
+    ACQ = 3
+    REL = 4
+    ACQ_REL = 5
+    SC = 6
+
+    @property
+    def is_acquire(self) -> bool:
+        return self in (Order.ACQ, Order.ACQ_REL, Order.SC, Order.CON)
+
+    @property
+    def is_release(self) -> bool:
+        return self in (Order.REL, Order.ACQ_REL, Order.SC)
+
+    @property
+    def is_atomic(self) -> bool:
+        """True for any C11 atomic access (everything except PLAIN)."""
+        return self is not Order.PLAIN
+
+
+class FenceKind(enum.Enum):
+    """Fence strengths across the modelled ISAs and languages."""
+
+    MFENCE = "mfence"        # x86
+    SYNC = "sync"            # Power heavyweight / ARMv7 dmb
+    LWSYNC = "lwsync"        # Power lightweight
+    ISYNC = "isync"          # Power instruction fence (ARMv7 isb)
+    FENCE_ACQ = "fence.acq"  # C11 atomic_thread_fence(acquire)
+    FENCE_REL = "fence.rel"  # C11 atomic_thread_fence(release)
+    FENCE_ACQ_REL = "fence.acq_rel"  # C11 / SCC acquire-release fence
+    FENCE_SC = "fence.sc"    # C11 seq_cst fence / SCC FenceSC
+
+
+class DepKind(enum.Enum):
+    """Dependency edge kinds (paper §3.2, RD relaxation)."""
+
+    ADDR = "addr"
+    DATA = "data"
+    CTRL = "ctrl"
+    CTRLISYNC = "ctrlisync"  # Power ctrl+isync / ARM ctrl+isb
+
+
+class Scope(enum.IntEnum):
+    """Synchronization scopes for scoped models (OpenCL/HSA-style).
+
+    Wider scopes are stronger; DS (Demote Scope) steps downward.
+    """
+
+    WORKGROUP = 1
+    DEVICE = 2
+    SYSTEM = 3
+
+
+@dataclass(frozen=True, order=True)
+class Instruction:
+    """A single static instruction slot in a litmus test thread.
+
+    ``address`` and ``value`` are ``None`` when inapplicable (fences never
+    have them; a write's value may be left ``None`` to be auto-assigned by
+    :class:`~repro.litmus.test.LitmusTest` so that every write to an
+    address stores a distinct value).  ``scope`` is only meaningful for
+    scoped models and stays ``None`` elsewhere.
+    """
+
+    kind: EventKind
+    address: int | None = None
+    order: Order = Order.PLAIN
+    fence: FenceKind | None = None
+    value: int | None = None
+    scope: Scope | None = None
+
+    def __post_init__(self) -> None:
+        if self.kind is EventKind.FENCE:
+            if self.fence is None:
+                raise ValueError("fence instruction requires a fence kind")
+            if self.address is not None or self.value is not None:
+                raise ValueError("fences carry no address or value")
+        else:
+            if self.address is None:
+                raise ValueError(f"{self.kind.value} requires an address")
+            if self.fence is not None:
+                raise ValueError("memory accesses carry no fence kind")
+            if self.kind is EventKind.READ and self.value is not None:
+                raise ValueError("reads carry no static value")
+
+    @property
+    def is_read(self) -> bool:
+        return self.kind is EventKind.READ
+
+    @property
+    def is_write(self) -> bool:
+        return self.kind is EventKind.WRITE
+
+    @property
+    def is_fence(self) -> bool:
+        return self.kind is EventKind.FENCE
+
+    def with_order(self, order: Order) -> Instruction:
+        """Copy of this instruction with a different memory order."""
+        return Instruction(
+            self.kind, self.address, order, self.fence, self.value, self.scope
+        )
+
+    def with_fence(self, kind: FenceKind) -> Instruction:
+        """Copy of this fence with a different strength."""
+        if not self.is_fence:
+            raise ValueError("with_fence applies only to fences")
+        return Instruction(self.kind, None, self.order, kind, None, self.scope)
+
+    def with_scope(self, scope: Scope | None) -> Instruction:
+        """Copy of this instruction with a different scope annotation."""
+        return Instruction(
+            self.kind, self.address, self.order, self.fence, self.value, scope
+        )
+
+    def mnemonic(self, addr_names: dict[int, str] | None = None) -> str:
+        """Human-readable rendering, e.g. ``St.release [x], 1``."""
+        suffix = "" if self.order is Order.PLAIN else f".{self.order.name.lower()}"
+        if self.scope is not None:
+            suffix += f".{self.scope.name.lower()}"
+        if self.is_fence:
+            assert self.fence is not None
+            return f"Fence.{self.fence.value}{suffix}"
+        name = (
+            addr_names[self.address]
+            if addr_names is not None and self.address in addr_names
+            else f"a{self.address}"
+        )
+        if self.is_read:
+            return f"Ld{suffix} [{name}]"
+        val = "?" if self.value is None else str(self.value)
+        return f"St{suffix} [{name}], {val}"
+
+
+def read(
+    address: int, order: Order = Order.PLAIN, scope: Scope | None = None
+) -> Instruction:
+    """Convenience constructor for a load."""
+    return Instruction(EventKind.READ, address, order, scope=scope)
+
+
+def write(
+    address: int,
+    value: int | None = None,
+    order: Order = Order.PLAIN,
+    scope: Scope | None = None,
+) -> Instruction:
+    """Convenience constructor for a store."""
+    return Instruction(EventKind.WRITE, address, order, value=value, scope=scope)
+
+
+def fence(kind: FenceKind, scope: Scope | None = None) -> Instruction:
+    """Convenience constructor for a fence."""
+    return Instruction(EventKind.FENCE, fence=kind, scope=scope)

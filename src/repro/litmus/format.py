@@ -1,0 +1,308 @@
+"""A human-readable text format for litmus tests.
+
+Example::
+
+    name: MP
+    thread P0:
+      W x 1
+      W y 1
+    thread P1:
+      r0 = R y
+      r1 = R x
+    forbidden: r0=1 r1=0
+
+Syntax:
+
+* accesses: ``W <addr> [<value>]`` / ``<reg> = R <addr>``, with optional
+  order suffix (``W.rel``, ``R.acq``, ``R.rlx``, ``W.sc`` …) and scope
+  suffix (``@wg``, ``@dev``, ``@sys``);
+* fences: ``F.<kind>`` where kind is one of ``mfence``, ``sync``,
+  ``lwsync``, ``isync``, ``acq``, ``rel``, ``acq_rel``, ``sc``;
+* ``rmw: P0:0 P0:1`` pairs the given (thread:index) read and write;
+* ``dep: P1:0 addr P1:1`` adds a dependency edge (kinds: ``addr``,
+  ``data``, ``ctrl``, ``ctrlisync``);
+* ``scope: P0=0 P1=0 P2=1`` assigns scope groups to threads;
+* ``forbidden: r0=1 r1=0 x=2`` records the forbidden outcome —
+  register constraints and final-value constraints in one list.
+
+Addresses are symbolic identifiers assigned ids in first-use order.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.litmus.catalog import outcome_from_values
+from repro.litmus.events import (
+    DepKind,
+    FenceKind,
+    Instruction,
+    Order,
+    Scope,
+    fence,
+    read,
+    write,
+)
+from repro.litmus.execution import Outcome
+from repro.litmus.test import Dep, LitmusTest
+
+__all__ = ["ParseError", "parse_test", "format_test"]
+
+
+class ParseError(ValueError):
+    """Raised on malformed litmus text."""
+
+
+_ORDER_SUFFIXES = {
+    "rlx": Order.RLX,
+    "con": Order.CON,
+    "acq": Order.ACQ,
+    "acquire": Order.ACQ,
+    "rel": Order.REL,
+    "release": Order.REL,
+    "acq_rel": Order.ACQ_REL,
+    "sc": Order.SC,
+}
+
+_FENCE_KINDS = {
+    "mfence": FenceKind.MFENCE,
+    "sync": FenceKind.SYNC,
+    "lwsync": FenceKind.LWSYNC,
+    "isync": FenceKind.ISYNC,
+    "acq": FenceKind.FENCE_ACQ,
+    "rel": FenceKind.FENCE_REL,
+    "acq_rel": FenceKind.FENCE_ACQ_REL,
+    "sc": FenceKind.FENCE_SC,
+}
+
+_SCOPE_SUFFIXES = {
+    "wg": Scope.WORKGROUP,
+    "dev": Scope.DEVICE,
+    "sys": Scope.SYSTEM,
+}
+
+_DEP_KINDS = {k.value: k for k in DepKind}
+
+
+def parse_test(text: str) -> tuple[LitmusTest, Outcome | None]:
+    """Parse the text format; returns the test and the forbidden outcome
+    (None if no ``forbidden:`` clause is present)."""
+    name: str | None = None
+    threads: list[list[Instruction]] = []
+    thread_names: dict[str, int] = {}
+    addr_ids: dict[str, int] = {}
+    reg_to_local: dict[str, tuple[int, int]] = {}  # reg -> (tid, index)
+    rmw: set[tuple[str, str]] = set()
+    deps: set[tuple[str, str, DepKind]] = set()
+    scopes: dict[int, int] = {}
+    forbidden_clause: str | None = None
+    final_clause_present = False
+
+    current_thread: int | None = None
+    for raw_line in text.splitlines():
+        line = raw_line.split("#", 1)[0].strip()
+        if not line:
+            continue
+        if line.startswith("name:"):
+            name = line.split(":", 1)[1].strip()
+        elif line.startswith("thread"):
+            match = re.fullmatch(r"thread\s+(\w+)\s*:", line)
+            if not match:
+                raise ParseError(f"bad thread header: {raw_line!r}")
+            label = match.group(1)
+            if label in thread_names:
+                raise ParseError(f"duplicate thread {label}")
+            thread_names[label] = len(threads)
+            threads.append([])
+            current_thread = thread_names[label]
+        elif line.startswith("rmw:"):
+            parts = line.split(":", 1)[1].split()
+            if len(parts) != 2:
+                raise ParseError(f"rmw needs two locations: {raw_line!r}")
+            rmw.add((parts[0], parts[1]))
+        elif line.startswith("dep:"):
+            parts = line.split(":", 1)[1].split()
+            if len(parts) != 3 or parts[1] not in _DEP_KINDS:
+                raise ParseError(f"bad dep clause: {raw_line!r}")
+            deps.add((parts[0], parts[2], _DEP_KINDS[parts[1]]))
+        elif line.startswith("scope:"):
+            for item in line.split(":", 1)[1].split():
+                label, _, group = item.partition("=")
+                if label not in thread_names:
+                    raise ParseError(f"unknown thread in scope: {label}")
+                scopes[thread_names[label]] = int(group)
+        elif line.startswith("forbidden:"):
+            forbidden_clause = line.split(":", 1)[1].strip()
+            final_clause_present = True
+        else:
+            if current_thread is None:
+                raise ParseError(f"instruction outside a thread: {raw_line!r}")
+            inst, reg = _parse_instruction(line, addr_ids)
+            if reg is not None:
+                if reg in reg_to_local:
+                    raise ParseError(f"register {reg} bound twice")
+                reg_to_local[reg] = (current_thread, len(threads[current_thread]))
+            threads[current_thread].append(inst)
+
+    if not threads:
+        raise ParseError("no threads")
+
+    def resolve(loc: str) -> int:
+        label, _, idx = loc.partition(":")
+        if label not in thread_names or not idx.isdigit():
+            raise ParseError(f"bad location {loc!r}")
+        tid = thread_names[label]
+        index = int(idx)
+        if index >= len(threads[tid]):
+            raise ParseError(f"location {loc!r} out of range")
+        return sum(len(threads[t]) for t in range(tid)) + index
+
+    test = LitmusTest(
+        tuple(tuple(t) for t in threads),
+        frozenset((resolve(a), resolve(b)) for a, b in rmw),
+        frozenset(Dep(resolve(a), resolve(b), k) for a, b, k in deps),
+        tuple(scopes.get(t, 0) for t in range(len(threads)))
+        if scopes
+        else None,
+        name,
+    )
+
+    outcome = None
+    if final_clause_present and forbidden_clause is not None:
+        outcome = _parse_outcome(
+            forbidden_clause, test, addr_ids, reg_to_local, threads
+        )
+    return test, outcome
+
+
+def _parse_instruction(
+    line: str, addr_ids: dict[str, int]
+) -> tuple[Instruction, str | None]:
+    reg = None
+    if "=" in line and re.match(r"^\w+\s*=", line):
+        reg, _, line = line.partition("=")
+        reg = reg.strip()
+        line = line.strip()
+    tokens = line.split()
+    if not tokens:
+        raise ParseError("empty instruction")
+    head = tokens[0]
+    scope = None
+    if "@" in head:
+        head, _, scope_name = head.partition("@")
+        if scope_name not in _SCOPE_SUFFIXES:
+            raise ParseError(f"unknown scope {scope_name!r}")
+        scope = _SCOPE_SUFFIXES[scope_name]
+    op, _, suffix = head.partition(".")
+    if op == "F":
+        if suffix not in _FENCE_KINDS:
+            raise ParseError(f"unknown fence kind {suffix!r}")
+        if reg is not None:
+            raise ParseError("fences bind no register")
+        return fence(_FENCE_KINDS[suffix], scope), None
+    order = Order.PLAIN
+    if suffix:
+        if suffix not in _ORDER_SUFFIXES:
+            raise ParseError(f"unknown order suffix {suffix!r}")
+        order = _ORDER_SUFFIXES[suffix]
+    if op == "R":
+        if len(tokens) != 2:
+            raise ParseError(f"read takes one address: {line!r}")
+        addr = addr_ids.setdefault(tokens[1], len(addr_ids))
+        return read(addr, order, scope), reg
+    if op == "W":
+        if len(tokens) not in (2, 3):
+            raise ParseError(f"write takes address [value]: {line!r}")
+        if reg is not None:
+            raise ParseError("writes bind no register")
+        addr = addr_ids.setdefault(tokens[1], len(addr_ids))
+        value = int(tokens[2]) if len(tokens) == 3 else None
+        return write(addr, value, order, scope), None
+    raise ParseError(f"unknown opcode {op!r}")
+
+
+def _parse_outcome(
+    clause: str,
+    test: LitmusTest,
+    addr_ids: dict[str, int],
+    reg_to_local: dict[str, tuple[int, int]],
+    threads: list[list[Instruction]],
+) -> Outcome:
+    reads: dict[int, int] = {}
+    finals: dict[int, int] = {}
+    for item in clause.replace("/\\", " ").split():
+        lhs, _, rhs = item.partition("=")
+        if not rhs:
+            raise ParseError(f"bad outcome constraint {item!r}")
+        value = int(rhs)
+        if lhs in reg_to_local:
+            tid, idx = reg_to_local[lhs]
+            eid = sum(len(threads[t]) for t in range(tid)) + idx
+            reads[eid] = value
+        elif lhs in addr_ids:
+            finals[addr_ids[lhs]] = value
+        else:
+            raise ParseError(f"unknown register or address {lhs!r}")
+    return outcome_from_values(test, reads, finals)
+
+
+def format_test(test: LitmusTest, outcome: Outcome | None = None) -> str:
+    """Render a test (and optional forbidden outcome) in the text format."""
+    addr_names = {
+        a: chr(ord("x") + i) if i < 3 else f"a{a}"
+        for i, a in enumerate(test.addresses)
+    }
+    order_suffix = {v: k for k, v in _ORDER_SUFFIXES.items() if k != "acquire" and k != "release"}
+    fence_names = {v: k for k, v in _FENCE_KINDS.items()}
+    scope_names = {v: k for k, v in _SCOPE_SUFFIXES.items()}
+
+    lines = []
+    if test.name:
+        lines.append(f"name: {test.name}")
+    for tid, thread in enumerate(test.threads):
+        lines.append(f"thread P{tid}:")
+        for idx, inst in enumerate(thread):
+            eid = test.eid(tid, idx)
+            suffix = (
+                "" if inst.order is Order.PLAIN else f".{order_suffix[inst.order]}"
+            )
+            at = "" if inst.scope is None else f"@{scope_names[inst.scope]}"
+            if inst.is_fence:
+                assert inst.fence is not None
+                lines.append(f"  F.{fence_names[inst.fence]}{at}")
+            elif inst.is_read:
+                lines.append(
+                    f"  r{eid} = R{suffix}{at} {addr_names[inst.address]}"
+                )
+            else:
+                value = test.write_values[eid]
+                lines.append(
+                    f"  W{suffix}{at} {addr_names[inst.address]} {value}"
+                )
+    for r, w in sorted(test.rmw):
+        lines.append(
+            f"rmw: P{test.tid_of(r)}:{test.index_of(r)} "
+            f"P{test.tid_of(w)}:{test.index_of(w)}"
+        )
+    for dep in sorted(test.deps):
+        lines.append(
+            f"dep: P{test.tid_of(dep.src)}:{test.index_of(dep.src)} "
+            f"{dep.kind.value} "
+            f"P{test.tid_of(dep.dst)}:{test.index_of(dep.dst)}"
+        )
+    if test.scopes is not None:
+        groups = " ".join(
+            f"P{tid}={g}" for tid, g in enumerate(test.scopes)
+        )
+        lines.append(f"scope: {groups}")
+    if outcome is not None:
+        parts = [
+            f"r{eid}={outcome.read_value(test, eid)}"
+            for eid, _ in outcome.rf_sources
+        ]
+        parts += [
+            f"{addr_names[a]}={outcome.final_value(test, a)}"
+            for a, _ in outcome.finals
+        ]
+        lines.append(f"forbidden: {' '.join(parts)}")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,282 @@
+"""The static litmus test representation.
+
+A litmus test is a small multithreaded program plus the structural
+relations the paper's Alloy model declares statically: program order
+(implicit in the per-thread instruction sequences), the ``rmw`` pairing of
+load/store halves of atomic read-modify-writes, dependency edges, and —
+for scoped models — a thread-to-scope-group assignment.
+
+Events are identified by a *global event id* assigned in thread-major
+order (all of thread 0's instructions, then thread 1's, ...).  Event ids
+are the universe over which :class:`repro.semantics.rel.Rel` relations are
+built.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import cached_property
+
+from repro.litmus.events import DepKind, Instruction
+
+__all__ = ["Dep", "LitmusTest"]
+
+
+@dataclass(frozen=True, order=True)
+class Dep:
+    """A dependency edge from a read to a program-order-later event."""
+
+    src: int
+    dst: int
+    kind: DepKind
+
+
+@dataclass(frozen=True)
+class LitmusTest:
+    """An immutable litmus test.
+
+    Attributes:
+        threads: per-thread instruction sequences; thread ``t``'s
+            instructions occupy a contiguous block of event ids.
+        rmw: pairs ``(read_eid, write_eid)`` forming atomic RMWs.  The two
+            events must be adjacent in the same thread and access the same
+            address (paper Fig. 4: ``rmw in po - po.po``).
+        deps: dependency edges; sources must be reads, targets must be
+            program-order-later events in the same thread.
+        scopes: optional thread -> scope-group assignment for scoped
+            models; ``None`` means the test is unscoped.
+        name: optional human-readable name (e.g. ``"MP"``).
+    """
+
+    threads: tuple[tuple[Instruction, ...], ...]
+    rmw: frozenset[tuple[int, int]] = frozenset()
+    deps: frozenset[Dep] = frozenset()
+    scopes: tuple[int, ...] | None = None
+    name: str | None = field(default=None, compare=False)
+
+    def __post_init__(self) -> None:
+        if not self.threads or any(not t for t in self.threads):
+            raise ValueError("a litmus test needs at least one non-empty thread")
+        if self.scopes is not None and len(self.scopes) != len(self.threads):
+            raise ValueError("scopes must assign a group to every thread")
+        n = self.num_events
+        for r, w in self.rmw:
+            if not (0 <= r < n and 0 <= w < n):
+                raise ValueError(f"rmw pair ({r},{w}) out of range")
+            if not self.instruction(r).is_read or not self.instruction(w).is_write:
+                raise ValueError("rmw pairs are (read, write)")
+            if self.tid_of(r) != self.tid_of(w) or w != r + 1:
+                raise ValueError("rmw halves must be po-adjacent in one thread")
+            if self.instruction(r).address != self.instruction(w).address:
+                raise ValueError("rmw halves must access the same address")
+        for dep in self.deps:
+            if not (0 <= dep.src < n and 0 <= dep.dst < n):
+                raise ValueError(f"dep {dep} out of range")
+            if not self.instruction(dep.src).is_read:
+                raise ValueError("dependencies originate from reads")
+            if self.tid_of(dep.src) != self.tid_of(dep.dst) or dep.dst <= dep.src:
+                raise ValueError("dependencies target po-later events, same thread")
+            if dep.kind is DepKind.DATA and not self.instruction(dep.dst).is_write:
+                raise ValueError("data dependencies target writes")
+            if dep.kind is DepKind.ADDR and self.instruction(dep.dst).is_fence:
+                raise ValueError("address dependencies target memory accesses")
+
+    # -- event geometry ------------------------------------------------------
+
+    @cached_property
+    def num_events(self) -> int:
+        return sum(len(t) for t in self.threads)
+
+    @cached_property
+    def _thread_starts(self) -> tuple[int, ...]:
+        starts = []
+        acc = 0
+        for t in self.threads:
+            starts.append(acc)
+            acc += len(t)
+        return tuple(starts)
+
+    def eid(self, tid: int, index: int) -> int:
+        """Global event id of instruction ``index`` in thread ``tid``."""
+        return self._thread_starts[tid] + index
+
+    def tid_of(self, eid: int) -> int:
+        """Thread owning the event."""
+        if not 0 <= eid < self.num_events:
+            raise ValueError(f"event id {eid} out of range")
+        starts = self._thread_starts
+        for tid in range(len(starts) - 1, -1, -1):
+            if eid >= starts[tid]:
+                return tid
+        raise AssertionError("unreachable")
+
+    def index_of(self, eid: int) -> int:
+        """Position of the event within its thread."""
+        return eid - self._thread_starts[self.tid_of(eid)]
+
+    @cached_property
+    def instructions(self) -> tuple[Instruction, ...]:
+        """All instructions in event-id order."""
+        return tuple(inst for t in self.threads for inst in t)
+
+    def instruction(self, eid: int) -> Instruction:
+        return self.instructions[eid]
+
+    # -- classification masks (bitmask over event ids) ------------------------
+
+    @cached_property
+    def reads_mask(self) -> int:
+        return self._mask(lambda i: i.is_read)
+
+    @cached_property
+    def writes_mask(self) -> int:
+        return self._mask(lambda i: i.is_write)
+
+    @cached_property
+    def fences_mask(self) -> int:
+        return self._mask(lambda i: i.is_fence)
+
+    def _mask(self, pred) -> int:
+        mask = 0
+        for e, inst in enumerate(self.instructions):
+            if pred(inst):
+                mask |= 1 << e
+        return mask
+
+    def mask_of(self, pred) -> int:
+        """Bitmask of events whose instruction satisfies ``pred``."""
+        return self._mask(pred)
+
+    @cached_property
+    def read_eids(self) -> tuple[int, ...]:
+        return tuple(
+            e for e, inst in enumerate(self.instructions) if inst.is_read
+        )
+
+    @cached_property
+    def write_eids(self) -> tuple[int, ...]:
+        return tuple(
+            e for e, inst in enumerate(self.instructions) if inst.is_write
+        )
+
+    # -- addresses and values -------------------------------------------------
+
+    @cached_property
+    def addresses(self) -> tuple[int, ...]:
+        """Distinct addresses in first-use order."""
+        seen: list[int] = []
+        for inst in self.instructions:
+            if inst.address is not None and inst.address not in seen:
+                seen.append(inst.address)
+        return tuple(seen)
+
+    def writes_to(self, address: int) -> tuple[int, ...]:
+        """Event ids of writes to ``address`` in event-id order."""
+        return tuple(
+            e
+            for e, inst in enumerate(self.instructions)
+            if inst.is_write and inst.address == address
+        )
+
+    def accesses_to(self, address: int) -> tuple[int, ...]:
+        """Event ids of all accesses to ``address``."""
+        return tuple(
+            e
+            for e, inst in enumerate(self.instructions)
+            if inst.address == address
+        )
+
+    @cached_property
+    def write_values(self) -> dict[int, int]:
+        """Value stored by each write event.
+
+        Writes with an explicit value keep it; writes without one are
+        auto-assigned ``1, 2, ...`` per address in event-id order, skipping
+        values already claimed explicitly at that address, so that every
+        write to an address stores a distinct non-zero value (the paper's
+        convention — distinct values make ``rf`` recoverable from the
+        outcome).
+        """
+        values: dict[int, int] = {}
+        for addr in self.addresses:
+            explicit = {
+                self.instructions[e].value
+                for e in self.writes_to(addr)
+                if self.instructions[e].value is not None
+            }
+            next_val = 1
+            for e in self.writes_to(addr):
+                inst = self.instructions[e]
+                if inst.value is not None:
+                    values[e] = inst.value
+                else:
+                    while next_val in explicit:
+                        next_val += 1
+                    values[e] = next_val
+                    explicit.add(next_val)
+        return values
+
+    # -- rmw / dep lookups -----------------------------------------------------
+
+    @cached_property
+    def rmw_reads(self) -> frozenset[int]:
+        return frozenset(r for r, _ in self.rmw)
+
+    @cached_property
+    def rmw_writes(self) -> frozenset[int]:
+        return frozenset(w for _, w in self.rmw)
+
+    def deps_of_kind(self, *kinds: DepKind) -> tuple[Dep, ...]:
+        return tuple(sorted(d for d in self.deps if d.kind in kinds))
+
+    # -- rendering ---------------------------------------------------------------
+
+    def pretty(self, addr_names: dict[int, str] | None = None) -> str:
+        """Multi-column rendering in the style of the paper's figures."""
+        if addr_names is None:
+            addr_names = {a: chr(ord("x") + i) for i, a in enumerate(self.addresses)}
+        cols = []
+        for tid, thread in enumerate(self.threads):
+            lines = [f"Thread {tid}"]
+            for idx, inst in enumerate(thread):
+                eid = self.eid(tid, idx)
+                if inst.is_write and inst.value is None:
+                    inst = Instruction(
+                        inst.kind,
+                        inst.address,
+                        inst.order,
+                        inst.fence,
+                        self.write_values[eid],
+                        inst.scope,
+                    )
+                text = inst.mnemonic(addr_names)
+                if inst.is_read:
+                    text += f" -> r{eid}"
+                notes = []
+                if eid in self.rmw_reads or eid in self.rmw_writes:
+                    notes.append("rmw")
+                for dep in sorted(self.deps):
+                    if dep.src == eid:
+                        notes.append(f"{dep.kind.value}->e{dep.dst}")
+                if notes:
+                    text += f"  [{','.join(notes)}]"
+                lines.append(text)
+            cols.append(lines)
+        height = max(len(c) for c in cols)
+        widths = [max(len(line) for line in c) for c in cols]
+        rows = []
+        for i in range(height):
+            cells = [
+                (c[i] if i < len(c) else "").ljust(w) for c, w in zip(cols, widths)
+            ]
+            rows.append(" | ".join(cells).rstrip())
+        header = f"=== {self.name} ===\n" if self.name else ""
+        return header + "\n".join(rows)
+
+    def with_name(self, name: str) -> LitmusTest:
+        """Copy of this test carrying a name."""
+        return LitmusTest(self.threads, self.rmw, self.deps, self.scopes, name)
+
+    def __repr__(self) -> str:
+        label = self.name or f"{len(self.threads)}thr/{self.num_events}ev"
+        return f"LitmusTest<{label}>"

@@ -1,0 +1,14 @@
+"""Operational TSO machine + suite-execution harness (the downstream
+testing infrastructure the paper's suites feed into)."""
+
+from repro.machine.harness import SuiteRunReport, Violation, run_suite
+from repro.machine.tso_machine import Bug, TsoMachine, explore
+
+__all__ = [
+    "Bug",
+    "TsoMachine",
+    "explore",
+    "run_suite",
+    "SuiteRunReport",
+    "Violation",
+]

@@ -1,0 +1,245 @@
+"""An operational x86-TSO machine: the downstream testing substrate.
+
+The paper's suites are meant to be "fed into any existing testing
+infrastructure" — i.e., run against an implementation.  This module
+provides that implementation side: the classic operational model of
+x86-TSO (Owens et al. 2009) with one FIFO store buffer per hardware
+thread, plus a family of *injected bugs* for the suite-effectiveness
+experiments:
+
+* each store enters its thread's store buffer;
+* a buffered store drains to shared memory at any time, in FIFO order;
+* a load reads the newest same-address entry of its own buffer
+  (store-to-load forwarding), else shared memory;
+* ``mfence`` drains the buffer;
+* a locked RMW drains the buffer and reads+writes memory atomically.
+
+:func:`explore` runs an *exhaustive* interleaving search (every
+scheduler choice at every step), so for litmus-test-sized programs the
+set of observable outcomes is exact — which is what lets the test suite
+assert the operational/axiomatic equivalence of TSO empirically.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.litmus.events import FenceKind
+from repro.litmus.execution import Outcome
+from repro.litmus.test import LitmusTest
+
+__all__ = ["Bug", "TsoMachine", "explore"]
+
+
+class Bug(enum.Enum):
+    """Injectable microarchitectural bugs."""
+
+    NONE = "correct"
+    #: the store buffer drains out of order (breaks W->W ordering: MP, 2+2W)
+    NON_FIFO_BUFFER = "non-fifo-buffer"
+    #: mfence retires without draining the buffer (breaks SB+mfences)
+    IGNORE_MFENCE = "ignore-mfence"
+    #: loads never forward from the local buffer (breaks required
+    #: forwarding: CoWR0 reads 0)
+    NO_FORWARDING = "no-forwarding"
+    #: RMWs forget to lock the bus (breaks rmw_atomicity)
+    UNLOCKED_RMW = "unlocked-rmw"
+
+
+@dataclass(frozen=True)
+class _State:
+    """One machine configuration (hashable for the visited set)."""
+
+    pcs: tuple[int, ...]
+    #: per-thread FIFO store buffer: tuples of (address, write_eid)
+    buffers: tuple[tuple[tuple[int, int], ...], ...]
+    #: address -> write_eid of the last committed store (None = initial)
+    memory: tuple[tuple[int, int], ...]
+    #: read_eid -> sourcing write_eid or None, in completion order
+    loads: tuple[tuple[int, int | None], ...]
+
+
+class TsoMachine:
+    """Operational TSO over one litmus test (optionally with a bug)."""
+
+    def __init__(self, test: LitmusTest, bug: Bug = Bug.NONE):
+        self.test = test
+        self.bug = bug
+
+    # -- state transitions ---------------------------------------------------------
+
+    def initial_state(self) -> _State:
+        return _State(
+            pcs=(0,) * len(self.test.threads),
+            buffers=((),) * len(self.test.threads),
+            memory=(),
+            loads=(),
+        )
+
+    def successors(self, state: _State) -> list[_State]:
+        """Every machine step enabled in ``state``."""
+        out: list[_State] = []
+        for tid in range(len(self.test.threads)):
+            out.extend(self._drain_steps(state, tid))
+            step = self._instruction_step(state, tid)
+            if step is not None:
+                out.append(step)
+        return out
+
+    def _drain_steps(self, state: _State, tid: int) -> list[_State]:
+        buffer = state.buffers[tid]
+        if not buffer:
+            return []
+        if self.bug is Bug.NON_FIFO_BUFFER:
+            positions = range(len(buffer))
+        else:
+            positions = (0,)
+        steps = []
+        for pos in positions:
+            addr, write_eid = buffer[pos]
+            new_buffer = buffer[:pos] + buffer[pos + 1 :]
+            steps.append(
+                _State(
+                    pcs=state.pcs,
+                    buffers=_replace(state.buffers, tid, new_buffer),
+                    memory=_store(state.memory, addr, write_eid),
+                    loads=state.loads,
+                )
+            )
+        return steps
+
+    def _instruction_step(self, state: _State, tid: int) -> _State | None:
+        thread = self.test.threads[tid]
+        pc = state.pcs[tid]
+        if pc >= len(thread):
+            return None
+        eid = self.test.eid(tid, pc)
+        inst = thread[pc]
+        buffer = state.buffers[tid]
+        advance = _replace(state.pcs, tid, pc + 1)
+
+        if inst.is_fence:
+            assert inst.fence is FenceKind.MFENCE
+            if buffer and self.bug is not Bug.IGNORE_MFENCE:
+                return None  # stalls until the buffer drains
+            return _State(advance, state.buffers, state.memory, state.loads)
+
+        assert inst.address is not None
+        if eid in self.test.rmw_reads:
+            return self._rmw_read_step(state, tid, eid, inst, advance)
+        if inst.is_write:
+            if eid in self.test.rmw_writes:
+                # the write half commits with its read half; skip here
+                return self._rmw_write_step(state, tid, eid, inst, advance)
+            new_buffer = buffer + ((inst.address, eid),)
+            return _State(
+                advance,
+                _replace(state.buffers, tid, new_buffer),
+                state.memory,
+                state.loads,
+            )
+        # plain load
+        value = self._load_value(state, tid, inst.address)
+        return _State(
+            advance,
+            state.buffers,
+            state.memory,
+            state.loads + ((eid, value),),
+        )
+
+    def _load_value(
+        self, state: _State, tid: int, addr: int
+    ) -> int | None:
+        if self.bug is not Bug.NO_FORWARDING:
+            for a, write_eid in reversed(state.buffers[tid]):
+                if a == addr:
+                    return write_eid
+        return dict(state.memory).get(addr)
+
+    def _rmw_read_step(self, state, tid, eid, inst, advance):
+        """A locked RMW executes read and write as ONE atomic step: the
+        buffer drains first, the read takes memory's value, and the write
+        half commits to memory before the bus unlocks.
+
+        The UNLOCKED_RMW bug splits the pair back into an ordinary
+        load/store sequence (the write goes through the buffer and other
+        threads can interleave)."""
+        if self.bug is Bug.UNLOCKED_RMW:
+            value = self._load_value(state, tid, inst.address)
+            return _State(
+                advance,
+                state.buffers,
+                state.memory,
+                state.loads + ((eid, value),),
+            )
+        if state.buffers[tid]:
+            return None  # lock drains the buffer first
+        value = dict(state.memory).get(inst.address)
+        write_eid = eid + 1  # the po-adjacent write half
+        pc = state.pcs[tid]
+        return _State(
+            _replace(state.pcs, tid, pc + 2),
+            state.buffers,
+            _store(state.memory, inst.address, write_eid),
+            state.loads + ((eid, value),),
+        )
+
+    def _rmw_write_step(self, state, tid, eid, inst, advance):
+        """Only reachable for UNLOCKED_RMW (the correct path consumes
+        both halves in _rmw_read_step): the buggy store buffers like any
+        other write."""
+        assert self.bug is Bug.UNLOCKED_RMW
+        new_buffer = state.buffers[tid] + ((inst.address, eid),)
+        return _State(
+            advance,
+            _replace(state.buffers, tid, new_buffer),
+            state.memory,
+            state.loads,
+        )
+
+    # -- termination -----------------------------------------------------------------
+
+    def is_final(self, state: _State) -> bool:
+        return all(
+            pc >= len(thread)
+            for pc, thread in zip(state.pcs, self.test.threads)
+        ) and all(not b for b in state.buffers)
+
+    def outcome_of(self, state: _State) -> Outcome:
+        memory = dict(state.memory)
+        rf = tuple(sorted(state.loads))
+        finals = tuple(
+            (addr, memory.get(addr)) for addr in self.test.addresses
+        )
+        return Outcome(rf, finals)
+
+
+def explore(test: LitmusTest, bug: Bug = Bug.NONE) -> frozenset[Outcome]:
+    """Exhaustively explore every interleaving; returns the exact set of
+    outcomes the (possibly buggy) machine can produce."""
+    machine = TsoMachine(test, bug)
+    start = machine.initial_state()
+    seen = {start}
+    stack = [start]
+    outcomes: set[Outcome] = set()
+    while stack:
+        state = stack.pop()
+        if machine.is_final(state):
+            outcomes.add(machine.outcome_of(state))
+            continue
+        for nxt in machine.successors(state):
+            if nxt not in seen:
+                seen.add(nxt)
+                stack.append(nxt)
+    return frozenset(outcomes)
+
+
+def _replace(items: tuple, index: int, value) -> tuple:
+    return items[:index] + (value,) + items[index + 1 :]
+
+
+def _store(memory: tuple, addr: int, write_eid: int) -> tuple:
+    out = dict(memory)
+    out[addr] = write_eid
+    return tuple(sorted(out.items()))

@@ -1,0 +1,33 @@
+"""Axiomatic memory consistency models (paper §2.2, §6)."""
+
+from repro.models.armv7 import ARMv7
+from repro.models.base import Axiom, MemoryModel, Vocabulary
+from repro.models.c11 import C11
+from repro.models.opencl import OpenCL
+from repro.models.power import Power
+from repro.models.registry import (
+    MODEL_CLASSES,
+    available_models,
+    get_model,
+    register_model,
+)
+from repro.models.sc import SC
+from repro.models.scc import SCC
+from repro.models.tso import TSO
+
+__all__ = [
+    "Axiom",
+    "MemoryModel",
+    "Vocabulary",
+    "SC",
+    "TSO",
+    "Power",
+    "ARMv7",
+    "SCC",
+    "C11",
+    "OpenCL",
+    "MODEL_CLASSES",
+    "available_models",
+    "get_model",
+    "register_model",
+]

@@ -1,0 +1,28 @@
+"""ARMv7, as the Power variant of Alglave et al. 2014.
+
+The paper (§6.2) treats ARMv7 as "broadly similar to Power, but
+differ[ing] in some of the details (e.g., ARM has no equivalent of the
+Power lwsync lightweight fence)".  We model exactly that delta: the same
+four-plus-atomicity axiom structure with ``dmb`` playing ``sync``'s role,
+no lightweight fence, and ``ctrl+isb`` as the instruction-fence
+dependency.
+"""
+
+from __future__ import annotations
+
+from repro.litmus.events import FenceKind
+from repro.models.power import Power
+
+__all__ = ["ARMv7"]
+
+
+class ARMv7(Power):
+    """ARMv7 (dmb-only Power variant)."""
+
+    name = "armv7"
+    full_name = "ARMv7 (Power variant, dmb/isb)"
+
+    # dmb behaves like sync; there is no lwsync analogue, hence no fence
+    # demotion and DF does not apply (paper Table 2 footnote 1).
+    _fence_kinds = (FenceKind.SYNC,)
+    _fence_demotions: dict[FenceKind, tuple[FenceKind, ...]] = {}

@@ -1,0 +1,159 @@
+"""The C/C++11 memory model (atomics fragment, RC11-flavoured).
+
+The paper's §6.4 uses the Batty et al. 2016 formulation.  That exact
+``.cat`` text is not reproduced in the paper, so we implement the closely
+related *repaired* C11 axiomatisation (RC11, Lahav et al. 2017), which
+fixes known soundness holes while keeping the same observable behaviour on
+the litmus tests at issue.  Two scoping decisions, both documented in
+DESIGN.md:
+
+* only *atomic* accesses appear in the vocabulary (``relaxed`` .. ``seq_cst``)
+  — non-atomics would drag in data-race/catch-fire semantics that the
+  paper's synthesis experiments do not exercise;
+* out-of-thin-air is axiomatized through explicit dependencies
+  (``acyclic(dep + rmw + rf)``), matching the paper's Table 2 note that RD
+  applies to C/C++ "no-thin-air axioms only".
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+
+from repro.litmus.events import DepKind, FenceKind, Order
+from repro.models.base import Axiom, MemoryModel, Vocabulary
+from repro.semantics.rel import Rel
+from repro.semantics.relations import RelationView
+
+__all__ = ["C11", "c11_sw", "c11_hb", "c11_psc"]
+
+
+class C11(MemoryModel):
+    """C/C++11 atomics (RC11-flavoured axiomatisation)."""
+
+    name = "c11"
+    full_name = "C/C++11 (atomics, RC11-flavoured)"
+
+    @property
+    def vocabulary(self) -> Vocabulary:
+        return Vocabulary(
+            read_orders=(Order.RLX, Order.ACQ, Order.SC),
+            write_orders=(Order.RLX, Order.REL, Order.SC),
+            fence_kinds=(
+                FenceKind.FENCE_ACQ,
+                FenceKind.FENCE_REL,
+                FenceKind.FENCE_ACQ_REL,
+                FenceKind.FENCE_SC,
+            ),
+            dep_kinds=(DepKind.ADDR, DepKind.DATA, DepKind.CTRL),
+            allows_rmw=True,
+            order_demotions={
+                Order.SC: (Order.ACQ, Order.REL),
+                Order.ACQ: (Order.RLX,),
+                Order.REL: (Order.RLX,),
+            },
+            fence_demotions={
+                FenceKind.FENCE_SC: (FenceKind.FENCE_ACQ_REL,),
+                FenceKind.FENCE_ACQ_REL: (
+                    FenceKind.FENCE_ACQ,
+                    FenceKind.FENCE_REL,
+                ),
+            },
+        )
+
+    def axioms(self) -> Mapping[str, Axiom]:
+        return {
+            "coherence": _coherence,
+            "atomicity": _atomicity,
+            "seq_cst": _seq_cst,
+            "no_thin_air": _no_thin_air,
+        }
+
+
+# -- derived relations ------------------------------------------------------------
+
+
+def _rel_fences(v: RelationView) -> int:
+    return v.fences_of(
+        FenceKind.FENCE_REL, FenceKind.FENCE_ACQ_REL, FenceKind.FENCE_SC
+    )
+
+
+def _acq_fences(v: RelationView) -> int:
+    return v.fences_of(
+        FenceKind.FENCE_ACQ, FenceKind.FENCE_ACQ_REL, FenceKind.FENCE_SC
+    )
+
+
+def _rs(v: RelationView) -> Rel:
+    """Release sequence: ``[W] ; (sb & loc)? ; [W] ; (rf ; rmw)*``."""
+    w = v.writes
+    head = v.po_loc.opt().restrict_domain(w).restrict_range(w)
+    return head.join(v.rf.join(v.rmw).star())
+
+
+def c11_sw(v: RelationView) -> Rel:
+    """Synchronizes-with.
+
+    ``sw = [rel-ish] ; ([F] ; sb)? ; rs ; rf ; (sb ; [F])? ; [acq-ish]``
+    where *rel-ish* is a release-or-stronger write or a release fence and
+    *acq-ish* is an acquire-or-stronger read or an acquire fence.
+    """
+    iden = Rel.identity(v.n)
+    start = iden | v.po.restrict_domain(_rel_fences(v))
+    end = iden | v.po.restrict_range(_acq_fences(v))
+    chain = start.join(_rs(v)).join(v.rf).join(end)
+    releasers = v.releases | _rel_fences(v)
+    acquirers = v.acquires | _acq_fences(v)
+    return chain.restrict_domain(releasers).restrict_range(acquirers)
+
+
+def c11_hb(v: RelationView) -> Rel:
+    """Happens-before: ``(sb + sw)^``."""
+    return (v.po | c11_sw(v)).plus()
+
+
+def _eco(v: RelationView) -> Rel:
+    """Extended coherence order."""
+    return (v.rf | v.co | v.fr).plus()
+
+
+def c11_psc(v: RelationView) -> Rel:
+    """Partial SC order (RC11 ``psc``)."""
+    hb = c11_hb(v)
+    eco = _eco(v)
+    sc_access = v.accesses_with(lambda i: i.order is Order.SC)
+    f_sc = v.fences_of(FenceKind.FENCE_SC)
+    e_sc = sc_access | f_sc
+    iden_sc = Rel.identity(v.n).restrict_domain(e_sc)
+
+    sb_nl = v.po - v.loc
+    scb = v.po | sb_nl.join(hb).join(sb_nl) | (hb & v.loc) | v.co | v.fr
+    left = iden_sc | hb.opt().restrict_domain(f_sc)
+    right = iden_sc | hb.opt().restrict_range(f_sc)
+    psc_base = left.join(scb).join(right)
+
+    psc_f = (
+        (hb | hb.join(eco).join(hb))
+        .restrict_domain(f_sc)
+        .restrict_range(f_sc)
+    )
+    return psc_base | psc_f
+
+
+# -- axioms -------------------------------------------------------------------------
+
+
+def _coherence(v: RelationView) -> bool:
+    return c11_hb(v).join(_eco(v).opt()).is_irreflexive()
+
+
+def _atomicity(v: RelationView) -> bool:
+    return (v.fr.join(v.co) & v.rmw).is_empty()
+
+
+def _seq_cst(v: RelationView) -> bool:
+    return c11_psc(v).is_acyclic()
+
+
+def _no_thin_air(v: RelationView) -> bool:
+    return (v.all_deps | v.rmw | v.rf).is_acyclic()

@@ -1,0 +1,123 @@
+"""A scoped memory model (OpenCL/HSA-flavoured), exercising DS.
+
+OpenCL 2.0 lets synchronization name an explicit *scope* — the set of
+threads it promises to synchronize with (work-group / device / system) —
+trading generality for speed (paper §3.2, DS).  Synchronization narrower
+than the communicating threads' actual distance is a no-op, which is
+exactly the bug class the DS relaxation probes.
+
+This model is the scoped extension of SCC (the paper's §6.3 model):
+identical axioms, except that a release-acquire ``sync`` edge and an
+``sc`` ordering edge only take effect when both endpoint instructions'
+scopes are *inclusive* — each covers the other endpoint's thread.
+Threads are partitioned into work-groups by ``LitmusTest.scopes``; all
+work-groups share one device, so:
+
+* same work-group: any scope (``@wg`` and up) synchronizes;
+* different work-groups: both endpoints need ``@dev``.
+
+(The ``SYSTEM`` level exists in the vocabulary enum but is not generated
+— with a single device it never differs from ``DEVICE``.)
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+from functools import lru_cache
+
+from repro.litmus.events import Scope
+from repro.litmus.test import LitmusTest
+from repro.models.base import Axiom
+from repro.models.scc import SCC, scc_sync
+from repro.semantics.rel import Rel
+from repro.semantics.relations import RelationView
+
+__all__ = ["OpenCL", "inclusive_rel"]
+
+
+class OpenCL(SCC):
+    """Scoped SCC (OpenCL-style work-group/device scopes)."""
+
+    name = "opencl"
+    full_name = "OpenCL-style scoped model (scoped SCC)"
+
+    @property
+    def vocabulary(self):
+        base = super().vocabulary
+        return type(base)(
+            read_orders=base.read_orders,
+            write_orders=base.write_orders,
+            fence_kinds=base.fence_kinds,
+            dep_kinds=base.dep_kinds,
+            allows_rmw=base.allows_rmw,
+            order_demotions=base.order_demotions,
+            fence_demotions=base.fence_demotions,
+            scopes=(Scope.WORKGROUP, Scope.DEVICE),
+        )
+
+    def axioms(self) -> Mapping[str, Axiom]:
+        axioms = dict(super().axioms())
+        axioms["causality"] = _scoped_causality
+        return axioms
+
+    def wa_axioms(self) -> Mapping[str, Axiom]:
+        axioms = dict(self.axioms())
+        axioms["causality"] = _scoped_causality_wa
+        return axioms
+
+
+def _workgroup_of(test: LitmusTest, tid: int) -> int:
+    if test.scopes is None:
+        return 0  # unscoped test: everyone shares a work-group
+    return test.scopes[tid]
+
+
+@lru_cache(maxsize=16384)
+def inclusive_rel(test: LitmusTest) -> Rel:
+    """Pairs of events whose scopes mutually cover each other.
+
+    An un-annotated (scope-``None``) event behaves as device scope —
+    plain accesses never head a sync edge anyway, and treating missing
+    annotations as widest keeps unscoped tests behaving exactly like
+    SCC (the containment property the tests assert)."""
+    n = test.num_events
+    pairs = []
+    for a in range(n):
+        for b in range(n):
+            ta, tb = test.tid_of(a), test.tid_of(b)
+            if _workgroup_of(test, ta) == _workgroup_of(test, tb):
+                pairs.append((a, b))
+                continue
+            sa = test.instruction(a).scope or Scope.DEVICE
+            sb = test.instruction(b).scope or Scope.DEVICE
+            if sa >= Scope.DEVICE and sb >= Scope.DEVICE:
+                pairs.append((a, b))
+    return Rel.from_pairs(n, pairs)
+
+
+def _scoped_cause(v: RelationView, sc: Rel | None = None) -> Rel:
+    if sc is None:
+        sc = v.sc
+    inclusive = inclusive_rel(v.test)
+    po_star = v.po.star()
+    effective = (sc & inclusive) | (scc_sync(v) & inclusive)
+    return po_star.join(effective).join(po_star)
+
+
+def _scoped_causality(v: RelationView) -> bool:
+    return v.com.star().join(_scoped_cause(v).plus()).is_irreflexive()
+
+
+def _scoped_causality_wa(v: RelationView) -> bool:
+    """Fig. 19-style sc-reversal workaround, scope-aware."""
+    if len(v.sc) > 1:
+        return _scoped_causality(v)
+    forward = (
+        v.com.star().join(_scoped_cause(v).plus()).is_irreflexive()
+    )
+    backward = (
+        v.com.star()
+        .join(_scoped_cause(v, sc=~v.sc).plus())
+        .is_irreflexive()
+    )
+    return forward or backward

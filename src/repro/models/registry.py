@@ -1,0 +1,39 @@
+"""Model registry: name -> MemoryModel factory."""
+
+from __future__ import annotations
+
+from repro.models.armv7 import ARMv7
+from repro.models.base import MemoryModel
+from repro.models.c11 import C11
+from repro.models.opencl import OpenCL
+from repro.models.power import Power
+from repro.models.sc import SC
+from repro.models.scc import SCC
+from repro.models.tso import TSO
+
+__all__ = ["MODEL_CLASSES", "get_model", "available_models", "register_model"]
+
+MODEL_CLASSES: dict[str, type[MemoryModel]] = {
+    cls.name: cls for cls in (SC, TSO, Power, ARMv7, SCC, C11, OpenCL)
+}
+
+
+def register_model(cls: type[MemoryModel]) -> type[MemoryModel]:
+    """Register an additional model class (usable as a decorator)."""
+    if not cls.name:
+        raise ValueError("model classes must define a non-empty name")
+    MODEL_CLASSES[cls.name] = cls
+    return cls
+
+
+def get_model(name: str) -> MemoryModel:
+    """Instantiate a registered model by its short name."""
+    try:
+        return MODEL_CLASSES[name]()
+    except KeyError:
+        known = ", ".join(sorted(MODEL_CLASSES))
+        raise KeyError(f"unknown memory model {name!r}; known: {known}") from None
+
+
+def available_models() -> tuple[str, ...]:
+    return tuple(sorted(MODEL_CLASSES))

@@ -1,0 +1,42 @@
+"""Sequential Consistency (Lamport 1979), axiomatic formulation.
+
+An execution is sequentially consistent iff program order and the
+communication relations embed into a single total order over all events:
+``acyclic(po + rf + co + fr)``.  RMW atomicity is stated separately so the
+per-axiom suite generation of the paper applies uniformly.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+
+from repro.models.base import Axiom, MemoryModel, Vocabulary
+from repro.semantics.relations import RelationView
+
+__all__ = ["SC"]
+
+
+class SC(MemoryModel):
+    """Sequential consistency with atomic read-modify-writes."""
+
+    name = "sc"
+    full_name = "Sequential Consistency (Lamport 1979)"
+
+    @property
+    def vocabulary(self) -> Vocabulary:
+        return Vocabulary(allows_rmw=True)
+
+    def axioms(self) -> Mapping[str, Axiom]:
+        return {
+            "sequential_consistency": _sequential_consistency,
+            "rmw_atomicity": _rmw_atomicity,
+        }
+
+
+def _sequential_consistency(v: RelationView) -> bool:
+    return (v.po | v.com).is_acyclic()
+
+
+def _rmw_atomicity(v: RelationView) -> bool:
+    """No write intervenes between the halves of an RMW."""
+    return (v.fr.join(v.co) & v.rmw).is_empty()

@@ -1,0 +1,140 @@
+"""Streamlined Causal Consistency (SCC) — the model the paper introduces.
+
+SCC (paper §6.3, Fig. 17) is a CPU-like model that keeps the relaxed
+flavour of ARM/Power but replaces the complex ``ppo`` machinery with
+explicit acquire/release annotations, a single dependency kind, an
+acquire-release fence, and a sequentially-consistent fence whose events
+are related by an ``sc`` total order:
+
+* ``sc_per_loc``:    ``acyclic(rf + co + fr + po_loc)``
+* ``no_thin_air``:   ``acyclic(rf + dep)``
+* ``rmw_atomicity``: ``no (fr . co) & rmw``
+* ``causality``:     ``irreflexive(*(rf + co + fr) . ^cause)`` where
+  ``cause = *po . (sc + sync) . *po`` and ``sync`` chains release-ish
+  prefixes through ``(rf + rmw)+`` into acquire-ish suffixes.
+
+Because ``causality`` quantifies over the auxiliary ``sc`` order, SCC is
+exactly the model that exposes the paper's Fig. 18 false-negative problem
+in the Fig. 5c criterion.  :meth:`SCC.wa_axioms` implements the Fig. 19
+workaround: when there are at most two SC fences (``lone sc``), accept an
+execution if either the chosen ``sc`` orientation or its reversal
+satisfies causality.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+
+from repro.litmus.events import DepKind, FenceKind, Order
+from repro.models.base import Axiom, MemoryModel, Vocabulary
+from repro.semantics.rel import Rel
+from repro.semantics.relations import RelationView
+
+__all__ = ["SCC", "scc_sync", "scc_cause"]
+
+
+class SCC(MemoryModel):
+    """Streamlined Causal Consistency (this paper, §6.3)."""
+
+    name = "scc"
+    full_name = "Streamlined Causal Consistency"
+    uses_sc_order = True
+
+    @property
+    def vocabulary(self) -> Vocabulary:
+        return Vocabulary(
+            read_orders=(Order.PLAIN, Order.ACQ),
+            write_orders=(Order.PLAIN, Order.REL),
+            fence_kinds=(FenceKind.FENCE_ACQ_REL, FenceKind.FENCE_SC),
+            dep_kinds=(DepKind.DATA,),
+            allows_rmw=True,
+            order_demotions={
+                Order.ACQ: (Order.PLAIN,),
+                Order.REL: (Order.PLAIN,),
+            },
+            fence_demotions={
+                FenceKind.FENCE_SC: (FenceKind.FENCE_ACQ_REL,),
+            },
+        )
+
+    def axioms(self) -> Mapping[str, Axiom]:
+        return {
+            "sc_per_loc": _sc_per_loc,
+            "no_thin_air": _no_thin_air,
+            "rmw_atomicity": _rmw_atomicity,
+            "causality": _causality,
+        }
+
+    def wa_axioms(self) -> Mapping[str, Axiom]:
+        axioms = dict(self.axioms())
+        axioms["causality"] = _causality_wa
+        return axioms
+
+
+# -- derived relations (Fig. 17) ------------------------------------------------
+
+
+def _sync_fences(v: RelationView) -> int:
+    return v.fences_of(FenceKind.FENCE_ACQ_REL, FenceKind.FENCE_SC)
+
+
+def scc_sync(v: RelationView) -> Rel:
+    """Release-to-acquire synchronization edges."""
+    iden = Rel.identity(v.n)
+    fence_mask = _sync_fences(v)
+    prefix = (
+        iden
+        | v.po.restrict_domain(fence_mask)
+        | v.po_loc.restrict_domain(v.releases)
+    )
+    suffix = (
+        iden
+        | v.po.restrict_range(fence_mask)
+        | v.po_loc.restrict_range(v.acquires)
+    )
+    releasers = v.releases | fence_mask
+    acquirers = v.acquires | fence_mask
+    chain = prefix.join((v.rf | v.rmw).plus()).join(suffix)
+    return chain.restrict_domain(releasers).restrict_range(acquirers)
+
+
+def scc_cause(v: RelationView, sc: Rel | None = None) -> Rel:
+    if sc is None:
+        sc = v.sc
+    po_star = v.po.star()
+    return po_star.join(sc | scc_sync(v)).join(po_star)
+
+
+# -- axioms ---------------------------------------------------------------------
+
+
+def _sc_per_loc(v: RelationView) -> bool:
+    return (v.rf | v.co | v.fr | v.po_loc).is_acyclic()
+
+
+def _no_thin_air(v: RelationView) -> bool:
+    return (v.rf | v.all_deps).is_acyclic()
+
+
+def _rmw_atomicity(v: RelationView) -> bool:
+    return (v.fr.join(v.co) & v.rmw).is_empty()
+
+
+def _causality(v: RelationView) -> bool:
+    return v.com.star().join(scc_cause(v).plus()).is_irreflexive()
+
+
+def _causality_wa(v: RelationView) -> bool:
+    """Fig. 19: with ``lone sc``, try both orientations of ``sc``.
+
+    With more than one ``sc`` edge (three or more SC fences) the
+    workaround is unsound, so we fall back to the plain axiom — the paper
+    notes its experiments never scale to tests that large anyway.
+    """
+    if len(v.sc) > 1:
+        return _causality(v)
+    forward = v.com.star().join(scc_cause(v).plus()).is_irreflexive()
+    backward = (
+        v.com.star().join(scc_cause(v, sc=~v.sc).plus()).is_irreflexive()
+    )
+    return forward or backward

@@ -1,0 +1,61 @@
+"""Total Store Order, following the paper's Fig. 4 Alloy model.
+
+This is the Owens et al. / SPARC x86-TSO formulation with atomic
+read-modify-writes added, exactly as the paper encodes it:
+
+* ``sc_per_loc``:    ``acyclic(rf + co + fr + po_loc)``
+* ``rmw_atomicity``: ``no (fre . coe) & rmw``
+* ``causality``:     ``acyclic(rfe + co + fr + ppo + fence)`` with
+  ``ppo = po - (Write -> Read)`` and ``fence = (po :> Fence) . po``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+
+from repro.litmus.events import FenceKind
+from repro.models.base import Axiom, MemoryModel, Vocabulary
+from repro.semantics.rel import Rel
+from repro.semantics.relations import RelationView
+
+__all__ = ["TSO"]
+
+
+class TSO(MemoryModel):
+    """x86-TSO (Owens et al. 2009; SPARC International 1993)."""
+
+    name = "tso"
+    full_name = "Total Store Order (x86/SPARC)"
+
+    @property
+    def vocabulary(self) -> Vocabulary:
+        return Vocabulary(
+            fence_kinds=(FenceKind.MFENCE,),
+            allows_rmw=True,
+        )
+
+    def axioms(self) -> Mapping[str, Axiom]:
+        return {
+            "sc_per_loc": _sc_per_loc,
+            "rmw_atomicity": _rmw_atomicity,
+            "causality": _causality,
+        }
+
+
+def _sc_per_loc(v: RelationView) -> bool:
+    return (v.rf | v.co | v.fr | v.po_loc).is_acyclic()
+
+
+def _rmw_atomicity(v: RelationView) -> bool:
+    return (v.fre.join(v.coe) & v.rmw).is_empty()
+
+
+def _causality(v: RelationView) -> bool:
+    ppo = v.po - v.W_R
+    fence = v.fence_rel(FenceKind.MFENCE)
+    return (v.rfe | v.co | v.fr | ppo | fence).is_acyclic()
+
+
+def tso_ppo(v: RelationView) -> Rel:
+    """TSO preserved program order (exported for tests and docs)."""
+    return v.po - v.W_R

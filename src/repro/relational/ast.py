@@ -1,0 +1,286 @@
+"""Relational-logic AST (the Alloy expression language of paper Table 3).
+
+Expressions denote binary relations (or sets, represented as unary
+relations) over a finite universe; formulas are boolean.  The operator
+spellings mirror Alloy where Python allows:
+
+=========  =======================  ===========================
+Alloy      here                     meaning
+=========  =======================  ===========================
+``+``      ``a + b``                union
+``&``      ``a & b``                intersection
+``-``      ``a - b``                difference
+``.``      ``a.join(b)``            relational join
+``~a``     ``~a``                   transpose
+``^a``     ``a.closure()``          transitive closure
+``*a``     ``a.rclosure()``         reflexive transitive closure
+``->``     ``a.product(b)``         cross product
+``<:``     ``s.domain_restrict(r)`` domain restriction
+``:>``     ``r.range_restrict(s)``  range restriction
+=========  =======================  ===========================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "Expr",
+    "Rel",
+    "Iden",
+    "NoneExpr",
+    "UnivExpr",
+    "Union",
+    "Inter",
+    "Diff",
+    "Join",
+    "Product",
+    "Transpose",
+    "Closure",
+    "RClosure",
+    "DomRestrict",
+    "RanRestrict",
+    "Formula",
+    "Subset",
+    "Eq",
+    "Some",
+    "No",
+    "Lone",
+    "One",
+    "Not",
+    "And",
+    "Or",
+    "Implies",
+    "Acyclic",
+    "Irreflexive",
+    "TRUE_F",
+]
+
+
+@dataclass(frozen=True)
+class Expr:
+    """Base class for relational expressions."""
+
+    def __add__(self, other: Expr) -> Expr:
+        return Union(self, other)
+
+    def __and__(self, other: Expr) -> Expr:
+        return Inter(self, other)
+
+    def __sub__(self, other: Expr) -> Expr:
+        return Diff(self, other)
+
+    def __invert__(self) -> Expr:
+        return Transpose(self)
+
+    def join(self, other: Expr) -> Expr:
+        return Join(self, other)
+
+    def product(self, other: Expr) -> Expr:
+        return Product(self, other)
+
+    def closure(self) -> Expr:
+        return Closure(self)
+
+    def rclosure(self) -> Expr:
+        return RClosure(self)
+
+    def domain_restrict(self, rel: Expr) -> Expr:
+        """``self <: rel`` (self is a set)."""
+        return DomRestrict(self, rel)
+
+    def range_restrict(self, s: Expr) -> Expr:
+        """``self :> s`` (s is a set)."""
+        return RanRestrict(self, s)
+
+    # formula constructors
+    def in_(self, other: Expr) -> Formula:
+        return Subset(self, other)
+
+    def eq(self, other: Expr) -> Formula:
+        return Eq(self, other)
+
+    def some(self) -> Formula:
+        return Some(self)
+
+    def no(self) -> Formula:
+        return No(self)
+
+
+@dataclass(frozen=True)
+class Rel(Expr):
+    """A declared relation, referred to by name."""
+
+    name: str
+    arity: int = 2
+
+
+@dataclass(frozen=True)
+class Iden(Expr):
+    """The identity relation over the universe."""
+
+
+@dataclass(frozen=True)
+class NoneExpr(Expr):
+    """The empty relation."""
+
+    arity: int = 2
+
+
+@dataclass(frozen=True)
+class UnivExpr(Expr):
+    """The full relation (``univ -> univ`` for arity 2)."""
+
+    arity: int = 2
+
+
+@dataclass(frozen=True)
+class Union(Expr):
+    left: Expr
+    right: Expr
+
+
+@dataclass(frozen=True)
+class Inter(Expr):
+    left: Expr
+    right: Expr
+
+
+@dataclass(frozen=True)
+class Diff(Expr):
+    left: Expr
+    right: Expr
+
+
+@dataclass(frozen=True)
+class Join(Expr):
+    left: Expr
+    right: Expr
+
+
+@dataclass(frozen=True)
+class Product(Expr):
+    left: Expr
+    right: Expr
+
+
+@dataclass(frozen=True)
+class Transpose(Expr):
+    inner: Expr
+
+
+@dataclass(frozen=True)
+class Closure(Expr):
+    inner: Expr
+
+
+@dataclass(frozen=True)
+class RClosure(Expr):
+    inner: Expr
+
+
+@dataclass(frozen=True)
+class DomRestrict(Expr):
+    set_expr: Expr
+    rel: Expr
+
+
+@dataclass(frozen=True)
+class RanRestrict(Expr):
+    rel: Expr
+    set_expr: Expr
+
+
+# -- formulas ------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Formula:
+    def __and__(self, other: Formula) -> Formula:
+        return And(self, other)
+
+    def __or__(self, other: Formula) -> Formula:
+        return Or(self, other)
+
+    def __invert__(self) -> Formula:
+        return Not(self)
+
+    def implies(self, other: Formula) -> Formula:
+        return Implies(self, other)
+
+
+@dataclass(frozen=True)
+class Subset(Formula):
+    left: Expr
+    right: Expr
+
+
+@dataclass(frozen=True)
+class Eq(Formula):
+    left: Expr
+    right: Expr
+
+
+@dataclass(frozen=True)
+class Some(Formula):
+    expr: Expr
+
+
+@dataclass(frozen=True)
+class No(Formula):
+    expr: Expr
+
+
+@dataclass(frozen=True)
+class Lone(Formula):
+    expr: Expr
+
+
+@dataclass(frozen=True)
+class One(Formula):
+    expr: Expr
+
+
+@dataclass(frozen=True)
+class Not(Formula):
+    inner: Formula
+
+
+@dataclass(frozen=True)
+class And(Formula):
+    left: Formula
+    right: Formula
+
+
+@dataclass(frozen=True)
+class Or(Formula):
+    left: Formula
+    right: Formula
+
+
+@dataclass(frozen=True)
+class Implies(Formula):
+    left: Formula
+    right: Formula
+
+
+@dataclass(frozen=True)
+class Acyclic(Formula):
+    """``no (iden & ^r)`` — the paper's acyclic predicate."""
+
+    expr: Expr
+
+
+@dataclass(frozen=True)
+class Irreflexive(Formula):
+    """``no (iden & r)``."""
+
+    expr: Expr
+
+
+@dataclass(frozen=True)
+class _TrueFormula(Formula):
+    pass
+
+
+TRUE_F = _TrueFormula()

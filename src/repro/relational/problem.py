@@ -1,0 +1,89 @@
+"""Universes, relation declarations, and bounds (Kodkod-style).
+
+A :class:`Problem` fixes a finite universe of atoms and, for each
+declared relation, a *lower bound* (tuples that must be present) and an
+*upper bound* (tuples that may be present).  Tuples in ``upper - lower``
+become SAT variables; everything else is a constant.  This is exactly
+Kodkod's partial-instance mechanism, which the paper leans on to pin the
+static structure of a litmus test while solving for the dynamic
+relations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["Declaration", "Problem"]
+
+Tuple2 = tuple[int, ...]
+
+
+@dataclass
+class Declaration:
+    """One relation's bounds.  Atoms are integers ``0..n-1``."""
+
+    name: str
+    arity: int
+    lower: frozenset[Tuple2]
+    upper: frozenset[Tuple2]
+
+    def __post_init__(self) -> None:
+        if not self.lower <= self.upper:
+            raise ValueError(
+                f"{self.name}: lower bound must be within upper bound"
+            )
+        for t in self.upper:
+            if len(t) != self.arity:
+                raise ValueError(
+                    f"{self.name}: tuple {t} has wrong arity"
+                )
+
+    @property
+    def free(self) -> frozenset[Tuple2]:
+        return self.upper - self.lower
+
+
+@dataclass
+class Problem:
+    """A bounded relational problem over ``universe_size`` atoms."""
+
+    universe_size: int
+    declarations: dict[str, Declaration] = field(default_factory=dict)
+
+    def declare(
+        self,
+        name: str,
+        arity: int = 2,
+        lower: set[Tuple2] | None = None,
+        upper: set[Tuple2] | None = None,
+    ) -> Declaration:
+        """Declare a relation.  Omitting ``upper`` allows every tuple;
+        omitting ``lower`` pins nothing."""
+        if name in self.declarations:
+            raise ValueError(f"relation {name!r} already declared")
+        if upper is None:
+            atoms = range(self.universe_size)
+            if arity == 1:
+                upper = {(a,) for a in atoms}
+            elif arity == 2:
+                upper = {(a, b) for a in atoms for b in atoms}
+            else:
+                raise ValueError("only arity 1 and 2 are supported")
+        decl = Declaration(
+            name,
+            arity,
+            frozenset(lower or set()),
+            frozenset(upper),
+        )
+        self.declarations[name] = decl
+        return decl
+
+    def constant(self, name: str, tuples: set[Tuple2], arity: int = 2):
+        """Declare a relation whose value is fixed."""
+        return self.declare(name, arity, lower=set(tuples), upper=set(tuples))
+
+    def declaration(self, name: str) -> Declaration:
+        try:
+            return self.declarations[name]
+        except KeyError:
+            raise KeyError(f"unknown relation {name!r}") from None

@@ -1,0 +1,116 @@
+"""The relational model finder: formula + bounds -> instances.
+
+This plays Kodkod's role in the paper's stack: it compiles a relational
+formula over a bounded problem to CNF, hands it to the CDCL solver, and
+decodes satisfying assignments back into relation instances.  Instance
+enumeration (for "all executions of this test" queries) uses the SAT
+solver's projected model enumeration.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+from repro.relational import ast
+from repro.relational.circuit import Circuit
+from repro.relational.problem import Problem
+from repro.relational.translate import Translator
+
+__all__ = ["Instance", "ModelFinder"]
+
+
+class Instance:
+    """One satisfying assignment, decoded per relation."""
+
+    def __init__(self, relations: dict[str, frozenset[tuple[int, ...]]]):
+        self.relations = relations
+
+    def __getitem__(self, name: str) -> frozenset[tuple[int, ...]]:
+        return self.relations[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.relations
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Instance) and self.relations == other.relations
+
+    def __hash__(self) -> int:
+        return hash(tuple(sorted(self.relations.items())))
+
+    def __repr__(self) -> str:
+        parts = [
+            f"{name}={sorted(tuples)}"
+            for name, tuples in sorted(self.relations.items())
+            if tuples
+        ]
+        return "Instance(" + ", ".join(parts) + ")"
+
+
+class ModelFinder:
+    """Solves relational formulas over one bounded problem."""
+
+    def __init__(self, problem: Problem):
+        self.problem = problem
+        self.circuit = Circuit()
+        self.translator = Translator(problem, self.circuit)
+
+    def _decode(self, model: dict[int, bool]) -> Instance:
+        relations: dict[str, frozenset[tuple[int, ...]]] = {}
+        for name, decl in self.problem.declarations.items():
+            # force allocation so constants decode too
+            self.translator.relation_matrix(name)
+            tuples = set(decl.lower)
+            for t in decl.free:
+                var = self.translator.tuple_vars.get((name, t))
+                if var is not None and model.get(var, False):
+                    tuples.add(t)
+            relations[name] = frozenset(tuples)
+        return Instance(relations)
+
+    def solve(self, formula: ast.Formula) -> Instance | None:
+        """First instance satisfying the formula, or None."""
+        for instance in self.instances(formula, limit=1):
+            return instance
+        return None
+
+    def instances(
+        self,
+        formula: ast.Formula,
+        project: list[str] | None = None,
+        limit: int | None = None,
+    ) -> Iterator[Instance]:
+        """Enumerate satisfying instances.
+
+        ``project`` names the relations over which instances must differ
+        (default: all declared relations' free tuples).
+        """
+        root = self.translator.formula(formula)
+        if not self.circuit.assert_true(root):
+            return
+        names = (
+            project
+            if project is not None
+            else list(self.problem.declarations)
+        )
+        # ensure projected relations have their variables allocated
+        for name in names:
+            self.translator.relation_matrix(name)
+        proj_vars = [
+            var
+            for (name, _), var in sorted(self.translator.tuple_vars.items())
+            if name in names
+        ]
+        solver = self.circuit.solver
+        if not proj_vars:
+            # no free variables: at most one instance
+            if solver.solve():
+                yield self._decode(solver.model())
+            return
+        for _ in solver.models(project=proj_vars, limit=limit):
+            # the projected assignment drives enumeration; decoding uses
+            # the full model, which is still live at yield time
+            yield self._decode(solver.model())
+
+    def check(self, formula: ast.Formula) -> bool:
+        """Is the formula satisfiable over the bounds?"""
+        return self.solve(formula) is not None

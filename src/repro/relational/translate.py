@@ -1,0 +1,257 @@
+"""Translation from relational AST to boolean circuits.
+
+Each relational expression becomes a sparse boolean *matrix* mapping
+tuples to circuit nodes (absent tuples are constant-false, exactly like
+Kodkod's sparse-matrix translation).  Transitive closure is computed by
+iterated squaring, sound because path lengths are bounded by the
+universe size.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.relational import ast
+from repro.relational.circuit import Circuit, FALSE, TRUE
+from repro.relational.problem import Problem
+
+__all__ = ["Matrix", "Translator"]
+
+
+@dataclass
+class Matrix:
+    """A sparse boolean matrix: tuple -> circuit node (missing = false)."""
+
+    arity: int
+    entries: dict[tuple[int, ...], int]
+
+    def get(self, t: tuple[int, ...]) -> int:
+        return self.entries.get(t, FALSE)
+
+
+class Translator:
+    """Translates expressions and formulas over one problem instance."""
+
+    def __init__(self, problem: Problem, circuit: Circuit):
+        self.problem = problem
+        self.circuit = circuit
+        #: SAT variable per free tuple of each relation
+        self.tuple_vars: dict[tuple[str, tuple[int, ...]], int] = {}
+        self._rel_cache: dict[str, Matrix] = {}
+        self._expr_cache: dict[ast.Expr, Matrix] = {}
+
+    # -- relations ------------------------------------------------------------
+
+    def relation_matrix(self, name: str) -> Matrix:
+        cached = self._rel_cache.get(name)
+        if cached is not None:
+            return cached
+        decl = self.problem.declaration(name)
+        entries: dict[tuple[int, ...], int] = {}
+        for t in decl.lower:
+            entries[t] = TRUE
+        for t in sorted(decl.free):
+            sat_var = self.circuit.solver.new_var()
+            self.tuple_vars[(name, t)] = sat_var
+            entries[t] = self.circuit.var(sat_var)
+        matrix = Matrix(decl.arity, entries)
+        self._rel_cache[name] = matrix
+        return matrix
+
+    # -- expressions --------------------------------------------------------------
+
+    def expr(self, e: ast.Expr) -> Matrix:
+        cached = self._expr_cache.get(e)
+        if cached is None:
+            cached = self._expr_uncached(e)
+            self._expr_cache[e] = cached
+        return cached
+
+    def _expr_uncached(self, e: ast.Expr) -> Matrix:
+        c = self.circuit
+        n = self.problem.universe_size
+        if isinstance(e, ast.Rel):
+            return self.relation_matrix(e.name)
+        if isinstance(e, ast.Iden):
+            return Matrix(2, {(i, i): TRUE for i in range(n)})
+        if isinstance(e, ast.NoneExpr):
+            return Matrix(e.arity, {})
+        if isinstance(e, ast.UnivExpr):
+            if e.arity == 1:
+                return Matrix(1, {(i,): TRUE for i in range(n)})
+            return Matrix(
+                2, {(i, j): TRUE for i in range(n) for j in range(n)}
+            )
+        if isinstance(e, ast.Union):
+            a, b = self.expr(e.left), self.expr(e.right)
+            _check_arity(a, b)
+            out = dict(a.entries)
+            for t, node in b.entries.items():
+                out[t] = c.or_(out.get(t, FALSE), node)
+            return Matrix(a.arity, out)
+        if isinstance(e, ast.Inter):
+            a, b = self.expr(e.left), self.expr(e.right)
+            _check_arity(a, b)
+            out = {}
+            for t, node in a.entries.items():
+                other = b.get(t)
+                merged = c.and_(node, other)
+                if merged != FALSE:
+                    out[t] = merged
+            return Matrix(a.arity, out)
+        if isinstance(e, ast.Diff):
+            a, b = self.expr(e.left), self.expr(e.right)
+            _check_arity(a, b)
+            out = {}
+            for t, node in a.entries.items():
+                merged = c.and_(node, c.not_(b.get(t)))
+                if merged != FALSE:
+                    out[t] = merged
+            return Matrix(a.arity, out)
+        if isinstance(e, ast.Transpose):
+            a = self.expr(e.inner)
+            if a.arity != 2:
+                raise TypeError("transpose needs a binary relation")
+            return Matrix(2, {(j, i): v for (i, j), v in a.entries.items()})
+        if isinstance(e, ast.Join):
+            return self._join(self.expr(e.left), self.expr(e.right))
+        if isinstance(e, ast.Product):
+            a, b = self.expr(e.left), self.expr(e.right)
+            if a.arity != 1 or b.arity != 1:
+                raise TypeError("product supported for set -> set only")
+            out = {}
+            for (i,), va in a.entries.items():
+                for (j,), vb in b.entries.items():
+                    node = c.and_(va, vb)
+                    if node != FALSE:
+                        out[(i, j)] = node
+            return Matrix(2, out)
+        if isinstance(e, ast.Closure):
+            return self._closure(self.expr(e.inner))
+        if isinstance(e, ast.RClosure):
+            closed = self._closure(self.expr(e.inner))
+            out = dict(closed.entries)
+            for i in range(n):
+                out[(i, i)] = TRUE
+            return Matrix(2, out)
+        if isinstance(e, ast.DomRestrict):
+            s, r = self.expr(e.set_expr), self.expr(e.rel)
+            if s.arity != 1 or r.arity != 2:
+                raise TypeError("<: needs set <: relation")
+            out = {}
+            for (i, j), v in r.entries.items():
+                node = c.and_(s.get((i,)), v)
+                if node != FALSE:
+                    out[(i, j)] = node
+            return Matrix(2, out)
+        if isinstance(e, ast.RanRestrict):
+            r, s = self.expr(e.rel), self.expr(e.set_expr)
+            if s.arity != 1 or r.arity != 2:
+                raise TypeError(":> needs relation :> set")
+            out = {}
+            for (i, j), v in r.entries.items():
+                node = c.and_(v, s.get((j,)))
+                if node != FALSE:
+                    out[(i, j)] = node
+            return Matrix(2, out)
+        raise TypeError(f"unknown expression {e!r}")
+
+    def _join(self, a: Matrix, b: Matrix) -> Matrix:
+        c = self.circuit
+        out_arity = a.arity + b.arity - 2
+        if out_arity not in (0, 1, 2):
+            raise TypeError("join result arity out of supported range")
+        if out_arity == 0:
+            raise TypeError("scalar joins unsupported; use Some/No")
+        acc: dict[tuple[int, ...], list[int]] = {}
+        # index b by first column
+        by_first: dict[int, list[tuple[tuple[int, ...], int]]] = {}
+        for t, v in b.entries.items():
+            by_first.setdefault(t[0], []).append((t[1:], v))
+        for t, va in a.entries.items():
+            mid = t[-1]
+            prefix = t[:-1]
+            for suffix, vb in by_first.get(mid, ()):
+                node = c.and_(va, vb)
+                if node != FALSE:
+                    acc.setdefault(prefix + suffix, []).append(node)
+        return Matrix(
+            out_arity,
+            {t: c.or_(*nodes) for t, nodes in acc.items()},
+        )
+
+    def _closure(self, m: Matrix) -> Matrix:
+        if m.arity != 2:
+            raise TypeError("closure needs a binary relation")
+        c = self.circuit
+        n = self.problem.universe_size
+        current = m
+        steps = 1
+        while steps < n:
+            squared = self._join(current, current)
+            out = dict(current.entries)
+            for t, node in squared.entries.items():
+                out[t] = c.or_(out.get(t, FALSE), node)
+            current = Matrix(2, out)
+            steps *= 2
+        return current
+
+    # -- formulas ---------------------------------------------------------------------
+
+    def formula(self, f: ast.Formula) -> int:
+        c = self.circuit
+        if isinstance(f, ast.Subset):
+            a, b = self.expr(f.left), self.expr(f.right)
+            return c.and_(
+                *(c.implies(v, b.get(t)) for t, v in a.entries.items())
+            )
+        if isinstance(f, ast.Eq):
+            return c.and_(
+                self.formula(ast.Subset(f.left, f.right)),
+                self.formula(ast.Subset(f.right, f.left)),
+            )
+        if isinstance(f, ast.Some):
+            a = self.expr(f.expr)
+            return c.or_(*a.entries.values())
+        if isinstance(f, ast.No):
+            return c.not_(self.formula(ast.Some(f.expr)))
+        if isinstance(f, ast.Lone):
+            a = self.expr(f.expr)
+            nodes = list(a.entries.values())
+            pairwise = [
+                c.not_(c.and_(nodes[i], nodes[j]))
+                for i in range(len(nodes))
+                for j in range(i + 1, len(nodes))
+            ]
+            return c.and_(*pairwise)
+        if isinstance(f, ast.One):
+            return c.and_(
+                self.formula(ast.Lone(f.expr)),
+                self.formula(ast.Some(f.expr)),
+            )
+        if isinstance(f, ast.Not):
+            return c.not_(self.formula(f.inner))
+        if isinstance(f, ast.And):
+            return c.and_(self.formula(f.left), self.formula(f.right))
+        if isinstance(f, ast.Or):
+            return c.or_(self.formula(f.left), self.formula(f.right))
+        if isinstance(f, ast.Implies):
+            return c.implies(self.formula(f.left), self.formula(f.right))
+        if isinstance(f, ast.Acyclic):
+            closed = self._closure(self.expr(f.expr))
+            diag = [
+                v for (i, j), v in closed.entries.items() if i == j
+            ]
+            return c.not_(c.or_(*diag))
+        if isinstance(f, ast.Irreflexive):
+            a = self.expr(f.expr)
+            diag = [v for (i, j), v in a.entries.items() if i == j]
+            return c.not_(c.or_(*diag))
+        if isinstance(f, ast._TrueFormula):
+            return TRUE
+        raise TypeError(f"unknown formula {f!r}")
+
+
+def _check_arity(a: Matrix, b: Matrix) -> None:
+    if a.arity != b.arity:
+        raise TypeError(f"arity mismatch: {a.arity} vs {b.arity}")

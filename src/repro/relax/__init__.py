@@ -1,0 +1,37 @@
+"""Instruction relaxations and their applicability (paper §3)."""
+
+from repro.relax.applicability import (
+    Applicability,
+    applicability_row,
+    applicability_table,
+    format_table,
+)
+from repro.relax.base import Application, RelaxedTest, Relaxation
+from repro.relax.instruction import (
+    ALL_RELAXATIONS,
+    DecomposeRMW,
+    DemoteFence,
+    DemoteMemoryOrder,
+    DemoteScope,
+    RemoveDependency,
+    RemoveInstruction,
+    relaxations_for,
+)
+
+__all__ = [
+    "Application",
+    "RelaxedTest",
+    "Relaxation",
+    "RemoveInstruction",
+    "DemoteMemoryOrder",
+    "DemoteFence",
+    "DecomposeRMW",
+    "RemoveDependency",
+    "DemoteScope",
+    "ALL_RELAXATIONS",
+    "relaxations_for",
+    "Applicability",
+    "applicability_row",
+    "applicability_table",
+    "format_table",
+]

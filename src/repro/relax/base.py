@@ -1,0 +1,149 @@
+"""Instruction relaxations (paper §3).
+
+An *instruction relaxation* transforms a litmus test into an almost
+identical test in which one instruction has strictly weaker
+synchronization semantics.  The minimality criterion (paper Definition 1)
+quantifies over every *application* of every relaxation that is
+applicable to the test under the model's vocabulary.
+
+Each application records how event identity flows from the original test
+to the relaxed test (:class:`RelaxedTest.event_map`), which is what lets
+forbidden outcomes be projected onto relaxed tests (paper Fig. 3).
+"""
+
+from __future__ import annotations
+
+import abc
+from collections.abc import Iterator
+from dataclasses import dataclass, field
+
+from repro.litmus.events import Instruction
+from repro.litmus.test import Dep, LitmusTest
+from repro.models.base import Vocabulary
+
+__all__ = ["RelaxedTest", "Application", "Relaxation", "remove_event", "rebuild"]
+
+
+@dataclass(frozen=True)
+class RelaxedTest:
+    """A relaxed test plus the original-to-relaxed event identity map."""
+
+    test: LitmusTest
+    #: original event id -> relaxed event id, or None if removed.
+    event_map: dict[int, int | None] = field(hash=False)
+
+    def surviving(self) -> dict[int, int]:
+        return {k: v for k, v in self.event_map.items() if v is not None}
+
+
+@dataclass(frozen=True)
+class Application:
+    """One application of one relaxation to one instruction.
+
+    ``detail`` disambiguates multi-variant relaxations (e.g. which order a
+    DMO demotes to).  ``(relaxation, target, detail)`` is a stable key.
+    """
+
+    relaxation: str
+    target: int
+    detail: str = ""
+
+    def describe(self, test: LitmusTest) -> str:
+        inst = test.instruction(self.target)
+        extra = f" ({self.detail})" if self.detail else ""
+        return f"{self.relaxation} @ e{self.target}:{inst.mnemonic()}{extra}"
+
+
+class Relaxation(abc.ABC):
+    """A family of instruction weakenings (RI, DMO, DF, DRMW, RD, DS)."""
+
+    #: Short name matching the paper's Table 2 column headers.
+    name: str = ""
+
+    @abc.abstractmethod
+    def applications(
+        self, test: LitmusTest, vocab: Vocabulary
+    ) -> Iterator[Application]:
+        """All ways this relaxation applies to ``test`` under ``vocab``."""
+
+    @abc.abstractmethod
+    def apply(
+        self, test: LitmusTest, app: Application, vocab: Vocabulary
+    ) -> RelaxedTest:
+        """Perform one application, returning the weakened test."""
+
+    def applies_to(self, vocab: Vocabulary) -> bool:
+        """Is this relaxation meaningful for a model's vocabulary at all?
+
+        (The per-test :meth:`applications` may still be empty.)
+        """
+        return True
+
+    def __repr__(self) -> str:
+        return f"<Relaxation {self.name}>"
+
+
+def rebuild(
+    test: LitmusTest,
+    threads: tuple[tuple[Instruction, ...], ...],
+    rmw: frozenset[tuple[int, int]] | None = None,
+    deps: frozenset[Dep] | None = None,
+    scopes: tuple[int, ...] | None = None,
+) -> LitmusTest:
+    """Copy of ``test`` with selected components replaced."""
+    return LitmusTest(
+        threads=threads,
+        rmw=test.rmw if rmw is None else rmw,
+        deps=test.deps if deps is None else deps,
+        scopes=test.scopes if scopes is None else scopes,
+        name=None,
+    )
+
+
+def remove_event(test: LitmusTest, target: int) -> RelaxedTest:
+    """Remove one instruction, renumbering events and dropping any rmw
+    pairs or dependency edges that touch it (paper Fig. 6's ``_p``
+    relations).  Threads left empty by the removal disappear."""
+    tid = test.tid_of(target)
+    idx = test.index_of(target)
+
+    new_threads: list[tuple[Instruction, ...]] = []
+    new_scopes: list[int] = []
+    event_map: dict[int, int | None] = {}
+    next_eid = 0
+    for t, thread in enumerate(test.threads):
+        kept = []
+        for i, inst in enumerate(thread):
+            eid = test.eid(t, i)
+            if t == tid and i == idx:
+                event_map[eid] = None
+                continue
+            kept.append(inst)
+            event_map[eid] = next_eid
+            next_eid += 1
+        if kept:
+            new_threads.append(tuple(kept))
+            if test.scopes is not None:
+                new_scopes.append(test.scopes[t])
+
+    def remap(eid: int) -> int | None:
+        return event_map[eid]
+
+    rmw = frozenset(
+        (remap(r), remap(w))
+        for r, w in test.rmw
+        if remap(r) is not None and remap(w) is not None
+    )
+    deps = frozenset(
+        Dep(remap(d.src), remap(d.dst), d.kind)
+        for d in test.deps
+        if remap(d.src) is not None and remap(d.dst) is not None
+    )
+    scopes = tuple(new_scopes) if test.scopes is not None else None
+    relaxed = LitmusTest(tuple(new_threads), rmw, deps, scopes)
+    return RelaxedTest(relaxed, event_map)
+
+
+def identity_map(test: LitmusTest) -> dict[int, int | None]:
+    """Event map for relaxations that keep every event in place."""
+    return {e: e for e in range(test.num_events)}

@@ -1,0 +1,228 @@
+"""The six instruction relaxations of paper §3.2.
+
+* RI    — Remove Instruction
+* DMO   — Demote Memory Order
+* DF    — Demote Fence
+* DRMW  — Decompose atomic Read-Modify-Write
+* RD    — Remove Dependency
+* DS    — Demote Scope
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+from repro.litmus.events import DepKind, FenceKind, Order, Scope
+from repro.litmus.test import Dep, LitmusTest
+from repro.models.base import Vocabulary
+from repro.relax.base import (
+    Application,
+    RelaxedTest,
+    Relaxation,
+    identity_map,
+    rebuild,
+    remove_event,
+)
+
+__all__ = [
+    "RemoveInstruction",
+    "DemoteMemoryOrder",
+    "DemoteFence",
+    "DecomposeRMW",
+    "RemoveDependency",
+    "DemoteScope",
+    "ALL_RELAXATIONS",
+    "relaxations_for",
+]
+
+
+class RemoveInstruction(Relaxation):
+    """RI: delete one instruction outright (paper §3.1, Fig. 3)."""
+
+    name = "RI"
+
+    def applications(
+        self, test: LitmusTest, vocab: Vocabulary
+    ) -> Iterator[Application]:
+        if test.num_events <= 1:
+            return
+        for eid in range(test.num_events):
+            yield Application(self.name, eid)
+
+    def apply(
+        self, test: LitmusTest, app: Application, vocab: Vocabulary
+    ) -> RelaxedTest:
+        return remove_event(test, app.target)
+
+
+class DemoteMemoryOrder(Relaxation):
+    """DMO: weaken an access's memory-order annotation by one step."""
+
+    name = "DMO"
+
+    def applications(
+        self, test: LitmusTest, vocab: Vocabulary
+    ) -> Iterator[Application]:
+        for eid, inst in enumerate(test.instructions):
+            if inst.is_fence:
+                continue
+            for weaker in vocab.order_demotions.get(inst.order, ()):
+                yield Application(self.name, eid, weaker.name)
+
+    def apply(
+        self, test: LitmusTest, app: Application, vocab: Vocabulary
+    ) -> RelaxedTest:
+        weaker = Order[app.detail]
+        threads = _replace(test, app.target, lambda i: i.with_order(weaker))
+        return RelaxedTest(rebuild(test, threads), identity_map(test))
+
+    def applies_to(self, vocab: Vocabulary) -> bool:
+        return vocab.has_orders
+
+
+class DemoteFence(Relaxation):
+    """DF: weaken a fence's strength by one step (e.g. sync -> lwsync)."""
+
+    name = "DF"
+
+    def applications(
+        self, test: LitmusTest, vocab: Vocabulary
+    ) -> Iterator[Application]:
+        for eid, inst in enumerate(test.instructions):
+            if not inst.is_fence:
+                continue
+            assert inst.fence is not None
+            for weaker in vocab.fence_demotions.get(inst.fence, ()):
+                yield Application(self.name, eid, weaker.name)
+
+    def apply(
+        self, test: LitmusTest, app: Application, vocab: Vocabulary
+    ) -> RelaxedTest:
+        weaker = FenceKind[app.detail]
+        threads = _replace(test, app.target, lambda i: i.with_fence(weaker))
+        return RelaxedTest(rebuild(test, threads), identity_map(test))
+
+    def applies_to(self, vocab: Vocabulary) -> bool:
+        return vocab.has_fence_demotions
+
+
+class DecomposeRMW(Relaxation):
+    """DRMW: break an atomic RMW into a plain read/write pair.
+
+    Per the paper, "the po_loc and data dependencies between the load and
+    the store remain in effect": when the model's vocabulary has data
+    dependencies, the dropped ``rmw`` edge is replaced by one.
+    """
+
+    name = "DRMW"
+
+    def applications(
+        self, test: LitmusTest, vocab: Vocabulary
+    ) -> Iterator[Application]:
+        for r, w in sorted(test.rmw):
+            yield Application(self.name, r, f"w{w}")
+
+    def apply(
+        self, test: LitmusTest, app: Application, vocab: Vocabulary
+    ) -> RelaxedTest:
+        pair = next((p for p in test.rmw if p[0] == app.target), None)
+        if pair is None:
+            raise ValueError(f"event {app.target} heads no rmw pair")
+        rmw = frozenset(p for p in test.rmw if p != pair)
+        deps = test.deps
+        if DepKind.DATA in vocab.dep_kinds:
+            deps = deps | {Dep(pair[0], pair[1], DepKind.DATA)}
+        relaxed = LitmusTest(test.threads, rmw, deps, test.scopes)
+        return RelaxedTest(relaxed, identity_map(test))
+
+    def applies_to(self, vocab: Vocabulary) -> bool:
+        return vocab.allows_rmw
+
+
+class RemoveDependency(Relaxation):
+    """RD: discard all dependencies originating at one instruction.
+
+    Mirrors the paper's Fig. 6 ``rmw_p``: an ``rmw`` pairing whose load is
+    RD'ed is also discarded (the store-conditional loses its link).
+    """
+
+    name = "RD"
+
+    def applications(
+        self, test: LitmusTest, vocab: Vocabulary
+    ) -> Iterator[Application]:
+        if not vocab.has_deps:
+            return
+        for eid in sorted(
+            {d.src for d in test.deps} | {r for r, _ in test.rmw}
+        ):
+            yield Application(self.name, eid)
+
+    def apply(
+        self, test: LitmusTest, app: Application, vocab: Vocabulary
+    ) -> RelaxedTest:
+        deps = frozenset(d for d in test.deps if d.src != app.target)
+        rmw = frozenset(p for p in test.rmw if p[0] != app.target)
+        relaxed = LitmusTest(test.threads, rmw, deps, test.scopes)
+        return RelaxedTest(relaxed, identity_map(test))
+
+    def applies_to(self, vocab: Vocabulary) -> bool:
+        return vocab.has_deps
+
+
+class DemoteScope(Relaxation):
+    """DS: narrow an instruction's synchronization scope by one level."""
+
+    name = "DS"
+
+    def applications(
+        self, test: LitmusTest, vocab: Vocabulary
+    ) -> Iterator[Application]:
+        if not vocab.has_scopes:
+            return
+        levels = sorted(vocab.scopes)
+        for eid, inst in enumerate(test.instructions):
+            if inst.scope is None:
+                continue
+            pos = levels.index(inst.scope)
+            if pos > 0:
+                yield Application(self.name, eid, levels[pos - 1].name)
+
+    def apply(
+        self, test: LitmusTest, app: Application, vocab: Vocabulary
+    ) -> RelaxedTest:
+        narrower = Scope[app.detail]
+        threads = _replace(test, app.target, lambda i: i.with_scope(narrower))
+        return RelaxedTest(rebuild(test, threads), identity_map(test))
+
+    def applies_to(self, vocab: Vocabulary) -> bool:
+        return vocab.has_scopes
+
+
+ALL_RELAXATIONS: tuple[Relaxation, ...] = (
+    RemoveInstruction(),
+    DecomposeRMW(),
+    DemoteFence(),
+    DemoteMemoryOrder(),
+    RemoveDependency(),
+    DemoteScope(),
+)
+
+
+def relaxations_for(vocab: Vocabulary) -> tuple[Relaxation, ...]:
+    """The relaxations meaningful for a model's vocabulary (Table 2 row)."""
+    return tuple(r for r in ALL_RELAXATIONS if r.applies_to(vocab))
+
+
+def _replace(test: LitmusTest, target: int, transform):
+    threads = []
+    for tid, thread in enumerate(test.threads):
+        new_thread = []
+        for i, inst in enumerate(thread):
+            if test.eid(tid, i) == target:
+                inst = transform(inst)
+            new_thread.append(inst)
+        threads.append(tuple(new_thread))
+    return tuple(threads)
+
+

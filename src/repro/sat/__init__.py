@@ -1,0 +1,19 @@
+"""From-scratch CDCL SAT solver (the MiniSAT stand-in of the paper's
+Alloy -> Kodkod -> MiniSAT stack)."""
+
+from repro.sat.dimacs import parse_dimacs, solver_from_dimacs, to_dimacs
+from repro.sat.solver import SAT, UNSAT, Solver
+from repro.sat.types import Clause, index_lit, lit_index, neg_index
+
+__all__ = [
+    "Solver",
+    "SAT",
+    "UNSAT",
+    "Clause",
+    "lit_index",
+    "index_lit",
+    "neg_index",
+    "parse_dimacs",
+    "to_dimacs",
+    "solver_from_dimacs",
+]

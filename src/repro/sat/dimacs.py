@@ -1,0 +1,60 @@
+"""DIMACS CNF reading and writing."""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.sat.solver import Solver
+
+__all__ = ["parse_dimacs", "to_dimacs", "solver_from_dimacs"]
+
+
+def parse_dimacs(text: str) -> tuple[int, list[list[int]]]:
+    """Parse DIMACS CNF text; returns (num_vars, clauses)."""
+    num_vars = 0
+    clauses: list[list[int]] = []
+    current: list[int] = []
+    for raw in text.splitlines():
+        line = raw.strip()
+        if not line or line.startswith(("c", "%")):
+            continue
+        if line.startswith("p"):
+            parts = line.split()
+            if len(parts) != 4 or parts[1] != "cnf":
+                raise ValueError(f"bad problem line: {raw!r}")
+            num_vars = int(parts[2])
+            continue
+        for tok in line.split():
+            lit = int(tok)
+            if lit == 0:
+                clauses.append(current)
+                current = []
+            else:
+                current.append(lit)
+    if current:
+        clauses.append(current)
+    return num_vars, clauses
+
+
+def to_dimacs(num_vars: int, clauses: Iterable[Iterable[int]]) -> str:
+    """Render clauses as DIMACS CNF text."""
+    lines = []
+    body = []
+    count = 0
+    for clause in clauses:
+        body.append(" ".join(map(str, clause)) + " 0")
+        count += 1
+    lines.append(f"p cnf {num_vars} {count}")
+    lines.extend(body)
+    return "\n".join(lines) + "\n"
+
+
+def solver_from_dimacs(text: str) -> Solver:
+    """Build a solver loaded with the clauses of a DIMACS file."""
+    num_vars, clauses = parse_dimacs(text)
+    solver = Solver()
+    while solver.num_vars < num_vars:
+        solver.new_var()
+    for clause in clauses:
+        solver.add_clause(clause)
+    return solver

@@ -1,0 +1,431 @@
+"""A CDCL SAT solver.
+
+This is the decision procedure at the bottom of the Alloy-substitute
+stack (paper §4: Alloy -> Kodkod -> MiniSAT; here: ``repro.alloy`` ->
+``repro.relational`` -> this module).  The design is a compact MiniSAT:
+
+* two-literal watching for unit propagation,
+* first-UIP conflict analysis with clause learning and non-chronological
+  backjumping,
+* VSIDS variable activity with phase saving,
+* Luby-sequence restarts,
+* learnt-clause database reduction by activity,
+* incremental solving under assumptions,
+* model enumeration via blocking clauses (:meth:`Solver.models`).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+
+from repro.sat.types import Clause, index_lit, lit_index, neg_index
+
+__all__ = ["Solver", "SAT", "UNSAT"]
+
+SAT = True
+UNSAT = False
+
+_UNASSIGNED = -1
+
+
+class Solver:
+    """CDCL SAT solver over DIMACS-style integer literals."""
+
+    def __init__(self) -> None:
+        self.num_vars = 0
+        self.clauses: list[Clause] = []
+        self.learnts: list[Clause] = []
+        self.watches: list[list[Clause]] = [[], []]
+        # assignment state
+        self.assigns: list[int] = [_UNASSIGNED]  # var -> 0/1/_UNASSIGNED
+        self.levels: list[int] = [0]
+        self.reasons: list[Clause | None] = [None]
+        self.trail: list[int] = []  # literal indices, assignment order
+        self.trail_lim: list[int] = []
+        self.qhead = 0
+        # VSIDS
+        self.activity: list[float] = [0.0]
+        self.var_inc = 1.0
+        self.var_decay = 0.95
+        self.polarity: list[int] = [0]  # phase saving
+        self.order: list[int] = []  # lazy heap substitute
+        # clause activity
+        self.cla_inc = 1.0
+        self.cla_decay = 0.999
+        self.max_learnts = 4000
+        # stats
+        self.stats = {
+            "conflicts": 0,
+            "decisions": 0,
+            "propagations": 0,
+            "restarts": 0,
+            "learned": 0,
+        }
+        self._ok = True
+
+    # -- problem construction ----------------------------------------------------
+
+    def new_var(self) -> int:
+        """Allocate a fresh variable; returns its (positive) id."""
+        self.num_vars += 1
+        self.assigns.append(_UNASSIGNED)
+        self.levels.append(0)
+        self.reasons.append(None)
+        self.activity.append(0.0)
+        self.polarity.append(0)
+        self.watches.append([])
+        self.watches.append([])
+        return self.num_vars
+
+    def _ensure_vars(self, lits: Iterable[int]) -> None:
+        top = max((abs(l) for l in lits), default=0)
+        while self.num_vars < top:
+            self.new_var()
+
+    def add_clause(self, lits: Iterable[int]) -> bool:
+        """Add a clause (DIMACS literals).  Returns False if the formula
+        became trivially unsatisfiable."""
+        if not self._ok:
+            return False
+        if self.trail_lim:
+            raise RuntimeError("add_clause only at decision level 0")
+        seen: set[int] = set()
+        out: list[int] = []
+        lits = list(lits)
+        self._ensure_vars(lits)
+        for lit in lits:
+            idx = lit_index(lit)
+            if neg_index(idx) in seen:
+                return True  # tautology
+            if idx in seen:
+                continue
+            val = self._value(idx)
+            if val == 1:
+                return True  # already satisfied at level 0
+            if val == 0:
+                continue  # already false at level 0: drop literal
+            seen.add(idx)
+            out.append(idx)
+        if not out:
+            self._ok = False
+            return False
+        if len(out) == 1:
+            self._assign(out[0], None)
+            conflict = self._propagate()
+            if conflict is not None:
+                self._ok = False
+                return False
+            return True
+        clause = Clause(out)
+        self.clauses.append(clause)
+        self._watch(clause)
+        return True
+
+    def _watch(self, clause: Clause) -> None:
+        self.watches[neg_index(clause.lits[0])].append(clause)
+        self.watches[neg_index(clause.lits[1])].append(clause)
+
+    # -- assignment primitives ---------------------------------------------------------
+
+    def _value(self, idx: int) -> int:
+        """Value of a literal index: 1 true, 0 false, -1 unassigned."""
+        a = self.assigns[idx >> 1]
+        if a == _UNASSIGNED:
+            return _UNASSIGNED
+        return a ^ (idx & 1)
+
+    def _assign(self, idx: int, reason: Clause | None) -> None:
+        var = idx >> 1
+        self.assigns[var] = 1 - (idx & 1)
+        self.levels[var] = len(self.trail_lim)
+        self.reasons[var] = reason
+        self.trail.append(idx)
+
+    def _decision_level(self) -> int:
+        return len(self.trail_lim)
+
+    # -- unit propagation -----------------------------------------------------------------
+
+    def _propagate(self) -> Clause | None:
+        """Propagate units; returns a conflicting clause or None."""
+        while self.qhead < len(self.trail):
+            idx = self.trail[self.qhead]
+            self.qhead += 1
+            self.stats["propagations"] += 1
+            false_lit = neg_index(idx)
+            watchers = self.watches[idx]
+            self.watches[idx] = []
+            i = 0
+            n = len(watchers)
+            while i < n:
+                clause = watchers[i]
+                i += 1
+                lits = clause.lits
+                # normalize: false literal at position 1
+                if lits[0] == false_lit:
+                    lits[0], lits[1] = lits[1], lits[0]
+                first = lits[0]
+                if self._value(first) == 1:
+                    self.watches[idx].append(clause)
+                    continue
+                # find a new watch
+                moved = False
+                for k in range(2, len(lits)):
+                    if self._value(lits[k]) != 0:
+                        lits[1], lits[k] = lits[k], lits[1]
+                        self.watches[neg_index(lits[1])].append(clause)
+                        moved = True
+                        break
+                if moved:
+                    continue
+                # unit or conflict
+                self.watches[idx].append(clause)
+                if self._value(first) == 0:
+                    # conflict: restore remaining watchers
+                    self.watches[idx].extend(watchers[i:])
+                    self.qhead = len(self.trail)
+                    return clause
+                self._assign(first, clause)
+        return None
+
+    # -- conflict analysis (first UIP) ------------------------------------------------------
+
+    def _analyze(self, conflict: Clause) -> tuple[list[int], int]:
+        learnt: list[int] = [0]  # placeholder for the asserting literal
+        seen = [False] * (self.num_vars + 1)
+        counter = 0
+        lit_idx = -1
+        reason: Clause | None = conflict
+        trail_pos = len(self.trail) - 1
+        level = self._decision_level()
+
+        while True:
+            assert reason is not None
+            self._bump_clause(reason)
+            for q in reason.lits:
+                if lit_idx != -1 and q == lit_idx:
+                    continue
+                var = q >> 1
+                if not seen[var] and self.levels[var] > 0:
+                    seen[var] = True
+                    self._bump_var(var)
+                    if self.levels[var] >= level:
+                        counter += 1
+                    else:
+                        learnt.append(q)
+            # pick the next trail literal to resolve on
+            while not seen[self.trail[trail_pos] >> 1]:
+                trail_pos -= 1
+            lit_idx = self.trail[trail_pos]
+            var = lit_idx >> 1
+            seen[var] = False
+            trail_pos -= 1
+            counter -= 1
+            if counter == 0:
+                break
+            reason = self.reasons[var]
+        learnt[0] = neg_index(lit_idx)
+
+        # clause minimization: drop literals implied by the rest
+        minimized = [learnt[0]]
+        for q in learnt[1:]:
+            reason = self.reasons[q >> 1]
+            if reason is None:
+                minimized.append(q)
+                continue
+            if any(
+                not seen[r >> 1] and self.levels[r >> 1] > 0
+                for r in reason.lits
+                if r != neg_index(q)
+            ):
+                minimized.append(q)
+        learnt = minimized
+
+        if len(learnt) == 1:
+            return learnt, 0
+        # backjump to the second-highest level in the clause
+        max_i = 1
+        for i in range(2, len(learnt)):
+            if (
+                self.levels[learnt[i] >> 1]
+                > self.levels[learnt[max_i] >> 1]
+            ):
+                max_i = i
+        learnt[1], learnt[max_i] = learnt[max_i], learnt[1]
+        return learnt, self.levels[learnt[1] >> 1]
+
+    def _bump_var(self, var: int) -> None:
+        self.activity[var] += self.var_inc
+        if self.activity[var] > 1e100:
+            for v in range(1, self.num_vars + 1):
+                self.activity[v] *= 1e-100
+            self.var_inc *= 1e-100
+
+    def _bump_clause(self, clause: Clause) -> None:
+        if clause.learnt:
+            clause.activity += self.cla_inc
+            if clause.activity > 1e20:
+                for c in self.learnts:
+                    c.activity *= 1e-20
+                self.cla_inc *= 1e-20
+
+    def _backtrack(self, level: int) -> None:
+        if self._decision_level() <= level:
+            return
+        limit = self.trail_lim[level]
+        for idx in reversed(self.trail[limit:]):
+            var = idx >> 1
+            self.polarity[var] = self.assigns[var]
+            self.assigns[var] = _UNASSIGNED
+            self.reasons[var] = None
+        del self.trail[limit:]
+        del self.trail_lim[level:]
+        self.qhead = len(self.trail)
+
+    # -- decisions --------------------------------------------------------------------------
+
+    def _decide(self) -> int | None:
+        best = 0
+        best_act = -1.0
+        for var in range(1, self.num_vars + 1):
+            if self.assigns[var] == _UNASSIGNED:
+                act = self.activity[var]
+                if act > best_act:
+                    best_act = act
+                    best = var
+        if best == 0:
+            return None
+        return (best << 1) | (1 - self.polarity[best])
+
+    def _reduce_db(self) -> None:
+        self.learnts.sort(key=lambda c: c.activity)
+        keep = len(self.learnts) // 2
+        dropped = set(map(id, self.learnts[:keep]))
+        for c in self.learnts[:keep]:
+            if any(self.reasons[l >> 1] is c for l in c.lits):
+                dropped.discard(id(c))
+        self.learnts = [c for c in self.learnts if id(c) not in dropped]
+        for w in self.watches:
+            w[:] = [c for c in w if not (c.learnt and id(c) in dropped)]
+
+    # -- main search --------------------------------------------------------------------------
+
+    def solve(self, assumptions: Iterable[int] = ()) -> bool:
+        """Search for a model; True = SAT, False = UNSAT."""
+        if not self._ok:
+            return UNSAT
+        self._backtrack(0)
+        assumption_idxs = [lit_index(l) for l in assumptions]
+        for idx in assumption_idxs:
+            self._ensure_vars([index_lit(idx)])
+
+        restarts = 0
+        conflicts_until_restart = _luby(restarts) * 100
+        conflict_count = 0
+
+        while True:
+            conflict = self._propagate()
+            if conflict is not None:
+                self.stats["conflicts"] += 1
+                conflict_count += 1
+                if self._decision_level() == 0:
+                    return UNSAT
+                learnt, back_level = self._analyze(conflict)
+                self._backtrack(back_level)
+                if len(learnt) == 1:
+                    self._assign(learnt[0], None)
+                else:
+                    clause = Clause(learnt, learnt=True)
+                    self.learnts.append(clause)
+                    self.stats["learned"] += 1
+                    self._watch(clause)
+                    self._assign(learnt[0], clause)
+                self.var_inc /= self.var_decay
+                self.cla_inc /= self.cla_decay
+                if len(self.learnts) > self.max_learnts:
+                    self._reduce_db()
+                continue
+
+            # restart?
+            if conflict_count >= conflicts_until_restart:
+                conflict_count = 0
+                restarts += 1
+                self.stats["restarts"] += 1
+                conflicts_until_restart = _luby(restarts) * 100
+                self._backtrack(0)
+                continue
+
+            # honour assumptions first
+            next_decision = None
+            for idx in assumption_idxs:
+                val = self._value(idx)
+                if val == 0:
+                    return UNSAT  # assumption conflicts
+                if val == _UNASSIGNED:
+                    next_decision = idx
+                    break
+            if next_decision is None:
+                next_decision = self._decide()
+            if next_decision is None:
+                return SAT  # complete assignment
+            self.stats["decisions"] += 1
+            self.trail_lim.append(len(self.trail))
+            self._assign(next_decision, None)
+
+    # -- model access -------------------------------------------------------------------------
+
+    def model(self) -> dict[int, bool]:
+        """The satisfying assignment after a SAT answer."""
+        return {
+            v: bool(self.assigns[v])
+            for v in range(1, self.num_vars + 1)
+            if self.assigns[v] != _UNASSIGNED
+        }
+
+    def model_value(self, var: int) -> bool:
+        val = self.assigns[var]
+        return bool(val) if val != _UNASSIGNED else False
+
+    def models(
+        self,
+        project: Iterable[int] | None = None,
+        assumptions: Iterable[int] = (),
+        limit: int | None = None,
+    ) -> Iterator[dict[int, bool]]:
+        """Enumerate satisfying assignments via blocking clauses.
+
+        ``project`` restricts enumeration (and blocking) to the given
+        variables: models equal on the projection count once.
+        """
+        proj = (
+            list(project)
+            if project is not None
+            else list(range(1, self.num_vars + 1))
+        )
+        found = 0
+        while limit is None or found < limit:
+            if not self.solve(assumptions):
+                return
+            assignment = {v: self.model_value(v) for v in proj}
+            yield assignment
+            found += 1
+            self._backtrack(0)
+            blocking = [
+                (-v if val else v) for v, val in assignment.items()
+            ]
+            if not self.add_clause(blocking):
+                return
+
+
+def _luby(i: int) -> int:
+    """The Luby restart sequence 1 1 2 1 1 2 4 ..."""
+    k = 1
+    while (1 << (k + 1)) - 1 <= i + 1:
+        k += 1
+    while True:
+        if i + 1 == (1 << k) - 1:
+            return 1 << (k - 1)
+        i = i - (1 << (k - 1)) + 1
+        k -= 1
+        while (1 << (k + 1)) - 1 <= i + 1:
+            k += 1

@@ -1,0 +1,50 @@
+"""Core SAT types and literal encoding.
+
+Variables are positive integers ``1..n``.  A *literal* is a non-zero
+integer: ``+v`` for the variable, ``-v`` for its negation (the DIMACS
+convention).  Internally the solver indexes literals as
+``2*v`` / ``2*v + 1`` for fast array addressing; these helpers convert.
+"""
+
+from __future__ import annotations
+
+__all__ = ["lit_index", "index_lit", "neg_index", "Clause"]
+
+
+def lit_index(lit: int) -> int:
+    """DIMACS literal -> dense array index (2v for +v, 2v+1 for -v)."""
+    return (lit << 1) if lit > 0 else ((-lit << 1) | 1)
+
+
+def index_lit(idx: int) -> int:
+    """Dense array index -> DIMACS literal."""
+    var = idx >> 1
+    return -var if idx & 1 else var
+
+
+def neg_index(idx: int) -> int:
+    """Negate a literal in index form."""
+    return idx ^ 1
+
+
+class Clause:
+    """A disjunction of literals (index form) with watched-literal slots.
+
+    The first two positions are the watched literals.  ``learnt`` clauses
+    carry an activity score for clause-database reduction.
+    """
+
+    __slots__ = ("lits", "learnt", "activity")
+
+    def __init__(self, lits: list[int], learnt: bool = False):
+        self.lits = lits
+        self.learnt = learnt
+        self.activity = 0.0
+
+    def __len__(self) -> int:
+        return len(self.lits)
+
+    def __repr__(self) -> str:
+        body = " ".join(str(index_lit(i)) for i in self.lits)
+        tag = "L" if self.learnt else "C"
+        return f"<{tag}: {body}>"

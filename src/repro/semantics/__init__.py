@@ -1,0 +1,17 @@
+"""Explicit-state execution semantics: relations and enumeration."""
+
+from repro.semantics.enumerate import (
+    count_executions,
+    enumerate_executions,
+    outcome_satisfied,
+)
+from repro.semantics.rel import Rel
+from repro.semantics.relations import RelationView
+
+__all__ = [
+    "Rel",
+    "RelationView",
+    "enumerate_executions",
+    "count_executions",
+    "outcome_satisfied",
+]

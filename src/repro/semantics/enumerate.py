@@ -1,0 +1,123 @@
+"""Exhaustive enumeration of candidate executions of a litmus test.
+
+This is the explicit-state analogue of the paper's Alloy/Kodkod search:
+instead of handing the dynamic relations (``rf``, ``co``, ``sc``) to a SAT
+solver as free variables, we enumerate every well-formed assignment
+directly.  For the test sizes the minimality criterion is tractable at
+(≤ 8 events), the number of candidate executions is small — the product of
+each read's candidate sources, the per-address coherence permutations, and
+(for models with an ``sc`` axiom) the SC-fence orderings.
+
+Well-formedness here means only the *structural* constraints of the
+paper's Fig. 4 sigs (``rf`` respects addresses, ``co`` totally orders each
+address's writes); whether an execution is *valid* is the memory model's
+business.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+from itertools import permutations, product
+
+from repro.litmus.events import FenceKind
+from repro.litmus.execution import Execution, Outcome
+from repro.litmus.test import LitmusTest
+
+__all__ = [
+    "enumerate_executions",
+    "count_executions",
+    "outcome_satisfied",
+]
+
+
+def enumerate_executions(
+    test: LitmusTest, with_sc: bool = False
+) -> Iterator[Execution]:
+    """Yield every well-formed execution of ``test``.
+
+    Args:
+        test: the litmus test.
+        with_sc: when true, additionally enumerate all total orders of the
+            test's ``FenceSC`` events (required by models whose axioms
+            mention the ``sc`` relation, e.g. SCC).
+    """
+    read_choices = [
+        [(r, src) for src in _sources(test, r)] for r in test.read_eids
+    ]
+    co_choices = [
+        list(permutations(test.writes_to(addr))) for addr in test.addresses
+    ]
+    if with_sc:
+        sc_events = [
+            e
+            for e, inst in enumerate(test.instructions)
+            if inst.is_fence and inst.fence is FenceKind.FENCE_SC
+        ]
+        sc_choices = list(permutations(sc_events)) or [()]
+    else:
+        sc_choices = [()]
+
+    for rf in product(*read_choices):
+        for co in product(*co_choices):
+            for sc in sc_choices:
+                yield Execution(test, tuple(rf), tuple(co), tuple(sc))
+
+
+def count_executions(test: LitmusTest, with_sc: bool = False) -> int:
+    """Number of well-formed executions without materializing them."""
+    total = 1
+    for r in test.read_eids:
+        total *= len(_sources(test, r))
+    for addr in test.addresses:
+        total *= _factorial(len(test.writes_to(addr)))
+    if with_sc:
+        n_sc = sum(
+            1
+            for inst in test.instructions
+            if inst.is_fence and inst.fence is FenceKind.FENCE_SC
+        )
+        total *= max(1, _factorial(n_sc))
+    return total
+
+
+def outcome_satisfied(execution: Execution, constraint: Outcome) -> bool:
+    """Does ``execution`` produce (at least) the constrained outcome?
+
+    ``constraint`` may be *partial* — outcome constraints dropped by
+    relaxation projection simply do not appear, and the corresponding
+    reads/addresses are then unconstrained (paper §4.3).
+    """
+    rf_map = execution.rf_map
+    for read_eid, src in constraint.rf_sources:
+        if rf_map.get(read_eid, _MISSING) != src:
+            return False
+    # An address the test never touches keeps its initial value, which
+    # satisfies a None constraint (see ExplicitOracle.admits).
+    finals = dict(execution.outcome.finals)
+    for addr, w in constraint.finals:
+        if finals.get(addr) != w:
+            return False
+    return True
+
+
+class _Missing:
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "<missing>"
+
+
+_MISSING = _Missing()
+
+
+def _sources(test: LitmusTest, read_eid: int) -> list[int | None]:
+    """Candidate ``rf`` sources for a read: initial state or any same-
+    address write."""
+    addr = test.instruction(read_eid).address
+    assert addr is not None
+    return [None, *test.writes_to(addr)]
+
+
+def _factorial(k: int) -> int:
+    out = 1
+    for i in range(2, k + 1):
+        out *= i
+    return out

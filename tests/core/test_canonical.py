@@ -1,0 +1,150 @@
+"""Canonicalization / symmetry reduction tests (paper §5.1, Figs. 9, 14)."""
+
+from repro.core.canonical import (
+    CanonicalSet,
+    canonical_form,
+    canonicalize,
+    paper_canonicalize,
+    symmetry_class_size,
+)
+from repro.litmus.catalog import CATALOG
+from repro.litmus.events import DepKind, Order, read, write
+from repro.litmus.test import Dep, LitmusTest
+
+
+def fig9_pair():
+    """The two symmetric tests of the paper's Fig. 9."""
+    a = LitmusTest(
+        (
+            (write(0, 1), read(1, Order.ACQ)),
+            (write(1, 1, Order.REL), read(0)),
+        )
+    )
+    b = LitmusTest(
+        (
+            (write(1, 1, Order.REL), read(0)),
+            (write(0, 1), read(1, Order.ACQ)),
+        )
+    )
+    return a, b
+
+
+class TestExactCanonicalization:
+    def test_fig9_symmetry_detected(self):
+        a, b = fig9_pair()
+        assert canonical_form(a) == canonical_form(b)
+
+    def test_thread_permutation_invariance(self):
+        t = CATALOG["WRC"].test
+        permuted = LitmusTest(tuple(reversed(t.threads)))
+        assert canonical_form(t) == canonical_form(permuted)
+
+    def test_address_renaming_invariance(self):
+        a = LitmusTest(((write(0, 1), write(1, 1)), (read(1), read(0))))
+        b = LitmusTest(((write(7, 1), write(3, 1)), (read(3), read(7))))
+        assert canonical_form(a) == canonical_form(b)
+
+    def test_value_normalization(self):
+        # write values are labels; 1-vs-2 relabellings are symmetric.
+        a = LitmusTest(((write(0, 2), write(0, 1)),))
+        b = LitmusTest(((write(0, 1), write(0, 2)),))
+        assert canonical_form(a) == canonical_form(b)
+
+    def test_wwc_variants_collapse(self):
+        """Paper Fig. 14: the two WWC thread-swap variants are symmetric;
+        the exact canonicalizer (unlike the paper's) catches them."""
+        wwc = CATALOG["WWC"].test
+        swapped = LitmusTest(
+            (wwc.threads[0], wwc.threads[2], wwc.threads[1]),
+            deps=wwc.deps,
+        )
+        assert canonical_form(wwc) == canonical_form(swapped)
+
+    def test_distinct_tests_stay_distinct(self):
+        assert canonical_form(CATALOG["MP"].test) != canonical_form(
+            CATALOG["SB"].test
+        )
+
+    def test_order_annotations_distinguish(self):
+        a = LitmusTest(((read(0, Order.ACQ),), (write(0, 1),)))
+        b = LitmusTest(((read(0),), (write(0, 1),)))
+        assert canonical_form(a) != canonical_form(b)
+
+    def test_deps_distinguish(self):
+        a = LitmusTest(
+            ((read(0), write(1, 1)),),
+            deps=frozenset({Dep(0, 1, DepKind.ADDR)}),
+        )
+        b = LitmusTest(((read(0), write(1, 1)),))
+        assert canonical_form(a) != canonical_form(b)
+
+    def test_event_map_is_bijective(self):
+        t = CATALOG["WRC"].test
+        _, event_map, addr_map = canonicalize(t)
+        assert sorted(event_map.keys()) == list(range(t.num_events))
+        assert sorted(event_map.values()) == list(range(t.num_events))
+        assert sorted(addr_map.keys()) == sorted(t.addresses)
+
+    def test_canonical_is_idempotent(self):
+        t = CATALOG["IRIW"].test
+        once = canonical_form(t)
+        assert canonical_form(once) == once
+
+
+class TestPaperCanonicalizer:
+    def test_catches_plain_symmetry(self):
+        a, b = fig9_pair()
+        assert paper_canonicalize(a) == paper_canonicalize(b)
+
+    def test_misses_wwc(self):
+        """The paper's own §6.1 admission: the greedy canonicalizer
+        cannot order two threads with identical local shapes, so the
+        swapped WWC variants survive as duplicates."""
+        wwc = CATALOG["WWC"].test
+        swapped = LitmusTest(
+            (wwc.threads[0], wwc.threads[2], wwc.threads[1]),
+            deps=wwc.deps,
+        )
+        assert paper_canonicalize(wwc) != paper_canonicalize(swapped)
+        # ...while the exact one collapses them (tested above).
+
+
+class TestSymmetryClassSize:
+    def test_symmetric_threads_shrink_class(self):
+        sb = CATALOG["SB"].test  # two mirror-image threads
+        assert symmetry_class_size(sb) == 1
+
+    def test_asymmetric_class(self):
+        wrc = CATALOG["WRC"].test
+        assert symmetry_class_size(wrc) >= 2
+
+
+class TestCanonicalSet:
+    def test_dedups_symmetric(self):
+        a, b = fig9_pair()
+        s = CanonicalSet()
+        assert s.add(a)
+        assert not s.add(b)
+        assert len(s) == 1
+        assert b in s
+
+    def test_paper_mode_keeps_wwc_duplicates(self):
+        wwc = CATALOG["WWC"].test
+        swapped = LitmusTest(
+            (wwc.threads[0], wwc.threads[2], wwc.threads[1]),
+            deps=wwc.deps,
+        )
+        exact = CanonicalSet(exact=True)
+        greedy = CanonicalSet(exact=False)
+        for t in (wwc, swapped):
+            exact.add(t)
+            greedy.add(t)
+        assert len(exact) == 1
+        assert len(greedy) == 2
+
+    def test_iteration(self):
+        s = CanonicalSet()
+        s.add(CATALOG["MP"].test)
+        s.add(CATALOG["SB"].test)
+        assert len(list(s)) == 2
+        assert len(list(s.canonical_tests())) == 2

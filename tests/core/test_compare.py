@@ -1,0 +1,107 @@
+"""Subsumption / Table 4 comparison tests."""
+
+import pytest
+
+from repro.core.compare import (
+    compare_suites,
+    find_subtest,
+    is_subtest,
+    subtests,
+)
+from repro.core.enumerator import EnumerationConfig
+from repro.core.suite import TestSuite
+from repro.core.synthesis import synthesize
+from repro.litmus.catalog import CATALOG
+from repro.models.registry import get_model
+
+TSO = get_model("tso")
+
+
+class TestSubtests:
+    def test_test_contains_itself(self):
+        mp = CATALOG["MP"].test
+        assert is_subtest(mp, mp, TSO)
+
+    def test_n5_contains_corw(self):
+        """Paper Fig. 10: n5/coLB contains CoRW."""
+        assert is_subtest(CATALOG["CoRW"].test, CATALOG["n5"].test, TSO)
+
+    def test_iwp28b_contains_mp(self):
+        assert is_subtest(
+            CATALOG["MP"].test, CATALOG["iwp2.8.b"].test, TSO
+        )
+
+    def test_iwp27_contains_iriw(self):
+        assert is_subtest(
+            CATALOG["IRIW"].test, CATALOG["iwp2.7"].test, TSO
+        )
+
+    def test_mp_does_not_contain_sb(self):
+        assert not is_subtest(CATALOG["SB"].test, CATALOG["MP"].test, TSO)
+
+    def test_smaller_cannot_contain_larger(self):
+        assert not is_subtest(
+            CATALOG["IRIW"].test, CATALOG["MP"].test, TSO
+        )
+
+    def test_subtest_set_grows_with_depth(self):
+        mp = CATALOG["MP"].test
+        shallow = subtests(mp, TSO, max_steps=1)
+        deep = subtests(mp, TSO, max_steps=3)
+        assert shallow <= deep
+        assert len(deep) > len(shallow)
+
+    def test_power_subtest_via_fence_demotion(self):
+        power = get_model("power")
+        assert is_subtest(
+            CATALOG["MP+lwsync+addr"].test,
+            CATALOG["MP+sync+addr"].test,
+            power,
+        )
+
+
+class TestFindSubtest:
+    def test_finds_corw_inside_n5(self):
+        suite = TestSuite("tso")
+        suite.add(
+            CATALOG["CoRW"].test, CATALOG["CoRW"].forbidden, ["sc_per_loc"]
+        )
+        found = find_subtest(CATALOG["n5"].test, suite, TSO)
+        assert found is not None
+        assert found.num_events == 3
+
+    def test_no_subtest_returns_none(self):
+        suite = TestSuite("tso")
+        suite.add(CATALOG["MP"].test, CATALOG["MP"].forbidden, ["causality"])
+        assert find_subtest(CATALOG["CoWW"].test, suite, TSO) is None
+
+
+class TestCompareSuites:
+    @pytest.fixture(scope="class")
+    def synthesized(self):
+        return synthesize(
+            TSO, 4, config=EnumerationConfig(max_events=4, max_addresses=2)
+        ).union
+
+    def test_table4_small_bound(self, synthesized):
+        reference = [CATALOG[n] for n in ("MP", "LB", "S", "2+2W", "n5")]
+        comparison = compare_suites(reference, synthesized, TSO)
+        assert set(comparison.both) == {"MP", "LB", "S", "2+2W"}
+        assert list(comparison.reference_only) == ["n5"]
+        # n5 contains CoRW, which the bound-4 synthesis emits
+        assert comparison.reference_only["n5"] is not None
+        assert comparison.fully_subsumed
+        assert len(comparison.synthesized_only) > 0
+
+    def test_summary_renders(self, synthesized):
+        reference = [CATALOG["MP"], CATALOG["n5"]]
+        comparison = compare_suites(reference, synthesized, TSO)
+        text = comparison.summary()
+        assert "BOTH" in text and "REF-ONLY" in text
+
+    def test_gap_reported(self):
+        # empty synthesized suite: nothing matches, no subtests found
+        empty = TestSuite("tso")
+        comparison = compare_suites([CATALOG["MP"]], empty, TSO)
+        assert not comparison.fully_subsumed
+        assert "no subtest found" in comparison.summary()

@@ -1,0 +1,111 @@
+"""Criterion-mode ablation tests: Fig. 5b vs Fig. 5c vs the Fig. 19
+workaround.
+
+The paper's central approximation story: SCC's ``sc`` total order is
+chosen *before* relaxations apply under the Fig. 5c encoding, so SB with
+two SC fences becomes a false negative (Fig. 18); the ``lone sc``
+reversal workaround (Fig. 19) recovers it."""
+
+import pytest
+
+from repro.core.minimality import (
+    CriterionMode,
+    MinimalityChecker,
+    perturb_execution,
+)
+from repro.litmus.catalog import CATALOG
+from repro.litmus.events import FenceKind, fence, read, write
+from repro.litmus.test import LitmusTest
+from repro.models.registry import get_model
+from repro.relax.base import remove_event
+
+
+def sb_fence_sc():
+    f = fence(FenceKind.FENCE_SC)
+    return LitmusTest(
+        (
+            (write(0, 1), f, read(1)),
+            (write(1, 1), f, read(0)),
+        ),
+        name="SB+FenceSCs",
+    )
+
+
+class TestFig18Fig19:
+    def test_sb_minimal_in_exact_mode(self):
+        checker = MinimalityChecker(get_model("scc"), CriterionMode.EXACT)
+        assert checker.check(sb_fence_sc()).is_minimal
+
+    def test_sb_false_negative_in_execution_mode(self):
+        """Fig. 18b: with sc fixed before relaxing, SB fails Fig. 5c."""
+        checker = MinimalityChecker(
+            get_model("scc"), CriterionMode.EXECUTION
+        )
+        assert not checker.check(sb_fence_sc()).is_minimal
+
+    def test_workaround_recovers_sb(self):
+        """Fig. 19: trying both sc orientations recovers the test."""
+        checker = MinimalityChecker(
+            get_model("scc"), CriterionMode.EXECUTION_WA
+        )
+        assert checker.check(sb_fence_sc()).is_minimal
+
+
+class TestModeAgreementOnTSO:
+    """For models without auxiliary quantified relations the modes agree
+    on the classic tests (the paper argues co-ambiguity needs >= 3 writes
+    to one address)."""
+
+    @pytest.mark.parametrize(
+        "name", ["MP", "SB", "LB", "S", "2+2W", "CoRR", "CoRW", "n5"]
+    )
+    def test_same_verdict(self, name):
+        test = CATALOG[name].test
+        exact = MinimalityChecker(get_model("tso"), CriterionMode.EXACT)
+        approx = MinimalityChecker(
+            get_model("tso"), CriterionMode.EXECUTION
+        )
+        assert (
+            exact.check(test).is_minimal == approx.check(test).is_minimal
+        )
+
+
+class TestPerturbExecution:
+    def test_ri_perturbation_reindexes(self):
+        test = CATALOG["MP"].test
+        from repro.semantics.enumerate import enumerate_executions
+
+        ex = next(
+            e
+            for e in enumerate_executions(test)
+            if e.rf_map == {2: 1, 3: 0}
+        )
+        relaxed = remove_event(test, 0)
+        perturbed = perturb_execution(ex, relaxed)
+        assert perturbed.test is relaxed.test
+        # read of x (orig 3) lost its source (orig 0 removed) -> initial
+        assert perturbed.rf_map == {1: 0, 2: None}
+
+    def test_co_interior_repair(self):
+        """Fig. 8: dropping a co-middle write keeps the rest ordered."""
+        test = LitmusTest(((write(0, 1), write(0, 2), write(0, 3)),))
+        from repro.litmus.execution import Execution
+
+        ex = Execution(test, (), ((0, 1, 2),))
+        relaxed = remove_event(test, 1)
+        perturbed = perturb_execution(ex, relaxed)
+        assert perturbed.co == ((0, 1),)  # old events 0 and 2, renumbered
+
+    def test_sc_filtered(self):
+        test = sb_fence_sc()
+        from repro.litmus.execution import Execution
+
+        ex = Execution(
+            test,
+            ((2, None), (5, None)),
+            ((0,), (3,)),
+            sc=(1, 4),
+        )
+        relaxed = remove_event(test, 1)
+        perturbed = perturb_execution(ex, relaxed)
+        assert perturbed.sc == (3,)

@@ -1,0 +1,84 @@
+"""The paper's Fig. 3 walkthrough, step by step.
+
+Fig. 3 shows why MP satisfies the minimality criterion: the forbidden
+outcome (r1=1, r2=0) becomes observable under RI applied to each of the
+four instructions — including the subtle Fig. 3d case where removing the
+flag's store orphans the flag read."""
+
+import pytest
+
+from repro.core.oracle import ExplicitOracle
+from repro.litmus.catalog import CATALOG, outcome_from_values
+from repro.litmus.execution import project_outcome
+from repro.models.registry import get_model
+from repro.relax.instruction import RemoveInstruction
+
+
+@pytest.fixture(scope="module")
+def setup():
+    tso = get_model("tso")
+    mp = CATALOG["MP"].test
+    # (r2=1, r3=0) plus the implied finals — the full forbidden outcome
+    forbidden = outcome_from_values(
+        mp, reads={2: 1, 3: 0}, finals={0: 1, 1: 1}
+    )
+    return tso, mp, forbidden, ExplicitOracle(tso)
+
+
+def apply_ri(tso, mp, target):
+    ri = RemoveInstruction()
+    app = next(
+        a for a in ri.applications(mp, tso.vocabulary) if a.target == target
+    )
+    return ri.apply(mp, app, tso.vocabulary)
+
+
+class TestFig3:
+    def test_baseline_outcome_forbidden(self, setup):
+        tso, mp, forbidden, oracle = setup
+        assert not oracle.observable(mp, forbidden)
+
+    def test_fig3a_remove_data_store(self, setup):
+        """Removing St [data]: (r1=1, r2=0) becomes observable 'even
+        under sequential consistency'."""
+        tso, mp, forbidden, oracle = setup
+        relaxed = apply_ri(tso, mp, 0)
+        projected = project_outcome(forbidden, relaxed.event_map)
+        assert oracle.observable(relaxed.test, projected)
+        sc_oracle = ExplicitOracle(get_model("sc"))
+        assert sc_oracle.observable(relaxed.test, projected)
+
+    def test_fig3b_remove_flag_read(self, setup):
+        """Removing the first load: 'matches (r1=1, r2=0) with r1
+        removed'."""
+        tso, mp, forbidden, oracle = setup
+        relaxed = apply_ri(tso, mp, 2)
+        projected = project_outcome(forbidden, relaxed.event_map)
+        # r2 (orig event 2) is gone from the constraint
+        assert all(
+            eid != relaxed.event_map[2] for eid, _ in projected.rf_sources
+        )
+        assert oracle.observable(relaxed.test, projected)
+
+    def test_fig3c_remove_data_read(self, setup):
+        tso, mp, forbidden, oracle = setup
+        relaxed = apply_ri(tso, mp, 3)
+        projected = project_outcome(forbidden, relaxed.event_map)
+        assert oracle.observable(relaxed.test, projected)
+
+    def test_fig3d_remove_flag_store_orphans_read(self, setup):
+        """The interesting case: removing St [flag] leaves the flag read
+        'orphaned and hence free to choose any other value' — the
+        projection drops its constraint rather than retargeting it."""
+        tso, mp, forbidden, oracle = setup
+        relaxed = apply_ri(tso, mp, 1)
+        projected = project_outcome(forbidden, relaxed.event_map)
+        new_flag_read = relaxed.event_map[2]
+        assert all(eid != new_flag_read for eid, _ in projected.rf_sources)
+        assert oracle.observable(relaxed.test, projected)
+
+    def test_conclusion_mp_is_minimal(self, setup):
+        from repro.core.minimality import MinimalityChecker
+
+        tso, mp, forbidden, oracle = setup
+        assert MinimalityChecker(tso).check(mp).is_minimal

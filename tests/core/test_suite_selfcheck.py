@@ -1,0 +1,64 @@
+"""Integration self-check: emitted suites satisfy Definition 1 verbatim.
+
+For every test a synthesis run emits, re-verify from first principles
+that (a) the recorded witness outcome is forbidden, and (b) applying
+*each* relaxation application makes the projected witness observable.
+This closes the loop between the synthesis engine and the definition it
+claims to implement."""
+
+import pytest
+
+from repro.core.enumerator import EnumerationConfig
+from repro.core.minimality import MinimalityChecker
+from repro.core.oracle import ExplicitOracle
+from repro.core.synthesis import synthesize
+from repro.litmus.execution import project_outcome
+from repro.models.registry import get_model
+
+
+@pytest.mark.parametrize(
+    "model_name,bound,config_kwargs",
+    [
+        ("tso", 4, dict(max_addresses=2)),
+        ("sc", 3, dict(max_addresses=2)),
+        ("scc", 3, dict(max_addresses=2, max_deps=1, max_rmws=1)),
+    ],
+)
+def test_emitted_suites_satisfy_definition_1(model_name, bound, config_kwargs):
+    model = get_model(model_name)
+    result = synthesize(
+        model,
+        bound,
+        config=EnumerationConfig(max_events=bound, **config_kwargs),
+    )
+    assert len(result.union) > 0
+    oracle = ExplicitOracle(model)
+    checker = MinimalityChecker(model)
+    vocab = model.vocabulary
+    for entry in result.union:
+        test, witness = entry.test, entry.witness
+        # (a) the witness is genuinely forbidden
+        assert not oracle.observable(test, witness), (
+            f"{test!r}: witness {witness} is observable"
+        )
+        # (b) every relaxation application re-enables it
+        apps = checker.applications(test)
+        assert apps, f"{test!r}: no relaxation applications"
+        for relax, app in apps:
+            relaxed = relax.apply(test, app, vocab)
+            projected = project_outcome(witness, relaxed.event_map)
+            assert oracle.observable(relaxed.test, projected), (
+                f"{test!r}: {app.describe(test)} does not re-enable "
+                f"{witness}"
+            )
+
+
+def test_per_axiom_suites_are_subsets_of_union():
+    model = get_model("tso")
+    result = synthesize(
+        model, 4, config=EnumerationConfig(max_events=4, max_addresses=2)
+    )
+    union_tests = set(result.union.tests())
+    for suite in result.per_axiom.values():
+        for test in suite.tests():
+            assert test in union_tests

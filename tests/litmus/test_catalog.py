@@ -1,0 +1,93 @@
+"""Catalog integrity tests."""
+
+import pytest
+
+from repro.litmus.catalog import (
+    CATALOG,
+    cambridge_power_suite,
+    entries_for_model,
+    get_entry,
+    outcome_from_values,
+    owens_forbidden,
+    owens_suite,
+)
+
+
+class TestCatalogIntegrity:
+    def test_unique_names(self):
+        assert len(CATALOG) == len({e.name for e in CATALOG.values()})
+
+    def test_entries_well_formed(self):
+        for entry in CATALOG.values():
+            assert entry.test.num_events >= 2
+            # every outcome constraint references real events
+            for eid, src in entry.forbidden.rf_sources:
+                assert entry.test.instruction(eid).is_read
+                if src is not None:
+                    assert entry.test.instruction(src).is_write
+            for addr, w in entry.forbidden.finals:
+                assert addr in entry.test.addresses
+                if w is not None:
+                    assert entry.test.instruction(w).address == addr
+
+    def test_tests_carry_names(self):
+        for name, entry in CATALOG.items():
+            assert entry.test.name == name
+
+    def test_get_entry(self):
+        assert get_entry("MP").name == "MP"
+        with pytest.raises(KeyError):
+            get_entry("nonexistent")
+
+    def test_owens_forbidden_has_15_tests(self):
+        # the paper: "The complete suite contains 24 tests, and 15
+        # specify forbidden outcomes"
+        assert len(owens_forbidden()) == 15
+
+    def test_owens_suite_superset(self):
+        assert len(owens_suite()) > len(owens_forbidden())
+
+    def test_cambridge_suite_is_power(self):
+        suite = cambridge_power_suite()
+        assert suite
+        assert all(e.model == "power" for e in suite)
+
+    def test_entries_for_model(self):
+        assert entries_for_model("power") == cambridge_power_suite()
+
+    def test_classic_shapes(self):
+        assert get_entry("MP").test.num_events == 4
+        assert get_entry("IRIW").test.num_events == 6
+        assert get_entry("CoWW").test.num_events == 2
+        assert len(get_entry("WRC").test.threads) == 3
+
+    def test_reconstructed_flagged(self):
+        assert get_entry("n3").reconstructed
+        assert not get_entry("MP").reconstructed
+
+
+class TestOutcomeFromValues:
+    def test_initial_value(self):
+        mp = get_entry("MP").test
+        out = outcome_from_values(mp, reads={2: 0})
+        assert out.rf_sources == ((2, None),)
+
+    def test_written_value_resolves_event(self):
+        mp = get_entry("MP").test
+        out = outcome_from_values(mp, reads={2: 1})
+        assert out.rf_sources == ((2, 1),)
+
+    def test_final_values(self):
+        coww = get_entry("CoWW").test
+        out = outcome_from_values(coww, finals={0: 2})
+        assert out.finals == ((0, 1),)
+
+    def test_unknown_value_raises(self):
+        mp = get_entry("MP").test
+        with pytest.raises(ValueError):
+            outcome_from_values(mp, reads={2: 42})
+
+    def test_non_read_event_rejected(self):
+        mp = get_entry("MP").test
+        with pytest.raises(ValueError):
+            outcome_from_values(mp, reads={0: 1})

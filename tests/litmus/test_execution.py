@@ -1,0 +1,121 @@
+"""Unit tests for executions, outcomes, and outcome projection."""
+
+from repro.litmus.events import read, write
+from repro.litmus.execution import (
+    Execution,
+    Outcome,
+    project_outcome,
+    remap_outcome,
+)
+from repro.litmus.test import LitmusTest
+
+
+def mp():
+    return LitmusTest(((write(0, 1), write(1, 1)), (read(1), read(0))))
+
+
+def mp_execution(r_y, r_x):
+    """MP execution; r_y/r_x are the sourcing writes (None = initial)."""
+    test = mp()
+    return Execution(test, ((2, r_y), (3, r_x)), ((0,), (1,)))
+
+
+class TestExecution:
+    def test_rf_map(self):
+        ex = mp_execution(1, None)
+        assert ex.rf_map == {2: 1, 3: None}
+
+    def test_read_value(self):
+        ex = mp_execution(1, 0)
+        assert ex.read_value(2) == 1
+        assert ex.read_value(3) == 1  # value of write event 0
+
+    def test_read_value_initial(self):
+        assert mp_execution(None, None).read_value(2) == 0
+
+    def test_outcome_finals(self):
+        ex = mp_execution(1, 0)
+        assert dict(ex.outcome.finals) == {0: 0, 1: 1}
+
+    def test_co_position(self):
+        test = LitmusTest(((write(0, 1), write(0, 2)),))
+        ex = Execution(test, (), ((1, 0),))
+        assert ex.co_position == {1: 0, 0: 1}
+
+    def test_pretty(self):
+        text = mp_execution(1, None).pretty()
+        assert "r2=1" in text and "r3=0" in text
+
+
+class TestOutcome:
+    def test_read_value_lookup(self):
+        out = mp_execution(1, None).outcome
+        assert out.read_value(mp(), 2) == 1
+        assert out.read_value(mp(), 3) == 0
+
+    def test_final_value_lookup(self):
+        out = mp_execution(1, None).outcome
+        assert out.final_value(mp(), 0) == 1
+
+    def test_missing_read_raises(self):
+        out = mp_execution(1, None).outcome
+        try:
+            out.read_value(mp(), 0)
+        except KeyError:
+            pass
+        else:  # pragma: no cover
+            raise AssertionError("expected KeyError")
+
+    def test_outcomes_hashable_and_comparable(self):
+        a = mp_execution(1, None).outcome
+        b = mp_execution(1, None).outcome
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != mp_execution(None, None).outcome
+
+
+class TestProjection:
+    def test_identity_projection(self):
+        out = mp_execution(1, None).outcome
+        emap = {e: e for e in range(4)}
+        assert project_outcome(out, emap) == out
+
+    def test_removed_read_drops_entry(self):
+        out = mp_execution(1, None).outcome
+        emap = {0: 0, 1: 1, 2: None, 3: 2}
+        projected = project_outcome(out, emap)
+        assert projected.rf_sources == ((2, None),)
+
+    def test_removed_source_unconstrains_read(self):
+        # paper Fig. 3d: removing the store to [flag] leaves the flag read
+        # unconstrained rather than retargeted.
+        out = mp_execution(1, None).outcome
+        emap = {0: 0, 1: None, 2: 1, 3: 2}
+        projected = project_outcome(out, emap)
+        # the read of y (orig 2) had source 1 (removed) -> dropped;
+        # the read of x (orig 3) read initial -> kept.
+        assert projected.rf_sources == ((2, None),)
+
+    def test_removed_final_write_drops_constraint(self):
+        out = mp_execution(1, None).outcome
+        emap = {0: None, 1: 0, 2: 1, 3: 2}
+        projected = project_outcome(out, emap)
+        finals = dict(projected.finals)
+        assert 0 not in finals  # x's only write removed
+        assert finals[1] == 0  # y's final write survives (renumbered)
+
+    def test_initial_final_kept(self):
+        test = LitmusTest(((read(0),), (write(1, 1),)))
+        out = Outcome(((0, None),), ((0, None), (1, 1)))
+        emap = {0: 0, 1: 1}
+        assert project_outcome(out, emap) == out
+
+
+class TestRemap:
+    def test_total_remap(self):
+        out = mp_execution(1, 0).outcome
+        emap = {0: 2, 1: 3, 2: 0, 3: 1}
+        amap = {0: 1, 1: 0}
+        remapped = remap_outcome(out, emap, amap)
+        assert dict(remapped.rf_sources) == {0: 3, 1: 2}
+        assert dict(remapped.finals) == {1: 2, 0: 3}

@@ -1,0 +1,141 @@
+"""Litmus text format tests."""
+
+import pytest
+
+from repro.litmus.catalog import CATALOG
+from repro.litmus.events import DepKind, FenceKind, Order, Scope
+from repro.litmus.format import ParseError, format_test, parse_test
+from repro.litmus.test import Dep
+
+MP_TEXT = """
+name: MP
+thread P0:
+  W x 1
+  W y 1
+thread P1:
+  r0 = R y
+  r1 = R x
+forbidden: r0=1 r1=0
+"""
+
+
+class TestParsing:
+    def test_mp(self):
+        test, outcome = parse_test(MP_TEXT)
+        assert test.name == "MP"
+        assert test.num_events == 4
+        assert outcome is not None
+        assert outcome.rf_sources == ((2, 1), (3, None))
+
+    def test_matches_catalog_mp(self):
+        from repro.core.canonical import canonical_form
+
+        test, outcome = parse_test(MP_TEXT)
+        assert canonical_form(test) == canonical_form(CATALOG["MP"].test)
+
+    def test_orders_and_fences(self):
+        text = """
+thread P0:
+  W.rel x 1
+  F.sync
+  r0 = R.acq y
+"""
+        test, _ = parse_test(text)
+        assert test.instruction(0).order is Order.REL
+        assert test.instruction(1).fence is FenceKind.SYNC
+        assert test.instruction(2).order is Order.ACQ
+
+    def test_scopes(self):
+        text = """
+thread P0:
+  W@dev x 1
+thread P1:
+  r0 = R@wg x
+scope: P0=0 P1=1
+"""
+        test, _ = parse_test(text)
+        assert test.instruction(0).scope is Scope.DEVICE
+        assert test.instruction(1).scope is Scope.WORKGROUP
+        assert test.scopes == (0, 1)
+
+    def test_rmw_and_deps(self):
+        text = """
+thread P0:
+  r0 = R x
+  W x
+thread P1:
+  r1 = R y
+  W x 9
+rmw: P0:0 P0:1
+dep: P1:0 data P1:1
+"""
+        test, _ = parse_test(text)
+        assert (0, 1) in test.rmw
+        assert Dep(2, 3, DepKind.DATA) in test.deps
+
+    def test_final_constraints(self):
+        text = """
+thread P0:
+  W x 1
+thread P1:
+  W x 2
+forbidden: x=1
+"""
+        _, outcome = parse_test(text)
+        assert outcome is not None
+        assert outcome.finals == ((0, 0),)
+
+    def test_comments_ignored(self):
+        text = MP_TEXT.replace("W y 1", "W y 1  # the flag")
+        test, _ = parse_test(text)
+        assert test.num_events == 4
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "W x 1",                      # instruction outside a thread
+            "thread P0:\n  Q x",          # unknown opcode
+            "thread P0:\n  F.bogus",      # unknown fence
+            "thread P0:\n  r = W x 1",    # writes bind no register
+            "thread P0:\n  R x y z",      # arity
+            "thread P0:\n  W.wat x 1",    # unknown order
+            "thread P0:\n  W@zz x 1",     # unknown scope
+            "thread P0:\n  W x 1\nrmw: P0:0",  # rmw arity
+            "thread P0:\n  W x 1\nforbidden: q0=1",  # unknown register
+            "thread P0:\n  r0 = R x\n  r0 = R x",    # register reuse
+            "thread P0:\n  W x 1\nthread P0:\n  W x 1",  # dup thread
+            "",
+        ],
+    )
+    def test_errors(self, bad):
+        with pytest.raises(ParseError):
+            parse_test(bad)
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize(
+        "name",
+        ["MP", "SB+mfences", "IRIW", "LB+addrs", "n3", "WWC", "PPOAA"],
+    )
+    def test_catalog_roundtrip(self, name):
+        from repro.core.canonical import canonical_form
+
+        entry = CATALOG[name]
+        text = format_test(entry.test, entry.forbidden)
+        reparsed, outcome = parse_test(text)
+        assert canonical_form(reparsed) == canonical_form(entry.test)
+        assert outcome is not None
+
+    def test_scoped_roundtrip(self):
+        text = """
+thread P0:
+  W@sys x 1
+thread P1:
+  r1 = R@wg x
+scope: P0=0 P1=1
+forbidden: r1=0
+"""
+        test, outcome = parse_test(text)
+        again, outcome2 = parse_test(format_test(test, outcome))
+        assert again == test
+        assert outcome2 == outcome

@@ -1,0 +1,143 @@
+"""Operational TSO machine tests.
+
+The headline property: exhaustive interleaving exploration of the
+store-buffer machine produces *exactly* the outcome set the axiomatic
+Fig.-4 TSO model allows — the operational/axiomatic equivalence of
+Owens et al., checked empirically on the catalog."""
+
+import pytest
+
+from repro.core.oracle import ExplicitOracle
+from repro.litmus.catalog import CATALOG, outcome_from_values
+from repro.litmus.events import FenceKind, fence, read, write
+from repro.litmus.test import LitmusTest
+from repro.machine.tso_machine import Bug, TsoMachine, explore
+from repro.models.registry import get_model
+
+
+@pytest.fixture(scope="module")
+def oracle():
+    return ExplicitOracle(get_model("tso"))
+
+
+EQUIVALENCE_TESTS = [
+    "MP",
+    "SB",
+    "LB",
+    "S",
+    "R",
+    "2+2W",
+    "CoWW",
+    "CoRR",
+    "CoRW",
+    "CoWR",
+    "CoWR0",
+    "CoRW1",
+    "n4",
+    "n5",
+    "n6",
+    "SB+mfences",
+    "R+mfence",
+    "IRIW",
+    "WRC",
+    "WWC",
+    "W+W+RR",
+    "n3",
+    "iwp2.6",
+    "iwp2.8.b",
+]
+
+
+class TestOperationalAxiomaticEquivalence:
+    @pytest.mark.parametrize("name", EQUIVALENCE_TESTS)
+    def test_equivalence(self, oracle, name):
+        test = CATALOG[name].test
+        operational = explore(test)
+        axiomatic = oracle.analyze(test).model_valid
+        assert operational == axiomatic, (
+            f"{name}: operational-only "
+            f"{sorted(o.pretty(test) for o in operational - axiomatic)}, "
+            f"axiomatic-only "
+            f"{sorted(o.pretty(test) for o in axiomatic - operational)}"
+        )
+
+
+class TestMachineMechanics:
+    def test_store_forwarding(self):
+        # CoWR0: the load must see the thread's own buffered store.
+        t = CATALOG["CoWR0"].test
+        outcomes = explore(t)
+        assert len(outcomes) == 1
+        (outcome,) = outcomes
+        assert outcome.read_value(t, 1) == 1
+
+    def test_store_buffering_visible(self):
+        # SB: both threads read 0 — the TSO signature behaviour.
+        t = CATALOG["SB"].test
+        both_zero = outcome_from_values(
+            t, reads={1: 0, 3: 0}, finals={0: 1, 1: 1}
+        )
+        assert both_zero in explore(t)
+
+    def test_mfence_drains(self):
+        t = CATALOG["SB+mfences"].test
+        both_zero = outcome_from_values(
+            t, reads={2: 0, 5: 0}, finals={0: 1, 1: 1}
+        )
+        assert both_zero not in explore(t)
+
+    def test_rmw_atomic(self):
+        t = LitmusTest(
+            ((read(0), write(0)), (read(0), write(0))),
+            rmw=frozenset({(0, 1), (2, 3)}),
+        )
+        # two atomic increments: both RMWs reading 0 is impossible
+        for outcome in explore(t):
+            reads = dict(outcome.rf_sources)
+            assert not (reads[0] is None and reads[2] is None)
+
+    def test_final_states_have_empty_buffers(self):
+        machine = TsoMachine(CATALOG["MP"].test)
+        state = machine.initial_state()
+        assert not machine.is_final(state)
+
+
+class TestBugInjection:
+    def test_non_fifo_buffer_breaks_mp(self, oracle):
+        t = CATALOG["MP"].test
+        buggy = explore(t, Bug.NON_FIFO_BUFFER)
+        valid = oracle.analyze(t).model_valid
+        new = buggy - valid
+        assert new, "non-FIFO buffer must be observable on MP"
+        # the classic (r=1, r2=0) violation is among the new outcomes
+        want = dict(CATALOG["MP"].forbidden.rf_sources)
+        assert any(dict(o.rf_sources) == want for o in new)
+
+    def test_ignore_mfence_breaks_sb_mfences(self, oracle):
+        t = CATALOG["SB+mfences"].test
+        buggy = explore(t, Bug.IGNORE_MFENCE)
+        valid = oracle.analyze(t).model_valid
+        assert buggy - valid
+
+    def test_no_forwarding_breaks_cowr0(self, oracle):
+        t = CATALOG["CoWR0"].test
+        buggy = explore(t, Bug.NO_FORWARDING)
+        valid = oracle.analyze(t).model_valid
+        assert buggy - valid  # the load can now read 0
+
+    def test_unlocked_rmw_breaks_atomicity(self, oracle):
+        t = LitmusTest(
+            ((read(0), write(0)), (write(0, 9),)),
+            rmw=frozenset({(0, 1)}),
+        )
+        buggy = explore(t, Bug.UNLOCKED_RMW)
+        valid = oracle.analyze(t).model_valid
+        assert buggy - valid
+
+    def test_bugs_do_not_break_unrelated_tests(self, oracle):
+        """A buggy machine stays correct on tests that never exercise
+        the broken mechanism."""
+        t = CATALOG["CoWW"].test  # single thread, no fences/rmw/loads
+        valid = oracle.analyze(t).model_valid
+        assert explore(t, Bug.IGNORE_MFENCE) <= valid
+        assert explore(t, Bug.NO_FORWARDING) <= valid

@@ -1,0 +1,26 @@
+"""Shared helpers for model tests."""
+
+import pytest
+
+from repro.core.oracle import ExplicitOracle
+from repro.litmus.catalog import CATALOG
+from repro.models.registry import get_model
+
+
+@pytest.fixture(scope="module")
+def oracles():
+    """Memoized per-model oracles (module-scoped: caches are hot)."""
+    cache = {}
+
+    def get(name):
+        if name not in cache:
+            cache[name] = ExplicitOracle(get_model(name))
+        return cache[name]
+
+    return get
+
+
+def observable(oracle, name):
+    """Is the catalog entry's recorded outcome observable?"""
+    entry = CATALOG[name]
+    return oracle.observable(entry.test, entry.forbidden)

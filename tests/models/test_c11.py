@@ -1,0 +1,190 @@
+"""C/C++11 semantics (RC11-flavoured; paper §6.4)."""
+
+import pytest
+
+from repro.core.oracle import ExplicitOracle
+from repro.litmus.catalog import outcome_from_values
+from repro.litmus.events import DepKind, FenceKind, Order, fence, read, write
+from repro.litmus.test import Dep, LitmusTest
+from repro.models.c11 import C11
+
+X, Y = 0, 1
+FSC = fence(FenceKind.FENCE_SC)
+
+
+@pytest.fixture(scope="module")
+def oracle():
+    return ExplicitOracle(C11())
+
+
+def _t(*threads, deps=(), rmw=()):
+    return LitmusTest(
+        tuple(tuple(th) for th in threads),
+        frozenset(rmw),
+        frozenset(deps),
+    )
+
+
+class TestMessagePassing:
+    def mp(self, wo, ro):
+        return _t(
+            [write(X, 1, Order.RLX), write(Y, 1, wo)],
+            [read(Y, ro), read(X, Order.RLX)],
+        )
+
+    def test_rel_acq_forbidden(self, oracle):
+        t = self.mp(Order.REL, Order.ACQ)
+        bad = outcome_from_values(t, reads={2: 1, 3: 0})
+        assert not oracle.observable(t, bad)
+
+    def test_relaxed_allowed(self, oracle):
+        t = self.mp(Order.RLX, Order.RLX)
+        bad = outcome_from_values(t, reads={2: 1, 3: 0})
+        assert oracle.observable(t, bad)
+
+    def test_release_without_acquire_allowed(self, oracle):
+        t = self.mp(Order.REL, Order.RLX)
+        bad = outcome_from_values(t, reads={2: 1, 3: 0})
+        assert oracle.observable(t, bad)
+
+    def test_fence_version_forbidden(self, oracle):
+        # release fence before the flag write / acquire fence after the
+        # flag read synchronize just like rel/acq accesses.
+        t = _t(
+            [
+                write(X, 1, Order.RLX),
+                fence(FenceKind.FENCE_REL),
+                write(Y, 1, Order.RLX),
+            ],
+            [
+                read(Y, Order.RLX),
+                fence(FenceKind.FENCE_ACQ),
+                read(X, Order.RLX),
+            ],
+        )
+        bad = outcome_from_values(t, reads={3: 1, 5: 0})
+        assert not oracle.observable(t, bad)
+
+    def test_release_sequence_same_thread_write(self, oracle):
+        # rs: a relaxed write po-loc-after a release write still carries
+        # the release when read.
+        t = _t(
+            [
+                write(X, 1, Order.RLX),
+                write(Y, 1, Order.REL),
+                write(Y, 2, Order.RLX),
+            ],
+            [read(Y, Order.ACQ), read(X, Order.RLX)],
+        )
+        bad = outcome_from_values(t, reads={3: 2, 4: 0})
+        assert not oracle.observable(t, bad)
+
+
+class TestStoreBuffering:
+    def test_sb_sc_accesses_forbidden(self, oracle):
+        t = _t(
+            [write(X, 1, Order.SC), read(Y, Order.SC)],
+            [write(Y, 1, Order.SC), read(X, Order.SC)],
+        )
+        bad = outcome_from_values(t, reads={1: 0, 3: 0})
+        assert not oracle.observable(t, bad)
+
+    def test_sb_rel_acq_allowed(self, oracle):
+        t = _t(
+            [write(X, 1, Order.REL), read(Y, Order.ACQ)],
+            [write(Y, 1, Order.REL), read(X, Order.ACQ)],
+        )
+        bad = outcome_from_values(t, reads={1: 0, 3: 0})
+        assert oracle.observable(t, bad)
+
+    def test_sb_sc_fences_forbidden(self, oracle):
+        t = _t(
+            [write(X, 1, Order.RLX), FSC, read(Y, Order.RLX)],
+            [write(Y, 1, Order.RLX), FSC, read(X, Order.RLX)],
+        )
+        bad = outcome_from_values(t, reads={2: 0, 5: 0})
+        assert not oracle.observable(t, bad)
+
+
+class TestCoherence:
+    def test_corr_relaxed_forbidden(self, oracle):
+        t = _t(
+            [write(X, 1, Order.RLX)],
+            [read(X, Order.RLX), read(X, Order.RLX)],
+        )
+        bad = outcome_from_values(t, reads={1: 1, 2: 0})
+        assert not oracle.observable(t, bad)
+
+    def test_coww_forbidden(self, oracle):
+        t = _t([write(X, 1, Order.RLX), write(X, 2, Order.RLX)])
+        bad = outcome_from_values(t, finals={X: 1})
+        assert not oracle.observable(t, bad)
+
+
+class TestThinAirAndAtomicity:
+    def lb(self, deps=()):
+        return _t(
+            [read(X, Order.RLX), write(Y, 1, Order.RLX)],
+            [read(Y, Order.RLX), write(X, 1, Order.RLX)],
+            deps=deps,
+        )
+
+    def test_lb_relaxed_allowed(self, oracle):
+        t = self.lb()
+        bad = outcome_from_values(t, reads={0: 1, 2: 1})
+        assert oracle.observable(t, bad)
+
+    def test_lb_with_deps_forbidden(self, oracle):
+        t = self.lb(
+            deps=(Dep(0, 1, DepKind.DATA), Dep(2, 3, DepKind.DATA))
+        )
+        bad = outcome_from_values(t, reads={0: 1, 2: 1})
+        assert not oracle.observable(t, bad)
+
+    def test_rmw_atomicity(self, oracle):
+        t = _t(
+            [read(X, Order.RLX), write(X, order=Order.RLX)],
+            [write(X, 9, Order.RLX)],
+            rmw=[(0, 1)],
+        )
+        bad = outcome_from_values(t, reads={0: 0}, finals={X: 1})
+        assert not oracle.observable(t, bad)
+
+
+class TestIRIW:
+    def iriw(self, wo, ro):
+        return _t(
+            [write(X, 1, wo)],
+            [write(Y, 1, wo)],
+            [read(X, ro), read(Y, ro)],
+            [read(Y, ro), read(X, ro)],
+        )
+
+    def test_iriw_sc_forbidden(self, oracle):
+        t = self.iriw(Order.SC, Order.SC)
+        bad = outcome_from_values(t, reads={2: 1, 3: 0, 4: 1, 5: 0})
+        assert not oracle.observable(t, bad)
+
+    def test_iriw_acq_allowed(self, oracle):
+        t = self.iriw(Order.REL, Order.ACQ)
+        bad = outcome_from_values(t, reads={2: 1, 3: 0, 4: 1, 5: 0})
+        assert oracle.observable(t, bad)
+
+
+class TestVocabulary:
+    def test_atomics_only(self):
+        vocab = C11().vocabulary
+        assert Order.PLAIN not in vocab.read_orders
+        assert Order.PLAIN not in vocab.write_orders
+
+    def test_demotion_lattice(self):
+        vocab = C11().vocabulary
+        assert set(vocab.order_demotions[Order.SC]) == {
+            Order.ACQ,
+            Order.REL,
+        }
+        assert vocab.order_demotions[Order.ACQ] == (Order.RLX,)
+        assert set(vocab.fence_demotions[FenceKind.FENCE_ACQ_REL]) == {
+            FenceKind.FENCE_ACQ,
+            FenceKind.FENCE_REL,
+        }

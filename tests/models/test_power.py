@@ -1,0 +1,144 @@
+"""Power semantics: herding-cats judgments (paper §6.2, Fig. 15)."""
+
+import pytest
+
+from repro.litmus.catalog import CATALOG
+from repro.litmus.events import DepKind, FenceKind, fence, read, write
+from repro.litmus.execution import Execution
+from repro.litmus.test import Dep, LitmusTest
+from repro.models.armv7 import ARMv7
+from repro.models.power import Power, power_fences, power_ppo
+from repro.semantics.relations import RelationView
+
+from tests.models.conftest import observable
+
+FORBIDDEN = [
+    "MP+syncs",
+    "MP+sync+addr",
+    "MP+lwsync+addr",
+    "MP+lwsyncs",
+    "SB+syncs",
+    "LB+addrs",
+    "LB+datas",
+    "LB+addrs+WW",
+    "MP+sync+ctrlisync",
+    "WRC+sync+addr",
+    "2+2W+syncs",
+    "PPOAA",
+    "PPOAA+lwsync",
+    # coherence holds without fences
+    "CoWW",
+    "CoRR",
+    "CoRW",
+    "CoWR",
+]
+
+# Power's relaxed-by-default behaviours.
+ALLOWED = [
+    "MP",        # no fences, no deps -> reordering observable
+    "SB",
+    "LB",
+    "S",
+    "R",
+    "2+2W",
+    "WRC",
+    "IRIW",      # Power is not multi-copy atomic
+    "LB+datas+WW",   # data deps do not extend over po (unlike addr)
+    "MP+sync+ctrl",  # ctrl alone does not order R->R
+]
+
+
+class TestPowerJudgments:
+    @pytest.mark.parametrize("name", FORBIDDEN)
+    def test_forbidden(self, oracles, name):
+        assert not observable(oracles("power"), name), (
+            f"{name} must be forbidden under Power"
+        )
+
+    @pytest.mark.parametrize("name", ALLOWED)
+    def test_allowed(self, oracles, name):
+        assert observable(oracles("power"), name), (
+            f"{name} must be allowed under Power"
+        )
+
+
+class TestPowerDerivedRelations:
+    def _view(self, test, rf, co):
+        return RelationView(Execution(test, tuple(rf), tuple(co)))
+
+    def test_ppo_includes_deps(self):
+        t = LitmusTest(
+            ((read(0), write(1, 1)),),
+            deps=frozenset({Dep(0, 1, DepKind.DATA)}),
+        )
+        v = self._view(t, [(0, None)], [(), (1,)])
+        assert (0, 1) in power_ppo(v)
+
+    def test_ppo_excludes_undepended_rw(self):
+        t = LitmusTest(((read(0), write(1, 1)),))
+        v = self._view(t, [(0, None)], [(), (1,)])
+        assert (0, 1) not in power_ppo(v)
+
+    def test_addr_dep_extends_over_po(self):
+        # cc0 contains addr;po: an address dependency orders everything
+        # po-after its target (the LB+addrs+WW discriminator, §6.2).
+        t = LitmusTest(
+            ((read(0), write(1, 1), write(2, 1)),),
+            deps=frozenset({Dep(0, 1, DepKind.ADDR)}),
+        )
+        v = self._view(t, [(0, None)], [(), (1,), (2,)])
+        assert (0, 2) in power_ppo(v)
+
+    def test_data_dep_does_not_extend(self):
+        t = LitmusTest(
+            ((read(0), write(1, 1), write(2, 1)),),
+            deps=frozenset({Dep(0, 1, DepKind.DATA)}),
+        )
+        v = self._view(t, [(0, None)], [(), (1,), (2,)])
+        assert (0, 2) not in power_ppo(v)
+
+    def test_lwsync_excludes_write_read(self):
+        t = LitmusTest(
+            ((write(0, 1), fence(FenceKind.LWSYNC), read(1)),)
+        )
+        v = self._view(t, [(2, None)], [(0,), ()])
+        assert power_fences(v).is_empty()
+
+    def test_sync_orders_write_read(self):
+        t = LitmusTest(((write(0, 1), fence(FenceKind.SYNC), read(1)),))
+        v = self._view(t, [(2, None)], [(0,), ()])
+        assert (0, 2) in power_fences(v)
+
+    def test_lwsync_orders_write_write(self):
+        t = LitmusTest(
+            ((write(0, 1), fence(FenceKind.LWSYNC), write(1, 1)),)
+        )
+        v = self._view(t, [], [(0,), (2,)])
+        assert (0, 2) in power_fences(v)
+
+    def test_rfi_in_ppo_chain(self):
+        # rfi is in ii0: forwarding a local store to a local load.
+        t = LitmusTest(((write(0, 1), read(0)),))
+        v = self._view(t, [(1, 0)], [(0,)])
+        assert (0, 1) in power_ppo(v) or (0, 1) in v.rfi
+
+
+class TestARMv7:
+    def test_is_power_variant(self):
+        assert issubclass(ARMv7, Power)
+
+    def test_no_lwsync(self):
+        vocab = ARMv7().vocabulary
+        assert FenceKind.LWSYNC not in vocab.fence_kinds
+        assert not vocab.has_fence_demotions
+
+    def test_same_judgments_on_sync_tests(self, oracles):
+        for name in ("MP+syncs", "SB+syncs", "LB+addrs"):
+            entry = CATALOG[name]
+            assert not oracles("armv7").observable(
+                entry.test, entry.forbidden
+            )
+
+    def test_mp_allowed_without_sync(self, oracles):
+        entry = CATALOG["MP"]
+        assert oracles("armv7").observable(entry.test, entry.forbidden)

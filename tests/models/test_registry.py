@@ -1,0 +1,65 @@
+"""Model registry tests."""
+
+import pytest
+
+from repro.models.base import MemoryModel
+from repro.models.registry import (
+    MODEL_CLASSES,
+    available_models,
+    get_model,
+    register_model,
+)
+
+
+class TestRegistry:
+    def test_available_models(self):
+        assert set(available_models()) == {
+            "sc",
+            "tso",
+            "power",
+            "armv7",
+            "scc",
+            "c11",
+            "opencl",
+        }
+
+    def test_get_model_fresh_instances(self):
+        assert get_model("tso") is not get_model("tso")
+
+    def test_unknown_model(self):
+        with pytest.raises(KeyError, match="unknown memory model"):
+            get_model("alpha")
+
+    def test_register_requires_name(self):
+        class Nameless(MemoryModel):
+            @property
+            def vocabulary(self):  # pragma: no cover
+                raise NotImplementedError
+
+            def axioms(self):  # pragma: no cover
+                return {}
+
+        with pytest.raises(ValueError):
+            register_model(Nameless)
+
+    def test_every_model_well_formed(self):
+        for name in available_models():
+            model = get_model(name)
+            assert model.full_name
+            assert model.axiom_names()
+            vocab = model.vocabulary
+            assert vocab.read_orders and vocab.write_orders
+            # demotions must stay inside the vocabulary
+            for src, dsts in vocab.order_demotions.items():
+                assert src in vocab.read_orders + vocab.write_orders
+            for src, dsts in vocab.fence_demotions.items():
+                assert src in vocab.fence_kinds
+                for dst in dsts:
+                    assert dst in vocab.fence_kinds
+
+    def test_repr(self):
+        assert "tso" in repr(get_model("tso"))
+
+    def test_wa_axioms_default_to_axioms(self):
+        tso = get_model("tso")
+        assert set(tso.wa_axioms()) == set(tso.axioms())

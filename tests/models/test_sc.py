@@ -1,0 +1,46 @@
+"""SC semantics tests."""
+
+import pytest
+
+from repro.core.oracle import ExplicitOracle
+from repro.litmus.catalog import CATALOG
+from repro.models.sc import SC
+
+from tests.models.conftest import observable
+
+# Under SC even SB and R are forbidden.
+FORBIDDEN = ["MP", "SB", "LB", "S", "R", "2+2W", "WRC", "IRIW", "CoRR", "CoWW"]
+
+
+class TestSCJudgments:
+    @pytest.mark.parametrize("name", FORBIDDEN)
+    def test_forbidden(self, oracles, name):
+        assert not observable(oracles("sc"), name)
+
+    def test_sc_stricter_than_tso(self, oracles):
+        """Everything SC allows, TSO allows (on the classic tests)."""
+        sc, tso = oracles("sc"), oracles("tso")
+        for name in ("MP", "SB", "LB", "n6"):
+            entry = CATALOG[name]
+            sc_allows = sc.observable(entry.test, entry.forbidden)
+            tso_allows = tso.observable(entry.test, entry.forbidden)
+            if sc_allows:
+                assert tso_allows
+
+    def test_interleavings_allowed(self, oracles):
+        """SC allows everything that some interleaving produces: the
+        (r=1, r2=1) outcome of MP, say."""
+        from repro.litmus.catalog import outcome_from_values
+
+        entry = CATALOG["MP"]
+        ok = outcome_from_values(entry.test, reads={2: 1, 3: 1})
+        assert oracles("sc").observable(entry.test, ok)
+
+    def test_axioms(self):
+        assert set(SC().axiom_names()) == {
+            "sequential_consistency",
+            "rmw_atomicity",
+        }
+
+    def test_no_fences_in_vocabulary(self):
+        assert SC().vocabulary.fence_kinds == ()

@@ -1,0 +1,180 @@
+"""SCC semantics: the model the paper introduces (§6.3, Fig. 17)."""
+
+import pytest
+
+from repro.core.oracle import ExplicitOracle
+from repro.litmus.catalog import outcome_from_values
+from repro.litmus.events import DepKind, FenceKind, Order, fence, read, write
+from repro.litmus.test import Dep, LitmusTest
+from repro.models.scc import SCC
+
+X, Y = 0, 1
+FSC = fence(FenceKind.FENCE_SC)
+FAR = fence(FenceKind.FENCE_ACQ_REL)
+
+
+@pytest.fixture(scope="module")
+def oracle():
+    return ExplicitOracle(SCC())
+
+
+def _t(*threads, deps=(), rmw=()):
+    return LitmusTest(
+        tuple(tuple(th) for th in threads),
+        frozenset(rmw),
+        frozenset(deps),
+    )
+
+
+def mp(write_order=Order.PLAIN, read_order=Order.PLAIN):
+    return _t(
+        [write(X, 1), write(Y, 1, write_order)],
+        [read(Y, read_order), read(X)],
+    )
+
+
+class TestMessagePassing:
+    def test_mp_plain_allowed(self, oracle):
+        t = mp()
+        bad = outcome_from_values(t, reads={2: 1, 3: 0})
+        assert oracle.observable(t, bad)
+
+    def test_mp_release_acquire_forbidden(self, oracle):
+        t = mp(Order.REL, Order.ACQ)
+        bad = outcome_from_values(t, reads={2: 1, 3: 0})
+        assert not oracle.observable(t, bad)
+
+    def test_mp_release_only_allowed(self, oracle):
+        t = mp(Order.REL, Order.PLAIN)
+        bad = outcome_from_values(t, reads={2: 1, 3: 0})
+        assert oracle.observable(t, bad)
+
+    def test_mp_acquire_only_allowed(self, oracle):
+        t = mp(Order.PLAIN, Order.ACQ)
+        bad = outcome_from_values(t, reads={2: 1, 3: 0})
+        assert oracle.observable(t, bad)
+
+    def test_mp_acq_rel_fences_forbidden(self, oracle):
+        t = _t(
+            [write(X, 1), FAR, write(Y, 1)],
+            [read(Y), FAR, read(X)],
+        )
+        bad = outcome_from_values(t, reads={3: 1, 5: 0})
+        assert not oracle.observable(t, bad)
+
+
+class TestStoreBuffering:
+    def sb(self, f):
+        return _t(
+            [write(X, 1), f, read(Y)],
+            [write(Y, 1), f, read(X)],
+        )
+
+    def test_sb_plain_allowed(self, oracle):
+        t = _t([write(X, 1), read(Y)], [write(Y, 1), read(X)])
+        bad = outcome_from_values(t, reads={1: 0, 3: 0})
+        assert oracle.observable(t, bad)
+
+    def test_sb_fence_sc_forbidden(self, oracle):
+        # paper Fig. 18a: FenceSC restores SC for store buffering.
+        t = self.sb(FSC)
+        bad = outcome_from_values(t, reads={2: 0, 5: 0})
+        assert not oracle.observable(t, bad)
+
+    def test_sb_acq_rel_fence_insufficient(self, oracle):
+        # acquire-release fences alone never forbid SB.
+        t = self.sb(FAR)
+        bad = outcome_from_values(t, reads={2: 0, 5: 0})
+        assert oracle.observable(t, bad)
+
+
+class TestThinAir:
+    def test_lb_plain_allowed(self, oracle):
+        t = _t([read(X), write(Y, 1)], [read(Y), write(X, 1)])
+        bad = outcome_from_values(t, reads={0: 1, 2: 1})
+        assert oracle.observable(t, bad)
+
+    def test_lb_deps_forbidden(self, oracle):
+        t = _t(
+            [read(X), write(Y, 1)],
+            [read(Y), write(X, 1)],
+            deps=[Dep(0, 1, DepKind.DATA), Dep(2, 3, DepKind.DATA)],
+        )
+        bad = outcome_from_values(t, reads={0: 1, 2: 1})
+        assert not oracle.observable(t, bad)
+
+
+class TestCoherenceAndAtomicity:
+    def test_corr_forbidden(self, oracle):
+        t = _t([write(X, 1)], [read(X), read(X)])
+        bad = outcome_from_values(t, reads={1: 1, 2: 0})
+        assert not oracle.observable(t, bad)
+
+    def test_rmw_atomicity(self, oracle):
+        t = _t(
+            [read(X), write(X)],
+            [write(X, 9)],
+            rmw=[(0, 1)],
+        )
+        bad = outcome_from_values(t, reads={0: 0}, finals={X: 1})
+        assert not oracle.observable(t, bad)
+
+
+class TestSyncChains:
+    def test_release_to_acquire_chain_through_rmw(self, oracle):
+        # Release write, RMW chain, acquire read: sync uses ^(rf+rmw).
+        t = _t(
+            [write(X, 1), write(Y, 1, Order.REL)],
+            [read(Y), write(Y)],
+            [read(Y, Order.ACQ), read(X)],
+            rmw=[(2, 3)],
+        )
+        # reader acquires the rmw's write (value 2 at y) -> must see x=1
+        bad = outcome_from_values(t, reads={2: 1, 4: 2, 5: 0})
+        assert not oracle.observable(t, bad)
+
+    def test_fence_sc_total_order_effect(self, oracle):
+        # IRIW with SC fences between the reads is forbidden only thanks
+        # to the sc total order.
+        t = _t(
+            [write(X, 1)],
+            [write(Y, 1)],
+            [read(X), FSC, read(Y)],
+            [read(Y), FSC, read(X)],
+        )
+        bad = outcome_from_values(
+            t, reads={2: 1, 4: 0, 5: 1, 7: 0}
+        )
+        assert not oracle.observable(t, bad)
+
+    def test_iriw_acq_rel_fences_allowed(self, oracle):
+        t = _t(
+            [write(X, 1)],
+            [write(Y, 1)],
+            [read(X), FAR, read(Y)],
+            [read(Y), FAR, read(X)],
+        )
+        bad = outcome_from_values(
+            t, reads={2: 1, 4: 0, 5: 1, 7: 0}
+        )
+        assert oracle.observable(t, bad)
+
+
+class TestWorkaroundAxioms:
+    def test_wa_axioms_replace_causality(self):
+        model = SCC()
+        assert set(model.wa_axioms()) == set(model.axioms())
+        assert (
+            model.wa_axioms()["causality"]
+            is not model.axioms()["causality"]
+        )
+
+    def test_uses_sc_order(self):
+        assert SCC().uses_sc_order
+
+    def test_vocabulary_demotions(self):
+        vocab = SCC().vocabulary
+        assert vocab.order_demotions[Order.ACQ] == (Order.PLAIN,)
+        assert vocab.fence_demotions[FenceKind.FENCE_SC] == (
+            FenceKind.FENCE_ACQ_REL,
+        )

@@ -1,0 +1,121 @@
+"""TSO semantics: published allowed/forbidden judgments (paper Fig. 4)."""
+
+import pytest
+
+from repro.litmus.catalog import CATALOG
+from repro.litmus.events import FenceKind, fence, read, write
+from repro.litmus.execution import Execution
+from repro.litmus.test import LitmusTest
+from repro.models.tso import TSO, tso_ppo
+from repro.semantics.relations import RelationView
+
+from tests.models.conftest import observable
+
+FORBIDDEN = [
+    "MP",
+    "LB",
+    "S",
+    "2+2W",
+    "WRC",
+    "WWC",
+    "IRIW",
+    "SB+mfences",
+    "R+mfence",
+    "RWC+mfence",
+    "CoWW",
+    "CoRR",
+    "CoRW",
+    "CoWR",
+    "CoRW1",
+    "CoWR0",
+    "W+W+RR",
+    "n5",
+    "n4",
+    "n3",
+    "iwp2.6",
+    "iwp2.7",
+    "iwp2.8.a",
+    "iwp2.8.b",
+    "amd10",
+]
+
+ALLOWED = ["SB", "R", "n6"]
+
+
+class TestTSOJudgments:
+    @pytest.mark.parametrize("name", FORBIDDEN)
+    def test_forbidden(self, oracles, name):
+        assert not observable(oracles("tso"), name), (
+            f"{name} must be forbidden under TSO"
+        )
+
+    @pytest.mark.parametrize("name", ALLOWED)
+    def test_allowed(self, oracles, name):
+        assert observable(oracles("tso"), name), (
+            f"{name} must be allowed under TSO"
+        )
+
+
+class TestTSOAxioms:
+    def test_axiom_names(self):
+        assert TSO().axiom_names() == (
+            "sc_per_loc",
+            "rmw_atomicity",
+            "causality",
+        )
+
+    def test_ppo_drops_write_to_read(self):
+        t = LitmusTest(((write(0, 1), read(1)),))
+        v = RelationView(Execution(t, ((1, None),), ((0,), ())))
+        assert tso_ppo(v).is_empty()
+
+    def test_ppo_keeps_other_pairs(self):
+        t = LitmusTest(((read(0), write(1, 1)),))
+        v = RelationView(Execution(t, ((0, None),), ((), (1,))))
+        assert (0, 1) in tso_ppo(v)
+
+    def test_mfence_restores_write_read_order(self):
+        # SB allowed; SB with one mfence still allowed; both -> forbidden
+        sb_one = LitmusTest(
+            (
+                (write(0, 1), fence(FenceKind.MFENCE), read(1)),
+                (write(1, 1), read(0)),
+            )
+        )
+        tso = TSO()
+        both_zero = []
+        from repro.semantics.enumerate import enumerate_executions
+
+        for ex in enumerate_executions(sb_one):
+            if ex.rf_map == {2: None, 4: None} and tso.is_valid(ex):
+                both_zero.append(ex)
+        assert both_zero, "SB with a single mfence is still allowed"
+
+    def test_rmw_atomicity_axiom(self):
+        # RMW || interfering write: read 0 but write lands after the
+        # interferer -> atomicity violated.
+        t = LitmusTest(
+            ((read(0), write(0)), (write(0, 9),)),
+            rmw=frozenset({(0, 1)}),
+        )
+        tso = TSO()
+        bad = Execution(t, ((0, None),), ((2, 1),))
+        good = Execution(t, ((0, None),), ((1, 2),))
+        assert not tso.satisfies(bad, "rmw_atomicity")
+        assert tso.satisfies(good, "rmw_atomicity")
+
+    def test_validate_full_model(self):
+        mp = CATALOG["MP"].test
+        tso = TSO()
+        ok = Execution(mp, ((2, 1), (3, 0)), ((0,), (1,)))
+        bad = Execution(mp, ((2, 1), (3, None)), ((0,), (1,)))
+        assert tso.is_valid(ok)
+        assert not bad.rf_map == ok.rf_map
+        assert not tso.is_valid(bad)
+
+    def test_vocabulary(self):
+        vocab = TSO().vocabulary
+        assert vocab.fence_kinds == (FenceKind.MFENCE,)
+        assert vocab.allows_rmw
+        assert not vocab.has_deps
+        assert not vocab.has_orders

@@ -1,0 +1,37 @@
+"""Hypothesis strategies for random litmus tests."""
+
+from hypothesis import strategies as st
+
+from repro.litmus.events import Order, read, write
+from repro.litmus.test import LitmusTest
+
+__all__ = ["plain_tests", "scc_tests"]
+
+
+def _instruction(orders_r, orders_w, max_addr):
+    addr = st.integers(0, max_addr - 1)
+    reads = st.builds(read, addr, st.sampled_from(orders_r))
+    writes = st.builds(
+        write, addr, st.none(), st.sampled_from(orders_w)
+    )
+    return st.one_of(reads, writes)
+
+
+def _tests(orders_r, orders_w, max_addr=2, max_threads=3, max_events=5):
+    inst = _instruction(orders_r, orders_w, max_addr)
+    thread = st.lists(inst, min_size=1, max_size=3).map(tuple)
+    return (
+        st.lists(thread, min_size=1, max_size=max_threads)
+        .map(tuple)
+        .filter(lambda ts: 2 <= sum(len(t) for t in ts) <= max_events)
+        .map(LitmusTest)
+    )
+
+
+#: plain read/write tests (valid in every model's vocabulary)
+plain_tests = _tests([Order.PLAIN], [Order.PLAIN])
+
+#: tests with acquire/release annotations (SCC vocabulary)
+scc_tests = _tests(
+    [Order.PLAIN, Order.ACQ], [Order.PLAIN, Order.REL]
+)

@@ -1,0 +1,89 @@
+"""Property tests: canonicalization is a true symmetry-class invariant."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.canonical import canonical_form, canonicalize
+from repro.litmus.events import Instruction
+from repro.litmus.test import LitmusTest
+
+from tests.property.strategies import plain_tests, scc_tests
+
+
+def permute_threads(test, seed):
+    rng = random.Random(seed)
+    order = list(range(len(test.threads)))
+    rng.shuffle(order)
+    return LitmusTest(tuple(test.threads[t] for t in order))
+
+
+def rename_addresses(test, seed):
+    rng = random.Random(seed)
+    addrs = list(test.addresses)
+    renamed = addrs[:]
+    rng.shuffle(renamed)
+    mapping = dict(zip(addrs, renamed))
+    threads = tuple(
+        tuple(
+            inst
+            if inst.address is None
+            else Instruction(
+                inst.kind,
+                mapping[inst.address],
+                inst.order,
+                inst.fence,
+                inst.value,
+                inst.scope,
+            )
+            for inst in thread
+        )
+        for thread in test.threads
+    )
+    return LitmusTest(threads)
+
+
+@given(plain_tests, st.integers(0, 1000))
+@settings(max_examples=60, deadline=None)
+def test_thread_permutation_invariant(test, seed):
+    assert canonical_form(test) == canonical_form(
+        permute_threads(test, seed)
+    )
+
+
+@given(plain_tests, st.integers(0, 1000))
+@settings(max_examples=60, deadline=None)
+def test_address_renaming_invariant(test, seed):
+    assert canonical_form(test) == canonical_form(
+        rename_addresses(test, seed)
+    )
+
+
+@given(scc_tests)
+@settings(max_examples=60, deadline=None)
+def test_idempotent(test):
+    once = canonical_form(test)
+    assert canonical_form(once) == once
+
+
+@given(scc_tests)
+@settings(max_examples=60, deadline=None)
+def test_event_map_preserves_instructions(test):
+    canon, event_map, _addr_map = canonicalize(test)
+    for orig, new in event_map.items():
+        a, b = test.instruction(orig), canon.instruction(new)
+        assert a.kind == b.kind
+        assert a.order == b.order
+        assert a.fence == b.fence
+
+
+@given(plain_tests)
+@settings(max_examples=60, deadline=None)
+def test_canonical_preserves_shape(test):
+    canon = canonical_form(test)
+    assert canon.num_events == test.num_events
+    assert sorted(len(t) for t in canon.threads) == sorted(
+        len(t) for t in test.threads
+    )
+    assert len(canon.addresses) == len(test.addresses)

@@ -1,0 +1,73 @@
+"""Property tests: relaxations weaken, never strengthen."""
+
+from hypothesis import given, settings
+
+from repro.core.oracle import ExplicitOracle
+from repro.litmus.execution import project_outcome
+from repro.models.registry import get_model
+from repro.relax.instruction import relaxations_for
+
+from tests.property.strategies import plain_tests, scc_tests
+
+
+def applications_of(model, test):
+    vocab = model.vocabulary
+    for relax in relaxations_for(vocab):
+        for app in relax.applications(test, vocab):
+            yield relax, app
+
+
+@given(plain_tests)
+@settings(max_examples=40, deadline=None)
+def test_event_maps_well_formed(test):
+    model = get_model("tso")
+    for relax, app in applications_of(model, test):
+        relaxed = relax.apply(test, app, model.vocabulary)
+        survivors = [v for v in relaxed.event_map.values() if v is not None]
+        # bijective onto the relaxed test's events
+        assert sorted(survivors) == list(range(relaxed.test.num_events))
+        assert set(relaxed.event_map.keys()) == set(
+            range(test.num_events)
+        )
+
+
+@given(scc_tests)
+@settings(max_examples=30, deadline=None)
+def test_relaxations_preserve_validity_shape(test):
+    """A relaxed test is structurally valid (constructor invariants)."""
+    model = get_model("scc")
+    for relax, app in applications_of(model, test):
+        relaxed = relax.apply(test, app, model.vocabulary)
+        assert relaxed.test.num_events >= 1
+
+
+@given(scc_tests)
+@settings(max_examples=20, deadline=None)
+def test_relaxation_monotone_on_outcomes(test):
+    """The fundamental direction of §3: weakening synchronization can
+    only ADD observable behaviours.  Every valid outcome of the original
+    test projects to a valid (partial) outcome of each relaxed test."""
+    model = get_model("scc")
+    oracle = ExplicitOracle(model)
+    valid = oracle.analyze(test).model_valid
+    for relax, app in applications_of(model, test):
+        relaxed = relax.apply(test, app, model.vocabulary)
+        for outcome in valid:
+            projected = project_outcome(outcome, relaxed.event_map)
+            assert oracle.observable(relaxed.test, projected), (
+                f"{relax.name}@{app.target} removed behaviour "
+                f"{outcome} from {test!r}"
+            )
+
+
+@given(plain_tests)
+@settings(max_examples=30, deadline=None)
+def test_ri_reduces_event_count(test):
+    model = get_model("tso")
+    vocab = model.vocabulary
+    from repro.relax.instruction import RemoveInstruction
+
+    ri = RemoveInstruction()
+    for app in ri.applications(test, vocab):
+        relaxed = ri.apply(test, app, vocab)
+        assert relaxed.test.num_events == test.num_events - 1

@@ -1,0 +1,82 @@
+"""Property tests on execution semantics and model containment."""
+
+from hypothesis import given, settings
+
+from repro.core.oracle import ExplicitOracle
+from repro.models.registry import get_model
+from repro.semantics.enumerate import count_executions, enumerate_executions
+from repro.semantics.relations import RelationView
+
+from tests.property.strategies import plain_tests, scc_tests
+
+
+@given(plain_tests)
+@settings(max_examples=40, deadline=None)
+def test_execution_count_matches(test):
+    assert count_executions(test) == sum(
+        1 for _ in enumerate_executions(test)
+    )
+
+
+@given(plain_tests)
+@settings(max_examples=40, deadline=None)
+def test_executions_distinct(test):
+    keys = [
+        (tuple(e.rf), e.co) for e in enumerate_executions(test)
+    ]
+    assert len(keys) == len(set(keys))
+
+
+@given(plain_tests)
+@settings(max_examples=30, deadline=None)
+def test_sc_interleaving_always_exists(test):
+    """Every test has at least one SC-valid execution (run threads in
+    program order, one at a time)."""
+    sc = get_model("sc")
+    assert any(sc.is_valid(e) for e in enumerate_executions(test))
+
+
+@given(plain_tests)
+@settings(max_examples=25, deadline=None)
+def test_model_strength_chain(test):
+    """SC ⊆ TSO ⊆ Power on plain tests: anything a stronger model
+    allows, a weaker one allows too."""
+    sc = ExplicitOracle(get_model("sc")).analyze(test).model_valid
+    tso = ExplicitOracle(get_model("tso")).analyze(test).model_valid
+    power = ExplicitOracle(get_model("power")).analyze(test).model_valid
+    assert sc <= tso <= power
+
+
+@given(scc_tests)
+@settings(max_examples=25, deadline=None)
+def test_scc_weaker_than_sc(test):
+    sc = ExplicitOracle(get_model("sc")).analyze(test).model_valid
+    scc = ExplicitOracle(get_model("scc")).analyze(test).model_valid
+    assert sc <= scc
+
+
+@given(plain_tests)
+@settings(max_examples=40, deadline=None)
+def test_fr_disjoint_from_rf_inverse(test):
+    """fr never relates a read back to its own source."""
+    for e in enumerate_executions(test):
+        v = RelationView(e)
+        assert (v.fr & ~v.rf).is_empty()
+
+
+@given(plain_tests)
+@settings(max_examples=40, deadline=None)
+def test_com_relates_same_address_only(test):
+    for e in enumerate_executions(test):
+        v = RelationView(e)
+        assert (v.com - v.loc).is_empty()
+
+
+@given(plain_tests)
+@settings(max_examples=30, deadline=None)
+def test_analysis_containment(test):
+    """model-valid ⊆ each axiom's valid set ⊆ all outcomes."""
+    oracle = ExplicitOracle(get_model("tso"))
+    analysis = oracle.analyze(test)
+    for valid in analysis.axiom_valid.values():
+        assert analysis.model_valid <= valid <= analysis.all_outcomes

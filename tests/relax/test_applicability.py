@@ -1,0 +1,90 @@
+"""Table 2 reproduction tests."""
+
+from repro.relax.applicability import (
+    RELAXATION_COLUMNS,
+    Applicability,
+    applicability_row,
+    applicability_table,
+    format_table,
+)
+from repro.models.registry import get_model
+
+
+class TestTable2:
+    def test_all_models_present(self):
+        table = applicability_table()
+        for name in (
+            "sc",
+            "tso",
+            "power",
+            "armv7",
+            "armv8",
+            "itanium",
+            "scc",
+            "hsa",
+            "c11",
+            "opencl",
+        ):
+            assert name in table
+
+    def test_every_row_has_all_columns(self):
+        for row in applicability_table().values():
+            assert set(row) == set(RELAXATION_COLUMNS)
+
+    def test_ri_applies_everywhere(self):
+        for row in applicability_table().values():
+            assert row["RI"] is Applicability.YES
+
+    def test_tso_row(self):
+        row = applicability_table()["tso"]
+        assert row["DRMW"] is Applicability.YES
+        assert row["DF"] is Applicability.NO
+        assert row["DMO"] is Applicability.NO
+        assert row["RD"] is Applicability.NO
+        assert row["DS"] is Applicability.NO
+
+    def test_power_row(self):
+        row = applicability_table()["power"]
+        assert row["DF"] is Applicability.YES
+        assert row["RD"] is Applicability.YES
+        assert row["DMO"] is Applicability.NO
+
+    def test_scc_rd_is_thin_air_only(self):
+        # paper Table 2 footnote 2
+        row = applicability_table()["scc"]
+        assert row["RD"] is Applicability.THIN_AIR_ONLY
+        assert bool(row["RD"])
+
+    def test_c11_row(self):
+        row = applicability_table()["c11"]
+        assert row["DMO"] is Applicability.YES
+        assert row["DF"] is Applicability.YES
+        assert row["RD"] is Applicability.THIN_AIR_ONLY
+        assert row["DS"] is Applicability.NO
+
+    def test_scoped_models_have_ds(self):
+        table = applicability_table()
+        assert table["hsa"]["DS"] is Applicability.YES
+        assert table["opencl"]["DS"] is Applicability.YES
+
+    def test_armv8_footnote_1(self):
+        # paper: DF "would apply if model formalizations filled in the
+        # missing features"
+        row = applicability_table()["armv8"]
+        assert row["DF"] is Applicability.MISSING_FEATURE
+        assert not bool(row["DF"])
+
+    def test_derived_rows_match_vocabulary(self):
+        for name in ("sc", "tso", "power", "armv7", "scc", "c11"):
+            vocab = get_model(name).vocabulary
+            row = applicability_row(vocab)
+            assert bool(row["DRMW"]) == vocab.allows_rmw
+            assert bool(row["DF"]) == vocab.has_fence_demotions
+            assert bool(row["DMO"]) == vocab.has_orders
+            assert bool(row["RD"]) == vocab.has_deps
+            assert bool(row["DS"]) == vocab.has_scopes
+
+    def test_format_table_renders(self):
+        text = format_table()
+        assert "RI" in text and "tso" in text and "footnote" not in text
+        assert "no-thin-air" in text

@@ -1,0 +1,264 @@
+"""Unit tests for the six instruction relaxations."""
+
+import pytest
+
+from repro.litmus.events import (
+    DepKind,
+    FenceKind,
+    Order,
+    Scope,
+    fence,
+    read,
+    write,
+)
+from repro.litmus.test import Dep, LitmusTest
+from repro.models.registry import get_model
+from repro.relax.instruction import (
+    ALL_RELAXATIONS,
+    DecomposeRMW,
+    DemoteFence,
+    DemoteMemoryOrder,
+    DemoteScope,
+    RemoveDependency,
+    RemoveInstruction,
+    relaxations_for,
+)
+
+TSO_VOCAB = get_model("tso").vocabulary
+POWER_VOCAB = get_model("power").vocabulary
+SCC_VOCAB = get_model("scc").vocabulary
+C11_VOCAB = get_model("c11").vocabulary
+
+
+def mp():
+    return LitmusTest(((write(0, 1), write(1, 1)), (read(1), read(0))))
+
+
+class TestRemoveInstruction:
+    def test_applies_to_every_event(self):
+        apps = list(RemoveInstruction().applications(mp(), TSO_VOCAB))
+        assert [a.target for a in apps] == [0, 1, 2, 3]
+
+    def test_not_applicable_to_singleton(self):
+        t = LitmusTest(((write(0, 1),),))
+        assert not list(RemoveInstruction().applications(t, TSO_VOCAB))
+
+    def test_event_map(self):
+        ri = RemoveInstruction()
+        app = list(ri.applications(mp(), TSO_VOCAB))[1]
+        relaxed = ri.apply(mp(), app, TSO_VOCAB)
+        assert relaxed.event_map == {0: 0, 1: None, 2: 1, 3: 2}
+        assert relaxed.test.num_events == 3
+
+    def test_empty_thread_dropped(self):
+        t = LitmusTest(((write(0, 1),), (read(0),)))
+        ri = RemoveInstruction()
+        app = list(ri.applications(t, TSO_VOCAB))[0]
+        relaxed = ri.apply(t, app, TSO_VOCAB)
+        assert len(relaxed.test.threads) == 1
+        assert relaxed.event_map == {0: None, 1: 0}
+
+    def test_scope_groups_follow_threads(self):
+        t = LitmusTest(
+            ((write(0, 1),), (read(0),)), scopes=(0, 1)
+        )
+        ri = RemoveInstruction()
+        app = list(ri.applications(t, TSO_VOCAB))[0]
+        relaxed = ri.apply(t, app, TSO_VOCAB)
+        assert relaxed.test.scopes == (1,)
+
+    def test_rmw_pair_dropped_with_half(self):
+        t = LitmusTest(
+            ((read(0), write(0)), (write(0, 9),)),
+            rmw=frozenset({(0, 1)}),
+        )
+        ri = RemoveInstruction()
+        app = list(ri.applications(t, TSO_VOCAB))[0]
+        relaxed = ri.apply(t, app, TSO_VOCAB)
+        assert relaxed.test.rmw == frozenset()
+
+    def test_deps_dropped_with_endpoint(self):
+        t = LitmusTest(
+            ((read(0), write(1, 1)),),
+            deps=frozenset({Dep(0, 1, DepKind.DATA)}),
+        )
+        ri = RemoveInstruction()
+        app = list(ri.applications(t, POWER_VOCAB))[1]
+        relaxed = ri.apply(t, app, POWER_VOCAB)
+        assert relaxed.test.deps == frozenset()
+
+    def test_renumbering_preserves_rmw(self):
+        t = LitmusTest(
+            ((write(1, 5),), (read(0), write(0)),),
+            rmw=frozenset({(1, 2)}),
+        )
+        ri = RemoveInstruction()
+        app = list(ri.applications(t, TSO_VOCAB))[0]
+        relaxed = ri.apply(t, app, TSO_VOCAB)
+        assert relaxed.test.rmw == frozenset({(0, 1)})
+
+
+class TestDemoteMemoryOrder:
+    def test_applications_follow_lattice(self):
+        t = LitmusTest(((read(0, Order.ACQ), write(0, 1, Order.REL)),))
+        apps = list(DemoteMemoryOrder().applications(t, SCC_VOCAB))
+        assert {(a.target, a.detail) for a in apps} == {
+            (0, "PLAIN"),
+            (1, "PLAIN"),
+        }
+
+    def test_sc_has_two_variants_in_c11(self):
+        t = LitmusTest(((write(0, 1, Order.SC),),))
+        apps = list(DemoteMemoryOrder().applications(t, C11_VOCAB))
+        assert {a.detail for a in apps} == {"ACQ", "REL"}
+
+    def test_apply(self):
+        t = LitmusTest(((read(0, Order.ACQ),), (write(0, 1),)))
+        dmo = DemoteMemoryOrder()
+        app = list(dmo.applications(t, SCC_VOCAB))[0]
+        relaxed = dmo.apply(t, app, SCC_VOCAB)
+        assert relaxed.test.instruction(0).order is Order.PLAIN
+        assert relaxed.event_map == {0: 0, 1: 1}
+
+    def test_no_applications_for_plain(self):
+        assert not list(DemoteMemoryOrder().applications(mp(), SCC_VOCAB))
+
+    def test_not_applicable_to_tso(self):
+        assert not DemoteMemoryOrder().applies_to(TSO_VOCAB)
+
+
+class TestDemoteFence:
+    def test_sync_demotes_to_lwsync(self):
+        t = LitmusTest(((write(0, 1), fence(FenceKind.SYNC), read(1)),))
+        df = DemoteFence()
+        apps = list(df.applications(t, POWER_VOCAB))
+        assert len(apps) == 1
+        relaxed = df.apply(t, apps[0], POWER_VOCAB)
+        assert relaxed.test.instruction(1).fence is FenceKind.LWSYNC
+
+    def test_lwsync_has_no_demotion(self):
+        t = LitmusTest(
+            ((write(0, 1), fence(FenceKind.LWSYNC), read(1)),)
+        )
+        assert not list(DemoteFence().applications(t, POWER_VOCAB))
+
+    def test_not_applicable_to_tso(self):
+        assert not DemoteFence().applies_to(TSO_VOCAB)
+
+
+class TestDecomposeRMW:
+    def rmw_test(self):
+        return LitmusTest(
+            ((read(0), write(0)), (write(0, 9),)),
+            rmw=frozenset({(0, 1)}),
+        )
+
+    def test_removes_pairing(self):
+        drmw = DecomposeRMW()
+        t = self.rmw_test()
+        app = list(drmw.applications(t, TSO_VOCAB))[0]
+        relaxed = drmw.apply(t, app, TSO_VOCAB)
+        assert relaxed.test.rmw == frozenset()
+        assert relaxed.test.deps == frozenset()  # TSO has no data deps
+
+    def test_keeps_data_dep_when_model_has_them(self):
+        drmw = DecomposeRMW()
+        t = self.rmw_test()
+        app = list(drmw.applications(t, POWER_VOCAB))[0]
+        relaxed = drmw.apply(t, app, POWER_VOCAB)
+        assert Dep(0, 1, DepKind.DATA) in relaxed.test.deps
+
+    def test_bad_target_raises(self):
+        from repro.relax.base import Application
+
+        with pytest.raises(ValueError):
+            DecomposeRMW().apply(
+                self.rmw_test(), Application("DRMW", 2), TSO_VOCAB
+            )
+
+
+class TestRemoveDependency:
+    def test_removes_all_deps_from_source(self):
+        t = LitmusTest(
+            ((read(0), write(1, 1), write(2, 1)),),
+            deps=frozenset(
+                {Dep(0, 1, DepKind.DATA), Dep(0, 2, DepKind.ADDR)}
+            ),
+        )
+        rd = RemoveDependency()
+        apps = list(rd.applications(t, POWER_VOCAB))
+        assert len(apps) == 1
+        relaxed = rd.apply(t, apps[0], POWER_VOCAB)
+        assert relaxed.test.deps == frozenset()
+
+    def test_rmw_read_also_targeted(self):
+        # paper Fig. 6: rmw_p excludes pairs whose load was RD'ed.
+        t = LitmusTest(
+            ((read(0), write(0)),), rmw=frozenset({(0, 1)})
+        )
+        rd = RemoveDependency()
+        apps = list(rd.applications(t, POWER_VOCAB))
+        assert [a.target for a in apps] == [0]
+        relaxed = rd.apply(t, apps[0], POWER_VOCAB)
+        assert relaxed.test.rmw == frozenset()
+
+    def test_silent_for_depless_vocab(self):
+        t = LitmusTest(
+            ((read(0), write(0)),), rmw=frozenset({(0, 1)})
+        )
+        assert not list(RemoveDependency().applications(t, TSO_VOCAB))
+
+
+class TestDemoteScope:
+    def scoped_vocab(self):
+        from repro.models.base import Vocabulary
+
+        return Vocabulary(
+            scopes=(Scope.WORKGROUP, Scope.DEVICE, Scope.SYSTEM)
+        )
+
+    def test_demotes_one_level(self):
+        vocab = self.scoped_vocab()
+        t = LitmusTest(
+            ((write(0, 1, scope=Scope.SYSTEM),), (read(0),)),
+            scopes=(0, 1),
+        )
+        ds = DemoteScope()
+        apps = list(ds.applications(t, vocab))
+        assert len(apps) == 1
+        relaxed = ds.apply(t, apps[0], vocab)
+        assert relaxed.test.instruction(0).scope is Scope.DEVICE
+
+    def test_lowest_scope_not_demotable(self):
+        vocab = self.scoped_vocab()
+        t = LitmusTest(
+            ((write(0, 1, scope=Scope.WORKGROUP),), (read(0),)),
+            scopes=(0, 1),
+        )
+        assert not list(DemoteScope().applications(t, vocab))
+
+    def test_unscoped_models_skip(self):
+        assert not DemoteScope().applies_to(TSO_VOCAB)
+
+
+class TestRelaxationsFor:
+    def test_tso_row(self):
+        names = {r.name for r in relaxations_for(TSO_VOCAB)}
+        assert names == {"RI", "DRMW"}
+
+    def test_power_row(self):
+        names = {r.name for r in relaxations_for(POWER_VOCAB)}
+        assert names == {"RI", "DRMW", "DF", "RD"}
+
+    def test_scc_row(self):
+        names = {r.name for r in relaxations_for(SCC_VOCAB)}
+        assert names == {"RI", "DRMW", "DF", "DMO", "RD"}
+
+    def test_all_relaxations_distinct_names(self):
+        names = [r.name for r in ALL_RELAXATIONS]
+        assert len(names) == len(set(names)) == 6
+
+    def test_describe(self):
+        ri = RemoveInstruction()
+        app = list(ri.applications(mp(), TSO_VOCAB))[0]
+        assert "RI" in app.describe(mp())

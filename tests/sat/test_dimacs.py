@@ -1,0 +1,60 @@
+"""DIMACS I/O tests."""
+
+import pytest
+
+from repro.sat.dimacs import parse_dimacs, solver_from_dimacs, to_dimacs
+
+
+EXAMPLE = """\
+c a comment
+p cnf 3 3
+1 -2 0
+2 3 0
+-1 0
+"""
+
+
+class TestParse:
+    def test_parse(self):
+        num_vars, clauses = parse_dimacs(EXAMPLE)
+        assert num_vars == 3
+        assert clauses == [[1, -2], [2, 3], [-1]]
+
+    def test_multiline_clause(self):
+        text = "p cnf 2 1\n1\n2 0\n"
+        _, clauses = parse_dimacs(text)
+        assert clauses == [[1, 2]]
+
+    def test_trailing_clause_without_zero(self):
+        text = "p cnf 2 1\n1 2"
+        _, clauses = parse_dimacs(text)
+        assert clauses == [[1, 2]]
+
+    def test_bad_header(self):
+        with pytest.raises(ValueError):
+            parse_dimacs("p wcnf 1 1\n1 0\n")
+
+    def test_comments_and_blank_lines(self):
+        text = "c x\n\n%\np cnf 1 1\n1 0\n"
+        num_vars, clauses = parse_dimacs(text)
+        assert num_vars == 1 and clauses == [[1]]
+
+
+class TestRoundTrip:
+    def test_roundtrip(self):
+        num_vars, clauses = parse_dimacs(EXAMPLE)
+        text = to_dimacs(num_vars, clauses)
+        again_vars, again_clauses = parse_dimacs(text)
+        assert again_vars == num_vars
+        assert again_clauses == clauses
+
+    def test_solver_from_dimacs(self):
+        solver = solver_from_dimacs(EXAMPLE)
+        assert solver.solve()
+        model = solver.model()
+        assert model[1] is False
+        assert model[3] is True  # forced: -1 makes clause 1 give -2; 2|3
+
+    def test_unsat_file(self):
+        solver = solver_from_dimacs("p cnf 1 2\n1 0\n-1 0\n")
+        assert not solver.solve()

@@ -1,0 +1,206 @@
+"""CDCL solver tests: hand cases, exhaustive cross-checks, classics."""
+
+import itertools
+import random
+
+import pytest
+
+from repro.sat.solver import SAT, UNSAT, Solver
+from repro.sat.types import index_lit, lit_index, neg_index
+
+
+def make(clauses):
+    s = Solver()
+    for c in clauses:
+        s.add_clause(c)
+    return s
+
+
+def brute_force_sat(num_vars, clauses):
+    for bits in itertools.product([False, True], repeat=num_vars):
+        assign = {v: bits[v - 1] for v in range(1, num_vars + 1)}
+        if all(
+            any(assign[abs(l)] == (l > 0) for l in clause)
+            for clause in clauses
+        ):
+            return True
+    return False
+
+
+def check_model(solver, clauses):
+    model = solver.model()
+    for clause in clauses:
+        assert any(model.get(abs(l), False) == (l > 0) for l in clause)
+
+
+class TestLiteralEncoding:
+    def test_roundtrip(self):
+        for lit in (1, -1, 5, -5, 123, -123):
+            assert index_lit(lit_index(lit)) == lit
+
+    def test_negation(self):
+        assert index_lit(neg_index(lit_index(7))) == -7
+        assert index_lit(neg_index(lit_index(-7))) == 7
+
+
+class TestBasicSolving:
+    def test_trivial_sat(self):
+        s = make([[1]])
+        assert s.solve() is SAT
+        assert s.model()[1] is True
+
+    def test_trivial_unsat(self):
+        s = make([[1], [-1]])
+        assert s.solve() is UNSAT
+
+    def test_empty_clause_unsat(self):
+        s = Solver()
+        assert not s.add_clause([])
+        assert s.solve() is UNSAT
+
+    def test_implication_chain(self):
+        clauses = [[1], [-1, 2], [-2, 3], [-3, 4]]
+        s = make(clauses)
+        assert s.solve() is SAT
+        assert all(s.model()[v] for v in (1, 2, 3, 4))
+
+    def test_tautology_ignored(self):
+        s = make([[1, -1], [2]])
+        assert s.solve() is SAT
+        assert s.model()[2] is True
+
+    def test_duplicate_literals_collapsed(self):
+        s = make([[1, 1, 1]])
+        assert s.solve() is SAT
+
+    def test_xor_chain(self):
+        # x1 xor x2 = 1, x2 xor x3 = 1, x1 = x3 forced
+        clauses = [[1, 2], [-1, -2], [2, 3], [-2, -3]]
+        s = make(clauses)
+        assert s.solve() is SAT
+        m = s.model()
+        assert m[1] != m[2] and m[2] != m[3]
+
+    def test_conflict_then_sat(self):
+        # requires actual search: at-most-one over three vars + at-least-one
+        clauses = [[1, 2, 3], [-1, -2], [-1, -3], [-2, -3]]
+        s = make(clauses)
+        assert s.solve() is SAT
+        check_model(s, clauses)
+
+
+class TestPigeonhole:
+    def php(self, holes):
+        """holes+1 pigeons into `holes` holes — classically UNSAT."""
+        pigeons = holes + 1
+        var = lambda p, h: p * holes + h + 1
+        clauses = [[var(p, h) for h in range(holes)] for p in range(pigeons)]
+        for h in range(holes):
+            for p1 in range(pigeons):
+                for p2 in range(p1 + 1, pigeons):
+                    clauses.append([-var(p1, h), -var(p2, h)])
+        return clauses
+
+    @pytest.mark.parametrize("holes", [2, 3, 4])
+    def test_php_unsat(self, holes):
+        assert make(self.php(holes)).solve() is UNSAT
+
+    def test_php_sat_when_enough_holes(self):
+        # holes pigeons into holes holes is satisfiable
+        holes = 3
+        var = lambda p, h: p * holes + h + 1
+        clauses = [[var(p, h) for h in range(holes)] for p in range(holes)]
+        for h in range(holes):
+            for p1 in range(holes):
+                for p2 in range(p1 + 1, holes):
+                    clauses.append([-var(p1, h), -var(p2, h)])
+        s = make(clauses)
+        assert s.solve() is SAT
+        check_model(s, clauses)
+
+
+class TestRandomCrossCheck:
+    @pytest.mark.parametrize("seed", range(30))
+    def test_random_3sat_agrees_with_brute_force(self, seed):
+        rng = random.Random(seed)
+        num_vars = rng.randint(3, 8)
+        num_clauses = rng.randint(2, 4 * num_vars)
+        clauses = []
+        for _ in range(num_clauses):
+            width = rng.randint(1, 3)
+            clause = [
+                rng.choice([-1, 1]) * rng.randint(1, num_vars)
+                for _ in range(width)
+            ]
+            clauses.append(clause)
+        expected = brute_force_sat(num_vars, clauses)
+        s = make(clauses)
+        got = s.solve()
+        assert got == expected
+        if got:
+            check_model(s, clauses)
+
+
+class TestAssumptions:
+    def test_assumption_forces_value(self):
+        s = make([[1, 2]])
+        assert s.solve(assumptions=[-1]) is SAT
+        assert s.model()[2] is True
+
+    def test_conflicting_assumptions(self):
+        s = make([[1, 2], [-2]])
+        assert s.solve(assumptions=[-1]) is UNSAT
+        # solver remains usable
+        assert s.solve() is SAT
+
+    def test_incremental_reuse(self):
+        s = make([[1, 2], [-1, 3]])
+        assert s.solve(assumptions=[1]) is SAT
+        assert s.model()[3] is True
+        assert s.solve(assumptions=[-3]) is SAT
+        assert s.model()[1] is False
+
+
+class TestModelEnumeration:
+    def test_enumerates_all(self):
+        s = make([[1, 2]])
+        models = list(s.models())
+        assert len(models) == 3  # TT TF FT
+
+    def test_projection(self):
+        s = make([[1, 2], [3, -3]])
+        s._ensure_vars([3])
+        models = list(s.models(project=[1, 2]))
+        assert len(models) == 3
+
+    def test_limit(self):
+        s = make([[1, 2]])
+        assert len(list(s.models(limit=2))) == 2
+
+    def test_unsat_enumeration_empty(self):
+        s = make([[1], [-1]])
+        assert list(s.models()) == []
+
+    def test_all_models_distinct_and_valid(self):
+        clauses = [[1, 2, 3], [-1, -2]]
+        s = make(clauses)
+        seen = set()
+        for m in s.models():
+            key = tuple(sorted(m.items()))
+            assert key not in seen
+            seen.add(key)
+            for clause in clauses:
+                assert any(m[abs(l)] == (l > 0) for l in clause)
+        assert len(seen) == sum(
+            1
+            for bits in itertools.product([False, True], repeat=3)
+            if (bits[0] or bits[1] or bits[2])
+            and not (bits[0] and bits[1])
+        )
+
+
+class TestStats:
+    def test_stats_recorded(self):
+        s = make([[1, 2, 3], [-1, -2], [-1, -3], [-2, -3], [-1]])
+        s.solve()
+        assert s.stats["propagations"] > 0

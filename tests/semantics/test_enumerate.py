@@ -1,0 +1,97 @@
+"""Unit tests for execution enumeration."""
+
+from repro.litmus.events import FenceKind, fence, read, write
+from repro.litmus.execution import Outcome
+from repro.litmus.test import LitmusTest
+from repro.semantics.enumerate import (
+    count_executions,
+    enumerate_executions,
+    outcome_satisfied,
+)
+
+
+def mp():
+    return LitmusTest(((write(0, 1), write(1, 1)), (read(1), read(0))))
+
+
+class TestEnumeration:
+    def test_mp_execution_count(self):
+        # two reads, each with two candidate sources; trivial co.
+        executions = list(enumerate_executions(mp()))
+        assert len(executions) == 4
+        assert count_executions(mp()) == 4
+
+    def test_coherence_permutations(self):
+        t = LitmusTest(((write(0, 1),), (write(0, 2),), (write(0, 3),)))
+        assert count_executions(t) == 6
+        orders = {ex.co[0] for ex in enumerate_executions(t)}
+        assert len(orders) == 6
+
+    def test_read_sources_include_all_writes(self):
+        t = LitmusTest(((read(0),), (write(0, 1),), (write(0, 2),)))
+        sources = {ex.rf[0][1] for ex in enumerate_executions(t)}
+        assert sources == {None, 1, 2}
+
+    def test_sc_fence_enumeration(self):
+        t = LitmusTest(
+            (
+                (write(0, 1), fence(FenceKind.FENCE_SC), read(1)),
+                (write(1, 1), fence(FenceKind.FENCE_SC), read(0)),
+            )
+        )
+        plain = count_executions(t, with_sc=False)
+        with_sc = count_executions(t, with_sc=True)
+        assert with_sc == 2 * plain
+        scs = {ex.sc for ex in enumerate_executions(t, with_sc=True)}
+        assert scs == {(1, 4), (4, 1)}
+
+    def test_sc_flag_without_fences(self):
+        assert count_executions(mp(), with_sc=True) == 4
+
+    def test_outcomes_cover_projection(self):
+        outs = {ex.outcome for ex in enumerate_executions(mp())}
+        assert len(outs) == 4
+
+    def test_count_matches_enumeration_with_rmw(self):
+        t = LitmusTest(
+            ((read(0), write(0)), (write(0, 9),)),
+            rmw=frozenset({(0, 1)}),
+        )
+        assert count_executions(t) == sum(
+            1 for _ in enumerate_executions(t)
+        )
+
+
+class TestOutcomeSatisfied:
+    def test_total_match(self):
+        ex = next(iter(enumerate_executions(mp())))
+        assert outcome_satisfied(ex, ex.outcome)
+
+    def test_partial_match(self):
+        test = mp()
+        for ex in enumerate_executions(test):
+            if ex.rf_map == {2: 1, 3: None}:
+                break
+        partial = Outcome(((2, 1),), ())
+        assert outcome_satisfied(ex, partial)
+        mismatched = Outcome(((2, None),), ())
+        assert not outcome_satisfied(ex, mismatched)
+
+    def test_final_constraint(self):
+        test = mp()
+        ex = next(iter(enumerate_executions(test)))
+        good = Outcome((), ((0, 0),))
+        bad = Outcome((), ((0, None),))
+        assert outcome_satisfied(ex, good)
+        assert not outcome_satisfied(ex, bad)
+
+    def test_unknown_read_fails(self):
+        ex = next(iter(enumerate_executions(mp())))
+        assert not outcome_satisfied(ex, Outcome(((99, None),), ()))
+
+    def test_untouched_address_is_initial(self):
+        # an address the test never accesses keeps its initial value, so
+        # a None constraint holds and a write constraint cannot.
+        ex = next(iter(enumerate_executions(mp())))
+        assert outcome_satisfied(ex, Outcome((), ((99, None),)))
+        assert not outcome_satisfied(ex, Outcome((), ((99, 1),)))

@@ -1,0 +1,68 @@
+"""Public API surface tests."""
+
+import repro
+
+
+class TestPublicAPI:
+    def test_version(self):
+        assert repro.__version__
+
+    def test_quickstart_flow(self):
+        """The README quickstart must work verbatim."""
+        tso = repro.get_model("tso")
+        result = repro.synthesize(
+            tso,
+            bound=3,
+            config=repro.EnumerationConfig(max_events=3, max_addresses=1),
+        )
+        assert len(result.union) > 0
+        for entry in result.union:
+            assert entry.pretty()
+
+    def test_build_and_check_a_test(self):
+        test = repro.LitmusTest(
+            (
+                (repro.write(0, 1), repro.write(1, 1)),
+                (repro.read(1), repro.read(0)),
+            )
+        )
+        checker = repro.MinimalityChecker(repro.get_model("tso"))
+        assert checker.check(test).is_minimal
+
+    def test_available_models(self):
+        assert set(repro.available_models()) >= {
+            "sc",
+            "tso",
+            "power",
+            "armv7",
+            "scc",
+            "c11",
+        }
+
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None
+
+    def test_relaxations_exported(self):
+        assert len(repro.ALL_RELAXATIONS) == 6
+        table = repro.applicability_table()
+        assert "tso" in table
+
+    def test_registry_rejects_unknown(self):
+        import pytest
+
+        with pytest.raises(KeyError):
+            repro.get_model("m88k")
+
+    def test_register_custom_model(self):
+        from repro.models import MemoryModel, Vocabulary, register_model
+        from repro.models.registry import MODEL_CLASSES
+
+        class Custom(repro.get_model("sc").__class__):
+            name = "custom-sc"
+
+        try:
+            register_model(Custom)
+            assert repro.get_model("custom-sc").name == "custom-sc"
+        finally:
+            MODEL_CLASSES.pop("custom-sc", None)

@@ -1,0 +1,99 @@
+"""CLI smoke tests."""
+
+import pytest
+
+from repro.cli import main
+from repro.litmus.catalog import CATALOG
+from repro.litmus.format import format_test
+
+
+class TestCLI:
+    def test_models(self, capsys):
+        assert main(["models"]) == 0
+        out = capsys.readouterr().out
+        assert "tso" in out and "scc" in out
+
+    def test_table2(self, capsys):
+        assert main(["table2"]) == 0
+        assert "RI" in capsys.readouterr().out
+
+    def test_show_all(self, capsys):
+        assert main(["show"]) == 0
+        assert "MP" in capsys.readouterr().out
+
+    def test_show_one(self, capsys):
+        assert main(["show", "--name", "IRIW"]) == 0
+        assert "thread" in capsys.readouterr().out
+
+    def test_show_unknown(self, capsys):
+        assert main(["show", "--name", "nope"]) == 1
+
+    def test_synthesize(self, capsys, tmp_path):
+        out_path = tmp_path / "suite.json"
+        code = main(
+            [
+                "synthesize",
+                "--model",
+                "tso",
+                "--bound",
+                "3",
+                "--max-addresses",
+                "1",
+                "--out",
+                str(out_path),
+                "-v",
+            ]
+        )
+        assert code == 0
+        assert out_path.exists()
+        out = capsys.readouterr().out
+        assert "union" in out and "Forbidden" in out
+
+    def test_synthesize_single_axiom(self, capsys):
+        code = main(
+            [
+                "synthesize",
+                "--model",
+                "sc",
+                "--bound",
+                "2",
+                "--axiom",
+                "sequential_consistency",
+            ]
+        )
+        assert code == 0
+
+    def test_check_minimal(self, capsys, tmp_path):
+        path = tmp_path / "mp.litmus"
+        entry = CATALOG["MP"]
+        path.write_text(format_test(entry.test, entry.forbidden))
+        assert main(["check", "--model", "tso", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "FORBIDDEN" in out
+        assert "MINIMAL" in out
+
+    def test_check_not_minimal(self, capsys, tmp_path):
+        path = tmp_path / "n5.litmus"
+        entry = CATALOG["n5"]
+        path.write_text(format_test(entry.test, entry.forbidden))
+        assert main(["check", "--model", "tso", str(path)]) == 0
+        assert "NOT MINIMAL" in capsys.readouterr().out
+
+    def test_compare(self, capsys):
+        code = main(
+            [
+                "compare",
+                "--model",
+                "tso",
+                "--bound",
+                "3",
+                "--max-addresses",
+                "1",
+            ]
+        )
+        assert code == 0
+        assert "REF-ONLY" in capsys.readouterr().out
+
+    def test_bad_model_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["synthesize", "--model", "bogus"])
