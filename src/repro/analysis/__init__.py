@@ -1,0 +1,71 @@
+"""Static analysis / lint subsystem.
+
+Three pass families over the synthesis stack's inputs:
+
+* **model** — memory-model axioms (:mod:`repro.analysis.model_lint`);
+* **litmus** — litmus tests and outcomes (:mod:`repro.analysis.litmus_lint`);
+* **pipeline** — CNF headed for the SAT solver
+  (:mod:`repro.analysis.pipeline_lint`).
+
+Importing this package registers every pass.  Entry points:
+``lint_registry`` (the registry-wide self-check behind ``repro lint``)
+and ``early_reject`` (the enumerator filter hook).
+"""
+
+from repro.analysis import (  # noqa: F401  (imports register the passes)
+    litmus_lint,
+    model_lint,
+    pipeline_lint,
+)
+from repro.analysis.diagnostics import (
+    JSON_SCHEMA_VERSION,
+    Diagnostic,
+    Report,
+    Severity,
+    Suppression,
+    parse_suppression,
+    render_json,
+    render_text,
+)
+from repro.analysis.litmus_lint import early_reject, find_duplicate_tests
+from repro.analysis.registry import (
+    ClauseLintContext,
+    LintPass,
+    LitmusLintContext,
+    ModelLintContext,
+    all_passes,
+    passes_for,
+    register_pass,
+    run_family,
+)
+from repro.analysis.selfcheck import (
+    REGISTRY_SUPPRESSIONS,
+    lint_catalog,
+    lint_models,
+    lint_registry,
+)
+
+__all__ = [
+    "JSON_SCHEMA_VERSION",
+    "Diagnostic",
+    "Severity",
+    "Suppression",
+    "Report",
+    "parse_suppression",
+    "render_text",
+    "render_json",
+    "ModelLintContext",
+    "LitmusLintContext",
+    "ClauseLintContext",
+    "LintPass",
+    "register_pass",
+    "passes_for",
+    "all_passes",
+    "run_family",
+    "early_reject",
+    "find_duplicate_tests",
+    "REGISTRY_SUPPRESSIONS",
+    "lint_models",
+    "lint_catalog",
+    "lint_registry",
+]

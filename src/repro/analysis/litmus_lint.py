@@ -1,0 +1,265 @@
+"""Litmus lint: well-formedness checks over tests and their outcomes.
+
+:class:`~repro.litmus.test.LitmusTest` already rejects structurally
+invalid programs in ``__post_init__``; these passes catch the next tier —
+tests that are *valid but meaningless*: reads that can only ever observe
+the initial value, outcome conditions naming events that do not exist (an
+"uninitialized register"), synchronization annotations the target model
+gives no semantics to (so no relaxation in
+:mod:`repro.relax.applicability` could ever weaken them), and tests that
+duplicate each other modulo :mod:`repro.core.canonical` symmetry.
+
+Diagnostic ids:
+
+=======  ========  ==========================================================
+id       severity  meaning
+=======  ========  ==========================================================
+LIT001   warning   read from an address no write ever stores to
+LIT002   error     outcome references a missing read / write event
+LIT003   warning   sync annotation outside the model's vocabulary (dead)
+LIT004   warning   test duplicates an earlier test modulo symmetry
+LIT005   error     outcome rf pairs a read with a write to another address
+=======  ========  ==========================================================
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+
+from repro.analysis.diagnostics import Diagnostic, Severity
+from repro.analysis.registry import (
+    LitmusLintContext,
+    register_pass,
+    run_family,
+)
+from repro.core.canonical import canonical_form
+from repro.litmus.events import Order
+from repro.litmus.test import LitmusTest
+
+__all__ = ["lint_litmus_context", "find_duplicate_tests", "early_reject"]
+
+
+@register_pass(
+    "litmus-unwritten-read",
+    "litmus",
+    "reads from addresses no write stores to",
+)
+def check_unwritten_reads(ctx: LitmusLintContext) -> Iterator[Diagnostic]:
+    """LIT001: such a read can only return the initial value, so any rf
+    edge into it is fixed and the event usually adds no discrimination.
+    Legitimate uses exist (address-dependency chains into a scratch
+    location, e.g. the Cambridge PPOAA tests), hence warning severity and
+    suppression support."""
+    test = ctx.test
+    for eid in test.read_eids:
+        addr = test.instruction(eid).address
+        assert addr is not None
+        if not test.writes_to(addr):
+            yield Diagnostic(
+                "LIT001",
+                Severity.WARNING,
+                f"{ctx.subject}:e{eid}",
+                f"read e{eid} targets address a{addr}, which no write "
+                "stores to; it can only observe the initial value",
+                hint="drop the read or add a write, unless the location "
+                "is an intentional dependency sink (suppress with a "
+                "reason if so)",
+            )
+
+
+@register_pass(
+    "litmus-outcome-events",
+    "litmus",
+    "outcome conditions referencing missing or mismatched events",
+)
+def check_outcome_events(ctx: LitmusLintContext) -> Iterator[Diagnostic]:
+    """LIT002/LIT005: every rf constraint must name a read of the test
+    and (when not the initial value) a write to the *same* address; every
+    final-value constraint must name an address of the test.  A register
+    condition on a non-existent read is the classic uninitialized-register
+    mistake."""
+    if ctx.outcome is None:
+        return
+    test = ctx.test
+    reads = set(test.read_eids)
+    writes = set(test.write_eids)
+    for read_eid, src in ctx.outcome.rf_sources:
+        subject = f"{ctx.subject}:e{read_eid}"
+        if read_eid not in reads:
+            yield Diagnostic(
+                "LIT002",
+                Severity.ERROR,
+                subject,
+                f"outcome constrains r{read_eid}, but event e{read_eid} "
+                "is not a read of the test (uninitialized register)",
+                hint="outcome registers must name read events; re-check "
+                "event ids after editing the test",
+            )
+            continue
+        if src is None:
+            continue
+        if src not in writes:
+            yield Diagnostic(
+                "LIT002",
+                Severity.ERROR,
+                subject,
+                f"outcome sources r{read_eid} from e{src}, which is not "
+                "a write of the test",
+                hint="rf sources must be write events (or None for the "
+                "initial value)",
+            )
+        elif test.instruction(src).address != test.instruction(read_eid).address:
+            yield Diagnostic(
+                "LIT005",
+                Severity.ERROR,
+                subject,
+                f"outcome sources r{read_eid} (address "
+                f"a{test.instruction(read_eid).address}) from write e{src} "
+                f"to address a{test.instruction(src).address}",
+                hint="a read can only observe writes to its own address",
+            )
+    for addr, w in ctx.outcome.finals:
+        subject = f"{ctx.subject}:a{addr}"
+        if addr not in test.addresses:
+            yield Diagnostic(
+                "LIT002",
+                Severity.ERROR,
+                subject,
+                f"outcome constrains the final value of a{addr}, which "
+                "no instruction accesses",
+                hint="final-value constraints must name test addresses",
+            )
+        elif w is not None and w not in test.writes_to(addr):
+            yield Diagnostic(
+                "LIT002",
+                Severity.ERROR,
+                subject,
+                f"outcome makes e{w} coherence-final at a{addr}, but it "
+                "is not a write to that address",
+                hint="final writes must store to the constrained address",
+            )
+
+
+@register_pass(
+    "litmus-dead-sync",
+    "litmus",
+    "synchronization annotations outside the model's vocabulary",
+)
+def check_dead_sync(ctx: LitmusLintContext) -> Iterator[Diagnostic]:
+    """LIT003: an annotation the model's vocabulary does not include has
+    no semantics under the model *and* no relaxation column applies to it
+    (the applicability matrix is vocabulary-derived), so minimality can
+    never justify it — it is dead weight that inflates the suite."""
+    if ctx.model is None:
+        return
+    vocab = ctx.model.vocabulary
+    test = ctx.test
+    for eid, inst in enumerate(test.instructions):
+        subject = f"{ctx.subject}:e{eid}"
+        if inst.is_fence:
+            assert inst.fence is not None
+            if inst.fence not in vocab.fence_kinds:
+                yield Diagnostic(
+                    "LIT003",
+                    Severity.WARNING,
+                    subject,
+                    f"fence kind {inst.fence.value!r} is outside the "
+                    f"{ctx.model.name} vocabulary; the fence is dead "
+                    "synchronization",
+                    hint="no relaxation can weaken an annotation the "
+                    "model gives no semantics to; use a vocabulary fence",
+                )
+        else:
+            allowed = (
+                vocab.read_orders if inst.is_read else vocab.write_orders
+            )
+            if inst.order is not Order.PLAIN and inst.order not in allowed:
+                yield Diagnostic(
+                    "LIT003",
+                    Severity.WARNING,
+                    subject,
+                    f"memory order {inst.order.name} on e{eid} is outside "
+                    f"the {ctx.model.name} vocabulary; the annotation is "
+                    "dead synchronization",
+                    hint="use an order the model defines, or drop the "
+                    "annotation",
+                )
+        if inst.scope is not None and inst.scope not in vocab.scopes:
+            yield Diagnostic(
+                "LIT003",
+                Severity.WARNING,
+                subject,
+                f"scope {inst.scope.name} on e{eid} is outside the "
+                f"{ctx.model.name} vocabulary",
+                hint="scoped annotations only mean something to scoped "
+                "models",
+            )
+    if test.rmw and not vocab.allows_rmw:
+        yield Diagnostic(
+            "LIT003",
+            Severity.WARNING,
+            ctx.subject,
+            f"test pairs RMW events but the {ctx.model.name} vocabulary "
+            "excludes RMWs",
+            hint="the atomicity of the pair has no semantics here",
+        )
+    for dep in sorted(test.deps):
+        if dep.kind not in vocab.dep_kinds:
+            yield Diagnostic(
+                "LIT003",
+                Severity.WARNING,
+                f"{ctx.subject}:e{dep.src}",
+                f"{dep.kind.value} dependency e{dep.src}->e{dep.dst} is "
+                f"outside the {ctx.model.name} vocabulary; the edge is "
+                "dead synchronization",
+                hint="dependency kinds the model ignores cannot order "
+                "anything and RD cannot remove them",
+            )
+
+
+def find_duplicate_tests(
+    tests: Iterable[tuple[str, LitmusTest]],
+) -> Iterator[Diagnostic]:
+    """LIT004 (collection-level): tests that are symmetric images of an
+    earlier test in the iteration order.  Takes ``(name, test)`` pairs so
+    callers control the subject naming."""
+    seen: dict[LitmusTest, str] = {}
+    for name, test in tests:
+        key = canonical_form(test)
+        if key in seen:
+            yield Diagnostic(
+                "LIT004",
+                Severity.WARNING,
+                f"test:{name}",
+                f"test duplicates {seen[key]!r} modulo thread/address "
+                "symmetry",
+                hint="symmetric tests probe identical behaviour; keep "
+                "one representative per class",
+            )
+        else:
+            seen[key] = name
+
+
+def lint_litmus_context(ctx: LitmusLintContext) -> Iterable[Diagnostic]:
+    """Run every registered litmus pass over one context."""
+    return run_family("litmus", ctx)
+
+
+def early_reject(model=None, min_severity: Severity = Severity.WARNING):
+    """Build an enumerator ``reject`` hook from the litmus passes.
+
+    The returned predicate answers "does this candidate carry any litmus
+    finding at ``min_severity`` or worse?" — candidates it rejects are
+    dropped before the oracle sees them (paper §5's perf concern: the
+    oracle dominates synthesis time, so filtering ill-formed tests early
+    is pure win).  Pass a model to also reject dead-synchronization
+    candidates; without one only model-independent passes fire.
+    """
+
+    def reject(test: LitmusTest) -> bool:
+        ctx = LitmusLintContext(test.name or "candidate", test, model=model)
+        return any(
+            d.severity >= min_severity for d in run_family("litmus", ctx)
+        )
+
+    return reject

@@ -1,0 +1,165 @@
+"""Pipeline lint: sanity checks over clause sets headed for the solver.
+
+The Tseitin compiler (:mod:`repro.relational.circuit`) and the relational
+translator are supposed to emit tight CNF: every allocated variable
+reachable from the root, no degenerate clauses.  These passes verify that
+on real encodings and on raw DIMACS input.
+
+Diagnostic ids:
+
+=======  ========  ==========================================================
+id       severity  meaning
+=======  ========  ==========================================================
+SAT001   warning   variable never referenced by any clause (orphan)
+SAT002   warning   tautological clause (contains ``v`` and ``-v``)
+SAT003   error     empty clause (formula trivially unsatisfiable)
+SAT004   info      duplicate literal within one clause
+SAT005   error     literal references a variable beyond ``num_vars``
+SAT006   info      unit clause in the input (fine, but worth surfacing)
+=======  ========  ==========================================================
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.analysis.diagnostics import Diagnostic, Severity
+from repro.analysis.registry import (
+    ClauseLintContext,
+    register_pass,
+    run_family,
+)
+from repro.sat.solver import Solver
+from repro.sat.types import index_lit
+
+__all__ = [
+    "lint_clause_context",
+    "context_from_solver",
+    "context_from_dimacs",
+]
+
+
+@register_pass(
+    "pipeline-clause-shape",
+    "pipeline",
+    "degenerate clauses: empty, tautological, duplicated literals",
+)
+def check_clause_shapes(ctx: ClauseLintContext):
+    """SAT002/SAT003/SAT004/SAT006 over each clause in input order."""
+    for i, clause in enumerate(ctx.clauses):
+        subject = f"{ctx.subject}:c{i}"
+        if not clause:
+            yield Diagnostic(
+                "SAT003",
+                Severity.ERROR,
+                subject,
+                "empty clause: the formula is trivially unsatisfiable",
+                hint="an empty clause at encoding time means the "
+                "translation contradicted itself",
+            )
+            continue
+        lits = set(clause)
+        if len(lits) < len(clause):
+            yield Diagnostic(
+                "SAT004",
+                Severity.INFO,
+                subject,
+                "clause repeats a literal",
+                hint="harmless but wasteful; the encoder should dedup",
+            )
+        if any(-lit in lits for lit in lits):
+            yield Diagnostic(
+                "SAT002",
+                Severity.WARNING,
+                subject,
+                "tautological clause (contains a literal and its "
+                "negation); it constrains nothing",
+                hint="the encoder emitted dead weight; a tautology "
+                "usually signals a polarity bug upstream",
+            )
+        elif len(lits) == 1:
+            yield Diagnostic(
+                "SAT006",
+                Severity.INFO,
+                subject,
+                f"unit clause fixes literal {next(iter(lits))} at "
+                "encoding time",
+                hint="expected for root assertions; a flood of units "
+                "suggests the encoding could be simplified upstream",
+            )
+
+
+@register_pass(
+    "pipeline-variable-use",
+    "pipeline",
+    "orphan and out-of-range variables",
+)
+def check_variable_use(ctx: ClauseLintContext):
+    """SAT001/SAT005: every declared variable should appear in some
+    clause (or be pre-marked via ``referenced_vars``, e.g. level-0 unit
+    assignments a solver consumed on entry), and no literal may exceed
+    the declared variable count."""
+    used: set[int] = set(ctx.referenced_vars)
+    for i, clause in enumerate(ctx.clauses):
+        for lit in clause:
+            var = abs(lit)
+            used.add(var)
+            if var > ctx.num_vars:
+                yield Diagnostic(
+                    "SAT005",
+                    Severity.ERROR,
+                    f"{ctx.subject}:c{i}",
+                    f"literal {lit} references variable {var} beyond the "
+                    f"declared {ctx.num_vars}",
+                    hint="the header/num_vars and the clause emitter "
+                    "disagree",
+                )
+    for var in range(1, ctx.num_vars + 1):
+        if var not in used:
+            yield Diagnostic(
+                "SAT001",
+                Severity.WARNING,
+                f"{ctx.subject}:v{var}",
+                f"variable {var} is never referenced by any clause "
+                "(orphan Tseitin variable)",
+                hint="orphans bloat the search space and usually mean a "
+                "circuit node was allocated but never asserted",
+            )
+
+
+# -- context builders ------------------------------------------------------------
+
+
+def context_from_solver(name: str, solver: Solver) -> ClauseLintContext:
+    """Lint context for a live solver's clause database.
+
+    The solver consumes unit clauses at level 0 (they become trail
+    assignments, not stored clauses) and drops tautologies on entry, so
+    the trail is pre-marked as referenced — variables fixed that way are
+    used, just not visible in ``solver.clauses``.
+    """
+    clauses = [
+        [index_lit(idx) for idx in clause.lits] for clause in solver.clauses
+    ]
+    referenced = {abs(index_lit(idx)) for idx in solver.trail}
+    return ClauseLintContext(
+        name,
+        num_vars=solver.num_vars,
+        clauses=clauses,
+        referenced_vars=referenced,
+    )
+
+
+def context_from_dimacs(
+    name: str, num_vars: int, clauses: Iterable[Iterable[int]]
+) -> ClauseLintContext:
+    """Lint context for parsed DIMACS input (pre-solver, nothing
+    consumed, so no pre-marked references)."""
+    return ClauseLintContext(
+        name, num_vars=num_vars, clauses=[list(c) for c in clauses]
+    )
+
+
+def lint_clause_context(ctx: ClauseLintContext) -> Iterable[Diagnostic]:
+    """Run every registered pipeline pass over one context."""
+    return run_family("pipeline", ctx)

@@ -1,0 +1,100 @@
+"""The tiny-bound probe battery for axiom satisfiability checks.
+
+Vacuity and unsatisfiability of an axiom are undecidable in general but
+cheap to *probe*: over a battery of tiny litmus tests that exercise every
+structural feature (coherence, cross-address communication, RMWs,
+dependencies, release/acquire orders, SC fences), an axiom that never
+rejects any well-formed execution of any probe is vacuous within the
+bounds, and one that rejects every execution of every probe is
+unsatisfiable.  Both are almost certainly authoring mistakes — exactly
+the approximation failures the paper documents in §4.3 and Fig. 18.
+
+Each probe is deliberately ≤ 6 events so both engines stay fast: the
+relational path solves a SAT instance per (probe, axiom), the explicit
+path enumerates at most a few dozen executions.
+"""
+
+from __future__ import annotations
+
+from repro.litmus.events import DepKind, FenceKind, Order, fence, read, write
+from repro.litmus.test import Dep, LitmusTest
+
+__all__ = ["PROBE_BATTERY", "probe_tests"]
+
+_X, _Y = 0, 1
+
+
+def _probes() -> tuple[LitmusTest, ...]:
+    cowr = LitmusTest(
+        ((write(_X, 1), read(_X)), (write(_X, 2),)),
+        name="probe:CoWR",
+    )
+    mp = LitmusTest(
+        ((write(_X, 1), write(_Y, 1)), (read(_Y), read(_X))),
+        name="probe:MP",
+    )
+    rmw = LitmusTest(
+        ((read(_X), write(_X, 1)), (write(_X, 2),)),
+        rmw=frozenset({(0, 1)}),
+        name="probe:RMW",
+    )
+    lb_datas = LitmusTest(
+        ((read(_X), write(_Y, 1)), (read(_Y), write(_X, 1))),
+        deps=frozenset({Dep(0, 1, DepKind.DATA), Dep(2, 3, DepKind.DATA)}),
+        name="probe:LB+datas",
+    )
+    mp_relacq = LitmusTest(
+        (
+            (write(_X, 1), write(_Y, 1, Order.REL)),
+            (read(_Y, Order.ACQ), read(_X)),
+        ),
+        name="probe:MP+relacq",
+    )
+    mp_syncs = LitmusTest(
+        (
+            (write(_X, 1), fence(FenceKind.SYNC), write(_Y, 1)),
+            (read(_Y), fence(FenceKind.SYNC), read(_X)),
+        ),
+        name="probe:MP+syncs",
+    )
+    w2_syncs = LitmusTest(
+        (
+            (write(_X, 1), fence(FenceKind.SYNC), write(_Y, 2)),
+            (write(_Y, 1), fence(FenceKind.SYNC), write(_X, 2)),
+        ),
+        name="probe:2+2W+syncs",
+    )
+    sb_scfences = LitmusTest(
+        (
+            (write(_X, 1), fence(FenceKind.FENCE_SC), read(_Y)),
+            (write(_Y, 1), fence(FenceKind.FENCE_SC), read(_X)),
+        ),
+        name="probe:SB+scfences",
+    )
+    sb_sc_orders = LitmusTest(
+        (
+            (write(_X, 1, Order.SC), read(_Y, Order.SC)),
+            (write(_Y, 1, Order.SC), read(_X, Order.SC)),
+        ),
+        name="probe:SB+scorders",
+    )
+    return (
+        cowr,
+        mp,
+        rmw,
+        lb_datas,
+        mp_relacq,
+        mp_syncs,
+        w2_syncs,
+        sb_scfences,
+        sb_sc_orders,
+    )
+
+
+#: The shared battery, in increasing execution-count order.
+PROBE_BATTERY: tuple[LitmusTest, ...] = _probes()
+
+
+def probe_tests() -> tuple[LitmusTest, ...]:
+    """The battery (function form, mirroring the catalog accessors)."""
+    return PROBE_BATTERY

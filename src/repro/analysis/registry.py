@@ -1,0 +1,148 @@
+"""Pass registry: named lint passes grouped into families.
+
+A *pass* is a function from a family-specific context object to an
+iterable of :class:`~repro.analysis.diagnostics.Diagnostic`.  Passes
+self-register at import time via :func:`register_pass`, so adding a new
+check is one decorated function; the CLI and the registry self-check
+discover passes through :func:`passes_for` and never need editing.
+
+Families:
+
+* ``model``    — context is a :class:`ModelLintContext` (AST formulas
+  and/or a live :class:`~repro.models.base.MemoryModel`);
+* ``litmus``   — context is a :class:`LitmusLintContext` (one test plus
+  optional outcome and model);
+* ``pipeline`` — context is a :class:`ClauseLintContext` (a clause set
+  as it is about to reach the SAT solver).
+
+Collection-level checks (e.g. duplicate tests modulo canonicalization)
+do not fit the one-subject-per-context shape and live as plain
+functions in their pass modules.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterable, Iterator
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any
+
+from repro.analysis.diagnostics import Diagnostic
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.litmus.execution import Outcome
+    from repro.litmus.test import LitmusTest
+    from repro.models.base import MemoryModel
+    from repro.relational import ast
+    from repro.relational.problem import Problem
+
+__all__ = [
+    "ModelLintContext",
+    "LitmusLintContext",
+    "ClauseLintContext",
+    "LintPass",
+    "register_pass",
+    "passes_for",
+    "all_passes",
+    "run_family",
+]
+
+
+@dataclass
+class ModelLintContext:
+    """What model-lint passes see.
+
+    Either ``formulas`` (the relational-AST twin, with its bounded
+    ``problem``) or ``model`` (the executable axioms) may be absent;
+    passes skip silently when their inputs are missing.
+    """
+
+    name: str
+    formulas: "dict[str, ast.Formula] | None" = None
+    problem: "Problem | None" = None
+    model: "MemoryModel | None" = None
+    #: run the (slower) tiny-bound satisfiability probes
+    probe: bool = True
+    #: model needs a total sc order (affects probe encoding/enumeration)
+    needs_sc: bool = False
+
+    @property
+    def subject(self) -> str:
+        return f"model:{self.name}"
+
+
+@dataclass
+class LitmusLintContext:
+    """What litmus-lint passes see: one test and its surroundings."""
+
+    name: str
+    test: "LitmusTest"
+    outcome: "Outcome | None" = None
+    model: "MemoryModel | None" = None
+
+    @property
+    def subject(self) -> str:
+        return f"test:{self.name}"
+
+
+@dataclass
+class ClauseLintContext:
+    """What pipeline-lint passes see: a raw clause set.
+
+    ``referenced_vars`` may pre-mark variables known to be used outside
+    the clause list (e.g. level-0 unit assignments the solver consumed
+    on entry), so the orphan-variable pass does not flag them.
+    """
+
+    name: str
+    num_vars: int
+    clauses: list[list[int]]
+    referenced_vars: set[int] = field(default_factory=set)
+
+    @property
+    def subject(self) -> str:
+        return f"cnf:{self.name}"
+
+
+PassFn = Callable[[Any], Iterable[Diagnostic]]
+
+
+@dataclass(frozen=True)
+class LintPass:
+    """One registered pass: identity, family, and the check function."""
+
+    name: str
+    family: str
+    fn: PassFn
+    description: str = ""
+
+
+_FAMILIES = ("model", "litmus", "pipeline")
+_REGISTRY: dict[str, LintPass] = {}
+
+
+def register_pass(name: str, family: str, description: str = ""):
+    """Decorator registering a pass function under ``name``/``family``."""
+    if family not in _FAMILIES:
+        raise ValueError(f"unknown pass family {family!r}")
+
+    def deco(fn: PassFn) -> PassFn:
+        if name in _REGISTRY:
+            raise ValueError(f"lint pass {name!r} already registered")
+        _REGISTRY[name] = LintPass(name, family, fn, description)
+        return fn
+
+    return deco
+
+
+def passes_for(family: str) -> tuple[LintPass, ...]:
+    return tuple(p for p in _REGISTRY.values() if p.family == family)
+
+
+def all_passes() -> tuple[LintPass, ...]:
+    return tuple(_REGISTRY.values())
+
+
+def run_family(family: str, context: Any) -> Iterator[Diagnostic]:
+    """Run every registered pass of a family over one context."""
+    for lint_pass in passes_for(family):
+        yield from lint_pass.fn(context)

@@ -9,14 +9,21 @@
                             [--out suite.json]
     litmus-synth check --model tso test.litmus
     litmus-synth show --name MP
+    litmus-synth show --file test.litmus
     litmus-synth compare --model tso --bound 5 --reference owens
+    litmus-synth lint [--all-models] [--catalog] [--model tso]
+                      [--format text|json] [--suppress ID[:GLOB]]
+                      [tests.litmus ...]
 """
 
 from __future__ import annotations
 
 import argparse
+import re
 import sys
 
+from repro import analysis
+from repro.analysis import selfcheck
 from repro.core.compare import compare_suites
 from repro.core.enumerator import EnumerationConfig
 from repro.core.minimality import CriterionMode, MinimalityChecker
@@ -26,11 +33,34 @@ from repro.litmus.catalog import (
     cambridge_power_suite,
     owens_forbidden,
 )
-from repro.litmus.format import format_test, parse_test
+from repro.litmus.execution import Outcome
+from repro.litmus.format import ParseError, format_test, parse_test
+from repro.litmus.test import LitmusTest
 from repro.models.registry import available_models, get_model
 from repro.relax.applicability import format_table
 
 __all__ = ["main"]
+
+
+class _CliError(Exception):
+    """A user-facing CLI failure: message to stderr, exit status 2."""
+
+
+def _read_file(path: str) -> str:
+    try:
+        with open(path) as fh:
+            return fh.read()
+    except OSError as exc:
+        raise _CliError(f"cannot read {path}: {exc.strerror or exc}") from exc
+
+
+def _load_litmus(path: str) -> tuple[LitmusTest, Outcome | None]:
+    """Read and parse a .litmus file, mapping failures to clean errors."""
+    text = _read_file(path)
+    try:
+        return parse_test(text)
+    except (ParseError, ValueError) as exc:
+        raise _CliError(f"{path}: {exc}") from exc
 
 
 def _cmd_models(_args) -> int:
@@ -61,6 +91,7 @@ def _cmd_synthesize(args) -> int:
         axioms=[args.axiom] if args.axiom else None,
         mode=CriterionMode(args.mode),
         config=config,
+        reject=analysis.early_reject(model) if args.early_reject else None,
     )
     print(result.summary())
     if args.verbose:
@@ -78,8 +109,7 @@ def _cmd_synthesize(args) -> int:
 
 def _cmd_check(args) -> int:
     model = get_model(args.model)
-    with open(args.test) as fh:
-        test, outcome = parse_test(fh.read())
+    test, outcome = _load_litmus(args.test)
     checker = MinimalityChecker(model, CriterionMode(args.mode))
     print(test.pretty())
     if outcome is not None:
@@ -100,6 +130,10 @@ def _cmd_check(args) -> int:
 
 
 def _cmd_show(args) -> int:
+    if args.file:
+        test, outcome = _load_litmus(args.file)
+        print(format_test(test, outcome))
+        return 0
     if args.name:
         entry = CATALOG.get(args.name)
         if entry is None:
@@ -112,6 +146,81 @@ def _cmd_show(args) -> int:
     for name, entry in sorted(CATALOG.items()):
         print(f"{name:16s} [{entry.model}] {entry.note}")
     return 0
+
+
+_DISABLE_RE = re.compile(r"#\s*lint:\s*disable=([\w:*?,.\[\]-]+)")
+
+
+def _file_suppressions(path: str, text: str) -> list[analysis.Suppression]:
+    """``# lint: disable=ID[,ID...]`` comment lines, scoped to the file
+    unless the spec carries its own subject glob."""
+    out = []
+    for match in _DISABLE_RE.finditer(text):
+        for spec in match.group(1).split(","):
+            spec = spec.strip()
+            if not spec:
+                continue
+            sup = analysis.parse_suppression(
+                spec, reason=f"file directive in {path}"
+            )
+            if sup.subject == "*":
+                sup = analysis.Suppression(
+                    sup.id, f"test:{path}*", sup.reason
+                )
+            out.append(sup)
+    return out
+
+
+def _cmd_lint(args) -> int:
+    report = analysis.Report()
+    try:
+        suppressions = [
+            analysis.parse_suppression(spec, reason="command line")
+            for spec in args.suppress
+        ]
+    except ValueError as exc:
+        raise _CliError(f"bad --suppress value: {exc}") from exc
+    suppressions.extend(selfcheck.REGISTRY_SUPPRESSIONS)
+    # With no explicit target, lint everything the repository ships.
+    default_all = not (args.paths or args.all_models or args.catalog)
+    probe = not args.no_probe
+    if args.all_models or default_all:
+        report.extend(selfcheck.lint_models(probe).diagnostics)
+        report.extend(selfcheck.lint_encoding_smoke().diagnostics)
+    if args.catalog or default_all:
+        report.extend(selfcheck.lint_catalog().diagnostics)
+    model = get_model(args.model) if args.model else None
+    named: list[tuple[str, LitmusTest]] = []
+    for path in args.paths:
+        try:
+            text = _read_file(path)
+            test, outcome = parse_test(text)
+        except (_CliError, ParseError, ValueError) as exc:
+            report.extend(
+                [
+                    analysis.Diagnostic(
+                        "LIT006",
+                        analysis.Severity.ERROR,
+                        f"file:{path}",
+                        f"cannot load litmus test: {exc}",
+                        hint="fix the syntax (see `repro show --name MP` "
+                        "for the format) or the path",
+                    )
+                ]
+            )
+            continue
+        suppressions.extend(_file_suppressions(path, text))
+        named.append((path, test))
+        ctx = analysis.LitmusLintContext(path, test, outcome=outcome, model=model)
+        report.extend(analysis.run_family("litmus", ctx))
+    if len(named) > 1:
+        report.extend(analysis.find_duplicate_tests(named))
+    report = report.apply_suppressions(suppressions)
+    if args.format == "json":
+        print(analysis.render_json(report))
+    else:
+        print(analysis.render_text(report))
+    return report.exit_code
 
 
 def _cmd_compare(args) -> int:
@@ -158,6 +267,11 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="write one .litmus text file per synthesized test here",
     )
+    p.add_argument(
+        "--early-reject",
+        action="store_true",
+        help="drop candidates with lint findings before any oracle call",
+    )
     p.add_argument("-v", "--verbose", action="store_true")
 
     p = sub.add_parser("check", help="check a .litmus file for minimality")
@@ -171,12 +285,52 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("show", help="print catalog tests")
     p.add_argument("--name", default=None)
+    p.add_argument("--file", default=None, help="print a .litmus file instead")
 
     p = sub.add_parser("compare", help="compare against a published suite")
     p.add_argument("--model", required=True, choices=available_models())
     p.add_argument("--bound", type=int, default=5)
     p.add_argument("--max-addresses", type=int, default=3)
     p.add_argument("--reference", default="owens", choices=["owens", "cambridge"])
+
+    p = sub.add_parser(
+        "lint",
+        help="lint models, catalog tests, and .litmus files",
+        description="With no target, lints every registered model plus "
+        "the full catalog (the CI gate). Exit status: 0 clean, "
+        "1 warnings, 2 errors.",
+    )
+    p.add_argument("paths", nargs="*", help=".litmus files to lint")
+    p.add_argument(
+        "--all-models",
+        action="store_true",
+        help="lint every registered memory model",
+    )
+    p.add_argument(
+        "--catalog",
+        action="store_true",
+        help="lint every catalog litmus test",
+    )
+    p.add_argument(
+        "--model",
+        default=None,
+        choices=available_models(),
+        help="model vocabulary to lint the given files against",
+    )
+    p.add_argument("--format", default="text", choices=["text", "json"])
+    p.add_argument(
+        "--suppress",
+        action="append",
+        default=[],
+        metavar="ID[:GLOB]",
+        help="silence a diagnostic id, optionally scoped by subject glob "
+        "(repeatable)",
+    )
+    p.add_argument(
+        "--no-probe",
+        action="store_true",
+        help="skip the tiny-bound axiom satisfiability probes",
+    )
 
     return parser
 
@@ -188,12 +342,17 @@ _COMMANDS = {
     "check": _cmd_check,
     "show": _cmd_show,
     "compare": _cmd_compare,
+    "lint": _cmd_lint,
 }
 
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    return _COMMANDS[args.command](args)
+    try:
+        return _COMMANDS[args.command](args)
+    except _CliError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

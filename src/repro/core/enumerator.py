@@ -25,7 +25,7 @@ emitting permuted-thread duplicates wholesale.
 
 from __future__ import annotations
 
-from collections.abc import Iterator
+from collections.abc import Callable, Iterator
 from dataclasses import dataclass
 from itertools import combinations, combinations_with_replacement, product
 
@@ -269,9 +269,16 @@ def _communicates(units: tuple[ThreadUnit, ...]) -> bool:
 
 
 def enumerate_tests(
-    vocab: Vocabulary, config: EnumerationConfig
+    vocab: Vocabulary,
+    config: EnumerationConfig,
+    reject: Callable[[LitmusTest], bool] | None = None,
 ) -> Iterator[LitmusTest]:
-    """Stream every candidate test within the configured bounds."""
+    """Stream every candidate test within the configured bounds.
+
+    ``reject`` is an opt-in early filter: candidates it returns True for
+    are dropped before they are yielded (and so before any oracle call).
+    :func:`repro.analysis.early_reject` builds one from the lint passes.
+    """
     unit_pool: dict[int, list[ThreadUnit]] = {}
     for n in range(config.min_events, config.max_events + 1):
         cap = (
@@ -292,9 +299,13 @@ def enumerate_tests(
                     continue
                 if vocab.has_scopes:
                     for groups in _group_assignments(len(selection)):
-                        yield _assemble(selection, groups)
+                        candidate = _assemble(selection, groups)
+                        if reject is None or not reject(candidate):
+                            yield candidate
                 else:
-                    yield _assemble(selection)
+                    candidate = _assemble(selection)
+                    if reject is None or not reject(candidate):
+                        yield candidate
 
 
 def _group_sizes(sizes: tuple[int, ...]) -> list[tuple[int, int]]:

@@ -64,6 +64,7 @@ def synthesize(
     exact_symmetry: bool = True,
     candidates: Iterable[LitmusTest] | None = None,
     progress: Callable[[int], None] | None = None,
+    reject: Callable[[LitmusTest], bool] | None = None,
 ) -> SynthesisResult:
     """Synthesize the comprehensive suites for one model.
 
@@ -79,6 +80,10 @@ def synthesize(
             used by tests and by suite-from-corpus workflows).
         progress: optional callback invoked with the running candidate
             count every 1000 candidates.
+        reject: opt-in early filter passed to the enumerator; candidates
+            it returns True for are skipped before any oracle call (see
+            :func:`repro.analysis.early_reject`).  Ignored when an
+            explicit ``candidates`` stream is supplied.
     """
     start = time.perf_counter()
     if config is None:
@@ -95,7 +100,7 @@ def synthesize(
     stream = (
         candidates
         if candidates is not None
-        else enumerate_tests(model.vocabulary, config)
+        else enumerate_tests(model.vocabulary, config, reject=reject)
     )
     seen: set[LitmusTest] = set()
     n_candidates = 0

@@ -1,0 +1,117 @@
+"""Diagnostics core: severities, suppressions, reports, renderers."""
+
+import json
+
+import pytest
+
+from repro.analysis.diagnostics import (
+    JSON_SCHEMA_VERSION,
+    Diagnostic,
+    Report,
+    Severity,
+    Suppression,
+    parse_suppression,
+    render_json,
+    render_text,
+)
+
+
+def diag(id="MDL001", sev=Severity.ERROR, subject="model:x:y", msg="m"):
+    return Diagnostic(id, sev, subject, msg)
+
+
+class TestSeverity:
+    def test_ordering(self):
+        assert Severity.INFO < Severity.WARNING < Severity.ERROR
+
+    def test_labels(self):
+        assert Severity.WARNING.label == "warning"
+
+
+class TestDiagnostic:
+    def test_format_includes_id_subject_severity(self):
+        text = diag().format()
+        assert "error[MDL001]" in text and "model:x:y" in text
+
+    def test_hint_rendered_when_present(self):
+        d = Diagnostic("LIT001", Severity.WARNING, "t", "msg", hint="fix it")
+        assert "fix it" in d.format()
+        assert "hint" not in diag().format()
+
+    def test_as_dict_keys(self):
+        assert set(diag().as_dict()) == {
+            "id",
+            "severity",
+            "subject",
+            "message",
+            "hint",
+        }
+
+
+class TestSuppression:
+    def test_exact_id_match(self):
+        assert Suppression("MDL001").matches(diag())
+        assert not Suppression("MDL002").matches(diag())
+
+    def test_subject_glob(self):
+        sup = Suppression("MDL001", "model:x:*")
+        assert sup.matches(diag(subject="model:x:anything"))
+        assert not sup.matches(diag(subject="model:y:anything"))
+
+    def test_parse_plain_and_scoped(self):
+        assert parse_suppression("LIT001") == Suppression("LIT001")
+        scoped = parse_suppression("LIT001:test:PPOAA*")
+        assert scoped.subject == "test:PPOAA*"
+
+    def test_parse_rejects_empty(self):
+        with pytest.raises(ValueError):
+            parse_suppression("   ")
+
+
+class TestReport:
+    def test_exit_codes(self):
+        assert Report().exit_code == 0
+        assert Report([diag(sev=Severity.INFO)]).exit_code == 0
+        assert Report([diag(sev=Severity.WARNING)]).exit_code == 1
+        assert Report(
+            [diag(sev=Severity.WARNING), diag(sev=Severity.ERROR)]
+        ).exit_code == 2
+
+    def test_apply_suppressions_partitions(self):
+        report = Report([diag(), diag(id="LIT001", sev=Severity.WARNING)])
+        filtered = report.apply_suppressions([Suppression("MDL001")])
+        assert [d.id for d in filtered.diagnostics] == ["LIT001"]
+        assert [d.id for d in filtered.suppressed] == ["MDL001"]
+        assert filtered.exit_code == 1
+
+    def test_sorted_most_severe_first(self):
+        report = Report(
+            [diag(sev=Severity.INFO), diag(id="SAT003", sev=Severity.ERROR)]
+        )
+        assert report.sorted().diagnostics[0].id == "SAT003"
+
+
+class TestRenderers:
+    def test_text_has_summary_line(self):
+        out = render_text(Report([diag()]))
+        assert "1 error(s), 0 warning(s), 0 info(s)" in out
+
+    def test_json_schema(self):
+        report = Report([diag()]).apply_suppressions([])
+        payload = json.loads(render_json(report))
+        assert payload["version"] == JSON_SCHEMA_VERSION
+        assert set(payload) == {
+            "version",
+            "exit_code",
+            "summary",
+            "diagnostics",
+            "suppressed",
+        }
+        assert set(payload["summary"]) == {
+            "errors",
+            "warnings",
+            "infos",
+            "suppressed",
+        }
+        assert payload["exit_code"] == 2
+        assert payload["diagnostics"][0]["id"] == "MDL001"

@@ -1,0 +1,109 @@
+"""Model lint: seeded defects must fire, shipped models must not."""
+
+from repro.analysis.model_lint import (
+    alloy_context,
+    lint_model_context,
+    model_context,
+    referenced_relations,
+)
+from repro.litmus.events import Order
+from repro.models.base import MemoryModel, Vocabulary
+from repro.models.registry import available_models, get_model
+from repro.relational import ast
+
+
+def ids(diagnostics):
+    return sorted(d.id for d in diagnostics)
+
+
+def run(formulas):
+    return list(lint_model_context(alloy_context("seeded", formulas)))
+
+
+class TestAstWalker:
+    def test_collects_all_relation_names(self):
+        f = ast.Acyclic(ast.Rel("rf") + ast.Rel("co").join(ast.Rel("po")))
+        assert referenced_relations(f) == {"rf", "co", "po"}
+
+
+class TestSeededAstDefects:
+    def test_unused_free_relation_mdl001(self):
+        # co is a free relation of every encoding; an axiom set that only
+        # constrains rf leaves it dangling.
+        report = run({"only_rf": ast.Acyclic(ast.Rel("rf") + ast.Rel("po"))})
+        unused = [d for d in report if d.id == "MDL001"]
+        assert unused and any("co" in d.subject for d in unused)
+
+    def test_vacuous_axiom_mdl002(self):
+        # rf alone is acyclic in every well-formed execution.
+        report = run(
+            {
+                "vacuous": ast.Acyclic(ast.Rel("rf")),
+                "uses_co": ast.Acyclic(ast.Rel("co") + ast.Rel("rf")),
+            }
+        )
+        assert any(
+            d.id == "MDL002" and "vacuous" in d.subject for d in report
+        )
+
+    def test_unsat_axiom_mdl003(self):
+        # Every probe has a multi-event thread, so po is never empty.
+        report = run(
+            {
+                "unsat": ast.No(ast.Rel("po")),
+                "uses_free": ast.Acyclic(ast.Rel("rf") + ast.Rel("co")),
+            }
+        )
+        assert any(d.id == "MDL003" and "unsat" in d.subject for d in report)
+
+    def test_closure_misuse_mdl004(self):
+        report = run(
+            {
+                "warn": ast.Acyclic(ast.Closure(ast.Rel("po"))),
+                "err": ast.Irreflexive(ast.RClosure(ast.Rel("po"))),
+                "uses_free": ast.Acyclic(ast.Rel("rf") + ast.Rel("co")),
+            }
+        )
+        hits = [d for d in report if d.id == "MDL004"]
+        assert {d.severity.label for d in hits} == {"warning", "error"}
+
+    def test_duplicate_axiom_mdl005(self):
+        body = ast.Acyclic(ast.Rel("rf") + ast.Rel("co"))
+        report = run({"a": body, "b": body})
+        assert any(d.id == "MDL005" for d in report)
+
+
+class _BrokenModel(MemoryModel):
+    """Executable model seeded with a vacuous and an unsat axiom, plus a
+    workaround set that drifted out of sync."""
+
+    name = "broken"
+    full_name = "seeded-defect model"
+
+    @property
+    def vocabulary(self) -> Vocabulary:
+        return Vocabulary(
+            read_orders=(Order.PLAIN,), write_orders=(Order.PLAIN,)
+        )
+
+    def axioms(self):
+        return {"always": lambda v: True, "never": lambda v: False}
+
+    def wa_axioms(self):
+        return {"always": lambda v: True}
+
+
+class TestSeededCallableDefects:
+    def test_vacuous_unsat_and_wa_drift(self):
+        report = list(lint_model_context(model_context(_BrokenModel())))
+        found = ids(report)
+        assert "MDL002" in found  # 'always' never rejects
+        assert "MDL003" in found  # 'never' rejects everything
+        assert "MDL006" in found  # wa_axioms key drift
+
+
+class TestShippedModelsClean:
+    def test_every_registered_model_is_clean(self):
+        for name in available_models():
+            ctx = model_context(get_model(name))
+            assert list(lint_model_context(ctx)) == [], name

@@ -1,0 +1,78 @@
+"""Pipeline lint: degenerate CNF must be flagged, real encodings not."""
+
+from repro.analysis.pipeline_lint import (
+    context_from_dimacs,
+    context_from_solver,
+    lint_clause_context,
+)
+from repro.analysis.registry import ClauseLintContext
+from repro.sat.dimacs import parse_dimacs
+from repro.sat.solver import Solver
+
+
+def lint(num_vars, clauses, referenced=()):
+    ctx = ClauseLintContext(
+        "seeded",
+        num_vars=num_vars,
+        clauses=clauses,
+        referenced_vars=set(referenced),
+    )
+    return list(lint_clause_context(ctx))
+
+
+def ids(diagnostics):
+    return sorted(d.id for d in diagnostics)
+
+
+class TestClauseShapes:
+    def test_orphan_variable_sat001(self):
+        # Variable 3 is allocated but no clause mentions it: the classic
+        # orphan Tseitin variable.
+        report = lint(3, [[1, -2], [2]])
+        assert any(d.id == "SAT001" and ":v3" in d.subject for d in report)
+
+    def test_orphan_suppressed_by_referenced_vars(self):
+        report = lint(3, [[1, -2], [2]], referenced={3})
+        assert not any(d.id == "SAT001" for d in report)
+
+    def test_tautology_sat002(self):
+        report = lint(2, [[1, -1, 2]])
+        assert any(d.id == "SAT002" for d in report)
+
+    def test_empty_clause_sat003(self):
+        report = lint(1, [[1], []])
+        assert any(d.id == "SAT003" for d in report)
+
+    def test_duplicate_literal_sat004(self):
+        report = lint(2, [[1, 1, 2]])
+        assert any(d.id == "SAT004" for d in report)
+
+    def test_out_of_range_literal_sat005(self):
+        report = lint(2, [[1, -5], [2]])
+        assert any(d.id == "SAT005" for d in report)
+
+    def test_unit_clause_sat006_is_info(self):
+        report = lint(2, [[1], [1, 2]])
+        hits = [d for d in report if d.id == "SAT006"]
+        assert hits and all(d.severity.label == "info" for d in hits)
+
+    def test_clean_cnf(self):
+        report = lint(3, [[1, -2], [2, 3], [-1, -3]])
+        assert report == []
+
+
+class TestContextBuilders:
+    def test_from_solver_marks_trail_referenced(self):
+        solver = Solver()
+        for _ in range(3):
+            solver.new_var()
+        solver.add_clause([1])  # consumed at level 0: trail, not clauses
+        solver.add_clause([2, 3])
+        ctx = context_from_solver("s", solver)
+        report = list(lint_clause_context(ctx))
+        assert not any(d.id == "SAT001" for d in report)
+
+    def test_from_dimacs(self):
+        num_vars, clauses = parse_dimacs("p cnf 3 2\n1 -2 0\n2 3 0\n")
+        ctx = context_from_dimacs("d", num_vars, clauses)
+        assert list(lint_clause_context(ctx)) == []

@@ -1,0 +1,59 @@
+"""The registry-wide self-check must run clean on the shipped repo."""
+
+from repro.analysis.diagnostics import Severity
+from repro.analysis.registry import all_passes, passes_for
+from repro.analysis.selfcheck import (
+    REGISTRY_SUPPRESSIONS,
+    lint_catalog,
+    lint_encoding_smoke,
+    lint_models,
+    lint_registry,
+)
+
+
+class TestRegistrySelfCheck:
+    def test_registry_lint_is_clean(self):
+        report = lint_registry()
+        assert report.exit_code == 0
+        assert report.diagnostics == []
+
+    def test_intentional_findings_are_suppressed_not_dropped(self):
+        # The PPOAA dependency-sink reads are real findings; they must
+        # survive into the suppressed list so they cannot rot silently.
+        report = lint_registry()
+        assert any(
+            d.id == "LIT001" and "PPOAA" in d.subject
+            for d in report.suppressed
+        )
+
+    def test_every_registry_suppression_documents_a_reason(self):
+        assert REGISTRY_SUPPRESSIONS
+        assert all(s.reason for s in REGISTRY_SUPPRESSIONS)
+
+    def test_models_lint_clean(self):
+        assert [
+            d for d in lint_models().diagnostics
+            if d.severity >= Severity.WARNING
+        ] == []
+
+    def test_catalog_lint_only_expected_findings(self):
+        unexpected = [
+            d
+            for d in lint_catalog().diagnostics
+            if not any(s.matches(d) for s in REGISTRY_SUPPRESSIONS)
+        ]
+        assert unexpected == []
+
+    def test_encoding_smoke_clean(self):
+        assert lint_encoding_smoke().diagnostics == []
+
+
+class TestPassRegistry:
+    def test_families_populated(self):
+        assert passes_for("model")
+        assert passes_for("litmus")
+        assert passes_for("pipeline")
+
+    def test_pass_names_unique(self):
+        names = [p.name for p in all_passes()]
+        assert len(names) == len(set(names))

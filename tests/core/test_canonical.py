@@ -148,3 +148,79 @@ class TestCanonicalSet:
         s.add(CATALOG["SB"].test)
         assert len(list(s)) == 2
         assert len(list(s.canonical_tests())) == 2
+
+
+class TestCanonicalFoundations:
+    """Idempotence and renaming invariance over catalog tests — the
+    properties the duplicate-test lint (LIT004) is built on."""
+
+    SAMPLE = ("MP", "SB", "LB", "WRC", "WWC", "IRIW", "2+2W", "PPOAA", "n5")
+
+    def test_canonicalization_is_idempotent(self):
+        for name in self.SAMPLE:
+            canon = canonical_form(CATALOG[name].test)
+            assert canonical_form(canon) == canon, name
+
+    def test_invariant_under_thread_renaming(self):
+        from itertools import permutations
+
+        for name in self.SAMPLE:
+            t = CATALOG[name].test
+            base = canonical_form(t)
+            for order in permutations(range(len(t.threads))):
+                eid_map = {}
+                next_eid = 0
+                for tid in order:
+                    for i in range(len(t.threads[tid])):
+                        eid_map[t.eid(tid, i)] = next_eid
+                        next_eid += 1
+                permuted = LitmusTest(
+                    tuple(t.threads[tid] for tid in order),
+                    frozenset(
+                        (eid_map[r], eid_map[w]) for r, w in t.rmw
+                    ),
+                    frozenset(
+                        Dep(eid_map[d.src], eid_map[d.dst], d.kind)
+                        for d in t.deps
+                    ),
+                    tuple(t.scopes[tid] for tid in order)
+                    if t.scopes is not None
+                    else None,
+                )
+                assert canonical_form(permuted) == base, (name, order)
+
+    def test_invariant_under_address_renaming(self):
+        for name in self.SAMPLE:
+            t = CATALOG[name].test
+            base = canonical_form(t)
+            addr_map = {a: 10 + (len(t.addresses) - 1 - i) for i, a in enumerate(t.addresses)}
+            renamed = LitmusTest(
+                tuple(
+                    tuple(
+                        inst
+                        if inst.address is None
+                        else inst.__class__(
+                            inst.kind,
+                            addr_map[inst.address],
+                            inst.order,
+                            inst.fence,
+                            inst.value,
+                            inst.scope,
+                        )
+                        for inst in thread
+                    )
+                    for thread in t.threads
+                ),
+                t.rmw,
+                t.deps,
+                t.scopes,
+            )
+            assert canonical_form(renamed) == base, name
+
+    def test_event_map_is_a_bijection(self):
+        for name in self.SAMPLE:
+            t = CATALOG[name].test
+            _, event_map, addr_map = canonicalize(t)
+            assert sorted(event_map) == list(range(t.num_events))
+            assert sorted(event_map.values()) == list(range(t.num_events))
+            assert sorted(addr_map) == sorted(t.addresses)

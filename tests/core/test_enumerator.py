@@ -1,7 +1,5 @@
 """Candidate enumeration tests."""
 
-import pytest
-
 from repro.core.enumerator import (
     EnumerationConfig,
     count_tests,

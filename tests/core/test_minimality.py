@@ -2,9 +2,9 @@
 
 import pytest
 
-from repro.core.minimality import CriterionMode, MinimalityChecker
+from repro.core.minimality import MinimalityChecker
 from repro.litmus.catalog import CATALOG
-from repro.litmus.events import FenceKind, Order, fence, read, write
+from repro.litmus.events import Order, read, write
 from repro.litmus.test import LitmusTest
 from repro.models.registry import get_model
 

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core.oracle import ExplicitOracle, TestAnalysis
+from repro.core.oracle import ExplicitOracle
 from repro.litmus.catalog import CATALOG, outcome_from_values
 from repro.litmus.execution import Outcome
 from repro.models.registry import get_model

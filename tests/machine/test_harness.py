@@ -52,8 +52,6 @@ class TestSuiteEffectiveness:
         tso, suite = synthesized_suite
         report = run_suite(suite, tso, Bug.IGNORE_MFENCE)
         # the bound-5 suite has no mfence-bearing minimal test...
-        from repro.litmus.events import FenceKind
-
         has_fence_test = any(
             inst.is_fence
             for entry in suite

@@ -9,7 +9,7 @@ import pytest
 
 from repro.core.oracle import ExplicitOracle
 from repro.litmus.catalog import CATALOG, outcome_from_values
-from repro.litmus.events import FenceKind, fence, read, write
+from repro.litmus.events import read, write
 from repro.litmus.test import LitmusTest
 from repro.machine.tso_machine import Bug, TsoMachine, explore
 from repro.models.registry import get_model

@@ -4,7 +4,6 @@ import pytest
 
 from repro.models.base import MemoryModel
 from repro.models.registry import (
-    MODEL_CLASSES,
     available_models,
     get_model,
     register_model,

@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.core.oracle import ExplicitOracle
 from repro.litmus.catalog import CATALOG
 from repro.models.sc import SC
 

@@ -1,7 +1,5 @@
 """Symmetry-breaking predicate tests."""
 
-import pytest
-
 from repro.relational import ast
 from repro.relational.problem import Problem
 from repro.relational.solve import ModelFinder

@@ -58,3 +58,50 @@ class TestRoundTrip:
     def test_unsat_file(self):
         solver = solver_from_dimacs("p cnf 1 2\n1 0\n-1 0\n")
         assert not solver.solve()
+
+
+class TestRoundTripEdgeCases:
+    """serialize -> parse preserves clause sets (lint satellite)."""
+
+    def test_empty_clause_list(self):
+        text = to_dimacs(3, [])
+        num_vars, clauses = parse_dimacs(text)
+        assert num_vars == 3 and clauses == []
+
+    def test_unit_and_long_clauses(self):
+        clauses = [[1], [-1, 2, -3, 4, -5], [5]]
+        num_vars, again = parse_dimacs(to_dimacs(5, clauses))
+        assert num_vars == 5 and again == clauses
+
+    def test_roundtrip_preserves_literal_order(self):
+        clauses = [[3, -1, 2]]
+        _, again = parse_dimacs(to_dimacs(3, clauses))
+        assert again == clauses
+
+    def test_comments_anywhere_are_skipped(self):
+        text = "c head\np cnf 2 2\nc middle\n1 0\nc between\n-2 0\nc tail\n"
+        num_vars, clauses = parse_dimacs(text)
+        assert num_vars == 2 and clauses == [[1], [-2]]
+
+    def test_percent_terminator_lines(self):
+        # SATLIB benchmark files end with "%" and a stray "0" clause line;
+        # the comment rule must eat the "%" marker.
+        text = "p cnf 1 1\n1 0\n%\n"
+        num_vars, clauses = parse_dimacs(text)
+        assert clauses == [[1]]
+
+    def test_header_whitespace_tolerated(self):
+        text = "p  cnf   3  1\n1 -2 3 0\n"
+        num_vars, clauses = parse_dimacs(text)
+        assert num_vars == 3 and clauses == [[1, -2, 3]]
+
+    def test_roundtrip_twice_is_stable(self):
+        clauses = [[1, -2], [2, 3], [-1, -3], [2]]
+        once = to_dimacs(3, clauses)
+        twice = to_dimacs(*parse_dimacs(once))
+        assert once == twice
+
+    def test_solver_agrees_after_roundtrip(self):
+        clauses = [[1, 2], [-1, 2], [1, -2], [-1, -2]]  # UNSAT square
+        solver = solver_from_dimacs(to_dimacs(2, clauses))
+        assert not solver.solve()

@@ -55,7 +55,7 @@ class TestPublicAPI:
             repro.get_model("m88k")
 
     def test_register_custom_model(self):
-        from repro.models import MemoryModel, Vocabulary, register_model
+        from repro.models import register_model
         from repro.models.registry import MODEL_CLASSES
 
         class Custom(repro.get_model("sc").__class__):

@@ -97,3 +97,109 @@ class TestCLI:
     def test_bad_model_rejected(self):
         with pytest.raises(SystemExit):
             main(["synthesize", "--model", "bogus"])
+
+
+class TestCLIFileErrors:
+    """check/show must fail cleanly (stderr + status 2), not traceback."""
+
+    def test_check_missing_file(self, capsys):
+        assert main(["check", "--model", "tso", "/nonexistent.litmus"]) == 2
+        err = capsys.readouterr().err
+        assert "error:" in err and "cannot read" in err
+
+    def test_check_unparsable_file(self, capsys, tmp_path):
+        path = tmp_path / "bad.litmus"
+        path.write_text("thread\nnot a real instruction\n")
+        assert main(["check", "--model", "tso", str(path)]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_show_missing_file(self, capsys):
+        assert main(["show", "--file", "/nonexistent.litmus"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_show_file_roundtrip(self, capsys, tmp_path):
+        path = tmp_path / "mp.litmus"
+        entry = CATALOG["MP"]
+        path.write_text(format_test(entry.test, entry.forbidden))
+        assert main(["show", "--file", str(path)]) == 0
+        assert "thread" in capsys.readouterr().out
+
+
+class TestCLILint:
+    def test_registry_lint_clean_exit_0(self, capsys):
+        assert main(["lint"]) == 0
+        assert "0 error(s)" in capsys.readouterr().out
+
+    def test_lint_json_schema_stable(self, capsys):
+        import json
+
+        from repro.analysis import JSON_SCHEMA_VERSION
+
+        assert main(["lint", "--all-models", "--catalog", "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["version"] == JSON_SCHEMA_VERSION
+        assert set(payload) == {
+            "version",
+            "exit_code",
+            "summary",
+            "diagnostics",
+            "suppressed",
+        }
+        assert set(payload["summary"]) == {
+            "errors",
+            "warnings",
+            "infos",
+            "suppressed",
+        }
+        assert all(
+            set(d) == {"id", "severity", "subject", "message", "hint"}
+            for d in payload["suppressed"]
+        )
+
+    def test_lint_warning_exit_1(self, capsys, tmp_path):
+        # A read from a never-written location is a warning finding.
+        path = tmp_path / "warn.litmus"
+        path.write_text("thread P0:\nW x 1\nR y\nthread P1:\nR x\n")
+        assert main(["lint", str(path)]) == 1
+        assert "LIT001" in capsys.readouterr().out
+
+    def test_lint_error_exit_2(self, capsys):
+        assert main(["lint", "/nonexistent.litmus"]) == 2
+        assert "LIT006" in capsys.readouterr().out
+
+    def test_lint_suppress_flag(self, capsys, tmp_path):
+        path = tmp_path / "warn.litmus"
+        path.write_text("thread P0:\nW x 1\nR y\nthread P1:\nR x\n")
+        assert main(["lint", str(path), "--suppress", "LIT001"]) == 0
+        assert "1 suppressed" in capsys.readouterr().out
+
+    def test_lint_file_directive(self, capsys, tmp_path):
+        path = tmp_path / "warn.litmus"
+        path.write_text(
+            "# lint: disable=LIT001\nthread P0:\nW x 1\nR y\nthread P1:\nR x\n"
+        )
+        assert main(["lint", str(path)]) == 0
+        assert "suppressed" in capsys.readouterr().out
+
+    def test_lint_dead_sync_against_model(self, capsys, tmp_path):
+        path = tmp_path / "dead.litmus"
+        path.write_text(
+            "thread P0:\nW x 1\nF.sync\nW y 1\nthread P1:\nR y\nR x\n"
+        )
+        assert main(["lint", str(path), "--model", "tso"]) == 1
+        assert "LIT003" in capsys.readouterr().out
+
+    def test_synthesize_early_reject_flag(self, capsys):
+        code = main(
+            [
+                "synthesize",
+                "--model",
+                "tso",
+                "--bound",
+                "3",
+                "--max-addresses",
+                "1",
+                "--early-reject",
+            ]
+        )
+        assert code == 0
