@@ -20,7 +20,7 @@ from repro.core.canonical import paper_canonicalize, symmetry_class_size
 from repro.core.enumerator import EnumerationConfig, count_tests
 from repro.core.minimality import CriterionMode, MinimalityChecker
 from repro.core.oracle import ExplicitOracle
-from repro.core.synthesis import synthesize
+from repro.core.synthesis import SynthesisOptions, synthesize
 from repro.litmus.catalog import CATALOG
 from repro.litmus.events import DepKind, FenceKind, fence, read, write
 from repro.litmus.test import LitmusTest
@@ -72,7 +72,7 @@ class TestCriterionModes:
 
         def run(mode):
             return len(
-                synthesize(scc, 4, mode=mode, config=config).union
+                synthesize(scc, SynthesisOptions(bound=4, mode=mode, config=config)).union
             )
 
         exact = run_once(benchmark, lambda: run(CriterionMode.EXACT))
@@ -127,7 +127,8 @@ class TestSymmetryReduction:
         def run(exact):
             return len(
                 synthesize(
-                    tso, 4, config=config, exact_symmetry=exact
+                    tso,
+                    SynthesisOptions(bound=4, config=config, exact_symmetry=exact),
                 ).union
             )
 

@@ -8,7 +8,7 @@ per-axiom suites grow faster with bound than the hardware models'.
 import pytest
 
 from repro.core.enumerator import EnumerationConfig
-from repro.core.synthesis import synthesize
+from repro.core.synthesis import SynthesisOptions, synthesize
 from repro.litmus.events import Order
 from repro.models.registry import get_model
 
@@ -34,7 +34,7 @@ def c11_config(bound: int) -> EnumerationConfig:
 def sweep():
     c11 = get_model("c11")
     return {
-        bound: synthesize(c11, bound, config=c11_config(bound))
+        bound: synthesize(c11, SynthesisOptions(bound=bound, config=c11_config(bound)))
         for bound in BOUNDS
     }
 

@@ -9,7 +9,7 @@ import pytest
 
 from repro.core.compare import compare_suites, is_subtest
 from repro.core.enumerator import EnumerationConfig
-from repro.core.synthesis import synthesize
+from repro.core.synthesis import SynthesisOptions, synthesize
 from repro.litmus.catalog import CATALOG, owens_forbidden
 from repro.models.registry import get_model
 
@@ -22,7 +22,8 @@ BOUND = 6 if large_bounds_enabled() else 5
 def comparison():
     tso = get_model("tso")
     result = synthesize(
-        tso, BOUND, config=EnumerationConfig(max_events=BOUND)
+        tso,
+        SynthesisOptions(bound=BOUND, config=EnumerationConfig(max_events=BOUND)),
     )
     return result, compare_suites(owens_forbidden(), result.union, tso)
 

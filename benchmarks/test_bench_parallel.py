@@ -1,0 +1,89 @@
+"""Sharded multiprocess runtime: speedup and exactness.
+
+The synthesis loop is embarrassingly parallel (every candidate's
+minimality check is independent), so ``jobs=N`` should approach an
+``N``-fold wall-clock reduction while producing *byte-identical* suites.
+This bench measures both halves of that claim:
+
+* equality — per-axiom and union suite JSON from ``jobs=N`` matches
+  ``jobs=1`` exactly, as do the candidate/unique/minimal counters;
+* speedup — reported always, asserted (> 1.5x) only on machines with
+  at least 4 cores, since the single-core CI boxes can only validate
+  correctness.
+"""
+
+import os
+import time
+
+import pytest
+
+from repro.core.enumerator import EnumerationConfig
+from repro.core.synthesis import SynthesisOptions, synthesize
+from repro.models.registry import get_model
+
+from _common import large_bounds_enabled, run_once
+
+BOUND = 5 if large_bounds_enabled() else 4
+# At least two workers even on one core: correctness of the multiprocess
+# path must be exercised everywhere, speedup is only asserted on >=4 cores.
+JOBS = max(2, min(4, os.cpu_count() or 1))
+
+
+def _options(jobs: int = 1) -> SynthesisOptions:
+    return SynthesisOptions(
+        bound=BOUND,
+        config=EnumerationConfig(max_events=BOUND, max_addresses=2),
+        jobs=jobs,
+    )
+
+
+@pytest.fixture(scope="module")
+def runs():
+    tso = get_model("tso")
+    t0 = time.perf_counter()
+    sequential = synthesize(tso, _options(jobs=1))
+    t_seq = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    parallel = synthesize(tso, _options(jobs=JOBS))
+    t_par = time.perf_counter() - t0
+    return sequential, parallel, t_seq, t_par
+
+
+class TestParallelRuntime:
+    def test_parallel_output_identical(self, runs, report, benchmark):
+        run_once(benchmark, lambda: None)
+        sequential, parallel, _, _ = runs
+        assert sequential.union.to_json() == parallel.union.to_json()
+        for axiom in sequential.per_axiom:
+            assert (
+                sequential.per_axiom[axiom].to_json()
+                == parallel.per_axiom[axiom].to_json()
+            ), axiom
+        assert sequential.candidates == parallel.candidates
+        assert sequential.unique_candidates == parallel.unique_candidates
+        assert sequential.minimal_tests == parallel.minimal_tests
+        report.append(
+            f"[parallel] TSO bound {BOUND}: jobs={JOBS} suites byte-identical "
+            f"to jobs=1 ({len(sequential.union)} union tests)"
+        )
+
+    def test_parallel_speedup(self, runs, report, benchmark):
+        run_once(benchmark, lambda: None)
+        _, parallel, t_seq, t_par = runs
+        speedup = t_seq / max(t_par, 1e-9)
+        cores = os.cpu_count() or 1
+        report.append(
+            f"[parallel] TSO bound {BOUND}: 1 worker {t_seq:.2f}s vs "
+            f"{JOBS} workers {t_par:.2f}s -> {speedup:.2f}x "
+            f"({cores} cores; cpu={parallel.cpu_seconds:.2f}s across workers)"
+        )
+        if cores >= 4 and JOBS >= 4:
+            assert speedup > 1.5, (
+                f"expected >1.5x wall-clock speedup on {cores} cores, "
+                f"measured {speedup:.2f}x"
+            )
+        else:
+            pytest.skip(
+                f"speedup assertion needs >= 4 cores (have {cores}); "
+                "equality already verified"
+            )

@@ -13,7 +13,7 @@ import pytest
 
 from repro.core.compare import compare_suites
 from repro.core.enumerator import EnumerationConfig
-from repro.core.synthesis import synthesize
+from repro.core.synthesis import SynthesisOptions, synthesize
 from repro.litmus.catalog import CATALOG, cambridge_power_suite
 from repro.models.registry import get_model
 
@@ -34,7 +34,7 @@ def power_config(bound: int) -> EnumerationConfig:
 def sweep():
     power = get_model("power")
     return {
-        bound: synthesize(power, bound, config=power_config(bound))
+        bound: synthesize(power, SynthesisOptions(bound=bound, config=power_config(bound)))
         for bound in BOUNDS
     }
 
@@ -64,8 +64,10 @@ class TestFig16:
         for bound in BOUNDS:
             tso_res = synthesize(
                 tso,
-                bound,
-                config=EnumerationConfig(max_events=bound, max_addresses=2),
+                SynthesisOptions(
+                    bound=bound,
+                    config=EnumerationConfig(max_events=bound, max_addresses=2),
+                ),
             )
             p, t = sweep[bound].elapsed_seconds, tso_res.elapsed_seconds
             report.append(

@@ -11,7 +11,7 @@
 import pytest
 
 from repro.core.enumerator import EnumerationConfig
-from repro.core.synthesis import synthesize
+from repro.core.synthesis import SynthesisOptions, synthesize
 from repro.litmus.events import FenceKind
 from repro.models.registry import get_model
 
@@ -30,7 +30,7 @@ def scc_config(bound: int) -> EnumerationConfig:
 def sweep():
     scc = get_model("scc")
     return {
-        bound: synthesize(scc, bound, config=scc_config(bound))
+        bound: synthesize(scc, SynthesisOptions(bound=bound, config=scc_config(bound)))
         for bound in BOUNDS
     }
 
@@ -72,8 +72,10 @@ class TestFig20:
         bound = BOUNDS[-1]
         tso = synthesize(
             get_model("tso"),
-            bound,
-            config=EnumerationConfig(max_events=bound, max_addresses=2),
+            SynthesisOptions(
+                bound=bound,
+                config=EnumerationConfig(max_events=bound, max_addresses=2),
+            ),
         )
         scc_causality = sweep[bound].counts()["causality"]
         tso_causality = tso.counts()["causality"]
@@ -135,14 +137,16 @@ class TestSection63:
         def build():
             return synthesize(
                 _FenceOnlySCC(),
-                6,
-                config=EnumerationConfig(
-                    max_events=6,
-                    max_addresses=2,
-                    max_deps=0,
-                    max_rmws=0,
-                    max_threads=2,
-                    max_thread_size=3,
+                SynthesisOptions(
+                    bound=6,
+                    config=EnumerationConfig(
+                        max_events=6,
+                        max_addresses=2,
+                        max_deps=0,
+                        max_rmws=0,
+                        max_threads=2,
+                        max_thread_size=3,
+                    ),
                 ),
             )
 

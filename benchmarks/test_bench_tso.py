@@ -11,7 +11,7 @@
 import pytest
 
 from repro.core.enumerator import EnumerationConfig
-from repro.core.synthesis import synthesize
+from repro.core.synthesis import SynthesisOptions, synthesize
 from repro.litmus.catalog import owens_forbidden
 from repro.models.registry import get_model
 
@@ -26,7 +26,8 @@ def sweep():
     results = {}
     for bound in BOUNDS:
         results[bound] = synthesize(
-            tso, bound, config=EnumerationConfig(max_events=bound)
+            tso,
+            SynthesisOptions(bound=bound, config=EnumerationConfig(max_events=bound)),
         )
     return results
 
@@ -86,8 +87,7 @@ class TestFig13:
             benchmark,
             lambda: synthesize(
                 get_model("tso"),
-                3,
-                config=EnumerationConfig(max_events=3),
+                SynthesisOptions(bound=3, config=EnumerationConfig(max_events=3)),
             ),
         )
         report.append("[Fig 13c] bound | runtime (s)")
@@ -121,9 +121,11 @@ class TestFig11Fig12:
         def build():
             return synthesize(
                 get_model("tso"),
-                5,
-                axioms=["rmw_atomicity"],
-                config=EnumerationConfig(max_events=5, max_addresses=1),
+                SynthesisOptions(
+                    bound=5,
+                    axioms=["rmw_atomicity"],
+                    config=EnumerationConfig(max_events=5, max_addresses=1),
+                ),
             )
 
         res = run_once(benchmark, build)

@@ -10,8 +10,14 @@ Run:  python examples/audit_handwritten_suite.py [bound]
 
 import sys
 
-from repro import EnumerationConfig, compare_suites, get_model, synthesize
-from repro.core.minimality import MinimalityChecker
+from repro import (
+    EnumerationConfig,
+    MinimalityChecker,
+    SynthesisOptions,
+    compare_suites,
+    get_model,
+    synthesize,
+)
 from repro.litmus.catalog import owens_forbidden
 
 
@@ -29,7 +35,8 @@ def main(bound: int = 5) -> None:
 
     print(f"=== step 2: synthesize the TSO suite at bound {bound} ===")
     result = synthesize(
-        tso, bound, config=EnumerationConfig(max_events=bound)
+        tso,
+        SynthesisOptions(bound=bound, config=EnumerationConfig(max_events=bound)),
     )
     print(result.summary())
     print()

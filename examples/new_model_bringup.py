@@ -15,6 +15,7 @@ from repro import (
     LitmusTest,
     MinimalityChecker,
     Order,
+    SynthesisOptions,
     get_model,
     read,
     synthesize,
@@ -63,9 +64,11 @@ def synthesize_scc_suite() -> None:
     scc = get_model("scc")
     result = synthesize(
         scc,
-        bound=4,
-        config=EnumerationConfig(
-            max_events=4, max_addresses=2, max_deps=1, max_rmws=1
+        SynthesisOptions(
+            bound=4,
+            config=EnumerationConfig(
+                max_events=4, max_addresses=2, max_deps=1, max_rmws=1
+            ),
         ),
     )
     print(result.summary())

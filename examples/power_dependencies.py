@@ -9,8 +9,7 @@ published discriminating tests and shows the preserved-program-order
 Run:  python examples/power_dependencies.py
 """
 
-from repro import MinimalityChecker, get_model
-from repro.core.oracle import ExplicitOracle
+from repro import ExplicitOracle, MinimalityChecker, get_model
 from repro.litmus.catalog import CATALOG
 from repro.models.power import power_ppo
 from repro.semantics.enumerate import enumerate_executions

@@ -7,6 +7,7 @@ from repro import (
     EnumerationConfig,
     LitmusTest,
     MinimalityChecker,
+    SynthesisOptions,
     get_model,
     read,
     synthesize,
@@ -44,8 +45,10 @@ def main() -> None:
     # -- 2. Synthesize every minimal TSO test up to 4 instructions -------------
     result = synthesize(
         tso,
-        bound=4,
-        config=EnumerationConfig(max_events=4, max_addresses=2),
+        SynthesisOptions(
+            bound=4,
+            config=EnumerationConfig(max_events=4, max_addresses=2),
+        ),
     )
     print(result.summary())
     print()

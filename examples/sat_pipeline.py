@@ -9,11 +9,10 @@ explicit-enumeration engine.
 Run:  python examples/sat_pipeline.py
 """
 
+from repro import ExplicitOracle, get_model
 from repro.alloy import AlloyOracle
 from repro.alloy.encoding import LitmusEncoding
-from repro.core.oracle import ExplicitOracle
 from repro.litmus.catalog import CATALOG
-from repro.models import get_model
 from repro.relational.solve import ModelFinder
 
 

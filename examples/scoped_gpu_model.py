@@ -16,6 +16,7 @@ from repro import (
     MinimalityChecker,
     Order,
     Scope,
+    SynthesisOptions,
     get_model,
     read,
     synthesize,
@@ -85,16 +86,18 @@ def main() -> None:
 
     result = synthesize(
         AccessOnly(),
-        4,
-        axioms=["causality"],
-        config=EnumerationConfig(
-            max_events=4,
-            min_events=4,
-            max_addresses=2,
-            max_threads=2,
-            max_thread_size=2,
-            max_deps=0,
-            max_rmws=0,
+        SynthesisOptions(
+            bound=4,
+            axioms=["causality"],
+            config=EnumerationConfig(
+                max_events=4,
+                min_events=4,
+                max_addresses=2,
+                max_threads=2,
+                max_thread_size=2,
+                max_deps=0,
+                max_rmws=0,
+            ),
         ),
     )
     for entry in result.per_axiom["causality"]:

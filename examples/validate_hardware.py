@@ -13,8 +13,13 @@ exhaustively — and demonstrates the comprehensiveness claim end to end:
 Run:  python examples/validate_hardware.py
 """
 
-from repro import EnumerationConfig, get_model, synthesize
-from repro.core.oracle import ExplicitOracle
+from repro import (
+    EnumerationConfig,
+    ExplicitOracle,
+    SynthesisOptions,
+    get_model,
+    synthesize,
+)
 from repro.litmus.catalog import CATALOG
 from repro.machine import Bug, explore, run_suite
 
@@ -37,7 +42,10 @@ def main() -> None:
 
     print("=== synthesize the suite, then attack the machine ===")
     result = synthesize(
-        tso, 5, config=EnumerationConfig(max_events=5, max_addresses=2)
+        tso,
+        SynthesisOptions(
+            bound=5, config=EnumerationConfig(max_events=5, max_addresses=2)
+        ),
     )
     suite = result.union
     print(f"suite: {len(suite)} minimal tests (bound 5)")

@@ -7,12 +7,16 @@ A from-scratch reproduction of Lustig, Wright, Papakonstantinou & Giroux,
 
 Quick start::
 
-    from repro import get_model, synthesize
+    from repro import SynthesisOptions, get_model, synthesize
 
     tso = get_model("tso")
-    result = synthesize(tso, bound=4)
+    result = synthesize(tso, SynthesisOptions(bound=4))
     for entry in result.union:
         print(entry.pretty())
+
+Add ``jobs=4`` (and optionally ``checkpoint_dir="ckpt/"``) to the
+options to run the sharded multiprocess runtime; the output is identical
+to the sequential run.
 
 Package layout:
 
@@ -21,17 +25,21 @@ Package layout:
 * :mod:`repro.models`    — SC, TSO, Power, ARMv7, SCC, C11
 * :mod:`repro.relax`     — the six instruction relaxations + Table 2
 * :mod:`repro.core`      — minimality criterion, synthesis, suites
+* :mod:`repro.exec`      — sharded multiprocess synthesis runtime
 * :mod:`repro.sat`       — CDCL SAT solver (the Alloy-substitute backend)
 * :mod:`repro.relational`— bounded relational model finder over SAT
 * :mod:`repro.alloy`     — Alloy-style memory-model encodings
 """
 
 from repro.core import (
+    EARLY_REJECT,
     CriterionMode,
     EnumerationConfig,
+    ExplicitOracle,
     MinimalityChecker,
     MinimalityResult,
     SuiteEntry,
+    SynthesisOptions,
     SynthesisResult,
     TestSuite,
     canonical_form,
@@ -54,26 +62,33 @@ from repro.litmus import (
     read,
     write,
 )
+from repro.litmus.format import format_test, parse_test
 from repro.machine import Bug, TsoMachine, explore, run_suite
 from repro.models import MemoryModel, Vocabulary, available_models, get_model
 from repro.relax import ALL_RELAXATIONS, applicability_table, relaxations_for
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "__version__",
     # core
     "CriterionMode",
+    "EARLY_REJECT",
     "EnumerationConfig",
+    "ExplicitOracle",
     "MinimalityChecker",
     "MinimalityResult",
     "SuiteEntry",
+    "SynthesisOptions",
     "SynthesisResult",
     "TestSuite",
     "canonical_form",
     "compare_suites",
     "is_subtest",
     "synthesize",
+    # litmus text format
+    "format_test",
+    "parse_test",
     # litmus
     "Dep",
     "DepKind",

@@ -6,6 +6,7 @@
     litmus-synth table2
     litmus-synth synthesize --model tso --bound 4 [--axiom causality]
                             [--mode exact|execution|execution-wa]
+                            [--jobs N] [--checkpoint-dir D] [--json]
                             [--out suite.json]
     litmus-synth check --model tso test.litmus
     litmus-synth show --name MP
@@ -19,6 +20,7 @@
 from __future__ import annotations
 
 import argparse
+import json
 import re
 import sys
 
@@ -27,7 +29,7 @@ from repro.analysis import selfcheck
 from repro.core.compare import compare_suites
 from repro.core.enumerator import EnumerationConfig
 from repro.core.minimality import CriterionMode, MinimalityChecker
-from repro.core.synthesis import synthesize
+from repro.core.synthesis import EARLY_REJECT, SynthesisOptions, synthesize
 from repro.litmus.catalog import (
     CATALOG,
     cambridge_power_suite,
@@ -77,6 +79,8 @@ def _cmd_table2(_args) -> int:
 
 
 def _cmd_synthesize(args) -> int:
+    from repro.exec import CheckpointError
+
     model = get_model(args.model)
     config = EnumerationConfig(
         max_events=args.bound,
@@ -85,25 +89,35 @@ def _cmd_synthesize(args) -> int:
         max_deps=args.max_deps,
         max_rmws=args.max_rmws,
     )
-    result = synthesize(
-        model,
-        args.bound,
+    options = SynthesisOptions(
+        bound=args.bound,
         axioms=[args.axiom] if args.axiom else None,
         mode=CriterionMode(args.mode),
         config=config,
-        reject=analysis.early_reject(model) if args.early_reject else None,
+        reject=EARLY_REJECT if args.early_reject else None,
+        jobs=args.jobs,
+        checkpoint_dir=args.checkpoint_dir,
     )
-    print(result.summary())
-    if args.verbose:
+    try:
+        result = synthesize(model, options)
+    except CheckpointError as exc:
+        raise _CliError(str(exc)) from exc
+    if args.json:
+        print(json.dumps(result.to_json_dict(), indent=2))
+    else:
+        print(result.summary())
+    if args.verbose and not args.json:
         for entry in result.union:
             print()
             print(entry.pretty())
     if args.out:
         result.union.save(args.out)
-        print(f"union suite written to {args.out}")
+        if not args.json:
+            print(f"union suite written to {args.out}")
     if args.litmus_dir:
         written = result.union.save_litmus_dir(args.litmus_dir)
-        print(f"{len(written)} .litmus files written to {args.litmus_dir}")
+        if not args.json:
+            print(f"{len(written)} .litmus files written to {args.litmus_dir}")
     return 0
 
 
@@ -231,7 +245,7 @@ def _cmd_compare(args) -> int:
     config = EnumerationConfig(
         max_events=args.bound, max_addresses=args.max_addresses
     )
-    result = synthesize(model, args.bound, config=config)
+    result = synthesize(model, SynthesisOptions(bound=args.bound, config=config))
     comparison = compare_suites(reference, result.union, model)
     print(result.summary())
     print(comparison.summary())
@@ -271,6 +285,25 @@ def build_parser() -> argparse.ArgumentParser:
         "--early-reject",
         action="store_true",
         help="drop candidates with lint findings before any oracle call",
+    )
+    p.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes; >1 runs the sharded parallel runtime "
+        "(output is identical to --jobs 1)",
+    )
+    p.add_argument(
+        "--checkpoint-dir",
+        default=None,
+        help="persist per-shard results here; rerunning with the same "
+        "options resumes from completed shards",
+    )
+    p.add_argument(
+        "--json",
+        action="store_true",
+        help="print the machine-readable result summary (schema v2) "
+        "instead of the text report",
     )
     p.add_argument("-v", "--verbose", action="store_true")
 

@@ -14,7 +14,11 @@ from repro.core.compare import (
     is_subtest,
     subtests,
 )
-from repro.core.enumerator import EnumerationConfig, enumerate_tests
+from repro.core.enumerator import (
+    EnumerationConfig,
+    enumerate_shard,
+    enumerate_tests,
+)
 from repro.core.minimality import (
     CriterionMode,
     MinimalityChecker,
@@ -22,8 +26,21 @@ from repro.core.minimality import (
     perturb_execution,
 )
 from repro.core.oracle import ExplicitOracle, TestAnalysis
-from repro.core.suite import SuiteEntry, TestSuite
-from repro.core.synthesis import SynthesisResult, synthesize
+from repro.core.suite import (
+    SuiteEntry,
+    TestSuite,
+    outcome_from_dict,
+    outcome_to_dict,
+    test_from_dict,
+    test_to_dict,
+)
+from repro.core.synthesis import (
+    EARLY_REJECT,
+    RESULT_SCHEMA_VERSION,
+    SynthesisOptions,
+    SynthesisResult,
+    synthesize,
+)
 
 __all__ = [
     "CanonicalSet",
@@ -38,6 +55,7 @@ __all__ = [
     "subtests",
     "EnumerationConfig",
     "enumerate_tests",
+    "enumerate_shard",
     "CriterionMode",
     "MinimalityChecker",
     "MinimalityResult",
@@ -46,6 +64,13 @@ __all__ = [
     "TestAnalysis",
     "SuiteEntry",
     "TestSuite",
+    "test_to_dict",
+    "test_from_dict",
+    "outcome_to_dict",
+    "outcome_from_dict",
+    "EARLY_REJECT",
+    "RESULT_SCHEMA_VERSION",
+    "SynthesisOptions",
     "SynthesisResult",
     "synthesize",
 ]

@@ -21,6 +21,19 @@ Enumeration applies the structural prunes the paper itself relies on:
 
 Thread multisets are generated in sorted order per size group to avoid
 emitting permuted-thread duplicates wholesale.
+
+Sharding
+--------
+
+The candidate space splits into deterministic *work items*: one item per
+``(thread-size partition, first-unit index)`` pair, i.e. the enumerator's
+top-level fan-out.  ``enumerate_tests(..., shard=(i, n))`` keeps only the
+items whose ordinal is congruent to ``i`` modulo ``n``, so the ``n``
+shards partition the space exactly (round-robin, which also balances the
+expensive early partitions across shards).  The union of all shards
+yields the same candidates in the same within-shard relative order as the
+unsharded stream — :mod:`repro.exec` exploits this to merge parallel
+results back into the sequential order.
 """
 
 from __future__ import annotations
@@ -33,7 +46,13 @@ from repro.litmus.events import DepKind, Instruction, fence, read, write
 from repro.litmus.test import Dep, LitmusTest
 from repro.models.base import Vocabulary
 
-__all__ = ["EnumerationConfig", "ThreadUnit", "enumerate_tests", "count_tests"]
+__all__ = [
+    "EnumerationConfig",
+    "ThreadUnit",
+    "enumerate_tests",
+    "enumerate_shard",
+    "count_tests",
+]
 
 
 @dataclass(frozen=True)
@@ -272,14 +291,47 @@ def enumerate_tests(
     vocab: Vocabulary,
     config: EnumerationConfig,
     reject: Callable[[LitmusTest], bool] | None = None,
+    shard: tuple[int, int] | None = None,
 ) -> Iterator[LitmusTest]:
     """Stream every candidate test within the configured bounds.
 
     ``reject`` is an opt-in early filter: candidates it returns True for
     are dropped before they are yielded (and so before any oracle call).
     :func:`repro.analysis.early_reject` builds one from the lint passes.
+
+    ``shard=(i, n)`` restricts the stream to the ``i``-th of ``n``
+    deterministic slices of the candidate space (see the module
+    docstring); the ``n`` shards partition the unsharded stream exactly.
     """
+    for _, test in enumerate_shard(vocab, config, shard=shard, reject=reject):
+        yield test
+
+
+def enumerate_shard(
+    vocab: Vocabulary,
+    config: EnumerationConfig,
+    shard: tuple[int, int] | None = None,
+    reject: Callable[[LitmusTest], bool] | None = None,
+) -> Iterator[tuple[int, LitmusTest]]:
+    """Like :func:`enumerate_tests`, but yields ``(item, test)`` pairs.
+
+    ``item`` is the global ordinal of the work item (top-level enumerator
+    shape) the candidate belongs to.  Item ordinals are assigned over the
+    *whole* space regardless of ``shard``, and candidates within one item
+    stream in a deterministic order, so sorting shard outputs by
+    ``(item, position-within-item)`` reconstructs the exact sequential
+    enumeration order — the property :mod:`repro.exec`'s merge relies on.
+    """
+    if shard is not None:
+        shard_index, shard_count = shard
+        if shard_count < 1:
+            raise ValueError(f"shard count must be >= 1, got {shard_count}")
+        if not 0 <= shard_index < shard_count:
+            raise ValueError(
+                f"shard index {shard_index} out of range for {shard_count} shards"
+            )
     unit_pool: dict[int, list[ThreadUnit]] = {}
+    item = -1
     for n in range(config.min_events, config.max_events + 1):
         cap = (
             n
@@ -288,24 +340,33 @@ def enumerate_tests(
         )
         for sizes in _partitions(n, config.max_threads, cap):
             groups = _group_sizes(sizes)
-            for selection in _unit_selections(groups, unit_pool, vocab, config):
-                if config.max_rmws and sum(len(u.rmw) for u in selection) > config.max_rmws:
+            first_size = groups[0][0]
+            if first_size not in unit_pool:
+                unit_pool[first_size] = thread_units(first_size, vocab, config)
+            for first_index in range(len(unit_pool[first_size])):
+                item += 1
+                if shard is not None and item % shard_count != shard_index:
                     continue
-                if config.max_deps and sum(len(u.deps) for u in selection) > config.max_deps:
-                    continue
-                if not _addresses_canonical(selection):
-                    continue
-                if config.require_communication and not _communicates(selection):
-                    continue
-                if vocab.has_scopes:
-                    for groups in _group_assignments(len(selection)):
-                        candidate = _assemble(selection, groups)
+                for selection in _unit_selections(
+                    groups, unit_pool, vocab, config, first_index
+                ):
+                    if config.max_rmws and sum(len(u.rmw) for u in selection) > config.max_rmws:
+                        continue
+                    if config.max_deps and sum(len(u.deps) for u in selection) > config.max_deps:
+                        continue
+                    if not _addresses_canonical(selection):
+                        continue
+                    if config.require_communication and not _communicates(selection):
+                        continue
+                    if vocab.has_scopes:
+                        for assignment in _group_assignments(len(selection)):
+                            candidate = _assemble(selection, assignment)
+                            if reject is None or not reject(candidate):
+                                yield item, candidate
+                    else:
+                        candidate = _assemble(selection)
                         if reject is None or not reject(candidate):
-                            yield candidate
-                else:
-                    candidate = _assemble(selection)
-                    if reject is None or not reject(candidate):
-                        yield candidate
+                            yield item, candidate
 
 
 def _group_sizes(sizes: tuple[int, ...]) -> list[tuple[int, int]]:
@@ -324,14 +385,32 @@ def _unit_selections(
     unit_pool: dict[int, list[ThreadUnit]],
     vocab: Vocabulary,
     config: EnumerationConfig,
+    first_index: int | None = None,
 ) -> Iterator[tuple[ThreadUnit, ...]]:
-    per_group = []
-    for size, count in groups:
+    """Thread-unit multisets for each size group.
+
+    ``first_index`` pins the first group's first unit to that pool index;
+    splitting ``combinations_with_replacement`` on its lead element this
+    way preserves the overall lexicographic order, which is what makes
+    the work-item ordinals in :func:`enumerate_shard` stable.
+    """
+    per_group: list = []
+    for gi, (size, count) in enumerate(groups):
         if size not in unit_pool:
             unit_pool[size] = thread_units(size, vocab, config)
-        per_group.append(
-            combinations_with_replacement(unit_pool[size], count)
-        )
+        pool = unit_pool[size]
+        if gi == 0 and first_index is not None:
+            first = pool[first_index]
+            per_group.append(
+                [
+                    (first,) + rest
+                    for rest in combinations_with_replacement(
+                        pool[first_index:], count - 1
+                    )
+                ]
+            )
+        else:
+            per_group.append(combinations_with_replacement(pool, count))
     for combo in product(*per_group):
         yield tuple(u for group in combo for u in group)
 

@@ -104,7 +104,25 @@ class ExplicitOracle:
         )
         self._analysis: _LRU = _LRU(analysis_cache)
         self._observe: _LRU = _LRU(observe_cache)
-        self.stats = {"analyses": 0, "observations": 0, "executions": 0}
+        self.stats = {
+            "analyses": 0,
+            "analysis_hits": 0,
+            "observations": 0,
+            "observe_hits": 0,
+            "executions": 0,
+        }
+
+    def cache_stats(self) -> dict[str, float]:
+        """Counters plus derived hit rates, for aggregation across
+        synthesis workers (each worker owns its own oracle, so rates are
+        meaningful per worker and summable as raw counters)."""
+        out: dict[str, float] = dict(self.stats)
+        for kind in ("analysis", "observe"):
+            hits = self.stats[f"{kind}_hits"]
+            misses = self.stats["analyses" if kind == "analysis" else "observations"]
+            total = hits + misses
+            out[f"{kind}_hit_rate"] = hits / total if total else 0.0
+        return out
 
     # -- execution-level helpers -----------------------------------------------
 
@@ -128,6 +146,7 @@ class ExplicitOracle:
         """Compute (or recall) the outcome landscape of a test."""
         cached = self._analysis.get(test)
         if cached is not None:
+            self.stats["analysis_hits"] += 1
             return cached
         self.stats["analyses"] += 1
         all_outcomes: set[Outcome] = set()
@@ -164,6 +183,7 @@ class ExplicitOracle:
         key = (test, constraint)
         cached = self._observe.get(key)
         if cached is not None:
+            self.stats["observe_hits"] += 1
             return cached
         self.stats["observations"] += 1
         return self._observe.remember(key, self.analyze(test).admits(constraint))

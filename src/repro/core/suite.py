@@ -25,7 +25,14 @@ from repro.litmus.execution import Outcome, remap_outcome
 from repro.litmus.test import Dep, LitmusTest
 from repro.core.canonical import canonicalize, paper_canonicalize
 
-__all__ = ["SuiteEntry", "TestSuite"]
+__all__ = [
+    "SuiteEntry",
+    "TestSuite",
+    "test_to_dict",
+    "test_from_dict",
+    "outcome_to_dict",
+    "outcome_from_dict",
+]
 
 
 @dataclass
@@ -206,8 +213,9 @@ def _instruction_from_dict(item: dict) -> Instruction:
     )
 
 
-def _entry_to_dict(entry: SuiteEntry) -> dict:
-    test = entry.test
+def test_to_dict(test: LitmusTest) -> dict:
+    """JSON-serializable structural form of a test (the suite schema's
+    test fragment; also the wire/checkpoint format of :mod:`repro.exec`)."""
     return {
         "threads": [
             [_instruction_to_dict(i) for i in thread]
@@ -218,15 +226,10 @@ def _entry_to_dict(entry: SuiteEntry) -> dict:
             [d.src, d.dst, d.kind.name] for d in test.deps
         ),
         "scopes": list(test.scopes) if test.scopes is not None else None,
-        "witness": {
-            "rf": list(entry.witness.rf_sources),
-            "finals": list(entry.witness.finals),
-        },
-        "axioms": sorted(entry.axioms),
     }
 
 
-def _entry_from_dict(item: dict) -> tuple[LitmusTest, Outcome, set[str]]:
+def test_from_dict(item: dict) -> LitmusTest:
     threads = tuple(
         tuple(_instruction_from_dict(i) for i in thread)
         for thread in item["threads"]
@@ -236,11 +239,33 @@ def _entry_from_dict(item: dict) -> tuple[LitmusTest, Outcome, set[str]]:
         Dep(s, d, DepKind[k]) for s, d, k in item.get("deps", [])
     )
     scopes = item.get("scopes")
-    test = LitmusTest(
+    return LitmusTest(
         threads, rmw, deps, tuple(scopes) if scopes is not None else None
     )
-    witness = Outcome(
-        tuple((r, s) for r, s in item["witness"]["rf"]),
-        tuple((a, w) for a, w in item["witness"]["finals"]),
+
+
+def outcome_to_dict(outcome: Outcome) -> dict:
+    return {
+        "rf": [list(p) for p in outcome.rf_sources],
+        "finals": [list(p) for p in outcome.finals],
+    }
+
+
+def outcome_from_dict(item: dict) -> Outcome:
+    return Outcome(
+        tuple((r, s) for r, s in item["rf"]),
+        tuple((a, w) for a, w in item["finals"]),
     )
+
+
+def _entry_to_dict(entry: SuiteEntry) -> dict:
+    out = test_to_dict(entry.test)
+    out["witness"] = outcome_to_dict(entry.witness)
+    out["axioms"] = sorted(entry.axioms)
+    return out
+
+
+def _entry_from_dict(item: dict) -> tuple[LitmusTest, Outcome, set[str]]:
+    test = test_from_dict(item)
+    witness = outcome_from_dict(item["witness"])
     return test, witness, set(item.get("axioms", []))

@@ -5,13 +5,24 @@ canonicalize → emit per-axiom and union suites.
 generate`` corresponds to: it streams every candidate test within the
 size bound, keeps those satisfying the minimality criterion for at least
 one axiom, and collects one suite per axiom plus the union suite.
+
+The stable call form takes a :class:`SynthesisOptions` value::
+
+    result = synthesize(model, SynthesisOptions(bound=4, jobs=4))
+
+The pre-1.1 keyword form (``synthesize(model, bound, axioms=..., ...)``)
+still works through a shim but emits a :class:`DeprecationWarning`.
+``jobs > 1`` (or a ``checkpoint_dir``) routes the run through the sharded
+multiprocess runtime in :mod:`repro.exec`; its merged output is
+byte-identical to the sequential run.
 """
 
 from __future__ import annotations
 
 import time
-from collections.abc import Callable, Iterable
-from dataclasses import dataclass, field
+import warnings
+from collections.abc import Callable, Iterable, Sequence
+from dataclasses import dataclass, field, fields
 
 from repro.litmus.test import LitmusTest
 from repro.models.base import MemoryModel
@@ -20,12 +31,115 @@ from repro.core.enumerator import EnumerationConfig, enumerate_tests
 from repro.core.minimality import CriterionMode, MinimalityChecker
 from repro.core.suite import TestSuite
 
-__all__ = ["SynthesisResult", "synthesize"]
+__all__ = [
+    "SynthesisOptions",
+    "SynthesisResult",
+    "RESULT_SCHEMA_VERSION",
+    "synthesize",
+]
+
+#: version of the JSON document ``SynthesisResult.to_json_dict`` emits
+#: (and the CLI's ``synthesize --json`` prints).  v1 was the implicit
+#: pre-1.1 counts-only shape; v2 adds the wall/cpu seconds split, shard
+#: bookkeeping, and aggregated oracle cache statistics.
+RESULT_SCHEMA_VERSION = 2
+
+#: ``SynthesisOptions.reject`` sentinel: build the lint-based early-reject
+#: filter (:func:`repro.analysis.early_reject`) for the target model.
+#: Unlike an arbitrary callable, the sentinel crosses process boundaries,
+#: so it is the way to early-reject under ``jobs > 1``.
+EARLY_REJECT = "early-reject"
+
+
+@dataclass
+class SynthesisOptions:
+    """Everything ``synthesize`` needs besides the model itself.
+
+    Attributes:
+        bound: maximum instruction count per test.
+        axioms: which axioms to build suites for (default: all of them).
+        mode: criterion evaluation mode (Fig. 5b exact by default).
+        config: enumeration bounds (defaults derive from ``bound``).
+        exact_symmetry: use the exact canonicalizer (False reproduces the
+            paper's greedy one, WWC blind spot included).
+        candidates: explicit candidate stream (overrides the enumerator —
+            used by tests and suite-from-corpus workflows; incompatible
+            with ``jobs > 1`` / checkpointing).
+        progress: callback invoked with the running candidate count —
+            every 1000 candidates sequentially, after each completed
+            shard in parallel runs.
+        reject: opt-in early filter passed to the enumerator; candidates
+            it returns True for are skipped before any oracle call.  Pass
+            the :data:`EARLY_REJECT` sentinel to build the lint-based
+            filter per worker (plain callables only work with ``jobs=1``
+            unless they are picklable).  Ignored when an explicit
+            ``candidates`` stream is supplied.
+        jobs: worker process count; ``jobs > 1`` runs the sharded
+            multiprocess runtime (:mod:`repro.exec`).
+        checkpoint_dir: directory for shard-level checkpoints; a rerun
+            with the same options resumes, skipping completed shards.
+        shards: total shard count for parallel runs (default:
+            ``4 * jobs`` — small enough to amortize worker warm-up,
+            large enough for balance and useful checkpoint granularity).
+    """
+
+    bound: int
+    axioms: Sequence[str] | None = None
+    mode: CriterionMode = CriterionMode.EXACT
+    config: EnumerationConfig | None = None
+    exact_symmetry: bool = True
+    candidates: Iterable[LitmusTest] | None = None
+    progress: Callable[[int], None] | None = None
+    reject: Callable[[LitmusTest], bool] | str | None = None
+    jobs: int = 1
+    checkpoint_dir: str | None = None
+    shards: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.bound < 1:
+            raise ValueError(f"bound must be >= 1, got {self.bound}")
+        if self.jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {self.jobs}")
+        if self.shards is not None and self.shards < 1:
+            raise ValueError(f"shards must be >= 1, got {self.shards}")
+        if isinstance(self.reject, str) and self.reject != EARLY_REJECT:
+            raise ValueError(
+                f"unknown reject spec {self.reject!r} "
+                f"(the only named filter is {EARLY_REJECT!r})"
+            )
+
+    def resolved_config(self) -> EnumerationConfig:
+        return (
+            self.config
+            if self.config is not None
+            else EnumerationConfig(max_events=self.bound)
+        )
+
+    def axiom_names(self, model: MemoryModel) -> tuple[str, ...]:
+        return (
+            tuple(self.axioms) if self.axioms is not None else model.axiom_names()
+        )
+
+    def resolved_reject(
+        self, model: MemoryModel
+    ) -> Callable[[LitmusTest], bool] | None:
+        if self.reject == EARLY_REJECT:
+            from repro import analysis
+
+            return analysis.early_reject(model)
+        return self.reject  # a callable or None
 
 
 @dataclass
 class SynthesisResult:
-    """Per-axiom suites, the union suite, and bookkeeping counters."""
+    """Per-axiom suites, the union suite, and bookkeeping counters.
+
+    ``wall_seconds`` is elapsed real time for the whole run;
+    ``cpu_seconds`` is the summed busy time of every worker (equal to
+    ``wall_seconds`` for sequential runs, roughly ``jobs × wall`` for
+    well-balanced parallel ones).  ``axiom_seconds`` always sums *cpu*
+    time across workers, so its total can exceed ``wall_seconds``.
+    """
 
     model_name: str
     bound: int
@@ -34,74 +148,146 @@ class SynthesisResult:
     candidates: int = 0
     unique_candidates: int = 0
     minimal_tests: int = 0
-    elapsed_seconds: float = 0.0
+    wall_seconds: float = 0.0
+    cpu_seconds: float = 0.0
     axiom_seconds: dict[str, float] = field(default_factory=dict)
+    jobs: int = 1
+    shard_count: int = 0
+    oracle_stats: dict[str, float] = field(default_factory=dict)
 
-    def counts(self) -> dict[str, int]:
-        out = {name: len(suite) for name, suite in self.per_axiom.items()}
+    @property
+    def elapsed_seconds(self) -> float:
+        """Deprecated alias for :attr:`wall_seconds`."""
+        return self.wall_seconds
+
+    def counts(self) -> dict:
+        out: dict = {name: len(suite) for name, suite in self.per_axiom.items()}
         out["union"] = len(self.union)
+        out["wall_seconds"] = self.wall_seconds
+        out["cpu_seconds"] = self.cpu_seconds
         return out
 
+    def to_json_dict(self) -> dict:
+        """The stable machine-readable summary (schema v2)."""
+        suite_counts: dict = {
+            name: len(suite) for name, suite in self.per_axiom.items()
+        }
+        suite_counts["union"] = len(self.union)
+        return {
+            "schema_version": RESULT_SCHEMA_VERSION,
+            "model": self.model_name,
+            "bound": self.bound,
+            "jobs": self.jobs,
+            "shards": self.shard_count,
+            "candidates": self.candidates,
+            "unique_candidates": self.unique_candidates,
+            "minimal_tests": self.minimal_tests,
+            "wall_seconds": self.wall_seconds,
+            "cpu_seconds": self.cpu_seconds,
+            "axiom_seconds": dict(self.axiom_seconds),
+            "suite_counts": suite_counts,
+            "oracle": dict(self.oracle_stats),
+        }
+
     def summary(self) -> str:
-        lines = [
+        rate = self.candidates / self.wall_seconds if self.wall_seconds else 0.0
+        head = (
             f"model={self.model_name} bound={self.bound} "
             f"candidates={self.candidates} unique={self.unique_candidates} "
-            f"elapsed={self.elapsed_seconds:.2f}s"
-        ]
+            f"wall={self.wall_seconds:.2f}s cpu={self.cpu_seconds:.2f}s "
+            f"({rate:.0f} cand/s)"
+        )
+        if self.jobs > 1 or self.shard_count:
+            head += f" jobs={self.jobs} shards={self.shard_count}"
+        lines = [head]
         for name, suite in self.per_axiom.items():
             secs = self.axiom_seconds.get(name, 0.0)
             lines.append(f"  {name:<16s} {len(suite):5d} tests  {secs:8.2f}s")
         lines.append(f"  {'union':<16s} {len(self.union):5d} tests")
+        hit_rate = self.oracle_stats.get("observe_hit_rate")
+        if hit_rate is not None:
+            lines.append(
+                f"  oracle cache: analysis "
+                f"{self.oracle_stats.get('analysis_hit_rate', 0.0):.0%} hits, "
+                f"observe {hit_rate:.0%} hits"
+            )
         return "\n".join(lines)
+
+
+_OPTION_FIELDS = frozenset(f.name for f in fields(SynthesisOptions))
 
 
 def synthesize(
     model: MemoryModel,
-    bound: int,
-    axioms: Iterable[str] | None = None,
-    mode: CriterionMode = CriterionMode.EXACT,
-    config: EnumerationConfig | None = None,
-    exact_symmetry: bool = True,
-    candidates: Iterable[LitmusTest] | None = None,
-    progress: Callable[[int], None] | None = None,
-    reject: Callable[[LitmusTest], bool] | None = None,
+    options: SynthesisOptions | int | None = None,
+    **legacy,
 ) -> SynthesisResult:
     """Synthesize the comprehensive suites for one model.
 
-    Args:
-        model: the memory model to synthesize for.
-        bound: maximum instruction count per test.
-        axioms: which axioms to build suites for (default: all of them).
-        mode: criterion evaluation mode (Fig. 5b exact by default).
-        config: enumeration bounds (defaults derive from ``bound``).
-        exact_symmetry: use the exact canonicalizer (False reproduces the
-            paper's greedy one, WWC blind spot included).
-        candidates: explicit candidate stream (overrides the enumerator —
-            used by tests and by suite-from-corpus workflows).
-        progress: optional callback invoked with the running candidate
-            count every 1000 candidates.
-        reject: opt-in early filter passed to the enumerator; candidates
-            it returns True for are skipped before any oracle call (see
-            :func:`repro.analysis.early_reject`).  Ignored when an
-            explicit ``candidates`` stream is supplied.
+    Stable form: ``synthesize(model, SynthesisOptions(bound=4, ...))``.
+
+    The pre-1.1 form ``synthesize(model, bound, axioms=..., mode=...,
+    config=..., exact_symmetry=..., candidates=..., progress=...,
+    reject=...)`` is still accepted but deprecated; it is rewritten into
+    a :class:`SynthesisOptions` and warns.
     """
+    if isinstance(options, SynthesisOptions):
+        if legacy:
+            raise TypeError(
+                "synthesize() takes no extra keyword arguments alongside "
+                f"SynthesisOptions (got {sorted(legacy)})"
+            )
+        opts = options
+    else:
+        if options is not None:
+            if "bound" in legacy:
+                raise TypeError("synthesize() got bound twice")
+            legacy["bound"] = options
+        unknown = set(legacy) - _OPTION_FIELDS
+        if unknown:
+            raise TypeError(
+                f"synthesize() got unexpected keyword arguments {sorted(unknown)}"
+            )
+        if "bound" not in legacy:
+            raise TypeError(
+                "synthesize() needs a bound: pass SynthesisOptions(bound=...)"
+            )
+        warnings.warn(
+            "calling synthesize() with loose keyword arguments is "
+            "deprecated; pass a SynthesisOptions instead "
+            "(synthesize(model, SynthesisOptions(bound=..., ...)))",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        opts = SynthesisOptions(**legacy)
+
+    if opts.jobs > 1 or opts.shards is not None or opts.checkpoint_dir is not None:
+        from repro.exec import run_sharded
+
+        return run_sharded(model, opts)
+    return _run_sequential(model, opts)
+
+
+def _run_sequential(model: MemoryModel, opts: SynthesisOptions) -> SynthesisResult:
     start = time.perf_counter()
-    if config is None:
-        config = EnumerationConfig(max_events=bound)
-    axiom_names = tuple(axioms) if axioms is not None else model.axiom_names()
-    checker = MinimalityChecker(model, mode)
+    config = opts.resolved_config()
+    axiom_names = opts.axiom_names(model)
+    checker = MinimalityChecker(model, opts.mode)
     per_axiom = {
-        name: TestSuite(model.name, name, exact_symmetry)
+        name: TestSuite(model.name, name, opts.exact_symmetry)
         for name in axiom_names
     }
-    union = TestSuite(model.name, "union", exact_symmetry)
+    union = TestSuite(model.name, "union", opts.exact_symmetry)
     axiom_seconds = {name: 0.0 for name in axiom_names}
 
     stream = (
-        candidates
-        if candidates is not None
-        else enumerate_tests(model.vocabulary, config, reject=reject)
+        opts.candidates
+        if opts.candidates is not None
+        else enumerate_tests(
+            model.vocabulary, config, reject=opts.resolved_reject(model)
+        )
     )
+    progress = opts.progress
     seen: set[LitmusTest] = set()
     n_candidates = 0
     n_unique = 0
@@ -130,14 +316,20 @@ def synthesize(
             assert witness is not None
             union.add(test, witness, minimal_for)
 
+    elapsed = time.perf_counter() - start
+    cache_stats = getattr(checker.oracle, "cache_stats", None)
     return SynthesisResult(
         model_name=model.name,
-        bound=bound,
+        bound=opts.bound,
         per_axiom=per_axiom,
         union=union,
         candidates=n_candidates,
         unique_candidates=n_unique,
         minimal_tests=n_minimal,
-        elapsed_seconds=time.perf_counter() - start,
+        wall_seconds=elapsed,
+        cpu_seconds=elapsed,
         axiom_seconds=axiom_seconds,
+        jobs=1,
+        shard_count=0,
+        oracle_stats=cache_stats() if cache_stats is not None else {},
     )

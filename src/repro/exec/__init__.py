@@ -1,0 +1,48 @@
+"""Sharded multiprocess synthesis runtime.
+
+The synthesis loop is embarrassingly parallel — every candidate's
+minimality check is independent — so this package splits the candidate
+space into deterministic shards, fans them out over a worker pool, and
+merges the streams back into suites byte-identical to the sequential
+run.  Shard results double as checkpoints, so a killed run resumes.
+
+Users normally reach this through the public API::
+
+    from repro import SynthesisOptions, synthesize
+    result = synthesize(model, SynthesisOptions(bound=4, jobs=4,
+                                                checkpoint_dir="ckpt/"))
+
+Modules:
+
+* :mod:`repro.exec.sharding`   — shard planning / over-partitioning
+* :mod:`repro.exec.worker`     — per-process pipeline and shard loop
+* :mod:`repro.exec.merge`      — order-restoring deterministic merge
+* :mod:`repro.exec.checkpoint` — JSONL shard store with run fingerprint
+* :mod:`repro.exec.runtime`    — the pool driver tying it together
+"""
+
+from repro.exec.checkpoint import (
+    CheckpointError,
+    CheckpointStore,
+    run_fingerprint,
+    saved_shard_count,
+)
+from repro.exec.merge import merge_shards
+from repro.exec.runtime import run_sharded
+from repro.exec.sharding import DEFAULT_SHARDS_PER_JOB, ShardPlan, plan_shards
+from repro.exec.worker import WorkerTask, compute_shard, fingerprint
+
+__all__ = [
+    "CheckpointError",
+    "CheckpointStore",
+    "run_fingerprint",
+    "saved_shard_count",
+    "merge_shards",
+    "run_sharded",
+    "DEFAULT_SHARDS_PER_JOB",
+    "ShardPlan",
+    "plan_shards",
+    "WorkerTask",
+    "compute_shard",
+    "fingerprint",
+]

@@ -1,0 +1,98 @@
+"""Deterministic merge of shard results into a :class:`SynthesisResult`.
+
+Shards complete in nondeterministic order (pool scheduling), but every
+record carries its global ``(item, pos)`` enumeration coordinate, so
+sorting the union of all records by that key reconstructs the exact
+sequential candidate order.  Replaying suite insertion in that order —
+including the cross-shard canonical-form dedup the per-shard loops could
+not see — makes the merged suites *byte-identical* to a ``jobs=1`` run:
+same representatives, same witnesses, same JSON serialization.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.core.canonical import canonical_form
+from repro.core.suite import TestSuite, outcome_from_dict, test_from_dict
+from repro.core.synthesis import SynthesisOptions, SynthesisResult
+from repro.litmus.test import LitmusTest
+from repro.models.base import MemoryModel
+
+__all__ = ["merge_shards"]
+
+
+def merge_shards(
+    model: MemoryModel,
+    opts: SynthesisOptions,
+    shard_results: list[dict],
+    wall_seconds: float,
+    shard_count: int,
+) -> SynthesisResult:
+    """Fold shard results (any order) into the final result."""
+    merge_t0 = time.perf_counter()
+    axiom_names = opts.axiom_names(model)
+    per_axiom = {
+        name: TestSuite(model.name, name, opts.exact_symmetry)
+        for name in axiom_names
+    }
+    union = TestSuite(model.name, "union", opts.exact_symmetry)
+
+    records = sorted(
+        (rec for result in shard_results for rec in result["records"]),
+        key=lambda rec: (rec["item"], rec["pos"]),
+    )
+    seen: set[LitmusTest] = set()
+    n_minimal = 0
+    for rec in records:
+        test = test_from_dict(rec["test"])
+        canon = canonical_form(test)
+        if canon in seen:
+            # A symmetric twin from another shard already claimed this
+            # class; the sequential loop would never have re-checked it.
+            continue
+        seen.add(canon)
+        n_minimal += 1
+        witness = None
+        for name in rec["minimal_for"]:
+            witness = outcome_from_dict(rec["witnesses"][name])
+            per_axiom[name].add(test, witness, [name])
+        assert witness is not None
+        union.add(test, witness, rec["minimal_for"])
+
+    n_candidates = 0
+    unique_digests: set[str] = set()
+    axiom_seconds = {name: 0.0 for name in axiom_names}
+    cpu_seconds = time.perf_counter() - merge_t0
+    oracle_totals: dict[str, float] = {}
+    for result in shard_results:
+        stats = result["stats"]
+        n_candidates += stats["candidates"]
+        unique_digests.update(stats["digests"])
+        cpu_seconds += stats["cpu_seconds"]
+        for name, secs in stats["axiom_seconds"].items():
+            if name in axiom_seconds:
+                axiom_seconds[name] += secs
+        for key, value in stats.get("oracle", {}).items():
+            if not key.endswith("_rate"):
+                oracle_totals[key] = oracle_totals.get(key, 0) + value
+    for kind, miss_key in (("analysis", "analyses"), ("observe", "observations")):
+        hits = oracle_totals.get(f"{kind}_hits", 0)
+        total = hits + oracle_totals.get(miss_key, 0)
+        oracle_totals[f"{kind}_hit_rate"] = hits / total if total else 0.0
+
+    return SynthesisResult(
+        model_name=model.name,
+        bound=opts.bound,
+        per_axiom=per_axiom,
+        union=union,
+        candidates=n_candidates,
+        unique_candidates=len(unique_digests),
+        minimal_tests=n_minimal,
+        wall_seconds=wall_seconds,
+        cpu_seconds=cpu_seconds,
+        axiom_seconds=axiom_seconds,
+        jobs=opts.jobs,
+        shard_count=shard_count,
+        oracle_stats=oracle_totals,
+    )

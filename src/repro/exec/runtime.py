@@ -1,0 +1,122 @@
+"""The sharded multiprocess synthesis driver.
+
+``run_sharded(model, opts)`` is what :func:`repro.core.synthesis.synthesize`
+dispatches to for ``jobs > 1`` or checkpointed runs:
+
+1. plan the shard partition (:mod:`repro.exec.sharding`);
+2. replay completed shards from the checkpoint store, if any;
+3. fan the remaining shards out over a ``multiprocessing`` pool whose
+   workers each own a full pipeline (:mod:`repro.exec.worker`),
+   checkpointing and reporting progress as each shard streams back;
+4. merge everything deterministically (:mod:`repro.exec.merge`).
+
+The merged result is byte-identical to the sequential run over the same
+options — parallelism and resume are pure wall-clock concerns.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import pickle
+import time
+
+from repro.core.minimality import CriterionMode
+from repro.core.synthesis import SynthesisOptions, SynthesisResult
+from repro.exec.checkpoint import (
+    CheckpointStore,
+    run_fingerprint,
+    saved_shard_count,
+)
+from repro.exec.merge import merge_shards
+from repro.exec.sharding import plan_shards
+from repro.exec.worker import (
+    WorkerTask,
+    _WorkerState,
+    compute_shard,
+    init_worker,
+    run_shard,
+)
+from repro.models.base import MemoryModel
+
+__all__ = ["run_sharded"]
+
+
+def _worker_task(model: MemoryModel, opts: SynthesisOptions, shard_count: int) -> WorkerTask:
+    reject = opts.reject
+    if callable(reject) and opts.jobs > 1:
+        try:
+            pickle.dumps(reject)
+        except Exception as exc:
+            raise ValueError(
+                "a custom reject callable must be picklable to cross "
+                "worker process boundaries; pass repro.core.synthesis."
+                "EARLY_REJECT (or a module-level function) instead"
+            ) from exc
+    mode = opts.mode if isinstance(opts.mode, CriterionMode) else CriterionMode(opts.mode)
+    return WorkerTask(
+        model_name=model.name,
+        bound=opts.bound,
+        axioms=tuple(opts.axioms) if opts.axioms is not None else None,
+        mode_value=mode.value,
+        config=opts.resolved_config(),
+        shard_count=shard_count,
+        reject=reject,
+    )
+
+
+def run_sharded(model: MemoryModel, opts: SynthesisOptions) -> SynthesisResult:
+    """Run one synthesis over shards, in parallel when ``jobs > 1``."""
+    if opts.candidates is not None:
+        raise ValueError(
+            "an explicit candidates stream cannot be sharded; "
+            "run it with jobs=1 and no checkpoint_dir"
+        )
+    start = time.perf_counter()
+    shards = opts.shards
+    if shards is None and opts.checkpoint_dir is not None:
+        # A resume may change jobs (scheduling) but never the partition:
+        # without an explicit shard count, adopt the checkpoint's.
+        shards = saved_shard_count(opts.checkpoint_dir)
+    plan = plan_shards(opts.jobs, shards)
+    task = _worker_task(model, opts, plan.count)
+
+    store: CheckpointStore | None = None
+    completed: dict[int, dict] = {}
+    if opts.checkpoint_dir is not None:
+        store = CheckpointStore(opts.checkpoint_dir, run_fingerprint(task, opts))
+        completed = store.load()
+    pending = [i for i in plan.indices() if i not in completed]
+
+    progress = opts.progress
+    candidates_done = sum(r["stats"]["candidates"] for r in completed.values())
+
+    def finish(result: dict) -> None:
+        nonlocal candidates_done
+        completed[result["shard"]] = result
+        candidates_done += result["stats"]["candidates"]
+        if store is not None:
+            store.record(result)
+        if progress is not None:
+            progress(candidates_done)
+
+    if opts.jobs == 1:
+        # In-process: same shard/merge/checkpoint path, no pool overhead.
+        state = _WorkerState(task)
+        for index in pending:
+            finish(compute_shard(state, index))
+    elif pending:
+        with multiprocessing.get_context().Pool(
+            processes=min(opts.jobs, len(pending)),
+            initializer=init_worker,
+            initargs=(task,),
+        ) as pool:
+            for result in pool.imap_unordered(run_shard, pending, chunksize=1):
+                finish(result)
+
+    return merge_shards(
+        model,
+        opts,
+        list(completed.values()),
+        wall_seconds=time.perf_counter() - start,
+        shard_count=plan.count,
+    )

@@ -1,0 +1,62 @@
+"""Shard planning for the parallel synthesis runtime.
+
+A *shard* is one deterministic slice of the candidate space — the
+``shard=(i, n)`` argument of
+:func:`repro.core.enumerator.enumerate_tests`.  Shards are the unit of
+work distribution, of checkpointing, and of progress reporting.
+
+The planner over-partitions: more shards than workers.  Work items vary
+wildly in cost (the last thread-size partitions dominate), so handing
+each worker exactly one slice would leave most of the pool idle behind
+the slowest one.  Round-robin item assignment inside the enumerator
+already spreads the expensive partitions across shards; over-partitioning
+on top keeps the pool busy until the end and bounds the work lost when a
+checkpointed run is killed mid-shard.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["ShardPlan", "plan_shards", "DEFAULT_SHARDS_PER_JOB"]
+
+#: shards allocated per worker process when the caller does not pin a
+#: total — enough granularity for balance and resume without drowning in
+#: per-shard overhead (each shard re-walks the cheap enumeration prefix).
+DEFAULT_SHARDS_PER_JOB = 4
+
+
+@dataclass(frozen=True)
+class ShardPlan:
+    """The partition a parallel run executes over."""
+
+    jobs: int
+    count: int
+
+    def __post_init__(self) -> None:
+        if self.jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {self.jobs}")
+        if self.count < 1:
+            raise ValueError(f"shard count must be >= 1, got {self.count}")
+
+    def shard(self, index: int) -> tuple[int, int]:
+        """The ``(index, count)`` pair to pass to the enumerator."""
+        if not 0 <= index < self.count:
+            raise ValueError(
+                f"shard index {index} out of range for {self.count} shards"
+            )
+        return (index, self.count)
+
+    def indices(self) -> range:
+        return range(self.count)
+
+
+def plan_shards(jobs: int, shards: int | None = None) -> ShardPlan:
+    """Pick the shard partition for ``jobs`` workers.
+
+    ``shards`` pins the total explicitly (checkpoint resume must reuse
+    the original partition; the store validates this via its fingerprint).
+    """
+    if shards is not None:
+        return ShardPlan(jobs=jobs, count=shards)
+    return ShardPlan(jobs=jobs, count=max(1, jobs) * DEFAULT_SHARDS_PER_JOB)

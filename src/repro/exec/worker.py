@@ -1,0 +1,175 @@
+"""The per-shard synthesis worker.
+
+Each worker process owns its own :class:`MinimalityChecker` (and thus its
+own oracle caches — the observability cache hits hard within a shard, and
+sharing it across processes would serialize the hot path).  A worker
+receives shard indices and streams back *shard results*: plain-JSON
+dictionaries carrying the minimal-test records plus counters, so the same
+payload serves the multiprocessing pipe and the checkpoint file.
+
+Record schema (one per minimal candidate, local dedup applied)::
+
+    {"item": <global work-item ordinal>,
+     "pos":  <candidate position within the item>,
+     "test": <test_to_dict form>,
+     "minimal_for": [axiom, ...],            # in axiom-check order
+     "witnesses": {axiom: <outcome_to_dict form>, ...}}
+
+``(item, pos)`` is a global sort key: ordering the union of all shards'
+records by it reconstructs the exact sequential candidate order, which is
+what lets :mod:`repro.exec.merge` produce byte-identical suites.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import time
+from dataclasses import dataclass
+from typing import Any
+
+from repro.core.canonical import canonical_form
+from repro.core.enumerator import EnumerationConfig, enumerate_shard
+from repro.core.minimality import CriterionMode, MinimalityChecker
+from repro.core.suite import outcome_to_dict, test_to_dict
+from repro.core.synthesis import SynthesisOptions
+from repro.litmus.test import LitmusTest
+from repro.models.registry import get_model
+
+__all__ = ["WorkerTask", "compute_shard", "init_worker", "run_shard", "fingerprint"]
+
+
+@dataclass(frozen=True)
+class WorkerTask:
+    """Everything a worker process needs to rebuild its pipeline.
+
+    Carried as primitives (model *name*, mode *value*) plus the picklable
+    :class:`EnumerationConfig`, so the payload crosses process boundaries
+    under both fork and spawn start methods.
+    """
+
+    model_name: str
+    bound: int
+    axioms: tuple[str, ...] | None
+    mode_value: str
+    config: EnumerationConfig
+    shard_count: int
+    reject: Any = None  # None | EARLY_REJECT | picklable callable
+
+
+def fingerprint(test: LitmusTest) -> str:
+    """A stable short digest of a test's structure.
+
+    Used to count *globally* unique canonical forms across shards without
+    shipping the tests themselves: workers digest each locally-unique
+    canonical form, and the merge unions the digest sets.  Digests are
+    content-derived (no ``hash()`` — that is salted per interpreter), so
+    they agree across worker processes and across runs.
+    """
+    payload = repr(
+        (
+            test.threads,
+            sorted(test.rmw),
+            sorted(test.deps),
+            test.scopes,
+        )
+    )
+    return hashlib.blake2b(payload.encode(), digest_size=8).hexdigest()
+
+
+class _WorkerState:
+    """Per-process pipeline, built once and reused across shards."""
+
+    def __init__(self, task: WorkerTask):
+        self.task = task
+        self.model = get_model(task.model_name)
+        self.checker = MinimalityChecker(self.model, CriterionMode(task.mode_value))
+        self.axiom_names = (
+            task.axioms if task.axioms is not None else self.model.axiom_names()
+        )
+        # Rebuild named reject specs locally; a pre-built closure would
+        # not survive pickling into the pool.
+        self.reject = SynthesisOptions(
+            bound=task.bound, reject=task.reject
+        ).resolved_reject(self.model)
+
+
+def compute_shard(state: _WorkerState, shard_index: int) -> dict:
+    """Run the synthesis loop over one shard; return a shard result."""
+    t0 = time.perf_counter()
+    task = state.task
+    checker = state.checker
+    axiom_seconds = {name: 0.0 for name in state.axiom_names}
+    seen: set[LitmusTest] = set()
+    digests: list[str] = []
+    records: list[dict] = []
+    n_candidates = 0
+    current_item = -1
+    pos = 0
+    for item, test in enumerate_shard(
+        state.model.vocabulary,
+        task.config,
+        shard=(shard_index, task.shard_count),
+        reject=state.reject,
+    ):
+        if item != current_item:
+            current_item, pos = item, 0
+        else:
+            pos += 1
+        n_candidates += 1
+        canon = canonical_form(test)
+        if canon in seen:
+            continue
+        seen.add(canon)
+        digests.append(fingerprint(canon))
+        minimal_for: list[str] = []
+        witnesses: dict[str, dict] = {}
+        for name in state.axiom_names:
+            t_ax = time.perf_counter()
+            result = checker.check(test, name)
+            axiom_seconds[name] += time.perf_counter() - t_ax
+            if result.is_minimal:
+                assert result.witness is not None
+                minimal_for.append(name)
+                witnesses[name] = outcome_to_dict(result.witness)
+        if minimal_for:
+            records.append(
+                {
+                    "item": item,
+                    "pos": pos,
+                    "test": test_to_dict(test),
+                    "minimal_for": minimal_for,
+                    "witnesses": witnesses,
+                }
+            )
+    cache_stats = getattr(checker.oracle, "cache_stats", None)
+    return {
+        "shard": shard_index,
+        "records": records,
+        "stats": {
+            "candidates": n_candidates,
+            "unique": len(seen),
+            "digests": digests,
+            "axiom_seconds": axiom_seconds,
+            "cpu_seconds": time.perf_counter() - t0,
+            "oracle": cache_stats() if cache_stats is not None else {},
+        },
+    }
+
+
+# -- multiprocessing pool plumbing -------------------------------------------
+#
+# The pool is created with ``initializer=init_worker`` so each process
+# builds its model/checker exactly once; ``run_shard`` then only ships a
+# shard index in and a JSON-ready dict out.
+
+_STATE: _WorkerState | None = None
+
+
+def init_worker(task: WorkerTask) -> None:
+    global _STATE
+    _STATE = _WorkerState(task)
+
+
+def run_shard(shard_index: int) -> dict:
+    assert _STATE is not None, "worker pool was started without init_worker"
+    return compute_shard(_STATE, shard_index)

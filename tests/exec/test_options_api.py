@@ -1,0 +1,100 @@
+"""The options-object API, the legacy-kwargs shim, and the v2 JSON schema."""
+
+import json
+
+import pytest
+
+from repro import __all__ as public_names
+from repro.core.enumerator import EnumerationConfig
+from repro.core.synthesis import (
+    RESULT_SCHEMA_VERSION,
+    SynthesisOptions,
+    synthesize,
+)
+from repro.models.registry import get_model
+
+
+def _config(bound: int = 3) -> EnumerationConfig:
+    return EnumerationConfig(max_events=bound, max_addresses=2)
+
+
+class TestSynthesisOptions:
+    def test_legacy_kwargs_warn_but_match(self):
+        tso = get_model("tso")
+        modern = synthesize(
+            tso, SynthesisOptions(bound=3, config=_config())
+        )
+        with pytest.deprecated_call():
+            legacy = synthesize(tso, bound=3, config=_config())
+        assert modern.union.to_json() == legacy.union.to_json()
+        assert modern.candidates == legacy.candidates
+
+    def test_options_plus_kwargs_is_an_error(self):
+        with pytest.raises(TypeError, match="alongside"):
+            synthesize(
+                get_model("tso"),
+                SynthesisOptions(bound=3, config=_config()),
+                bound=3,
+            )
+
+    def test_unknown_kwarg_is_an_error(self):
+        with pytest.raises(TypeError, match="max_bound"):
+            synthesize(get_model("tso"), max_bound=3)
+
+    def test_options_validation(self):
+        with pytest.raises(ValueError):
+            SynthesisOptions(bound=0)
+        with pytest.raises(ValueError):
+            SynthesisOptions(bound=3, jobs=0)
+        with pytest.raises(ValueError):
+            SynthesisOptions(bound=3, shards=0)
+
+    def test_public_surface_exports(self):
+        for name in (
+            "synthesize",
+            "SynthesisOptions",
+            "SynthesisResult",
+            "ExplicitOracle",
+            "EARLY_REJECT",
+            "get_model",
+            "parse_test",
+            "format_test",
+        ):
+            assert name in public_names, name
+
+
+class TestResultSchema:
+    def test_json_dict_schema_v2(self):
+        result = synthesize(
+            get_model("tso"),
+            SynthesisOptions(bound=3, config=_config(), shards=3),
+        )
+        payload = result.to_json_dict()
+        json.dumps(payload)  # must be serializable as-is
+        assert payload["schema_version"] == RESULT_SCHEMA_VERSION == 2
+        assert payload["model"] == "tso"
+        assert payload["bound"] == 3
+        assert payload["jobs"] == 1
+        assert payload["shards"] == 3
+        # The v2 split: wall-clock vs summed worker CPU, both present.
+        assert payload["wall_seconds"] >= 0
+        assert payload["cpu_seconds"] >= 0
+        assert set(payload["suite_counts"]) == set(result.per_axiom) | {
+            "union"
+        }
+        counts = result.counts()
+        assert counts["wall_seconds"] == payload["wall_seconds"]
+        assert counts["cpu_seconds"] == payload["cpu_seconds"]
+
+    def test_elapsed_seconds_alias(self):
+        result = synthesize(
+            get_model("tso"), SynthesisOptions(bound=3, config=_config())
+        )
+        assert result.elapsed_seconds == result.wall_seconds
+
+    def test_summary_mentions_wall_and_cpu(self):
+        result = synthesize(
+            get_model("tso"), SynthesisOptions(bound=3, config=_config())
+        )
+        text = result.summary()
+        assert "wall" in text and "cpu" in text

@@ -1,0 +1,96 @@
+"""The sharded runtime must be invisible in the output.
+
+``jobs=N`` (and any shard count) is purely a scheduling decision: the
+resulting suites, counters, and JSON serializations must be *identical*
+to the sequential run.  These tests pin that contract through the real
+``multiprocessing`` pool, not just the in-process shard loop.
+"""
+
+import pytest
+
+from repro.core.enumerator import EnumerationConfig
+from repro.core.synthesis import SynthesisOptions, synthesize
+from repro.exec import plan_shards
+from repro.models.registry import get_model
+
+
+def _options(**overrides) -> SynthesisOptions:
+    base = dict(
+        bound=3,
+        config=EnumerationConfig(max_events=3, max_addresses=2),
+    )
+    base.update(overrides)
+    return SynthesisOptions(**base)
+
+
+@pytest.fixture(scope="module")
+def sequential():
+    return synthesize(get_model("tso"), _options())
+
+
+def assert_same_result(a, b):
+    assert a.union.to_json() == b.union.to_json()
+    assert set(a.per_axiom) == set(b.per_axiom)
+    for axiom in a.per_axiom:
+        assert a.per_axiom[axiom].to_json() == b.per_axiom[axiom].to_json()
+    assert a.candidates == b.candidates
+    assert a.unique_candidates == b.unique_candidates
+    assert a.minimal_tests == b.minimal_tests
+
+
+class TestShardedRuntime:
+    def test_inprocess_sharding_matches_sequential(self, sequential):
+        # jobs=1 + explicit shard count exercises the shard/merge path
+        # without any subprocess in the way.
+        result = synthesize(get_model("tso"), _options(shards=7))
+        assert_same_result(sequential, result)
+
+    def test_multiprocess_matches_sequential(self, sequential):
+        result = synthesize(get_model("tso"), _options(jobs=2))
+        assert_same_result(sequential, result)
+
+    def test_shard_count_does_not_leak_into_output(self, sequential):
+        for shards in (2, 5):
+            result = synthesize(
+                get_model("tso"), _options(jobs=2, shards=shards)
+            )
+            assert_same_result(sequential, result)
+
+    def test_early_reject_sentinel_crosses_processes(self):
+        from repro.core.synthesis import EARLY_REJECT
+
+        seq = synthesize(get_model("tso"), _options(reject=EARLY_REJECT))
+        par = synthesize(
+            get_model("tso"), _options(reject=EARLY_REJECT, jobs=2)
+        )
+        assert_same_result(seq, par)
+
+    def test_progress_reports_cumulative_candidates(self, sequential):
+        seen = []
+        result = synthesize(
+            get_model("tso"), _options(shards=4, progress=seen.append)
+        )
+        assert seen == sorted(seen)
+        assert seen[-1] == result.candidates == sequential.candidates
+
+    def test_explicit_candidates_incompatible_with_jobs(self):
+        tests = [entry.test for entry in synthesize(
+            get_model("tso"), _options()
+        ).union]
+        with pytest.raises(ValueError, match="candidates"):
+            synthesize(
+                get_model("tso"), _options(jobs=2, candidates=tests)
+            )
+
+    def test_unpicklable_reject_rejected_up_front(self):
+        oracle_probe = object()
+        reject = lambda test: oracle_probe is None  # noqa: E731
+        with pytest.raises(ValueError, match="picklable"):
+            synthesize(get_model("tso"), _options(jobs=2, reject=reject))
+
+    def test_plan_shards_defaults(self):
+        assert plan_shards(1).count >= 1
+        assert plan_shards(4).count >= 4
+        assert plan_shards(2, shards=9).count == 9
+        with pytest.raises(ValueError):
+            plan_shards(2, shards=0)
