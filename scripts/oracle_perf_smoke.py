@@ -1,0 +1,55 @@
+#!/usr/bin/env python
+"""CI perf smoke for the incremental SAT oracle.
+
+Runs the x86-TSO size-4 relational-oracle synthesis workload twice —
+incremental engine vs cold-solver baseline — writes the measurement to
+``BENCH_oracle.json``, and fails when:
+
+* the two modes' union suites are not byte-identical, or
+* incremental mode is slower than the cold baseline.
+
+Exit status 0 on success.  Run from the repository root:
+
+    PYTHONPATH=src python scripts/oracle_perf_smoke.py
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+
+from repro.bench import oracle_workload_report
+
+MODEL = os.environ.get("ORACLE_SMOKE_MODEL", "tso")
+BOUND = int(os.environ.get("ORACLE_SMOKE_BOUND", "4"))
+OUT = os.environ.get("ORACLE_SMOKE_OUT", "BENCH_oracle.json")
+
+
+def main() -> int:
+    report = oracle_workload_report(MODEL, BOUND)
+    with open(OUT, "w") as fh:
+        json.dump(report, fh, indent=2)
+        fh.write("\n")
+    inc = report["incremental"]["wall_seconds"]
+    cold = report["cold"]["wall_seconds"]
+    print(
+        f"oracle perf smoke: model={MODEL} bound={BOUND} "
+        f"incremental={inc:.3f}s cold={cold:.3f}s "
+        f"speedup={report['speedup']:.2f}x -> {OUT}"
+    )
+    if not report["byte_identical"]:
+        print("FAIL: incremental and cold suites differ", file=sys.stderr)
+        return 1
+    if inc > cold:
+        print(
+            "FAIL: incremental mode is slower than the cold baseline "
+            f"({inc:.3f}s > {cold:.3f}s)",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

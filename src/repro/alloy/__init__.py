@@ -1,11 +1,13 @@
 """Alloy-style memory model encodings over the relational engine."""
 
+from repro.alloy.cache import CNFCache
 from repro.alloy.encoding import LitmusEncoding
 from repro.alloy.models import ALLOY_MODELS, sc_formulas, scc_formulas, tso_formulas
 from repro.alloy.oracle import AlloyOracle
 from repro.alloy.perturb import Fig5cEncoding, PerturbedRelations
 
 __all__ = [
+    "CNFCache",
     "LitmusEncoding",
     "ALLOY_MODELS",
     "sc_formulas",

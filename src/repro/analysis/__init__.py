@@ -28,6 +28,7 @@ from repro.analysis.diagnostics import (
     render_text,
 )
 from repro.analysis.litmus_lint import early_reject, find_duplicate_tests
+from repro.analysis.pipeline_lint import lint_cnf_cache_dir, lint_oracle_options
 from repro.analysis.registry import (
     ClauseLintContext,
     LintPass,
@@ -64,6 +65,8 @@ __all__ = [
     "run_family",
     "early_reject",
     "find_duplicate_tests",
+    "lint_oracle_options",
+    "lint_cnf_cache_dir",
     "REGISTRY_SUPPRESSIONS",
     "lint_models",
     "lint_catalog",

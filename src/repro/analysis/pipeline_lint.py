@@ -16,11 +16,20 @@ SAT003   error     empty clause (formula trivially unsatisfiable)
 SAT004   info      duplicate literal within one clause
 SAT005   error     literal references a variable beyond ``num_vars``
 SAT006   info      unit clause in the input (fine, but worth surfacing)
+SAT007   warning   oracle configuration silently disables the CNF cache
+SAT008   warning   CNF cache directory mixes incompatible fingerprints
 =======  ========  ==========================================================
+
+SAT007/SAT008 are collection-level checks over oracle *configurations*
+and on-disk cache directories rather than clause sets, so (like
+``find_duplicate_tests`` in the litmus family) they are plain functions:
+:func:`lint_oracle_options` and :func:`lint_cnf_cache_dir`.
 """
 
 from __future__ import annotations
 
+import json
+import os
 from collections.abc import Iterable
 
 from repro.analysis.diagnostics import Diagnostic, Severity
@@ -34,6 +43,8 @@ from repro.sat.types import index_lit
 
 __all__ = [
     "lint_clause_context",
+    "lint_oracle_options",
+    "lint_cnf_cache_dir",
     "context_from_solver",
     "context_from_dimacs",
 ]
@@ -163,3 +174,120 @@ def context_from_dimacs(
 def lint_clause_context(ctx: ClauseLintContext) -> Iterable[Diagnostic]:
     """Run every registered pipeline pass over one context."""
     return run_family("pipeline", ctx)
+
+
+# -- oracle configuration checks (SAT007/SAT008) --------------------------------
+
+
+def lint_oracle_options(opts) -> list[Diagnostic]:
+    """SAT007: oracle knob combinations that silently do nothing.
+
+    Takes anything with ``oracle``/``incremental``/``cnf_cache_dir``
+    attributes (a :class:`repro.core.synthesis.SynthesisOptions`).  The
+    dangerous shapes are the ones where a user *asked* for caching or
+    tuned a relational-only knob and the pipeline quietly ignores it.
+    """
+    oracle = getattr(opts, "oracle", "explicit")
+    incremental = getattr(opts, "incremental", True)
+    cache_dir = getattr(opts, "cnf_cache_dir", None)
+    out: list[Diagnostic] = []
+    if oracle == "relational":
+        if not incremental and cache_dir is not None:
+            out.append(
+                Diagnostic(
+                    "SAT007",
+                    Severity.WARNING,
+                    "options:cnf_cache_dir",
+                    "cold-solver mode (incremental=False) disables the "
+                    "CNF compilation cache, so cnf_cache_dir is ignored",
+                    hint="drop cnf_cache_dir or re-enable incremental "
+                    "solving",
+                )
+            )
+    else:
+        for knob, active in (
+            ("cnf_cache_dir", cache_dir is not None),
+            ("incremental", not incremental),
+        ):
+            if active:
+                out.append(
+                    Diagnostic(
+                        "SAT007",
+                        Severity.WARNING,
+                        f"options:{knob}",
+                        f"{knob} only affects the relational oracle; the "
+                        "explicit oracle ignores it",
+                        hint="pass oracle='relational' (CLI: --oracle "
+                        "relational) to make the knob effective",
+                    )
+                )
+    return out
+
+
+def lint_cnf_cache_dir(directory: str) -> list[Diagnostic]:
+    """SAT008: on-disk CNF cache entries that cannot serve each other.
+
+    Every entry is self-describing (``schema`` + ``model`` fields, see
+    :mod:`repro.alloy.cache`).  A directory mixing model fingerprints or
+    holding stale-schema/corrupt entries still *works* — lookups filter
+    by fingerprint — but the misses are silent, which is exactly how a
+    mis-pointed ``--cnf-cache-dir`` hides.
+    """
+    from repro.alloy.cache import CACHE_SCHEMA
+
+    out: list[Diagnostic] = []
+    if not os.path.isdir(directory):
+        return out
+    models: set[str] = set()
+    for entry in sorted(os.listdir(directory)):
+        if not entry.endswith(".json") or entry.startswith("."):
+            continue
+        path = os.path.join(directory, entry)
+        try:
+            with open(path, encoding="utf-8") as fh:
+                data = json.load(fh)
+        except (OSError, ValueError):
+            out.append(
+                Diagnostic(
+                    "SAT008",
+                    Severity.WARNING,
+                    f"{directory}:{entry}",
+                    "unreadable CNF cache entry (corrupt or foreign "
+                    "file); every lookup hitting it misses silently",
+                    hint="delete the file or point --cnf-cache-dir at a "
+                    "dedicated directory",
+                )
+            )
+            continue
+        schema = data.get("schema")
+        if schema != CACHE_SCHEMA:
+            out.append(
+                Diagnostic(
+                    "SAT008",
+                    Severity.WARNING,
+                    f"{directory}:{entry}",
+                    f"stale cache entry (schema {schema!r}, current "
+                    f"{CACHE_SCHEMA}); it will never hit again",
+                    hint="safe to delete; the cache rewrites entries on "
+                    "the next compile",
+                )
+            )
+            continue
+        model = data.get("model")
+        if isinstance(model, str):
+            models.add(model)
+    if len(models) > 1:
+        listed = ", ".join(sorted(models))
+        out.append(
+            Diagnostic(
+                "SAT008",
+                Severity.WARNING,
+                directory,
+                f"cache directory mixes {len(models)} incompatible model "
+                f"fingerprints ({listed}); entries from one model never "
+                "serve another",
+                hint="use one cache directory per model to keep hit "
+                "rates meaningful",
+            )
+        )
+    return out

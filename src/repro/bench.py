@@ -1,0 +1,77 @@
+"""Reusable perf workloads (shared by the bench suite and CI smoke jobs).
+
+The benchmark harness (``benchmarks/``) and the CI perf-smoke script
+(``scripts/oracle_perf_smoke.py``) must measure the *same* workload the
+same way, or their numbers aren't comparable — so the measurement lives
+here and both call it.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.core.enumerator import EnumerationConfig
+from repro.core.synthesis import SynthesisOptions, synthesize
+from repro.models.registry import get_model
+
+__all__ = ["ORACLE_BENCH_SCHEMA", "oracle_workload_report"]
+
+ORACLE_BENCH_SCHEMA = 1
+
+
+def _mode_report(result, wall: float) -> dict:
+    stats = dict(result.oracle_stats)
+    queries = stats.get("sat_queries", 0)
+    return {
+        "wall_seconds": wall,
+        "sat_queries": queries,
+        "per_query_seconds": wall / queries if queries else 0.0,
+        "cache": stats,
+    }
+
+
+def oracle_workload_report(
+    model_name: str = "tso",
+    bound: int = 4,
+    cnf_cache_dir: str | None = None,
+) -> dict:
+    """Run the relational-oracle synthesis workload incremental vs cold.
+
+    The default is the x86-TSO size-4 workload the acceptance numbers
+    are quoted against.  Returns the ``BENCH_oracle.json`` document:
+    end-to-end wall time, per-query latency, and cache hit rates per
+    mode, plus the speedup and a byte-identity verdict over the union
+    suites.
+    """
+    model = get_model(model_name)
+    config = EnumerationConfig(
+        max_events=bound, max_addresses=2, max_deps=0, max_rmws=0
+    )
+
+    def run(incremental: bool):
+        opts = SynthesisOptions(
+            bound=bound,
+            config=config,
+            oracle="relational",
+            incremental=incremental,
+            cnf_cache_dir=cnf_cache_dir if incremental else None,
+        )
+        t0 = time.perf_counter()
+        result = synthesize(model, opts)
+        return result, time.perf_counter() - t0
+
+    incremental, t_inc = run(True)
+    cold, t_cold = run(False)
+    return {
+        "schema_version": ORACLE_BENCH_SCHEMA,
+        "workload": {
+            "model": model_name,
+            "bound": bound,
+            "max_addresses": config.max_addresses,
+            "oracle": "relational",
+        },
+        "incremental": _mode_report(incremental, t_inc),
+        "cold": _mode_report(cold, t_cold),
+        "speedup": t_cold / t_inc if t_inc else 0.0,
+        "byte_identical": incremental.union.to_json() == cold.union.to_json(),
+    }

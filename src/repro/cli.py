@@ -7,7 +7,8 @@
     litmus-synth synthesize --model tso --bound 4 [--axiom causality]
                             [--mode exact|execution|execution-wa]
                             [--jobs N] [--checkpoint-dir D] [--json]
-                            [--out suite.json]
+                            [--oracle explicit|relational] [--cold-solver]
+                            [--cnf-cache-dir D] [--out suite.json]
     litmus-synth check --model tso test.litmus
     litmus-synth show --name MP
     litmus-synth show --file test.litmus
@@ -29,7 +30,7 @@ from repro.analysis import selfcheck
 from repro.core.compare import compare_suites
 from repro.core.enumerator import EnumerationConfig
 from repro.core.minimality import CriterionMode, MinimalityChecker
-from repro.core.synthesis import EARLY_REJECT, SynthesisOptions, synthesize
+from repro.core.synthesis import EARLY_REJECT, ORACLES, SynthesisOptions, synthesize
 from repro.litmus.catalog import (
     CATALOG,
     cambridge_power_suite,
@@ -97,7 +98,15 @@ def _cmd_synthesize(args) -> int:
         reject=EARLY_REJECT if args.early_reject else None,
         jobs=args.jobs,
         checkpoint_dir=args.checkpoint_dir,
+        oracle=args.oracle,
+        incremental=not args.cold_solver,
+        cnf_cache_dir=args.cnf_cache_dir,
     )
+    findings = analysis.lint_oracle_options(options)
+    if args.cnf_cache_dir:
+        findings += analysis.lint_cnf_cache_dir(args.cnf_cache_dir)
+    for diag in findings:
+        print(f"warning: {diag.subject}: {diag.message} [{diag.id}]", file=sys.stderr)
     try:
         result = synthesize(model, options)
     except CheckpointError as exc:
@@ -298,6 +307,25 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="persist per-shard results here; rerunning with the same "
         "options resumes from completed shards",
+    )
+    p.add_argument(
+        "--oracle",
+        default="explicit",
+        choices=list(ORACLES),
+        help="criterion oracle: explicit enumeration (default) or the "
+        "relational SAT pipeline (identical output, paper-faithful path)",
+    )
+    p.add_argument(
+        "--cold-solver",
+        action="store_true",
+        help="relational oracle only: fresh solver per query instead of "
+        "the incremental engine (A/B baseline; much slower)",
+    )
+    p.add_argument(
+        "--cnf-cache-dir",
+        default=None,
+        help="relational oracle only: on-disk CNF compilation cache "
+        "shared across workers and runs",
     )
     p.add_argument(
         "--json",

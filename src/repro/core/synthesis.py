@@ -35,8 +35,13 @@ __all__ = [
     "SynthesisOptions",
     "SynthesisResult",
     "RESULT_SCHEMA_VERSION",
+    "ORACLES",
+    "build_checker",
     "synthesize",
 ]
+
+#: recognized ``SynthesisOptions.oracle`` backends
+ORACLES = ("explicit", "relational")
 
 #: version of the JSON document ``SynthesisResult.to_json_dict`` emits
 #: (and the CLI's ``synthesize --json`` prints).  v1 was the implicit
@@ -81,6 +86,17 @@ class SynthesisOptions:
         shards: total shard count for parallel runs (default:
             ``4 * jobs`` — small enough to amortize worker warm-up,
             large enough for balance and useful checkpoint granularity).
+        oracle: which execution oracle answers criterion queries —
+            ``"explicit"`` (enumeration, the default) or ``"relational"``
+            (the SAT/model-finding stack; only for models with an Alloy
+            encoding).
+        incremental: with the relational oracle, reuse one warm
+            incremental solver per test (default).  False forces the
+            cold-solver baseline — one fresh solver per query — kept for
+            A/B benchmarking; results are identical either way.
+        cnf_cache_dir: optional on-disk CNF compilation cache directory
+            for the relational oracle, shared across worker processes
+            and across runs.
     """
 
     bound: int
@@ -94,6 +110,9 @@ class SynthesisOptions:
     jobs: int = 1
     checkpoint_dir: str | None = None
     shards: int | None = None
+    oracle: str = "explicit"
+    incremental: bool = True
+    cnf_cache_dir: str | None = None
 
     def __post_init__(self) -> None:
         if self.bound < 1:
@@ -106,6 +125,10 @@ class SynthesisOptions:
             raise ValueError(
                 f"unknown reject spec {self.reject!r} "
                 f"(the only named filter is {EARLY_REJECT!r})"
+            )
+        if self.oracle not in ORACLES:
+            raise ValueError(
+                f"unknown oracle {self.oracle!r}; choose from {ORACLES}"
             )
 
     def resolved_config(self) -> EnumerationConfig:
@@ -217,6 +240,35 @@ class SynthesisResult:
 _OPTION_FIELDS = frozenset(f.name for f in fields(SynthesisOptions))
 
 
+def build_checker(
+    model: MemoryModel,
+    mode: CriterionMode,
+    oracle: str = "explicit",
+    incremental: bool = True,
+    cnf_cache_dir: str | None = None,
+) -> MinimalityChecker:
+    """Build the minimality checker for one oracle configuration.
+
+    Shared by the sequential loop and every shard worker, so both paths
+    resolve an options tuple to the exact same pipeline.
+    """
+    if oracle == "relational":
+        if mode is CriterionMode.EXECUTION_WA:
+            raise ValueError(
+                "the Fig. 19 workaround criterion needs the explicit "
+                "oracle; use oracle='explicit' with mode=execution-wa"
+            )
+        from repro.alloy.oracle import AlloyOracle
+
+        backend = AlloyOracle(
+            model.name,
+            incremental=incremental,
+            cnf_cache_dir=cnf_cache_dir,
+        )
+        return MinimalityChecker(model, mode, oracle=backend)
+    return MinimalityChecker(model, mode)
+
+
 def synthesize(
     model: MemoryModel,
     options: SynthesisOptions | int | None = None,
@@ -272,7 +324,13 @@ def _run_sequential(model: MemoryModel, opts: SynthesisOptions) -> SynthesisResu
     start = time.perf_counter()
     config = opts.resolved_config()
     axiom_names = opts.axiom_names(model)
-    checker = MinimalityChecker(model, opts.mode)
+    checker = build_checker(
+        model,
+        opts.mode,
+        oracle=opts.oracle,
+        incremental=opts.incremental,
+        cnf_cache_dir=opts.cnf_cache_dir,
+    )
     per_axiom = {
         name: TestSuite(model.name, name, opts.exact_symmetry)
         for name in axiom_names

@@ -30,7 +30,7 @@ __all__ = [
     "saved_shard_count",
 ]
 
-_META_VERSION = 1
+_META_VERSION = 2
 _META_NAME = "meta.json"
 _SHARDS_NAME = "shards.jsonl"
 
@@ -61,6 +61,11 @@ def run_fingerprint(task: WorkerTask, opts: SynthesisOptions) -> dict:
         "exact_symmetry": opts.exact_symmetry,
         "shard_count": task.shard_count,
         "reject": reject,
+        # the oracle backend determines the shard stats payload (and is
+        # the knob equivalence claims are made against), so a resume must
+        # not switch it mid-run; ``incremental``/``cnf_cache_dir`` are
+        # pure wall-clock knobs and stay out, like ``jobs``
+        "oracle": task.oracle,
     }
 
 

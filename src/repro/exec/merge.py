@@ -80,6 +80,15 @@ def merge_shards(
         hits = oracle_totals.get(f"{kind}_hits", 0)
         total = hits + oracle_totals.get(miss_key, 0)
         oracle_totals[f"{kind}_hit_rate"] = hits / total if total else 0.0
+    if "compile_hits" in oracle_totals:
+        hits = oracle_totals["compile_hits"]
+        total = hits + oracle_totals.get("compile_misses", 0)
+        oracle_totals["compile_hit_rate"] = hits / total if total else 0.0
+    if "sat_queries" in oracle_totals:
+        queries = oracle_totals["sat_queries"]
+        oracle_totals["sat_reuse_rate"] = (
+            oracle_totals.get("sat_reuse_hits", 0) / queries if queries else 0.0
+        )
 
     return SynthesisResult(
         model_name=model.name,

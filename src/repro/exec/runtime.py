@@ -61,6 +61,9 @@ def _worker_task(model: MemoryModel, opts: SynthesisOptions, shard_count: int) -
         config=opts.resolved_config(),
         shard_count=shard_count,
         reject=reject,
+        oracle=opts.oracle,
+        incremental=opts.incremental,
+        cnf_cache_dir=opts.cnf_cache_dir,
     )
 
 

@@ -29,9 +29,9 @@ from typing import Any
 
 from repro.core.canonical import canonical_form
 from repro.core.enumerator import EnumerationConfig, enumerate_shard
-from repro.core.minimality import CriterionMode, MinimalityChecker
+from repro.core.minimality import CriterionMode
 from repro.core.suite import outcome_to_dict, test_to_dict
-from repro.core.synthesis import SynthesisOptions
+from repro.core.synthesis import SynthesisOptions, build_checker
 from repro.litmus.test import LitmusTest
 from repro.models.registry import get_model
 
@@ -54,6 +54,9 @@ class WorkerTask:
     config: EnumerationConfig
     shard_count: int
     reject: Any = None  # None | EARLY_REJECT | picklable callable
+    oracle: str = "explicit"
+    incremental: bool = True
+    cnf_cache_dir: str | None = None
 
 
 def fingerprint(test: LitmusTest) -> str:
@@ -82,7 +85,13 @@ class _WorkerState:
     def __init__(self, task: WorkerTask):
         self.task = task
         self.model = get_model(task.model_name)
-        self.checker = MinimalityChecker(self.model, CriterionMode(task.mode_value))
+        self.checker = build_checker(
+            self.model,
+            CriterionMode(task.mode_value),
+            oracle=task.oracle,
+            incremental=task.incremental,
+            cnf_cache_dir=task.cnf_cache_dir,
+        )
         self.axiom_names = (
             task.axioms if task.axioms is not None else self.model.axiom_names()
         )

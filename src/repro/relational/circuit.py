@@ -110,6 +110,15 @@ class Circuit:
         self.solver.add_clause([out] + [-lit for lit in lits])
         return out
 
+    def literal(self, node: int) -> int:
+        """Public Tseitin literal for a non-constant node.
+
+        Compiling through this (instead of :meth:`assert_true`) lets the
+        caller guard the node behind a solver selector so the same CNF
+        serves many assumption-based queries.
+        """
+        return self._literal(node)
+
     def assert_true(self, node: int) -> bool:
         """Assert the node at the solver's top level.  Returns False when
         the formula became trivially unsatisfiable."""
@@ -118,6 +127,17 @@ class Circuit:
         if node == FALSE:
             return self.solver.add_clause([])
         return self.solver.add_clause([self._literal(node)])
+
+    def assert_guarded(self, sel: int, node: int) -> bool:
+        """Assert ``sel -> node``: the node holds in every query assuming
+        the selector literal, and is inert otherwise.  Returns False when
+        the solver is already unsatisfiable (or the guard can never be
+        activated)."""
+        if node == TRUE:
+            return True
+        if node == FALSE:
+            return self.solver.add_clause([-sel])
+        return self.solver.add_removable_clause(sel, [self._literal(node)])
 
     def evaluate(self, node: int, model: dict[int, bool]) -> bool:
         """Evaluate a node under a SAT model (for testing/decoding)."""

@@ -5,18 +5,31 @@ formula over a bounded problem to CNF, hands it to the CDCL solver, and
 decodes satisfying assignments back into relation instances.  Instance
 enumeration (for "all executions of this test" queries) uses the SAT
 solver's projected model enumeration.
+
+The finder is *incremental*: one long-lived solver answers every query
+over one bounded problem.  Formulas compile once — permanently via
+:meth:`ModelFinder.assert_formula`, or behind a selector literal via
+:meth:`ModelFinder.selector_for` — and each subsequent query is a handful
+of assumption literals against the shared clause database, so learnt
+clauses, variable activities, and saved phases amortize across the
+thousands of near-identical queries the synthesis loop issues.  A
+finder's compiled CNF can be snapshotted (:func:`compile_snapshot`) and
+rebuilt without re-running the translator (:class:`CompiledProblem`),
+which is what the structural-hash compilation cache in
+:mod:`repro.alloy.cache` stores.
 """
 
 from __future__ import annotations
 
-from collections.abc import Iterator
+from collections.abc import Iterable, Iterator
+from dataclasses import dataclass
 
 from repro.relational import ast
-from repro.relational.circuit import Circuit
+from repro.relational.circuit import FALSE, TRUE, Circuit
 from repro.relational.problem import Problem
 from repro.relational.translate import Translator
 
-__all__ = ["Instance", "ModelFinder"]
+__all__ = ["Instance", "ModelFinder", "CompiledProblem", "compile_snapshot"]
 
 
 class Instance:
@@ -46,26 +59,158 @@ class Instance:
         return "Instance(" + ", ".join(parts) + ")"
 
 
-class ModelFinder:
-    """Solves relational formulas over one bounded problem."""
+@dataclass(frozen=True)
+class CompiledProblem:
+    """A finder's CNF, detached from the translator that produced it.
 
-    def __init__(self, problem: Problem):
+    Everything needed to rebuild an equivalent solver without re-running
+    the (expensive) relational-to-circuit translation: the variable
+    count, the level-0 unit literals, the stored clauses, the free-tuple
+    variable map, and the selector literal per guarded formula.  The
+    payload is plain ints/strings/tuples, so it serializes to JSON for
+    the on-disk cache layer.
+    """
+
+    num_vars: int
+    units: tuple[int, ...]
+    clauses: tuple[tuple[int, ...], ...]
+    #: ``(relation name, tuple, SAT var)`` per free tuple
+    tuple_vars: tuple[tuple[str, tuple[int, ...], int], ...]
+    #: ``(label, selector var)`` per guarded formula (0 = tautology)
+    selectors: tuple[tuple[str, int], ...] = ()
+    unsat: bool = False
+
+
+def compile_snapshot(
+    finder: "ModelFinder", selectors: dict[str, int | None] | None = None
+) -> CompiledProblem:
+    """Snapshot a finder's compiled CNF for later reconstruction.
+
+    Must be taken before any enumeration that could leave learnt clauses
+    behind is *required* — in practice right after the base formulas and
+    selector guards are compiled (learnt clauses are search artifacts and
+    are deliberately not part of the snapshot).
+    """
+    from repro.sat.types import index_lit
+
+    solver = finder.circuit.solver
+    return CompiledProblem(
+        num_vars=solver.num_vars,
+        units=tuple(index_lit(i) for i in solver.trail),
+        clauses=tuple(
+            tuple(index_lit(i) for i in c.lits)
+            for c in solver.clauses
+            if not c.learnt
+        ),
+        tuple_vars=tuple(
+            (name, t, var) for (name, t), var in sorted(finder.tuple_vars.items())
+        ),
+        selectors=tuple(
+            (label, sel or 0) for label, sel in (selectors or {}).items()
+        ),
+        unsat=not solver._ok,
+    )
+
+
+class ModelFinder:
+    """Solves relational formulas over one bounded problem.
+
+    Two construction modes:
+
+    * ``ModelFinder(problem)`` — fresh: a translator compiles formulas on
+      demand.
+    * ``ModelFinder(problem, compiled=...)`` — rebuilt from a
+      :class:`CompiledProblem`: the solver is loaded directly from the
+      cached CNF and no translator exists (assumption-based queries over
+      the already-compiled formulas only).
+    """
+
+    def __init__(self, problem: Problem, compiled: CompiledProblem | None = None):
         self.problem = problem
         self.circuit = Circuit()
-        self.translator = Translator(problem, self.circuit)
+        #: selector per guarded formula (None = tautology, no assumption)
+        self._selectors: dict[ast.Formula, int | None] = {}
+        if compiled is None:
+            self.translator: Translator | None = Translator(problem, self.circuit)
+            #: SAT variable per free tuple (live alias of the translator's)
+            self.tuple_vars = self.translator.tuple_vars
+        else:
+            self.translator = None
+            solver = self.circuit.solver
+            while solver.num_vars < compiled.num_vars:
+                solver.new_var()
+            ok = not compiled.unsat
+            for lit in compiled.units:
+                ok = solver.add_clause([lit]) and ok
+            for lits in compiled.clauses:
+                ok = solver.add_clause(lits) and ok
+            if not ok:
+                solver._ok = False
+            self.tuple_vars = {
+                (name, tuple(t)): var for name, t, var in compiled.tuple_vars
+            }
+
+    # -- incremental query compilation ----------------------------------------
+
+    def assert_formula(self, formula: ast.Formula) -> bool:
+        """Permanently conjoin a formula (level-0 assertion).
+
+        Returns False when the conjunction became trivially unsatisfiable.
+        """
+        root = self._translator().formula(formula)
+        return self.circuit.assert_true(root)
+
+    def selector_for(self, formula: ast.Formula) -> int | None:
+        """Compile a formula once, guarded behind a selector literal.
+
+        Returns the selector to pass among ``assumptions`` when the
+        formula should constrain a query, or None when the formula is a
+        tautology over the bounds (no assumption needed).  Repeated calls
+        with an equal formula reuse the compiled guard — this is the
+        push/pop-free API that turns a per-query formula toggle into one
+        assumption literal.
+        """
+        if formula in self._selectors:
+            return self._selectors[formula]
+        root = self._translator().formula(formula)
+        sel: int | None
+        if root == TRUE:
+            sel = None
+        else:
+            sel = self.circuit.solver.new_selector()
+            self.circuit.assert_guarded(sel, root)
+        self._selectors[formula] = sel
+        return sel
+
+    def _translator(self) -> Translator:
+        if self.translator is None:
+            raise RuntimeError(
+                "this finder was rebuilt from a compiled CNF snapshot; "
+                "only assumption-based queries over the already-compiled "
+                "formulas are available"
+            )
+        return self.translator
+
+    # -- decoding ---------------------------------------------------------------
+
+    def _ensure_allocated(self, names: Iterable[str]) -> None:
+        if self.translator is not None:
+            for name in names:
+                self.translator.relation_matrix(name)
 
     def _decode(self, model: dict[int, bool]) -> Instance:
         relations: dict[str, frozenset[tuple[int, ...]]] = {}
+        self._ensure_allocated(self.problem.declarations)
         for name, decl in self.problem.declarations.items():
-            # force allocation so constants decode too
-            self.translator.relation_matrix(name)
             tuples = set(decl.lower)
             for t in decl.free:
-                var = self.translator.tuple_vars.get((name, t))
+                var = self.tuple_vars.get((name, t))
                 if var is not None and model.get(var, False):
                     tuples.add(t)
             relations[name] = frozenset(tuples)
         return Instance(relations)
+
+    # -- queries ----------------------------------------------------------------
 
     def solve(self, formula: ast.Formula) -> Instance | None:
         """First instance satisfying the formula, or None."""
@@ -73,44 +218,70 @@ class ModelFinder:
             return instance
         return None
 
+    def check(self, formula: ast.Formula) -> bool:
+        """Is the formula satisfiable over the bounds?"""
+        return self.solve(formula) is not None
+
+    def check_assuming(self, assumptions: Iterable[int]) -> bool:
+        """SAT/UNSAT of the compiled base under assumption literals.
+
+        Assumptions are selector literals from :meth:`selector_for`
+        and/or signed free-tuple variables (pinning tuples in or out) —
+        the whole minimality-criterion query family reduces to this.
+        """
+        return bool(self.circuit.solver.solve(list(assumptions)))
+
     def instances(
         self,
         formula: ast.Formula,
         project: list[str] | None = None,
         limit: int | None = None,
     ) -> Iterator[Instance]:
-        """Enumerate satisfying instances.
+        """Enumerate instances satisfying one formula.
+
+        The formula is compiled behind a selector (cached across calls),
+        so repeated enumerations on one finder are independent queries —
+        earlier calls no longer permanently constrain later ones.
+        """
+        sel = self.selector_for(formula)
+        yield from self.instances_assuming(
+            [sel] if sel is not None else [], project=project, limit=limit
+        )
+
+    def instances_assuming(
+        self,
+        assumptions: Iterable[int],
+        project: list[str] | None = None,
+        limit: int | None = None,
+    ) -> Iterator[Instance]:
+        """Enumerate instances of the compiled base under assumptions.
 
         ``project`` names the relations over which instances must differ
-        (default: all declared relations' free tuples).
+        (default: all declared relations' free tuples).  Blocking clauses
+        are selector-guarded inside the solver and released when the
+        enumeration ends, so the clause database stays clean for the next
+        query on this finder.
         """
-        root = self.translator.formula(formula)
-        if not self.circuit.assert_true(root):
-            return
         names = (
-            project
-            if project is not None
-            else list(self.problem.declarations)
+            project if project is not None else list(self.problem.declarations)
         )
-        # ensure projected relations have their variables allocated
-        for name in names:
-            self.translator.relation_matrix(name)
+        self._ensure_allocated(names)
+        names_set = set(names)
         proj_vars = [
             var
-            for (name, _), var in sorted(self.translator.tuple_vars.items())
-            if name in names
+            for (name, _), var in sorted(self.tuple_vars.items())
+            if name in names_set
         ]
         solver = self.circuit.solver
+        assume = list(assumptions)
         if not proj_vars:
             # no free variables: at most one instance
-            if solver.solve():
+            if solver.solve(assume):
                 yield self._decode(solver.model())
             return
-        for _ in solver.models(project=proj_vars, limit=limit):
+        for _ in solver.models(
+            project=proj_vars, assumptions=assume, limit=limit
+        ):
             # the projected assignment drives enumeration; decoding uses
             # the full model, which is still live at yield time
             yield self._decode(solver.model())
-
-    def check(self, formula: ast.Formula) -> bool:
-        """Is the formula satisfiable over the bounds?"""
-        return self.solve(formula) is not None

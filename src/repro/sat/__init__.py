@@ -2,11 +2,12 @@
 Alloy -> Kodkod -> MiniSAT stack)."""
 
 from repro.sat.dimacs import parse_dimacs, solver_from_dimacs, to_dimacs
-from repro.sat.solver import SAT, UNSAT, Solver
+from repro.sat.solver import SAT, UNSAT, Solver, SolverStats
 from repro.sat.types import Clause, index_lit, lit_index, neg_index
 
 __all__ = [
     "Solver",
+    "SolverStats",
     "SAT",
     "UNSAT",
     "Clause",

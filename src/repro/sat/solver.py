@@ -11,21 +11,69 @@ stack (paper §4: Alloy -> Kodkod -> MiniSAT; here: ``repro.alloy`` ->
 * Luby-sequence restarts,
 * learnt-clause database reduction by activity,
 * incremental solving under assumptions,
-* model enumeration via blocking clauses (:meth:`Solver.models`).
+* selector-guarded *removable* clauses (:meth:`Solver.add_removable_clause`)
+  so a family of related queries shares one clause database — toggling a
+  constraint is an assumption literal, not a fresh solver,
+* model enumeration via blocking clauses (:meth:`Solver.models`), with the
+  blocking clauses guarded by a per-enumeration selector and physically
+  removed afterwards so enumeration never pollutes the database,
+* query telemetry (:class:`SolverStats`) including per-query reuse hits.
+
+The incremental contract: learnt clauses, variable activities, and saved
+phases all persist across :meth:`Solver.solve` calls, so closely related
+queries (same CNF, different assumptions) amortize each other's search.
 """
 
 from __future__ import annotations
 
 from collections.abc import Iterable, Iterator
+from dataclasses import asdict, dataclass
 
 from repro.sat.types import Clause, index_lit, lit_index, neg_index
 
-__all__ = ["Solver", "SAT", "UNSAT"]
+__all__ = ["Solver", "SolverStats", "SAT", "UNSAT"]
 
 SAT = True
 UNSAT = False
 
 _UNASSIGNED = -1
+
+
+@dataclass
+class SolverStats:
+    """Search counters, persistent across queries on one solver.
+
+    ``queries`` counts :meth:`Solver.solve` calls; ``reuse_hits`` counts
+    the queries after the first, i.e. those answered against an
+    already-warm clause database (learnt clauses, activities, and phases
+    retained from earlier queries).  Dict-style access is kept for
+    backwards compatibility with the pre-telemetry ``stats`` dict.
+    """
+
+    conflicts: int = 0
+    decisions: int = 0
+    propagations: int = 0
+    restarts: int = 0
+    learned: int = 0
+    queries: int = 0
+    reuse_hits: int = 0
+
+    def __getitem__(self, key: str) -> int:
+        return getattr(self, key)
+
+    def __setitem__(self, key: str, value: int) -> None:
+        if not hasattr(self, key):
+            raise KeyError(key)
+        setattr(self, key, value)
+
+    def as_dict(self) -> dict[str, int]:
+        return asdict(self)
+
+    def add(self, other: "SolverStats | dict") -> None:
+        """Accumulate another stats record into this one."""
+        items = other.as_dict() if isinstance(other, SolverStats) else other
+        for key, value in items.items():
+            setattr(self, key, getattr(self, key) + value)
 
 
 class Solver:
@@ -54,13 +102,9 @@ class Solver:
         self.cla_decay = 0.999
         self.max_learnts = 4000
         # stats
-        self.stats = {
-            "conflicts": 0,
-            "decisions": 0,
-            "propagations": 0,
-            "restarts": 0,
-            "learned": 0,
-        }
+        self.stats = SolverStats()
+        # selector var -> clauses it guards (see add_removable_clause)
+        self._removable: dict[int, list[Clause]] = {}
         self._ok = True
 
     # -- problem construction ----------------------------------------------------
@@ -125,6 +169,97 @@ class Solver:
         self.watches[neg_index(clause.lits[0])].append(clause)
         self.watches[neg_index(clause.lits[1])].append(clause)
 
+    # -- removable clauses (selector literals) -----------------------------------
+
+    def new_selector(self) -> int:
+        """Allocate a selector variable for a group of removable clauses.
+
+        Pass the returned (positive) literal in ``assumptions`` to
+        activate the group for one query; leave it out to deactivate it.
+        :meth:`release_selector` retires the group permanently.
+        """
+        sel = self.new_var()
+        self._removable[sel] = []
+        return sel
+
+    def add_removable_clause(self, sel: int, lits: Iterable[int]) -> bool:
+        """Add a clause that only constrains queries assuming ``sel``.
+
+        The clause is stored as ``(-sel ∨ lits...)``: solving with ``sel``
+        among the assumptions enforces it, solving without leaves the
+        solver free to satisfy it vacuously.  This is the classic
+        MiniSAT-style alternative to push/pop — a relaxation or outcome
+        toggle is a handful of assumption literals instead of a fresh
+        solver.  Returns False iff the solver is already unsatisfiable.
+        """
+        if not self._ok:
+            return False
+        if self.trail_lim:
+            raise RuntimeError("add_removable_clause only at decision level 0")
+        if sel not in self._removable:
+            raise ValueError(
+                f"unknown selector {sel}; allocate it with new_selector()"
+            )
+        lits = list(lits)
+        self._ensure_vars(lits)
+        seen: set[int] = set()
+        out: list[int] = []
+        for lit in lits:
+            idx = lit_index(lit)
+            if neg_index(idx) in seen:
+                return True  # tautology: never constrains anything
+            if idx in seen:
+                continue
+            val = self._value(idx)
+            if val == 1:
+                return True  # satisfied at level 0 regardless of sel
+            if val == 0:
+                continue  # permanently false: drop the literal
+            seen.add(idx)
+            out.append(idx)
+        if not out:
+            # every body literal is false at level 0: activating the
+            # selector can only conflict, so retire it outright
+            return self.add_clause([-sel])
+        clause = Clause([lit_index(-sel)] + out)
+        self.clauses.append(clause)
+        self._removable[sel].append(clause)
+        self._watch(clause)
+        return True
+
+    def release_selector(self, sel: int) -> None:
+        """Permanently retire a selector group.
+
+        Fixes the selector false (so learnt clauses derived under it stay
+        satisfied, hence sound) and physically removes its guarded
+        clauses — plus any learnt clause mentioning the selector — from
+        the database and watch lists.  This is the explicit cleanup that
+        keeps repeated model enumeration from polluting the clause DB.
+        """
+        removed = self._removable.pop(sel, None)
+        if removed is None:
+            return
+        self._backtrack(0)
+        if self._ok:
+            self.add_clause([-sel])
+        dead = set(map(id, removed))
+        neg_sel = lit_index(-sel)
+        for c in self.learnts:
+            if neg_sel in c.lits:
+                dead.add(id(c))
+        if not dead:
+            return
+        self.clauses = [c for c in self.clauses if id(c) not in dead]
+        self.learnts = [c for c in self.learnts if id(c) not in dead]
+        for w in self.watches:
+            w[:] = [c for c in w if id(c) not in dead]
+        for var in range(1, self.num_vars + 1):
+            reason = self.reasons[var]
+            if reason is not None and id(reason) in dead:
+                # only level-0 assignments survive the backtrack, and
+                # those are permanent facts — the reason is never needed
+                self.reasons[var] = None
+
     # -- assignment primitives ---------------------------------------------------------
 
     def _value(self, idx: int) -> int:
@@ -151,7 +286,7 @@ class Solver:
         while self.qhead < len(self.trail):
             idx = self.trail[self.qhead]
             self.qhead += 1
-            self.stats["propagations"] += 1
+            self.stats.propagations += 1
             false_lit = neg_index(idx)
             watchers = self.watches[idx]
             self.watches[idx] = []
@@ -312,6 +447,9 @@ class Solver:
 
     def solve(self, assumptions: Iterable[int] = ()) -> bool:
         """Search for a model; True = SAT, False = UNSAT."""
+        self.stats.queries += 1
+        if self.stats.queries > 1:
+            self.stats.reuse_hits += 1
         if not self._ok:
             return UNSAT
         self._backtrack(0)
@@ -326,7 +464,7 @@ class Solver:
         while True:
             conflict = self._propagate()
             if conflict is not None:
-                self.stats["conflicts"] += 1
+                self.stats.conflicts += 1
                 conflict_count += 1
                 if self._decision_level() == 0:
                     return UNSAT
@@ -337,7 +475,7 @@ class Solver:
                 else:
                     clause = Clause(learnt, learnt=True)
                     self.learnts.append(clause)
-                    self.stats["learned"] += 1
+                    self.stats.learned += 1
                     self._watch(clause)
                     self._assign(learnt[0], clause)
                 self.var_inc /= self.var_decay
@@ -350,7 +488,7 @@ class Solver:
             if conflict_count >= conflicts_until_restart:
                 conflict_count = 0
                 restarts += 1
-                self.stats["restarts"] += 1
+                self.stats.restarts += 1
                 conflicts_until_restart = _luby(restarts) * 100
                 self._backtrack(0)
                 continue
@@ -368,7 +506,7 @@ class Solver:
                 next_decision = self._decide()
             if next_decision is None:
                 return SAT  # complete assignment
-            self.stats["decisions"] += 1
+            self.stats.decisions += 1
             self.trail_lim.append(len(self.trail))
             self._assign(next_decision, None)
 
@@ -396,25 +534,37 @@ class Solver:
 
         ``project`` restricts enumeration (and blocking) to the given
         variables: models equal on the projection count once.
+
+        Blocking clauses ride the incremental path: they are added as
+        removable clauses under a per-enumeration selector and physically
+        released when the generator finishes (or is closed), so repeated
+        enumerations on one solver never permanently pollute the clause
+        database — each enumeration sees the same formula, while learnt
+        clauses about the *un*-guarded problem carry over.
         """
         proj = (
             list(project)
             if project is not None
             else list(range(1, self.num_vars + 1))
         )
-        found = 0
-        while limit is None or found < limit:
-            if not self.solve(assumptions):
-                return
-            assignment = {v: self.model_value(v) for v in proj}
-            yield assignment
-            found += 1
-            self._backtrack(0)
-            blocking = [
-                (-v if val else v) for v, val in assignment.items()
-            ]
-            if not self.add_clause(blocking):
-                return
+        sel = self.new_selector()
+        try:
+            assume = [sel, *assumptions]
+            found = 0
+            while limit is None or found < limit:
+                if not self.solve(assume):
+                    return
+                assignment = {v: self.model_value(v) for v in proj}
+                yield assignment
+                found += 1
+                self._backtrack(0)
+                blocking = [
+                    (-v if val else v) for v, val in assignment.items()
+                ]
+                if not self.add_removable_clause(sel, blocking):
+                    return
+        finally:
+            self.release_selector(sel)
 
 
 def _luby(i: int) -> int:

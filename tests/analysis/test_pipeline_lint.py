@@ -76,3 +76,95 @@ class TestContextBuilders:
         num_vars, clauses = parse_dimacs("p cnf 3 2\n1 -2 0\n2 3 0\n")
         ctx = context_from_dimacs("d", num_vars, clauses)
         assert list(lint_clause_context(ctx)) == []
+
+
+class TestOracleOptionsLint:
+    def _opts(self, **kw):
+        from repro.core.synthesis import SynthesisOptions
+
+        return SynthesisOptions(bound=3, **kw)
+
+    def test_effective_configs_are_clean(self):
+        from repro.analysis import lint_oracle_options
+
+        assert lint_oracle_options(self._opts()) == []
+        assert (
+            lint_oracle_options(self._opts(oracle="relational")) == []
+        )
+        assert (
+            lint_oracle_options(
+                self._opts(oracle="relational", cnf_cache_dir="/tmp/c")
+            )
+            == []
+        )
+
+    def test_cold_solver_drops_cache_dir_sat007(self):
+        from repro.analysis import lint_oracle_options
+
+        report = lint_oracle_options(
+            self._opts(
+                oracle="relational",
+                incremental=False,
+                cnf_cache_dir="/tmp/c",
+            )
+        )
+        assert ids(report) == ["SAT007"]
+        assert "cnf_cache_dir" in report[0].subject
+
+    def test_explicit_oracle_ignores_knobs_sat007(self):
+        from repro.analysis import lint_oracle_options
+
+        report = lint_oracle_options(
+            self._opts(incremental=False, cnf_cache_dir="/tmp/c")
+        )
+        assert ids(report) == ["SAT007", "SAT007"]
+
+
+class TestCnfCacheDirLint:
+    def _seed(self, tmp_path, model="tso"):
+        from repro.alloy import AlloyOracle
+        from repro.litmus.catalog import CATALOG
+
+        oracle = AlloyOracle(model, cnf_cache_dir=str(tmp_path))
+        oracle.analyze(CATALOG["MP"].test)
+
+    def test_clean_directory(self, tmp_path):
+        from repro.analysis import lint_cnf_cache_dir
+
+        self._seed(tmp_path)
+        assert lint_cnf_cache_dir(str(tmp_path)) == []
+        assert lint_cnf_cache_dir(str(tmp_path / "missing")) == []
+
+    def test_mixed_fingerprints_sat008(self, tmp_path):
+        from repro.analysis import lint_cnf_cache_dir
+
+        self._seed(tmp_path, "tso")
+        self._seed(tmp_path, "sc")
+        report = lint_cnf_cache_dir(str(tmp_path))
+        assert any(
+            d.id == "SAT008" and "fingerprint" in d.message
+            for d in report
+        )
+
+    def test_stale_schema_sat008(self, tmp_path):
+        import json
+
+        from repro.analysis import lint_cnf_cache_dir
+
+        (tmp_path / "old.json").write_text(
+            json.dumps({"schema": 0, "model": "x"})
+        )
+        report = lint_cnf_cache_dir(str(tmp_path))
+        assert any(
+            d.id == "SAT008" and "stale" in d.message for d in report
+        )
+
+    def test_corrupt_entry_sat008(self, tmp_path):
+        from repro.analysis import lint_cnf_cache_dir
+
+        (tmp_path / "junk.json").write_text("{nope")
+        report = lint_cnf_cache_dir(str(tmp_path))
+        assert any(
+            d.id == "SAT008" and "unreadable" in d.message
+            for d in report
+        )

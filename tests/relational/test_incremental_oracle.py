@@ -1,0 +1,269 @@
+"""Incremental oracle: equivalence with the cold baseline, CNF cache.
+
+The contract under test is the PR's acceptance bar: every
+assumption-based query the incremental engine answers must return the
+same verdict as a cold solver per query, and synthesis through the
+incremental oracle must emit byte-identical suites.
+"""
+
+import pytest
+
+from repro.alloy import AlloyOracle, CNFCache, LitmusEncoding
+from repro.alloy.cache import cache_key, entry_from_dict, entry_to_dict
+from repro.core.enumerator import EnumerationConfig, enumerate_tests
+from repro.core.synthesis import SynthesisOptions, build_checker, synthesize
+from repro.litmus.catalog import CATALOG
+from repro.models.registry import get_model
+from repro.relational.solve import ModelFinder, compile_snapshot
+
+GRID = [("sc", 3), ("tso", 3), ("tso", 4), ("scc", 3)]
+
+
+def sample_tests(model_name, bound, limit=25):
+    model = get_model(model_name)
+    config = EnumerationConfig(
+        max_events=bound, max_addresses=2, max_deps=0, max_rmws=0
+    )
+    out = []
+    for test in enumerate_tests(model.vocabulary, config):
+        out.append(test)
+        if len(out) >= limit:
+            break
+    return out
+
+
+class TestIncrementalEquivalence:
+    @pytest.mark.parametrize("model_name,bound", GRID)
+    def test_analyze_grid_matches_cold(self, model_name, bound):
+        """Property grid: per-test outcome landscapes agree between the
+        warm incremental engine and a cold solver per query."""
+        warm = AlloyOracle(model_name)
+        cold = AlloyOracle(model_name, incremental=False)
+        for test in sample_tests(model_name, bound):
+            assert warm.analyze(test) == cold.analyze(test), test
+
+    @pytest.mark.parametrize("model_name,bound", GRID)
+    def test_execution_order_identical(self, model_name, bound):
+        warm = AlloyOracle(model_name)
+        cold = AlloyOracle(model_name, incremental=False)
+        for test in sample_tests(model_name, bound, limit=10):
+            assert list(warm.executions(test)) == list(cold.executions(test))
+            assert list(warm.valid_executions(test)) == list(
+                cold.valid_executions(test)
+            )
+
+    def test_is_valid_matches_cold(self):
+        warm = AlloyOracle("tso")
+        cold = AlloyOracle("tso", incremental=False)
+        for name in ("MP", "SB", "LB", "CoRW"):
+            test = CATALOG[name].test
+            for ex in warm.executions(test):
+                assert warm.is_valid(ex) == cold.is_valid(ex), (name, ex)
+
+    @pytest.mark.parametrize("model_name", ["sc", "tso"])
+    def test_synthesized_suites_byte_identical(self, model_name):
+        model = get_model(model_name)
+        config = EnumerationConfig(
+            max_events=3, max_addresses=2, max_deps=0, max_rmws=0
+        )
+
+        def run(**kw):
+            return synthesize(
+                model,
+                SynthesisOptions(
+                    bound=3, config=config, oracle="relational", **kw
+                ),
+            )
+
+        warm = run(incremental=True)
+        cold = run(incremental=False)
+        explicit = synthesize(
+            model, SynthesisOptions(bound=3, config=config)
+        )
+        assert warm.union.to_json() == cold.union.to_json()
+        assert warm.union.to_json() == explicit.union.to_json()
+        for axiom in warm.per_axiom:
+            assert (
+                warm.per_axiom[axiom].to_json()
+                == cold.per_axiom[axiom].to_json()
+            )
+
+    def test_repeated_queries_do_not_pollute(self):
+        """Enumerations on one warm session are independent queries."""
+        oracle = AlloyOracle("tso")
+        test = CATALOG["MP"].test
+        first = list(oracle.executions(test))
+        valid = list(oracle.valid_executions(test))
+        again = list(oracle.executions(test))
+        assert first == again
+        assert set(valid) <= set(first)
+
+
+class TestModelFinderIncremental:
+    def _finder(self, name="MP"):
+        encoding = LitmusEncoding(CATALOG[name].test)
+        return encoding, ModelFinder(encoding.problem)
+
+    def test_selector_for_caches(self):
+        from repro.alloy.models import tso_formulas
+
+        encoding, finder = self._finder()
+        finder.assert_formula(encoding.facts())
+        formula = tso_formulas()["causality"]
+        sel = finder.selector_for(formula)
+        assert finder.selector_for(formula) == sel
+
+    def test_instances_repeatable_and_independent(self):
+        encoding, finder = self._finder()
+        facts = encoding.facts()
+        first = list(finder.instances(facts))
+        second = list(finder.instances(facts))
+        assert sorted(map(hash, first)) == sorted(map(hash, second))
+
+    def test_check_assuming_matches_fresh_check(self):
+        from repro.alloy.models import tso_formulas
+
+        formulas = tso_formulas()
+        encoding, finder = self._finder("SB")
+        finder.assert_formula(encoding.facts())
+        sels = [
+            s
+            for s in (finder.selector_for(f) for f in formulas.values())
+            if s is not None
+        ]
+        warm_verdict = finder.check_assuming(sels)
+
+        encoding2 = LitmusEncoding(CATALOG["SB"].test)
+        fresh = ModelFinder(encoding2.problem)
+        conj = encoding2.facts()
+        for f in formulas.values():
+            conj = conj & f
+        assert warm_verdict == fresh.check(conj)
+
+    def test_compiled_problem_roundtrip(self):
+        from repro.alloy.models import tso_formulas
+
+        encoding, finder = self._finder()
+        finder.assert_formula(encoding.facts())
+        selectors = {
+            name: finder.selector_for(f)
+            for name, f in tso_formulas().items()
+        }
+        for name in encoding.problem.declarations:
+            finder.translator.relation_matrix(name)
+        snapshot = compile_snapshot(finder, selectors)
+
+        rebuilt = ModelFinder(encoding.problem, compiled=snapshot)
+        sels = [sel for _, sel in snapshot.selectors if sel]
+        assert rebuilt.check_assuming(sels) == finder.check_assuming(
+            [s for s in selectors.values() if s is not None]
+        )
+        base = sorted(map(hash, finder.instances_assuming([])))
+        again = sorted(map(hash, rebuilt.instances_assuming([])))
+        assert base == again
+        with pytest.raises(RuntimeError):
+            rebuilt.assert_formula(encoding.facts())
+
+    def test_snapshot_serializes(self):
+        encoding, finder = self._finder()
+        finder.assert_formula(encoding.facts())
+        for name in encoding.problem.declarations:
+            finder.translator.relation_matrix(name)
+        snapshot = compile_snapshot(finder)
+        assert entry_from_dict(entry_to_dict("fp", snapshot)) == snapshot
+
+
+class TestCNFCache:
+    def test_memory_hits(self, tmp_path):
+        oracle = AlloyOracle("tso", session_cache=1)
+        a, b = CATALOG["MP"].test, CATALOG["SB"].test
+        oracle.analyze(a)
+        oracle.analyze(b)  # evicts a's session (capacity 1)
+        oracle._analysis.clear()  # force a fresh session for a
+        oracle.analyze(a)
+        stats = oracle.cache_stats()
+        assert stats["compile_hits"] >= 1
+        assert stats["sessions"] >= 3
+
+    def test_disk_layer_shared_across_oracles(self, tmp_path):
+        cache_dir = str(tmp_path / "cnf")
+        first = AlloyOracle("tso", cnf_cache_dir=cache_dir)
+        first.analyze(CATALOG["MP"].test)
+        assert first.cache_stats()["compile_stores"] >= 1
+
+        second = AlloyOracle("tso", cnf_cache_dir=cache_dir)
+        second.analyze(CATALOG["MP"].test)
+        stats = second.cache_stats()
+        assert stats["compile_disk_hits"] >= 1
+        assert second.analyze(CATALOG["MP"].test) == first.analyze(
+            CATALOG["MP"].test
+        )
+
+    def test_model_fingerprints_do_not_collide(self, tmp_path):
+        cache_dir = str(tmp_path / "cnf")
+        tso = AlloyOracle("tso", cnf_cache_dir=cache_dir)
+        sc = AlloyOracle("sc", cnf_cache_dir=cache_dir)
+        test = CATALOG["MP"].test
+        tso.analyze(test)
+        sc_analysis = sc.analyze(test)
+        # sc must not have loaded tso's compiled axioms
+        assert sc.cache_stats()["compile_disk_hits"] == 0
+        assert sc_analysis == AlloyOracle("sc").analyze(test)
+
+    def test_cache_key_distinguishes_structure(self):
+        a = cache_key("fp", CATALOG["MP"].test, False)
+        b = cache_key("fp", CATALOG["SB"].test, False)
+        c = cache_key("other", CATALOG["MP"].test, False)
+        d = cache_key("fp", CATALOG["MP"].test, True)
+        assert len({a, b, c, d}) == 4
+
+    def test_corrupt_disk_entry_is_a_miss(self, tmp_path):
+        cache = CNFCache("fp", disk_dir=str(tmp_path))
+        key = cache.key(CATALOG["MP"].test, False)
+        (tmp_path / f"{key}.json").write_text("{not json")
+        assert cache.get(key) is None
+        assert cache.stats()["compile_misses"] == 1
+
+
+class TestStatsSurface:
+    def test_oracle_stats_reach_result_json(self):
+        model = get_model("tso")
+        config = EnumerationConfig(
+            max_events=3, max_addresses=2, max_deps=0, max_rmws=0
+        )
+        result = synthesize(
+            model,
+            SynthesisOptions(bound=3, config=config, oracle="relational"),
+        )
+        doc = result.to_json_dict()["oracle"]
+        for key in (
+            "sat_conflicts",
+            "sat_propagations",
+            "sat_decisions",
+            "sat_queries",
+            "sat_reuse_hits",
+            "sat_learned",
+            "sat_restarts",
+            "compile_hits",
+            "compile_misses",
+            "sessions",
+            "analysis_hit_rate",
+            "sat_reuse_rate",
+        ):
+            assert key in doc, key
+        assert doc["sat_queries"] > 0
+        assert doc["sat_reuse_rate"] > 0
+
+    def test_build_checker_rejects_wa_with_relational(self):
+        from repro.core.minimality import CriterionMode
+
+        with pytest.raises(ValueError):
+            build_checker(
+                get_model("scc"),
+                CriterionMode.EXECUTION_WA,
+                oracle="relational",
+            )
+
+    def test_options_validation(self):
+        with pytest.raises(ValueError):
+            SynthesisOptions(bound=3, oracle="quantum")

@@ -1,0 +1,150 @@
+"""Incremental solving: removable clauses, telemetry, clean enumeration."""
+
+import random
+
+import pytest
+
+from repro.sat.solver import SAT, UNSAT, Solver, SolverStats
+
+
+def make(clauses):
+    s = Solver()
+    for c in clauses:
+        s.add_clause(c)
+    return s
+
+
+class TestRemovableClauses:
+    def test_selector_activates_and_deactivates(self):
+        s = make([[1, 2]])
+        sel = s.new_selector()
+        assert s.add_removable_clause(sel, [-1])
+        assert s.add_removable_clause(sel, [-2])
+        assert s.solve() is SAT            # guard inert without assumption
+        assert s.solve([sel]) is UNSAT     # active: forces 1=2=False vs [1,2]
+        assert s.solve() is SAT            # and inert again afterwards
+
+    def test_release_selector_purges(self):
+        s = make([[1, 2]])
+        sel = s.new_selector()
+        s.add_removable_clause(sel, [-1])
+        s.add_removable_clause(sel, [-2])
+        n_before = len(s.clauses)
+        assert s.solve([sel]) is UNSAT
+        s.release_selector(sel)
+        # guarded clauses are physically gone; only the retire unit stays
+        assert len(s.clauses) <= n_before - 2 + 1
+        for clause in s.clauses + s.learnts:
+            assert all(idx >> 1 != sel for idx in clause.lits)
+        assert s.solve() is SAT
+
+    def test_released_selector_rejected(self):
+        s = Solver()
+        sel = s.new_selector()
+        s.release_selector(sel)
+        with pytest.raises(ValueError):
+            s.add_removable_clause(sel, [1])
+
+    def test_empty_body_retires_selector(self):
+        s = make([[1]])
+        sel = s.new_selector()
+        # body [-1] with 1 fixed true at level 0 simplifies to empty
+        s.add_removable_clause(sel, [-1])
+        assert s.solve([sel]) is UNSAT
+        assert s.solve() is SAT
+
+    def test_interleaved_groups(self):
+        s = make([[1, 2, 3]])
+        a, b = s.new_selector(), s.new_selector()
+        s.add_removable_clause(a, [-1])
+        s.add_removable_clause(b, [-2])
+        assert s.solve([a, b]) is SAT
+        model = s.model()
+        assert model[3] or (not model[1] and not model[2])
+        s.release_selector(a)
+        assert s.solve([b]) is SAT
+        assert not s.model()[2]
+
+    def test_incremental_matches_fresh(self):
+        """Property: any assumption query on a long-lived solver equals
+        the verdict of a fresh solver with the activated clauses baked
+        in."""
+        rng = random.Random(7)
+        n_vars = 8
+        base = [
+            [rng.choice([-1, 1]) * rng.randint(1, n_vars) for _ in range(3)]
+            for _ in range(12)
+        ]
+        s = make(base)
+        groups = []
+        for _ in range(4):
+            sel = s.new_selector()
+            lits = [
+                [rng.choice([-1, 1]) * rng.randint(1, n_vars) for _ in range(2)]
+                for _ in range(3)
+            ]
+            for c in lits:
+                s.add_removable_clause(sel, c)
+            groups.append((sel, lits))
+        for trial in range(20):
+            chosen = [g for g in groups if rng.random() < 0.5]
+            verdict = s.solve([sel for sel, _ in chosen])
+            fresh = make(base + [c for _, lits in chosen for c in lits])
+            assert verdict is fresh.solve(), f"trial {trial} diverged"
+
+
+class TestSolverStats:
+    def test_counters_accumulate(self):
+        s = make([[1, 2], [-1, 2], [1, -2], [-1, -2, 3]])
+        assert s.stats.queries == 0
+        s.solve()
+        s.solve([3])
+        assert s.stats.queries == 2
+        assert s.stats.reuse_hits == 1
+        assert s.stats.propagations > 0
+        assert s.stats.decisions >= 0
+
+    def test_stats_mapping_surface(self):
+        st = SolverStats(conflicts=2, queries=5)
+        assert st["conflicts"] == 2
+        st["conflicts"] = 3
+        assert st.as_dict()["conflicts"] == 3
+        with pytest.raises(KeyError):
+            st["nope"] = 1
+        other = SolverStats(conflicts=1, queries=2)
+        st.add(other)
+        assert st.conflicts == 4 and st.queries == 7
+        st.add({"queries": 3})
+        assert st.queries == 10
+
+
+class TestModelEnumeration:
+    def test_models_leaves_db_clean(self):
+        s = make([[1, 2]])
+        n_before = len(s.clauses)
+        models = list(s.models())
+        assert len(models) == 3
+        # blocking clauses were removable and are purged afterwards;
+        # at most the selector-retirement unit may linger
+        assert all(
+            not any(idx >> 1 > 2 for idx in c.lits) for c in s.clauses
+        )
+        assert len(s.clauses) <= n_before + 1
+        again = list(s.models())
+        # retired selectors from earlier rounds show up as fixed vars in
+        # later full models; compare on the problem variables
+        project = lambda ms: sorted((m[1], m[2]) for m in ms)  # noqa: E731
+        assert project(models) == project(again)
+
+    def test_models_under_assumptions_repeatable(self):
+        s = make([[1, 2, 3]])
+        first = list(s.models(project=[1, 2], assumptions=[3]))
+        second = list(s.models(project=[1, 2], assumptions=[3]))
+        assert len(first) == len(second) == 4
+        assert s.solve([-3]) is SAT
+
+    def test_limit_releases_cleanly(self):
+        s = make([[1, 2]])
+        got = list(s.models(limit=1))
+        assert len(got) == 1
+        assert len(list(s.models())) == 3
