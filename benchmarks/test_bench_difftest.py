@@ -1,0 +1,51 @@
+"""Differential-testing campaign throughput and determinism.
+
+A campaign is CPU-bound fuzzing (generate, dual-oracle analyze, shrink),
+so the interesting numbers are tests/second per model and the cost of
+the injected-mutant checks; the interesting *claims* are that the stock
+oracles never disagree and that every injected mutant dies with a
+reproducer no larger than the test that found it.
+"""
+
+from repro.bench import difftest_campaign_report
+
+from _common import large_bounds_enabled, run_once
+
+BUDGET = 2000 if large_bounds_enabled() else 500
+SEED = 2017
+
+CAMPAIGNS = (
+    ("tso", ("drop:sc_per_loc", "empty:fr")),
+    ("sc", ("drop:sequential_consistency",)),
+    ("power", ("empty:fr",)),
+)
+
+
+class TestDifftestCampaigns:
+    def test_campaigns_clean_and_deterministic(self, report, benchmark):
+        entries = run_once(
+            benchmark,
+            lambda: [
+                (
+                    model,
+                    difftest_campaign_report(
+                        model, seed=SEED, budget=BUDGET,
+                        mutants=mutants, jobs=2,
+                    ),
+                )
+                for model, mutants in CAMPAIGNS
+            ],
+        )
+        for model, entry in entries:
+            doc = entry["report"]
+            assert doc["clean"] is True, (model, doc)
+            assert doc["discrepancies"] == [], model
+            assert doc["surviving_mutants"] == [], model
+            for tag, kill in doc["mutant_kills"].items():
+                assert kill["events"] <= kill["original_events"], (model, tag)
+            assert entry["byte_identical"], model
+            report.append(
+                f"[difftest] {model} seed={SEED} budget={BUDGET}: "
+                f"{entry['tests_per_second']:.0f} tests/s, "
+                f"{len(doc['mutant_kills'])} mutants killed, clean"
+            )

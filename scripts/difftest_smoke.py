@@ -1,0 +1,88 @@
+#!/usr/bin/env python
+"""CI differential-testing smoke: fixed-seed campaigns on tso and sc.
+
+Runs one seeded campaign per model with one injected known-buggy mutant
+each, writes the combined measurement to ``BENCH_difftest.json``, and
+fails when:
+
+* a stock-model discrepancy survives (the two oracles disagreed), or
+* a corpus replay entry went stale, or
+* an injected mutant survives (the harness is blind to that bug), or
+* a shrunken kill reproducer is larger than the test that found it, or
+* the ``--jobs N`` report is not byte-identical to the sequential one.
+
+Exit status 0 on success.  Run from the repository root:
+
+    PYTHONPATH=src python scripts/difftest_smoke.py
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+
+from repro.bench import DIFFTEST_BENCH_SCHEMA, difftest_campaign_report
+
+SEED = int(os.environ.get("DIFFTEST_SMOKE_SEED", "2017"))
+BUDGET = int(os.environ.get("DIFFTEST_SMOKE_BUDGET", "2000"))
+JOBS = int(os.environ.get("DIFFTEST_SMOKE_JOBS", "2"))
+OUT = os.environ.get("DIFFTEST_SMOKE_OUT", "BENCH_difftest.json")
+
+CAMPAIGNS = (
+    ("tso", ("drop:sc_per_loc",)),
+    ("sc", ("drop:sequential_consistency",)),
+)
+
+
+def check(model: str, entry: dict) -> list[str]:
+    report = entry["report"]
+    failures = []
+    if report["discrepancies"] or report["unshrunk_discrepancies"]:
+        failures.append(
+            f"{model}: stock oracles disagree "
+            f"({len(report['discrepancies'])} discrepancies)"
+        )
+    if report["replay"]["stale"]:
+        failures.append(f"{model}: stale corpus entries on replay")
+    for tag in report["surviving_mutants"]:
+        failures.append(f"{model}: injected mutant {tag} survived")
+    for tag, kill in report["mutant_kills"].items():
+        if kill["events"] > kill["original_events"]:
+            failures.append(
+                f"{model}: {tag} reproducer grew while shrinking "
+                f"({kill['original_events']} -> {kill['events']} events)"
+            )
+    if not entry["byte_identical"]:
+        failures.append(
+            f"{model}: jobs={JOBS} report differs from the sequential one"
+        )
+    return failures
+
+
+def main() -> int:
+    document = {"schema_version": DIFFTEST_BENCH_SCHEMA, "campaigns": {}}
+    failures: list[str] = []
+    for model, mutants in CAMPAIGNS:
+        entry = difftest_campaign_report(
+            model, seed=SEED, budget=BUDGET, mutants=mutants, jobs=JOBS
+        )
+        document["campaigns"][model] = entry
+        failures.extend(check(model, entry))
+        print(
+            f"difftest smoke: model={model} seed={SEED} budget={BUDGET} "
+            f"jobs={JOBS} wall={entry['wall_seconds']:.2f}s "
+            f"kills={sorted(entry['report']['mutant_kills'])} "
+            f"clean={entry['report']['clean']}"
+        )
+    with open(OUT, "w") as fh:
+        json.dump(document, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"wrote {OUT}")
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -29,6 +29,8 @@ Package layout:
 * :mod:`repro.sat`       — CDCL SAT solver (the Alloy-substitute backend)
 * :mod:`repro.relational`— bounded relational model finder over SAT
 * :mod:`repro.alloy`     — Alloy-style memory-model encodings
+* :mod:`repro.analysis`  — diagnostics / lint passes over the stack
+* :mod:`repro.difftest`  — differential testing + model-mutation fuzzing
 """
 
 from repro.core import (
@@ -46,6 +48,12 @@ from repro.core import (
     compare_suites,
     is_subtest,
     synthesize,
+)
+from repro.difftest import (
+    CampaignOptions,
+    CampaignReport,
+    DiffHarness,
+    run_campaign,
 )
 from repro.litmus import (
     Dep,
@@ -86,6 +94,11 @@ __all__ = [
     "compare_suites",
     "is_subtest",
     "synthesize",
+    # difftest
+    "CampaignOptions",
+    "CampaignReport",
+    "DiffHarness",
+    "run_campaign",
     # litmus text format
     "format_test",
     "parse_test",

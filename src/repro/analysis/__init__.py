@@ -5,7 +5,9 @@ Three pass families over the synthesis stack's inputs:
 * **model** — memory-model axioms (:mod:`repro.analysis.model_lint`);
 * **litmus** — litmus tests and outcomes (:mod:`repro.analysis.litmus_lint`);
 * **pipeline** — CNF headed for the SAT solver
-  (:mod:`repro.analysis.pipeline_lint`).
+  (:mod:`repro.analysis.pipeline_lint`);
+* **difftest** — reproducer corpora and mutant registries
+  (:mod:`repro.analysis.difftest_lint`).
 
 Importing this package registers every pass.  Entry points:
 ``lint_registry`` (the registry-wide self-check behind ``repro lint``)
@@ -26,6 +28,11 @@ from repro.analysis.diagnostics import (
     parse_suppression,
     render_json,
     render_text,
+)
+from repro.analysis.difftest_lint import (
+    lint_corpus,
+    lint_mutant_registry,
+    lint_mutant_tags,
 )
 from repro.analysis.litmus_lint import early_reject, find_duplicate_tests
 from repro.analysis.pipeline_lint import lint_cnf_cache_dir, lint_oracle_options
@@ -67,6 +74,9 @@ __all__ = [
     "find_duplicate_tests",
     "lint_oracle_options",
     "lint_cnf_cache_dir",
+    "lint_corpus",
+    "lint_mutant_tags",
+    "lint_mutant_registry",
     "REGISTRY_SUPPRESSIONS",
     "lint_models",
     "lint_catalog",

@@ -1,0 +1,187 @@
+"""Difftest lint: sanity checks over corpora and campaign configs.
+
+The differential-testing subsystem (:mod:`repro.difftest`) persists
+reproducers to a JSONL corpus and injects named mutants from a per-model
+registry.  Both can rot independently of the code that reads them: a
+corpus entry stops reproducing once the disagreement it recorded is
+fixed, and a campaign config can name a mutant tag the registry no
+longer advertises.  These passes surface both before a campaign spends
+budget on them.
+
+Diagnostic ids:
+
+=======  ========  ==========================================================
+id       severity  meaning
+=======  ========  ==========================================================
+DIF001   warning   corpus entry no longer reproduces (stale reproducer)
+DIF002   error     campaign config requests a mutant tag unknown to the
+                   registry (or an advertised tag fails its own contract)
+=======  ========  ==========================================================
+
+Like ``SAT007``/``SAT008`` these are collection-level checks over
+artifacts rather than models or tests, so they are plain functions, and
+they import :mod:`repro.difftest` lazily so ``repro.analysis`` stays
+importable without pulling the whole campaign stack in.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.diagnostics import Diagnostic, Report, Severity
+
+__all__ = [
+    "lint_corpus",
+    "lint_mutant_tags",
+    "lint_mutant_registry",
+]
+
+
+def lint_corpus(directory: str) -> list[Diagnostic]:
+    """DIF001: replay every corpus entry; flag the ones that went stale.
+
+    A stale entry is not *wrong* — it usually means the disagreement it
+    recorded has since been fixed — but leaving it in place makes every
+    future campaign's replay phase report failure, so the finding is the
+    prompt to prune it.
+    """
+    from repro.difftest.corpus import Corpus
+    from repro.difftest.discrepancy import discrepancy_fingerprint
+    from repro.difftest.harness import DiffHarness
+    from repro.models.registry import available_models
+
+    out: list[Diagnostic] = []
+    corpus = Corpus(directory)
+    known = set(available_models())
+    for model_name in corpus.models():
+        entries = corpus.load(model_name)
+        if model_name not in known:
+            out.append(
+                Diagnostic(
+                    "DIF001",
+                    Severity.WARNING,
+                    f"{directory}:{model_name}.jsonl",
+                    f"corpus file names unregistered model "
+                    f"{model_name!r}; its {len(entries)} entries cannot "
+                    "be replayed",
+                    hint="rename the file to a registered model or "
+                    "delete it",
+                )
+            )
+            continue
+        harness = DiffHarness(model_name)
+        for disc in entries:
+            subject = (
+                f"{directory}:{model_name}.jsonl:"
+                f"{discrepancy_fingerprint(disc)}"
+            )
+            try:
+                ok = harness.reproduces(disc)
+            except KeyError:
+                out.append(
+                    Diagnostic(
+                        "DIF002",
+                        Severity.ERROR,
+                        subject,
+                        f"corpus entry names mutant tag {disc.mutant!r}, "
+                        f"unknown to the {model_name} mutant registry",
+                        hint="the registry dropped or renamed the tag; "
+                        "prune the entry",
+                    )
+                )
+                continue
+            if not ok:
+                out.append(
+                    Diagnostic(
+                        "DIF001",
+                        Severity.WARNING,
+                        subject,
+                        f"corpus entry ({disc.kind}) no longer "
+                        "reproduces against the current oracles",
+                        hint="if the underlying disagreement was fixed, "
+                        "prune the entry so replay stays green",
+                    )
+                )
+    return out
+
+
+def lint_mutant_tags(model_name: str, tags) -> list[Diagnostic]:
+    """DIF002: campaign config tags the registry does not advertise."""
+    from repro.difftest.mutate import mutant_tags
+    from repro.models.registry import available_models, get_model
+
+    if model_name not in available_models():
+        return [
+            Diagnostic(
+                "DIF002",
+                Severity.ERROR,
+                f"config:{model_name}",
+                f"campaign targets unregistered model {model_name!r}",
+                hint="pick one of: " + ", ".join(available_models()),
+            )
+        ]
+    advertised = set(mutant_tags(get_model(model_name)))
+    out: list[Diagnostic] = []
+    for tag in tags:
+        if tag not in advertised:
+            out.append(
+                Diagnostic(
+                    "DIF002",
+                    Severity.ERROR,
+                    f"config:{model_name}:{tag}",
+                    f"mutant tag {tag!r} is unknown to the {model_name} "
+                    "registry",
+                    hint="advertised tags: "
+                    + (", ".join(sorted(advertised)) or "(none)"),
+                )
+            )
+    return out
+
+
+def lint_mutant_registry() -> Report:
+    """Self-check: every advertised mutant tag must resolve and must be
+    distinguishable (by fingerprint) from its stock model — an injected
+    bug identical to the original can never be killed, which would make
+    a CLEAN campaign verdict meaningless."""
+    from repro.difftest.mutate import (
+        model_fingerprint,
+        mutant_tags,
+        resolve_mutant,
+    )
+    from repro.models.registry import available_models, get_model
+
+    report = Report()
+    for name in available_models():
+        model = get_model(name)
+        stock_fp = model_fingerprint(model)
+        for tag in mutant_tags(model):
+            subject = f"mutant:{name}:{tag}"
+            try:
+                mutant = resolve_mutant(model, tag)
+            except (KeyError, ValueError) as exc:
+                report.extend(
+                    [
+                        Diagnostic(
+                            "DIF002",
+                            Severity.ERROR,
+                            subject,
+                            f"advertised mutant tag fails to resolve: {exc}",
+                            hint="mutant_tags() and resolve_mutant() "
+                            "disagree; fix the registry",
+                        )
+                    ]
+                )
+                continue
+            if model_fingerprint(mutant, tag) == stock_fp:
+                report.extend(
+                    [
+                        Diagnostic(
+                            "DIF002",
+                            Severity.ERROR,
+                            subject,
+                            "mutant fingerprint equals the stock model's; "
+                            "the injected bug is indistinguishable",
+                            hint="the mutation must change axioms or "
+                            "relation semantics",
+                        )
+                    ]
+                )
+    return report

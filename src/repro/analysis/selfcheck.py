@@ -4,7 +4,8 @@
 (both the executable :mod:`repro.models` classes and their relational-AST
 twins in :mod:`repro.alloy.models`), every catalog litmus test against
 the model family it targets, the catalog as a whole for symmetry
-duplicates, and one probe encoding compiled down to CNF.  This is what
+duplicates, one probe encoding compiled down to CNF, and every
+advertised difftest mutant tag.  This is what
 ``repro lint --all-models --catalog`` and the CI gate execute.
 
 Intentional findings are silenced by :data:`REGISTRY_SUPPRESSIONS`; each
@@ -101,9 +102,12 @@ def lint_encoding_smoke() -> Report:
 def lint_registry(probe: bool = True, suppressions=()) -> Report:
     """The full self-check with the documented suppressions applied."""
     report = Report()
+    from repro.analysis.difftest_lint import lint_mutant_registry
+
     report.extend(lint_models(probe).diagnostics)
     report.extend(lint_catalog().diagnostics)
     report.extend(lint_encoding_smoke().diagnostics)
+    report.extend(lint_mutant_registry().diagnostics)
     return report.apply_suppressions(
         tuple(REGISTRY_SUPPRESSIONS) + tuple(suppressions)
     )

@@ -1,9 +1,9 @@
 """Reusable perf workloads (shared by the bench suite and CI smoke jobs).
 
-The benchmark harness (``benchmarks/``) and the CI perf-smoke script
-(``scripts/oracle_perf_smoke.py``) must measure the *same* workload the
-same way, or their numbers aren't comparable — so the measurement lives
-here and both call it.
+The benchmark harness (``benchmarks/``) and the CI smoke scripts
+(``scripts/oracle_perf_smoke.py``, ``scripts/difftest_smoke.py``) must
+measure the *same* workloads the same way, or their numbers aren't
+comparable — so the measurements live here and both call them.
 """
 
 from __future__ import annotations
@@ -14,9 +14,16 @@ from repro.core.enumerator import EnumerationConfig
 from repro.core.synthesis import SynthesisOptions, synthesize
 from repro.models.registry import get_model
 
-__all__ = ["ORACLE_BENCH_SCHEMA", "oracle_workload_report"]
+__all__ = [
+    "ORACLE_BENCH_SCHEMA",
+    "DIFFTEST_BENCH_SCHEMA",
+    "oracle_workload_report",
+    "difftest_campaign_report",
+]
 
 ORACLE_BENCH_SCHEMA = 1
+
+DIFFTEST_BENCH_SCHEMA = 1
 
 
 def _mode_report(result, wall: float) -> dict:
@@ -74,4 +81,61 @@ def oracle_workload_report(
         "cold": _mode_report(cold, t_cold),
         "speedup": t_cold / t_inc if t_inc else 0.0,
         "byte_identical": incremental.union.to_json() == cold.union.to_json(),
+    }
+
+
+def difftest_campaign_report(
+    model_name: str,
+    seed: int = 0,
+    budget: int = 200,
+    mutants: tuple[str, ...] = (),
+    jobs: int = 1,
+    corpus_dir: str | None = None,
+) -> dict:
+    """Run one difftest campaign and wrap its report for ``BENCH_*.json``.
+
+    Wall time and throughput live *next to* the campaign report, never
+    inside it — the report itself stays byte-deterministic.  The
+    determinism check re-runs the same campaign sequentially (without
+    the corpus, whose replay counts would differ after the first arm
+    appended to it) and compares JSON bytes.
+    """
+    from repro.difftest import CampaignOptions, run_campaign
+
+    options = CampaignOptions(
+        model=model_name,
+        seed=seed,
+        budget=budget,
+        mutants=tuple(mutants),
+        corpus_dir=corpus_dir,
+        jobs=jobs,
+    )
+    t0 = time.perf_counter()
+    report = run_campaign(options)
+    wall = time.perf_counter() - t0
+    def bare(j: int) -> CampaignOptions:
+        return CampaignOptions(
+            model=model_name,
+            seed=seed,
+            budget=budget,
+            mutants=tuple(mutants),
+            jobs=j,
+        )
+
+    byte_identical = (
+        run_campaign(bare(jobs)).to_json() == run_campaign(bare(1)).to_json()
+    )
+    return {
+        "schema_version": DIFFTEST_BENCH_SCHEMA,
+        "workload": {
+            "model": model_name,
+            "seed": seed,
+            "budget": budget,
+            "mutants": sorted(mutants),
+            "jobs": jobs,
+        },
+        "wall_seconds": wall,
+        "tests_per_second": report.tests_run / wall if wall else 0.0,
+        "byte_identical": byte_identical,
+        "report": report.to_json_dict(),
     }

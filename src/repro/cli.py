@@ -12,10 +12,14 @@
     litmus-synth check --model tso test.litmus
     litmus-synth show --name MP
     litmus-synth show --file test.litmus
-    litmus-synth compare --model tso --bound 5 --reference owens
+    litmus-synth compare --model tso [--bound 5] [--suite suite.json]
+                         [--reference owens|cambridge|suite.json] [--json]
+    litmus-synth difftest --model tso [--seed 0] [--budget 100]
+                          [--mutants TAG ...] [--corpus-dir D] [--jobs N]
+                          [--json] [--list-mutants]
     litmus-synth lint [--all-models] [--catalog] [--model tso]
-                      [--format text|json] [--suppress ID[:GLOB]]
-                      [tests.litmus ...]
+                      [--corpus-dir D] [--format text|json]
+                      [--suppress ID[:GLOB]] [tests.litmus ...]
 """
 
 from __future__ import annotations
@@ -212,6 +216,10 @@ def _cmd_lint(args) -> int:
         report.extend(selfcheck.lint_encoding_smoke().diagnostics)
     if args.catalog or default_all:
         report.extend(selfcheck.lint_catalog().diagnostics)
+    if default_all:
+        report.extend(analysis.lint_mutant_registry().diagnostics)
+    if args.corpus_dir:
+        report.extend(analysis.lint_corpus(args.corpus_dir))
     model = get_model(args.model) if args.model else None
     named: list[tuple[str, LitmusTest]] = []
     for path in args.paths:
@@ -246,19 +254,101 @@ def _cmd_lint(args) -> int:
     return report.exit_code
 
 
+def _load_suite(path: str):
+    """Load a suite JSON file, mapping failures to clean CLI errors."""
+    from repro.core.suite import TestSuite
+
+    text = _read_file(path)
+    try:
+        return TestSuite.from_json(text)
+    except (KeyError, TypeError, ValueError) as exc:
+        raise _CliError(f"{path}: not a suite JSON file: {exc}") from exc
+
+
+def _reference_entries(spec: str):
+    """Resolve ``--reference``: a builtin name or a suite JSON path.
+
+    A file-based reference has no per-test names, so entries are
+    labelled by position.
+    """
+    import types
+
+    if spec == "owens":
+        return owens_forbidden()
+    if spec == "cambridge":
+        return cambridge_power_suite()
+    suite = _load_suite(spec)
+    return [
+        types.SimpleNamespace(name=f"{spec}#{i}", test=entry.test)
+        for i, entry in enumerate(suite)
+    ]
+
+
 def _cmd_compare(args) -> int:
     model = get_model(args.model)
-    reference = (
-        owens_forbidden() if args.reference == "owens" else cambridge_power_suite()
-    )
-    config = EnumerationConfig(
-        max_events=args.bound, max_addresses=args.max_addresses
-    )
-    result = synthesize(model, SynthesisOptions(bound=args.bound, config=config))
-    comparison = compare_suites(reference, result.union, model)
-    print(result.summary())
+    reference = _reference_entries(args.reference)
+    result = None
+    if args.suite:
+        synthesized = _load_suite(args.suite)
+    else:
+        config = EnumerationConfig(
+            max_events=args.bound, max_addresses=args.max_addresses
+        )
+        result = synthesize(
+            model, SynthesisOptions(bound=args.bound, config=config)
+        )
+        synthesized = result.union
+    comparison = compare_suites(reference, synthesized, model)
+    if args.json:
+        print(json.dumps(comparison.to_json_dict(), indent=2, sort_keys=True))
+        return 0
+    if result is not None:
+        print(result.summary())
     print(comparison.summary())
     return 0
+
+
+def _cmd_difftest(args) -> int:
+    from repro.difftest import CampaignOptions, GeneratorConfig, run_campaign
+    from repro.difftest.mutate import mutant_tags
+
+    if args.list_mutants:
+        for tag in mutant_tags(get_model(args.model)):
+            print(tag)
+        return 0
+    mutants = tuple(args.mutants)
+    findings = analysis.lint_mutant_tags(args.model, mutants)
+    if findings:
+        for diag in findings:
+            print(
+                f"error: {diag.subject}: {diag.message} [{diag.id}]",
+                file=sys.stderr,
+            )
+        return 2
+    try:
+        options = CampaignOptions(
+            model=args.model,
+            seed=args.seed,
+            budget=args.budget,
+            mutants=mutants,
+            corpus_dir=args.corpus_dir,
+            jobs=args.jobs,
+            generator=GeneratorConfig(
+                max_events=args.max_events,
+                max_threads=args.max_threads,
+                max_addresses=args.max_addresses,
+                max_deps=args.max_deps,
+                max_rmws=args.max_rmws,
+            ),
+        )
+    except ValueError as exc:
+        raise _CliError(str(exc)) from exc
+    report = run_campaign(options)
+    if args.json:
+        print(report.to_json())
+    else:
+        print(report.summary())
+    return 0 if report.clean else 1
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -348,11 +438,84 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--name", default=None)
     p.add_argument("--file", default=None, help="print a .litmus file instead")
 
-    p = sub.add_parser("compare", help="compare against a published suite")
+    p = sub.add_parser(
+        "compare",
+        help="compare a suite against a published or saved reference",
+        description="Synthesizes a suite (or loads one via --suite) and "
+        "reports the Table 4-style subsumption comparison against the "
+        "reference.",
+    )
     p.add_argument("--model", required=True, choices=available_models())
     p.add_argument("--bound", type=int, default=5)
     p.add_argument("--max-addresses", type=int, default=3)
-    p.add_argument("--reference", default="owens", choices=["owens", "cambridge"])
+    p.add_argument(
+        "--suite",
+        default=None,
+        help="compare this saved suite JSON instead of synthesizing one",
+    )
+    p.add_argument(
+        "--reference",
+        default="owens",
+        help="builtin reference suite (owens, cambridge) or a path to a "
+        "suite JSON file",
+    )
+    p.add_argument(
+        "--json",
+        action="store_true",
+        help="print the machine-readable comparison instead of text",
+    )
+
+    p = sub.add_parser(
+        "difftest",
+        help="run a differential-testing campaign over both oracles",
+        description="Fuzzes seeded random litmus tests through the "
+        "explicit and relational oracles plus the minimality criterion, "
+        "optionally injecting known-buggy model mutants, and shrinks "
+        "every disagreement to a minimal reproducer. Exit status: "
+        "0 clean, 1 discrepancies/survivors/stale corpus entries, "
+        "2 usage error.",
+    )
+    p.add_argument("--model", required=True, choices=available_models())
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--budget",
+        type=int,
+        default=100,
+        help="number of random tests to generate and check",
+    )
+    p.add_argument(
+        "--mutants",
+        action="append",
+        default=[],
+        metavar="TAG",
+        help="inject a known-buggy mutant (repeatable; see --list-mutants)",
+    )
+    p.add_argument(
+        "--list-mutants",
+        action="store_true",
+        help="print the mutant tags the registry advertises and exit",
+    )
+    p.add_argument(
+        "--corpus-dir",
+        default=None,
+        help="persist shrunken reproducers here and replay them first",
+    )
+    p.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes; output is byte-identical to --jobs 1",
+    )
+    p.add_argument("--max-events", type=int, default=4)
+    p.add_argument("--max-threads", type=int, default=3)
+    p.add_argument("--max-addresses", type=int, default=2)
+    p.add_argument("--max-deps", type=int, default=1)
+    p.add_argument("--max-rmws", type=int, default=1)
+    p.add_argument(
+        "--json",
+        action="store_true",
+        help="print the machine-readable campaign report",
+    )
 
     p = sub.add_parser(
         "lint",
@@ -392,6 +555,12 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="skip the tiny-bound axiom satisfiability probes",
     )
+    p.add_argument(
+        "--corpus-dir",
+        default=None,
+        help="also replay a difftest reproducer corpus and flag stale "
+        "entries (DIF001/DIF002)",
+    )
 
     return parser
 
@@ -403,6 +572,7 @@ _COMMANDS = {
     "check": _cmd_check,
     "show": _cmd_show,
     "compare": _cmd_compare,
+    "difftest": _cmd_difftest,
     "lint": _cmd_lint,
 }
 

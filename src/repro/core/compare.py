@@ -20,7 +20,7 @@ from repro.litmus.catalog import CatalogEntry
 from repro.litmus.test import LitmusTest
 from repro.models.base import MemoryModel
 from repro.core.canonical import canonical_form
-from repro.core.suite import TestSuite
+from repro.core.suite import TestSuite, test_to_dict
 from repro.relax.instruction import relaxations_for
 
 __all__ = [
@@ -104,6 +104,30 @@ class SuiteComparison:
         subtest — the paper's reproduction claim."""
         return all(v is not None for v in self.reference_only.values())
 
+    def to_json_dict(self) -> dict:
+        """Machine-readable comparison (``repro compare --json``).
+
+        ``synthesized_only`` comes from a set difference, so it is
+        re-sorted here — JSON output must not depend on hash order.
+        """
+        return {
+            "schema_version": 1,
+            "model": self.model_name,
+            "both": list(self.both),
+            "reference_only": {
+                name: None if sub is None else test_to_dict(sub)
+                for name, sub in self.reference_only.items()
+            },
+            "synthesized_only": [
+                test_to_dict(t)
+                for t in sorted(
+                    self.synthesized_only,
+                    key=lambda t: (t.num_events, repr(t)),
+                )
+            ],
+            "fully_subsumed": self.fully_subsumed,
+        }
+
     def summary(self) -> str:
         lines = [
             f"model={self.model_name}: both={len(self.both)} "
@@ -145,7 +169,7 @@ def compare_suites(
             comparison.reference_only[entry.name] = find_subtest(
                 entry.test, synthesized, model, max_steps
             )
-    comparison.synthesized_only = [
-        t for t in member_canons - matched
-    ]
+    comparison.synthesized_only = sorted(
+        member_canons - matched, key=lambda t: (t.num_events, repr(t))
+    )
     return comparison

@@ -52,6 +52,9 @@ __all__ = [
     "enumerate_tests",
     "enumerate_shard",
     "count_tests",
+    "slot_choices",
+    "dep_candidates",
+    "rmw_candidates",
 ]
 
 
@@ -155,6 +158,34 @@ def _rmw_candidates(
         if a.is_read and b.is_write and a.address == b.address:
             out.append((i, i + 1))
     return out
+
+
+def slot_choices(
+    vocab: Vocabulary, config: EnumerationConfig
+) -> list[Instruction]:
+    """Every instruction an enumeration slot may hold for this vocabulary.
+
+    Public entry point shared with :mod:`repro.difftest.generator`, which
+    samples from the same design space the exhaustive enumerator walks.
+    """
+    return _slot_choices(vocab, config)
+
+
+def dep_candidates(
+    instructions: tuple[Instruction, ...], vocab: Vocabulary
+) -> list[tuple[int, int, DepKind]]:
+    """Well-formed thread-local dependency edges over an instruction
+    sequence (read sources, po-later non-fence targets, data deps only to
+    writes)."""
+    return _dep_candidates(instructions, vocab)
+
+
+def rmw_candidates(
+    instructions: tuple[Instruction, ...]
+) -> list[tuple[int, int]]:
+    """Po-adjacent same-address (read, write) pairs eligible for an rmw
+    pairing."""
+    return _rmw_candidates(instructions)
 
 
 def _dep_subset_ok(subset: tuple[tuple[int, int, DepKind], ...]) -> bool:

@@ -1,0 +1,67 @@
+"""Differential testing and model-mutation fuzzing (standing harness).
+
+The reproduction rests on two independent oracles agreeing — the
+explicit execution-enumeration engine (:mod:`repro.core.oracle` over
+:mod:`repro.semantics`) and the relational/SAT pipeline
+(:mod:`repro.alloy`).  This package turns that dual-oracle design into a
+continuously-runnable correctness harness:
+
+* :mod:`repro.difftest.rng`         — deterministic per-test RNG streams
+* :mod:`repro.difftest.generator`   — seeded random litmus tests
+* :mod:`repro.difftest.mutate`      — tagged "known-buggy" model mutants
+* :mod:`repro.difftest.discrepancy` — the disagreement record
+* :mod:`repro.difftest.harness`     — dual-oracle + mutant checks
+* :mod:`repro.difftest.shrink`      — greedy reproducer minimization
+* :mod:`repro.difftest.corpus`      — JSONL reproducer store + replay
+* :mod:`repro.difftest.campaign`    — sharded campaign driver
+
+A *campaign* replays the persisted corpus first, then fuzzes: generate a
+seeded test, run it through both oracles and the minimality criterion,
+record any disagreement as a :class:`Discrepancy`, shrink it to a
+minimal reproducer, and persist it.  Injected mutants (axiom drops,
+relation weakenings) validate the harness end-to-end: a campaign that
+cannot kill a known-buggy model proves nothing about the stock one.
+
+Entry points::
+
+    from repro.difftest import CampaignOptions, run_campaign
+    report = run_campaign(CampaignOptions(model="tso", seed=7, budget=200,
+                                          mutants=("drop:sc_per_loc",)))
+
+or ``repro difftest --model tso --seed 7 --budget 200
+--mutants drop:sc_per_loc`` from the CLI.
+"""
+
+from repro.difftest.campaign import CampaignOptions, CampaignReport, run_campaign
+from repro.difftest.corpus import CORPUS_SCHEMA, Corpus
+from repro.difftest.discrepancy import Discrepancy, discrepancy_fingerprint
+from repro.difftest.generator import GeneratorConfig, TestGenerator
+from repro.difftest.harness import DiffHarness
+from repro.difftest.mutate import (
+    MutantModel,
+    model_fingerprint,
+    mutant_tags,
+    resolve_mutant,
+)
+from repro.difftest.rng import derive_seed, stream
+from repro.difftest.shrink import shrink
+
+__all__ = [
+    "CampaignOptions",
+    "CampaignReport",
+    "run_campaign",
+    "CORPUS_SCHEMA",
+    "Corpus",
+    "Discrepancy",
+    "discrepancy_fingerprint",
+    "GeneratorConfig",
+    "TestGenerator",
+    "DiffHarness",
+    "MutantModel",
+    "model_fingerprint",
+    "mutant_tags",
+    "resolve_mutant",
+    "derive_seed",
+    "stream",
+    "shrink",
+]

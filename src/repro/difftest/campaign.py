@@ -1,0 +1,288 @@
+"""The sharded differential-testing campaign driver.
+
+A campaign is: replay the persisted corpus, then fuzz ``budget`` seeded
+tests through every check of :class:`~repro.difftest.harness.DiffHarness`,
+shrink what disagreed, persist the reproducers.  The fuzzing fans out
+over :func:`repro.exec.fanout.run_fanout` with the round-robin index
+assignment the synthesis runtime uses (test ``i`` goes to shard
+``i % shard_count``), and every test's randomness comes from a stream
+keyed by ``(seed, i)`` alone — so the set of generated tests, and hence
+the whole report, is independent of ``jobs`` and of the shard partition.
+
+Determinism contract: with the same seed, options, and corpus state, the
+``--json`` report is byte-identical at any ``--jobs`` value.  Nothing
+wall-clock-derived goes into the report, discrepancies are ordered by
+``(index, kind, tag)``, and shrinking happens in the parent process on
+the merged stream.
+
+Mutant bookkeeping: the *lowest-index* killing test per tag is the
+canonical kill; it is shrunk and reported next to the original event
+count so the "reproducer no larger than the test that found it"
+guarantee is checkable from the report alone.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+
+from repro.difftest.corpus import Corpus
+from repro.difftest.discrepancy import KINDS, Discrepancy, discrepancy_fingerprint
+from repro.difftest.generator import GeneratorConfig, TestGenerator
+from repro.difftest.harness import DiffHarness
+from repro.difftest.mutate import model_fingerprint
+from repro.difftest.rng import stream
+from repro.difftest.shrink import shrink
+from repro.exec.fanout import FanoutTask, run_fanout
+from repro.exec.sharding import plan_shards
+from repro.models.registry import get_model
+
+__all__ = ["CAMPAIGN_SCHEMA", "CampaignOptions", "CampaignReport", "run_campaign"]
+
+CAMPAIGN_SCHEMA = 1
+
+#: stock discrepancies shrunk per campaign (a healthy run has zero; a
+#: broken oracle can produce hundreds, and shrinking each would stall
+#: the report that says so)
+_MAX_SHRINKS = 25
+
+
+@dataclass(frozen=True)
+class CampaignOptions:
+    """Everything one campaign run needs (picklable, crosses workers)."""
+
+    model: str
+    seed: int = 0
+    budget: int = 100
+    mutants: tuple[str, ...] = ()
+    corpus_dir: str | None = None
+    jobs: int = 1
+    #: pin the shard count (None: jobs * DEFAULT_SHARDS_PER_JOB)
+    shards: int | None = None
+    generator: GeneratorConfig = field(default_factory=GeneratorConfig)
+    #: cross-check the minimality criterion through both oracles
+    minimality: bool = True
+
+    def __post_init__(self) -> None:
+        if self.budget < 0:
+            raise ValueError(f"budget must be >= 0, got {self.budget}")
+        if self.jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {self.jobs}")
+
+
+@dataclass
+class CampaignReport:
+    """One campaign's findings, ready for text or JSON rendering."""
+
+    options: CampaignOptions
+    tests_run: int
+    #: shrunken stock (non-mutant) discrepancies, (index, kind)-ordered
+    stock: list[Discrepancy]
+    #: per-tag canonical kill (lowest finding index, shrunk) + original size
+    kills: dict[str, tuple[Discrepancy, int]]
+    surviving: tuple[str, ...]
+    replay_confirmed: int
+    replay_stale: list[Discrepancy]
+    corpus_added: int
+    #: stock discrepancies found but left unshrunk (over the cap)
+    unshrunk: int = 0
+
+    @property
+    def clean(self) -> bool:
+        """No stock disagreement, no surviving mutant, no stale corpus
+        entry — the campaign's pass/fail verdict."""
+        return (
+            not self.stock
+            and not self.surviving
+            and not self.replay_stale
+        )
+
+    # -- rendering -----------------------------------------------------------
+
+    def to_json_dict(self) -> dict:
+        opts = self.options
+        return {
+            "schema_version": CAMPAIGN_SCHEMA,
+            "model": opts.model,
+            "model_fingerprint": model_fingerprint(get_model(opts.model)),
+            "seed": opts.seed,
+            "budget": opts.budget,
+            "mutants": sorted(opts.mutants),
+            "generator": asdict(opts.generator),
+            "tests_run": self.tests_run,
+            "discrepancies": [d.to_dict() for d in self.stock],
+            "unshrunk_discrepancies": self.unshrunk,
+            "mutant_kills": {
+                tag: {
+                    "original_events": original,
+                    "events": disc.test.num_events,
+                    **disc.to_dict(),
+                }
+                for tag, (disc, original) in sorted(self.kills.items())
+            },
+            "surviving_mutants": sorted(self.surviving),
+            "replay": {
+                "confirmed": self.replay_confirmed,
+                "stale": [d.to_dict() for d in self.replay_stale],
+            },
+            "corpus_added": self.corpus_added,
+            "clean": self.clean,
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_json_dict(), indent=2, sort_keys=True)
+
+    def summary(self) -> str:
+        opts = self.options
+        lines = [
+            f"difftest model={opts.model} seed={opts.seed} "
+            f"budget={opts.budget}: {len(self.stock)} stock "
+            f"discrepancies; mutants: {len(self.kills)} killed, "
+            f"{len(self.surviving)} surviving; replay: "
+            f"{self.replay_confirmed} confirmed, "
+            f"{len(self.replay_stale)} stale"
+        ]
+        for disc in self.stock:
+            lines.append(
+                f"  DISAGREE [{disc.kind}] test #{disc.index}: {disc.detail}"
+            )
+        if self.unshrunk:
+            lines.append(
+                f"  (+{self.unshrunk} further discrepancies left unshrunk)"
+            )
+        for tag, (disc, original) in sorted(self.kills.items()):
+            lines.append(
+                f"  KILLED   {tag} by test #{disc.index} "
+                f"({original} -> {disc.test.num_events} events)"
+            )
+        for tag in sorted(self.surviving):
+            lines.append(f"  SURVIVED {tag}  (harness blind to this bug!)")
+        for disc in self.replay_stale:
+            lines.append(
+                f"  STALE    [{disc.kind}] corpus entry no longer "
+                f"reproduces: {disc.detail}"
+            )
+        verdict = "CLEAN" if self.clean else "FAILED"
+        lines.append(f"verdict: {verdict}")
+        return "\n".join(lines)
+
+
+# -- worker side (module-level for pool pickling) -----------------------------
+
+
+@dataclass(frozen=True)
+class _ShardPayload:
+    options: CampaignOptions
+    shard_count: int
+
+
+def _setup_worker(payload: _ShardPayload):
+    opts = payload.options
+    harness = DiffHarness(
+        opts.model, mutants=opts.mutants, minimality=opts.minimality
+    )
+    generator = TestGenerator(harness.model.vocabulary, opts.generator)
+    return payload, harness, generator
+
+
+def _run_shard(state, shard_index: int) -> dict:
+    payload, harness, generator = state
+    opts = payload.options
+    found: list[dict] = []
+    tests_run = 0
+    for index in range(shard_index, opts.budget, payload.shard_count):
+        rng = stream(opts.seed, index)
+        test = generator.generate(rng)
+        tests_run += 1
+        for disc in harness.check(test, seed=opts.seed, index=index):
+            found.append(disc.to_dict())
+    return {"tests": tests_run, "discrepancies": found}
+
+
+# -- the driver ---------------------------------------------------------------
+
+
+def _sort_key(disc: Discrepancy):
+    return (disc.index, KINDS.index(disc.kind), disc.mutant or "", disc.detail)
+
+
+def run_campaign(options: CampaignOptions) -> CampaignReport:
+    """Run one campaign: replay, fuzz (sharded), shrink, persist."""
+    harness = DiffHarness(
+        options.model, mutants=options.mutants, minimality=options.minimality
+    )
+    corpus = Corpus(options.corpus_dir) if options.corpus_dir else None
+
+    # 1. Replay the persisted reproducers before any new fuzzing.
+    replay_confirmed = 0
+    replay_stale: list[Discrepancy] = []
+    if corpus is not None:
+        for disc in corpus.load(options.model):
+            try:
+                ok = harness.reproduces(disc)
+            except KeyError:
+                ok = False  # entry names a mutant the registry dropped
+            if ok:
+                replay_confirmed += 1
+            else:
+                replay_stale.append(disc)
+
+    # 2. Fuzz, fanned out over deterministic shards.
+    plan = plan_shards(options.jobs, options.shards)
+    payload = _ShardPayload(options, plan.count)
+    task = FanoutTask(
+        setup=_setup_worker,
+        work=_run_shard,
+        payload=payload,
+        shard_count=plan.count,
+    )
+    results = run_fanout(task, options.jobs)
+    tests_run = sum(r["tests"] for r in results)
+    merged = [
+        Discrepancy.from_dict(item)
+        for result in results
+        for item in result["discrepancies"]
+    ]
+    merged.sort(key=_sort_key)
+
+    # 3. Split stock findings from mutant kills; dedup stock by content.
+    stock_raw: list[Discrepancy] = []
+    seen: set[str] = set()
+    kills_raw: dict[str, Discrepancy] = {}
+    for disc in merged:
+        if disc.kind == "mutant":
+            assert disc.mutant is not None
+            kills_raw.setdefault(disc.mutant, disc)  # lowest index wins
+        else:
+            fp = discrepancy_fingerprint(disc)
+            if fp not in seen:
+                seen.add(fp)
+                stock_raw.append(disc)
+
+    # 4. Shrink in the parent (merged order => deterministic output).
+    stock = [shrink(harness, d) for d in stock_raw[:_MAX_SHRINKS]]
+    unshrunk = max(0, len(stock_raw) - _MAX_SHRINKS)
+    kills = {
+        tag: (shrink(harness, disc), disc.test.num_events)
+        for tag, disc in kills_raw.items()
+    }
+    surviving = tuple(t for t in options.mutants if t not in kills)
+
+    # 5. Persist the shrunken reproducers.
+    corpus_added = 0
+    if corpus is not None:
+        corpus_added = corpus.append(
+            options.model, stock + [d for d, _ in kills.values()]
+        )
+
+    return CampaignReport(
+        options=options,
+        tests_run=tests_run,
+        stock=stock,
+        kills=kills,
+        surviving=surviving,
+        replay_confirmed=replay_confirmed,
+        replay_stale=replay_stale,
+        corpus_added=corpus_added,
+        unshrunk=unshrunk,
+    )

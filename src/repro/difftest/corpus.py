@@ -1,0 +1,94 @@
+"""The JSONL reproducer corpus.
+
+Every shrunken discrepancy a campaign finds is persisted as one line of
+``<model>.jsonl`` inside the corpus directory, so future campaigns (and
+the ``DIF001`` lint) can *replay* the accumulated reproducers before
+spending budget on new random tests — a regression in either oracle gets
+caught by the first campaign that runs, not the first lucky draw.
+
+Lines are self-describing (schema version + content fingerprint) and the
+reader is tolerant: torn or corrupt lines (a killed campaign mid-append)
+and future-schema lines are skipped, never fatal.  Appends dedup against
+the fingerprints already on disk, so replayed-and-confirmed entries do
+not multiply.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+from repro.difftest.discrepancy import Discrepancy, discrepancy_fingerprint
+
+__all__ = ["CORPUS_SCHEMA", "Corpus"]
+
+CORPUS_SCHEMA = 1
+
+
+class Corpus:
+    """A directory of per-model JSONL reproducer files."""
+
+    def __init__(self, directory: str):
+        self.directory = directory
+
+    def path_for(self, model_name: str) -> str:
+        return os.path.join(self.directory, f"{model_name}.jsonl")
+
+    def models(self) -> list[str]:
+        """Model names with a corpus file present, sorted."""
+        if not os.path.isdir(self.directory):
+            return []
+        return sorted(
+            entry[: -len(".jsonl")]
+            for entry in os.listdir(self.directory)
+            if entry.endswith(".jsonl") and not entry.startswith(".")
+        )
+
+    def load(self, model_name: str) -> list[Discrepancy]:
+        """Every readable reproducer for a model, in file order."""
+        path = self.path_for(model_name)
+        if not os.path.exists(path):
+            return []
+        out: list[Discrepancy] = []
+        with open(path, encoding="utf-8") as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    item = json.loads(line)
+                except ValueError:
+                    continue  # torn line from a killed append
+                if item.get("schema") != CORPUS_SCHEMA:
+                    continue
+                try:
+                    out.append(Discrepancy.from_dict(item))
+                except (KeyError, TypeError, ValueError):
+                    continue  # foreign or hand-edited entry
+        return out
+
+    def fingerprints(self, model_name: str) -> set[str]:
+        return {
+            discrepancy_fingerprint(d) for d in self.load(model_name)
+        }
+
+    def append(self, model_name: str, discrepancies) -> int:
+        """Append new reproducers (deduped against disk); returns the
+        number actually written."""
+        fresh = []
+        seen = self.fingerprints(model_name)
+        for disc in discrepancies:
+            fp = discrepancy_fingerprint(disc)
+            if fp in seen:
+                continue
+            seen.add(fp)
+            fresh.append((fp, disc))
+        if not fresh:
+            return 0
+        os.makedirs(self.directory, exist_ok=True)
+        with open(self.path_for(model_name), "a", encoding="utf-8") as fh:
+            for fp, disc in fresh:
+                record = {"schema": CORPUS_SCHEMA, "fingerprint": fp}
+                record.update(disc.to_dict())
+                fh.write(json.dumps(record, sort_keys=True) + "\n")
+        return len(fresh)

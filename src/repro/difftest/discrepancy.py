@@ -1,0 +1,111 @@
+"""The unit of differential-testing evidence: a :class:`Discrepancy`.
+
+A discrepancy records one test on which two things that must agree did
+not.  Four kinds arise in a campaign:
+
+* ``outcome-set``  — the explicit and relational oracles computed
+  different outcome landscapes for the same test (all-outcomes,
+  model-valid, or some per-axiom set differs);
+* ``minimality``   — the two oracles disagreed on the keep/drop verdict
+  of the minimality criterion;
+* ``invariant``    — a single oracle violated an internal invariant of
+  the analysis (e.g. a model-valid outcome missing from all-outcomes);
+* ``mutant``       — an injected known-buggy model disagreed with the
+  stock semantics.  For mutants a discrepancy is the *desired* result: a
+  kill proving the harness can see the injected bug.
+
+Discrepancies serialize through the suite JSON helpers so the corpus and
+campaign reports share one wire format, and fingerprint through BLAKE2b
+(never ``hash()`` — salted per interpreter) so dedup agrees across
+processes and runs.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, replace
+
+from repro.core.suite import test_from_dict, test_to_dict
+from repro.litmus.test import LitmusTest
+
+__all__ = [
+    "KINDS",
+    "Discrepancy",
+    "discrepancy_fingerprint",
+]
+
+KINDS = ("outcome-set", "minimality", "invariant", "mutant")
+
+
+@dataclass(frozen=True)
+class Discrepancy:
+    """One observed disagreement, tied to the campaign draw that hit it."""
+
+    kind: str
+    model: str
+    test: LitmusTest
+    detail: str
+    #: mutant tag when kind == "mutant", else None
+    mutant: str | None = None
+    #: campaign seed and test index that produced the original test
+    seed: int = 0
+    index: int = 0
+
+    def __post_init__(self) -> None:
+        if self.kind not in KINDS:
+            raise ValueError(
+                f"unknown discrepancy kind {self.kind!r}; one of {KINDS}"
+            )
+        if (self.kind == "mutant") != (self.mutant is not None):
+            raise ValueError(
+                "mutant discrepancies carry a tag; others must not"
+            )
+
+    def with_test(self, test: LitmusTest, detail: str | None = None) -> Discrepancy:
+        """Copy bound to a (typically shrunken) test."""
+        return replace(
+            self, test=test, detail=self.detail if detail is None else detail
+        )
+
+    # -- serialization -------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": self.kind,
+            "model": self.model,
+            "mutant": self.mutant,
+            "seed": self.seed,
+            "index": self.index,
+            "detail": self.detail,
+            "test": test_to_dict(self.test),
+        }
+
+    @classmethod
+    def from_dict(cls, item: dict) -> Discrepancy:
+        return cls(
+            kind=item["kind"],
+            model=item["model"],
+            test=test_from_dict(item["test"]),
+            detail=item.get("detail", ""),
+            mutant=item.get("mutant"),
+            seed=item.get("seed", 0),
+            index=item.get("index", 0),
+        )
+
+
+def discrepancy_fingerprint(disc: Discrepancy) -> str:
+    """Content digest for corpus dedup: what disagreed, on which test.
+
+    The detail string stays out — re-running a reproducer may phrase the
+    same disagreement slightly differently (set orderings), and seed and
+    index are provenance, not identity.
+    """
+    payload = repr(
+        (
+            disc.kind,
+            disc.model,
+            disc.mutant,
+            test_to_dict(disc.test),
+        )
+    )
+    return hashlib.blake2b(payload.encode(), digest_size=12).hexdigest()

@@ -1,0 +1,244 @@
+"""Seeded random litmus test generation.
+
+The generator samples the *same* design space the exhaustive enumerator
+walks — instruction slots from :func:`repro.core.enumerator.slot_choices`
+over a model's vocabulary, rmw/dependency overlays from the same
+candidate functions — but draws uniformly instead of exhaustively, so a
+campaign of a few hundred tests touches shapes a bounded enumeration at
+the same size budget would visit in a fixed prefix order.
+
+Generated tests respect the enumerator's structural invariants (no
+boundary fences, canonical address numbering, every address communicates)
+by rejection sampling with a deterministic fallback, so every draw
+yields a well-formed :class:`~repro.litmus.test.LitmusTest`.  All
+randomness comes from the caller's :class:`random.Random` stream; the
+generator holds no state between calls, which is what lets campaign
+shards generate test ``i`` identically regardless of which shard runs it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.enumerator import (
+    EnumerationConfig,
+    dep_candidates,
+    rmw_candidates,
+    slot_choices,
+)
+from repro.litmus.events import DepKind, Instruction
+from repro.litmus.test import Dep, LitmusTest
+from repro.models.base import Vocabulary
+
+__all__ = ["GeneratorConfig", "TestGenerator"]
+
+#: rejection-sampling budget before falling back to the fixed shape
+_MAX_ATTEMPTS = 64
+
+
+@dataclass(frozen=True)
+class GeneratorConfig:
+    """Bounds on randomly generated tests (mirrors EnumerationConfig)."""
+
+    max_events: int = 4
+    min_events: int = 2
+    max_threads: int = 3
+    max_addresses: int = 2
+    max_deps: int = 1
+    max_rmws: int = 1
+
+    def __post_init__(self) -> None:
+        if self.min_events < 2:
+            raise ValueError("a differential test needs >= 2 events")
+        if self.max_events < self.min_events:
+            raise ValueError("max_events must be >= min_events")
+        if self.max_threads < 1 or self.max_addresses < 1:
+            raise ValueError("need at least one thread and one address")
+
+
+class TestGenerator:
+    """Draws well-formed random litmus tests over a model vocabulary."""
+
+    __test__ = False  # not a pytest test class despite the name
+
+    def __init__(self, vocab: Vocabulary, config: GeneratorConfig | None = None):
+        self.vocab = vocab
+        self.config = config if config is not None else GeneratorConfig()
+        enum_config = EnumerationConfig(
+            max_events=self.config.max_events,
+            max_threads=self.config.max_threads,
+            max_addresses=self.config.max_addresses,
+            max_deps=self.config.max_deps,
+            max_rmws=self.config.max_rmws,
+            min_events=self.config.min_events,
+        )
+        self._choices = slot_choices(vocab, enum_config)
+
+    # -- sampling ------------------------------------------------------------
+
+    def generate(self, rng) -> LitmusTest:
+        """One random test; falls back to a fixed message-passing shape
+        when rejection sampling exhausts its budget (pathological
+        configs only — the campaign stays total either way)."""
+        for _ in range(_MAX_ATTEMPTS):
+            test = self._attempt(rng)
+            if test is not None:
+                return test
+        return self._fallback()
+
+    def _attempt(self, rng) -> LitmusTest | None:
+        config = self.config
+        n = rng.randint(config.min_events, config.max_events)
+        threads = self._sample_threads(rng, n)
+        if threads is None:
+            return None
+        threads = _canonical_addresses(threads)
+        if not _communicates(threads):
+            return None
+        rmw = self._sample_rmw(rng, threads)
+        deps = self._sample_deps(rng, threads, rmw)
+        scopes = self._sample_scopes(rng, len(threads))
+        return LitmusTest(threads, frozenset(rmw), frozenset(deps), scopes)
+
+    def _sample_threads(
+        self, rng, n: int
+    ) -> tuple[tuple[Instruction, ...], ...] | None:
+        num_threads = rng.randint(1, min(self.config.max_threads, n))
+        cuts = sorted(rng.sample(range(1, n), num_threads - 1))
+        sizes = [
+            b - a for a, b in zip([0] + cuts, cuts + [n])
+        ]
+        threads = []
+        for size in sizes:
+            seq = tuple(rng.choice(self._choices) for _ in range(size))
+            if seq[0].is_fence or seq[-1].is_fence:
+                return None  # boundary fence: reject, like the enumerator
+            threads.append(seq)
+        return tuple(threads)
+
+    def _sample_rmw(
+        self, rng, threads: tuple[tuple[Instruction, ...], ...]
+    ) -> set[tuple[int, int]]:
+        if not self.vocab.allows_rmw or not self.config.max_rmws:
+            return set()
+        candidates = []
+        offset = 0
+        for seq in threads:
+            for a, b in rmw_candidates(seq):
+                candidates.append((offset + a, offset + b))
+            offset += len(seq)
+        chosen: set[tuple[int, int]] = set()
+        used: set[int] = set()
+        for pair in candidates:
+            if len(chosen) >= self.config.max_rmws:
+                break
+            if pair[0] in used or pair[1] in used:
+                continue
+            if rng.random() < 0.5:
+                chosen.add(pair)
+                used.update(pair)
+        return chosen
+
+    def _sample_deps(
+        self,
+        rng,
+        threads: tuple[tuple[Instruction, ...], ...],
+        rmw: set[tuple[int, int]],
+    ) -> set[Dep]:
+        if not self.vocab.has_deps or not self.config.max_deps:
+            return set()
+        candidates = []
+        offset = 0
+        for seq in threads:
+            for s, d, kind in dep_candidates(seq, self.vocab):
+                candidates.append((offset + s, offset + d, kind))
+            offset += len(seq)
+        chosen: set[Dep] = set()
+        edges: set[tuple[int, int]] = set()
+        for s, d, kind in candidates:
+            if len(chosen) >= self.config.max_deps:
+                break
+            if (s, d) in edges:
+                continue  # one dependency kind per edge
+            if kind is DepKind.DATA and (s, d) in rmw:
+                continue  # a data dep duplicating an rmw adds nothing
+            if rng.random() < 0.3:
+                chosen.add(Dep(s, d, kind))
+                edges.add((s, d))
+        return chosen
+
+    def _sample_scopes(self, rng, num_threads: int) -> tuple[int, ...] | None:
+        if not self.vocab.has_scopes:
+            return None
+        # Restricted-growth assignment: thread 0 opens group 0, each
+        # later thread joins an existing group or opens the next one —
+        # the same canonical form the enumerator emits.
+        scopes = [0]
+        max_used = 0
+        for _ in range(1, num_threads):
+            g = rng.randint(0, max_used + 1)
+            scopes.append(g)
+            max_used = max(max_used, g)
+        return tuple(scopes)
+
+    def _fallback(self) -> LitmusTest:
+        """A fixed store-buffering shape in the vocabulary's weakest
+        orders — always well-formed for any vocabulary."""
+        from repro.litmus.events import read, write
+
+        ro = self.vocab.read_orders[0]
+        wo = self.vocab.write_orders[0]
+        threads = (
+            (write(0, order=wo), read(1, ro)),
+            (write(1, order=wo), read(0, ro)),
+        )
+        scopes = (0, 0) if self.vocab.has_scopes else None
+        return LitmusTest(threads, frozenset(), frozenset(), scopes)
+
+
+# -- structural helpers (enumerator invariants) -------------------------------
+
+
+def _canonical_addresses(
+    threads: tuple[tuple[Instruction, ...], ...]
+) -> tuple[tuple[Instruction, ...], ...]:
+    """Renumber addresses to first-appearance order (0, 1, ...)."""
+    mapping: dict[int, int] = {}
+    for seq in threads:
+        for inst in seq:
+            if inst.address is not None and inst.address not in mapping:
+                mapping[inst.address] = len(mapping)
+    out = []
+    for seq in threads:
+        out.append(
+            tuple(
+                inst
+                if inst.address is None
+                else Instruction(
+                    inst.kind,
+                    mapping[inst.address],
+                    inst.order,
+                    inst.fence,
+                    inst.value,
+                    inst.scope,
+                )
+                for inst in seq
+            )
+        )
+    return tuple(out)
+
+
+def _communicates(threads: tuple[tuple[Instruction, ...], ...]) -> bool:
+    """Every address has >= 2 accessors, at least one of them a write."""
+    accesses: dict[int, int] = {}
+    writes: dict[int, int] = {}
+    for seq in threads:
+        for inst in seq:
+            if inst.address is None:
+                continue
+            accesses[inst.address] = accesses.get(inst.address, 0) + 1
+            if inst.is_write:
+                writes[inst.address] = writes.get(inst.address, 0) + 1
+    return bool(accesses) and all(
+        accesses[a] >= 2 and writes.get(a, 0) >= 1 for a in accesses
+    )

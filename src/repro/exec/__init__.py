@@ -19,6 +19,7 @@ Modules:
 * :mod:`repro.exec.merge`      — order-restoring deterministic merge
 * :mod:`repro.exec.checkpoint` — JSONL shard store with run fingerprint
 * :mod:`repro.exec.runtime`    — the pool driver tying it together
+* :mod:`repro.exec.fanout`     — generic deterministic shard fan-out
 """
 
 from repro.exec.checkpoint import (
@@ -27,6 +28,7 @@ from repro.exec.checkpoint import (
     run_fingerprint,
     saved_shard_count,
 )
+from repro.exec.fanout import FanoutTask, run_fanout
 from repro.exec.merge import merge_shards
 from repro.exec.runtime import run_sharded
 from repro.exec.sharding import DEFAULT_SHARDS_PER_JOB, ShardPlan, plan_shards
@@ -37,6 +39,8 @@ __all__ = [
     "CheckpointStore",
     "run_fingerprint",
     "saved_shard_count",
+    "FanoutTask",
+    "run_fanout",
     "merge_shards",
     "run_sharded",
     "DEFAULT_SHARDS_PER_JOB",

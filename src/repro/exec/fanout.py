@@ -1,0 +1,91 @@
+"""Generic deterministic shard fan-out.
+
+:mod:`repro.exec.runtime` hard-wires the synthesis pipeline into its
+worker pool.  Other shardable workloads (the differential-testing
+campaigns of :mod:`repro.difftest`) need the same machinery — build
+per-process state once via a pool initializer, ship only shard indices
+across the pipe, restore a deterministic order afterwards — without the
+synthesis-specific payload.  This module factors that shape out.
+
+A :class:`FanoutTask` names two module-level functions (picklable by
+reference under both fork and spawn start methods):
+
+* ``setup(payload) -> state`` — runs once per worker process;
+* ``work(state, shard_index) -> result`` — runs once per shard.
+
+:func:`run_fanout` executes every shard and returns the results ordered
+by shard index, so the caller's merge is independent of pool scheduling.
+``jobs=1`` runs in-process with no pool at all — the two paths produce
+identical results, which is what lets callers promise ``--jobs N``
+output is byte-identical to sequential.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass
+from typing import Any
+
+__all__ = ["FanoutTask", "run_fanout"]
+
+
+@dataclass(frozen=True)
+class FanoutTask:
+    """A shardable workload: per-process setup plus per-shard work.
+
+    ``setup`` and ``work`` must be module-level functions and ``payload``
+    picklable, so the task crosses process boundaries intact.
+    """
+
+    setup: Callable[[Any], Any]
+    work: Callable[[Any, int], Any]
+    payload: Any
+    shard_count: int
+
+    def __post_init__(self) -> None:
+        if self.shard_count < 1:
+            raise ValueError(
+                f"shard count must be >= 1, got {self.shard_count}"
+            )
+
+
+def run_fanout(task: FanoutTask, jobs: int = 1) -> list[Any]:
+    """Run every shard of ``task`` over ``jobs`` workers.
+
+    Returns one result per shard, ordered by shard index regardless of
+    completion order.
+    """
+    if jobs < 1:
+        raise ValueError(f"jobs must be >= 1, got {jobs}")
+    if jobs == 1:
+        state = task.setup(task.payload)
+        return [task.work(state, i) for i in range(task.shard_count)]
+    import multiprocessing as mp
+
+    with mp.Pool(
+        processes=min(jobs, task.shard_count),
+        initializer=_init_worker,
+        initargs=(task,),
+    ) as pool:
+        indexed = list(
+            pool.imap_unordered(_run_shard, range(task.shard_count))
+        )
+    indexed.sort(key=lambda pair: pair[0])
+    return [result for _, result in indexed]
+
+
+# -- pool plumbing (mirrors repro.exec.worker) --------------------------------
+
+_TASK: FanoutTask | None = None
+_STATE: Any = None
+
+
+def _init_worker(task: FanoutTask) -> None:
+    global _TASK, _STATE
+    _TASK = task
+    _STATE = task.setup(task.payload)
+
+
+def _run_shard(shard_index: int) -> tuple[int, Any]:
+    assert _TASK is not None, "fanout pool was started without _init_worker"
+    return shard_index, _TASK.work(_STATE, shard_index)

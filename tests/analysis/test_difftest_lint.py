@@ -1,0 +1,81 @@
+"""DIF001/DIF002: corpus staleness and mutant-tag config lints."""
+
+from repro.analysis import (
+    Severity,
+    lint_corpus,
+    lint_mutant_registry,
+    lint_mutant_tags,
+)
+from repro.difftest.campaign import CampaignOptions, run_campaign
+from repro.difftest.corpus import Corpus
+from repro.difftest.discrepancy import Discrepancy
+from repro.litmus.catalog import CATALOG
+
+
+class TestLintCorpus:
+    def test_clean_corpus(self, tmp_path):
+        corpus_dir = str(tmp_path / "corpus")
+        report = run_campaign(
+            CampaignOptions(
+                model="sc",
+                seed=17,
+                budget=30,
+                mutants=("drop:sequential_consistency",),
+                corpus_dir=corpus_dir,
+            )
+        )
+        assert report.corpus_added >= 1
+        assert lint_corpus(corpus_dir) == []
+
+    def test_missing_directory_is_clean(self, tmp_path):
+        assert lint_corpus(str(tmp_path / "never")) == []
+
+    def test_stale_entry_flagged(self, tmp_path):
+        corpus_dir = str(tmp_path / "corpus")
+        ghost = Discrepancy(
+            "outcome-set", "sc", CATALOG["MP"].test, "fabricated"
+        )
+        Corpus(corpus_dir).append("sc", [ghost])
+        findings = lint_corpus(corpus_dir)
+        assert [d.id for d in findings] == ["DIF001"]
+        assert findings[0].severity is Severity.WARNING
+        assert "no longer reproduces" in findings[0].message
+
+    def test_unknown_mutant_entry_flagged(self, tmp_path):
+        corpus_dir = str(tmp_path / "corpus")
+        ghost = Discrepancy(
+            "mutant", "tso", CATALOG["CoRW"].test, "gone",
+            mutant="drop:removed_axiom",
+        )
+        Corpus(corpus_dir).append("tso", [ghost])
+        findings = lint_corpus(corpus_dir)
+        assert [d.id for d in findings] == ["DIF002"]
+        assert findings[0].severity is Severity.ERROR
+
+    def test_unregistered_model_file_flagged(self, tmp_path):
+        corpus_dir = str(tmp_path / "corpus")
+        ghost = Discrepancy("outcome-set", "sc", CATALOG["MP"].test, "x")
+        Corpus(corpus_dir).append("not_a_model", [ghost])
+        findings = lint_corpus(corpus_dir)
+        assert [d.id for d in findings] == ["DIF001"]
+        assert "unregistered model" in findings[0].message
+
+
+class TestLintMutantTags:
+    def test_known_tags_clean(self):
+        assert lint_mutant_tags("tso", ("drop:sc_per_loc", "empty:fr")) == []
+
+    def test_unknown_tag_flagged(self):
+        findings = lint_mutant_tags("tso", ("drop:sc_per_loc", "bogus:x"))
+        assert [d.id for d in findings] == ["DIF002"]
+        assert findings[0].severity is Severity.ERROR
+        assert "bogus:x" in findings[0].message
+
+    def test_unknown_model_flagged(self):
+        findings = lint_mutant_tags("not_a_model", ())
+        assert [d.id for d in findings] == ["DIF002"]
+
+
+class TestMutantRegistrySelfCheck:
+    def test_shipped_registry_is_clean(self):
+        assert lint_mutant_registry().diagnostics == []

@@ -1,0 +1,68 @@
+"""JSONL reproducer corpus: round-trips, dedup, torn-line tolerance."""
+
+import json
+
+from repro.difftest.corpus import CORPUS_SCHEMA, Corpus
+from repro.difftest.discrepancy import Discrepancy, discrepancy_fingerprint
+from repro.litmus.catalog import CATALOG
+
+
+def _disc(name="CoRW", kind="mutant", mutant="drop:sc_per_loc"):
+    return Discrepancy(
+        kind, "tso", CATALOG[name].test, "detail", mutant=mutant
+    )
+
+
+class TestCorpus:
+    def test_roundtrip(self, tmp_path):
+        corpus = Corpus(str(tmp_path / "c"))
+        disc = _disc()
+        assert corpus.append("tso", [disc]) == 1
+        assert corpus.load("tso") == [disc]
+        assert corpus.models() == ["tso"]
+
+    def test_append_dedups_against_disk(self, tmp_path):
+        corpus = Corpus(str(tmp_path / "c"))
+        disc = _disc()
+        assert corpus.append("tso", [disc]) == 1
+        assert corpus.append("tso", [disc]) == 0
+        # same content, different provenance: still a duplicate
+        relabelled = Discrepancy(
+            disc.kind, disc.model, disc.test, "other words",
+            mutant=disc.mutant, seed=9, index=4,
+        )
+        assert corpus.append("tso", [relabelled]) == 0
+        assert len(corpus.load("tso")) == 1
+
+    def test_distinct_entries_accumulate(self, tmp_path):
+        corpus = Corpus(str(tmp_path / "c"))
+        a = _disc("CoRW")
+        b = _disc("MP")
+        c = _disc("CoRW", kind="outcome-set", mutant=None)
+        assert corpus.append("tso", [a, b, c]) == 3
+        assert corpus.fingerprints("tso") == {
+            discrepancy_fingerprint(d) for d in (a, b, c)
+        }
+
+    def test_reader_tolerates_garbage(self, tmp_path):
+        corpus = Corpus(str(tmp_path / "c"))
+        corpus.append("tso", [_disc()])
+        path = corpus.path_for("tso")
+        with open(path, "a") as fh:
+            fh.write("{torn li")  # no trailing newline: a killed append
+        with open(path) as fh:
+            good_line = fh.readline()
+        with open(path, "a") as fh:
+            fh.write("\n\n")
+            fh.write(json.dumps({"schema": 999, "kind": "mutant"}) + "\n")
+            fh.write(json.dumps({"schema": CORPUS_SCHEMA, "x": 1}) + "\n")
+            fh.write(good_line)  # duplicate of the valid entry
+        assert len(corpus.load("tso")) == 2
+        assert len(corpus.fingerprints("tso")) == 1
+
+    def test_missing_directory_and_model(self, tmp_path):
+        corpus = Corpus(str(tmp_path / "never_created"))
+        assert corpus.models() == []
+        assert corpus.load("tso") == []
+        assert corpus.fingerprints("tso") == set()
+        assert corpus.append("tso", []) == 0

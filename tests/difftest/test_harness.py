@@ -1,0 +1,86 @@
+"""DiffHarness: the four differential checks."""
+
+import pytest
+
+from repro.difftest.discrepancy import Discrepancy
+from repro.difftest.generator import GeneratorConfig, TestGenerator
+from repro.difftest.harness import DiffHarness
+from repro.difftest.rng import stream
+from repro.litmus.catalog import CATALOG
+from repro.models.registry import get_model
+
+
+@pytest.fixture(scope="module")
+def tso_harness():
+    return DiffHarness("tso", mutants=("drop:sc_per_loc",))
+
+
+class TestStockAgreement:
+    @pytest.mark.parametrize("name", ["MP", "SB", "LB", "CoRW", "CoWR"])
+    def test_catalog_tests_clean(self, tso_harness, name):
+        """The two oracles and the criterion agree on the catalog; only
+        the (desired) mutant kill may fire."""
+        found = tso_harness.check(CATALOG[name].test)
+        assert all(d.kind == "mutant" for d in found), found
+
+    def test_random_tests_clean(self, tso_harness):
+        gen = TestGenerator(
+            tso_harness.model.vocabulary, GeneratorConfig()
+        )
+        for i in range(25):
+            test = gen.generate(stream(4, i))
+            stock = [
+                d for d in tso_harness.check(test) if d.kind != "mutant"
+            ]
+            assert not stock, (test, stock)
+
+    def test_power_runs_without_relational_oracle(self):
+        """Power has no Alloy encoding: the harness degrades to the
+        invariant + mutant checks instead of raising."""
+        harness = DiffHarness("power", mutants=("empty:fr",))
+        assert harness.relational is None
+        found = harness.check(CATALOG["MP+syncs"].test)
+        assert all(d.kind == "mutant" for d in found)
+
+
+class TestMutantKills:
+    def test_corw_kills_the_sc_per_loc_drop(self, tso_harness):
+        found = tso_harness.check(CATALOG["CoRW"].test, seed=9, index=3)
+        kills = [d for d in found if d.kind == "mutant"]
+        assert len(kills) == 1
+        kill = kills[0]
+        assert kill.mutant == "drop:sc_per_loc"
+        assert kill.seed == 9 and kill.index == 3
+        assert "stock=" in kill.detail and "mutant=" in kill.detail
+
+    def test_reproduces_roundtrip(self, tso_harness):
+        kill = tso_harness.check(CATALOG["CoRW"].test)[0]
+        assert tso_harness.reproduces(kill)
+        # an unrelated test does not exhibit the same kill
+        assert not tso_harness.reproduces(kill, CATALOG["MP"].test)
+
+    def test_findings_like_lazily_builds_mutant_oracles(self):
+        harness = DiffHarness("tso")  # no mutants configured
+        donor = DiffHarness("tso", mutants=("drop:sc_per_loc",))
+        kill = donor.check(CATALOG["CoRW"].test)[0]
+        assert harness.reproduces(kill)
+
+    def test_findings_like_unknown_mutant_raises(self, tso_harness):
+        ghost = Discrepancy(
+            "mutant",
+            "tso",
+            CATALOG["CoRW"].test,
+            "stale",
+            mutant="drop:gone_axiom",
+        )
+        with pytest.raises(KeyError):
+            tso_harness.findings_like(ghost)
+
+
+class TestDeterminism:
+    def test_detail_strings_stable(self, tso_harness):
+        a = tso_harness.check(CATALOG["CoRW"].test)
+        b = DiffHarness("tso", mutants=("drop:sc_per_loc",)).check(
+            CATALOG["CoRW"].test
+        )
+        assert [d.detail for d in a] == [d.detail for d in b]

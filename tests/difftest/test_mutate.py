@@ -1,0 +1,93 @@
+"""Model mutation: tagged known-buggy variants of the stock models."""
+
+import pytest
+
+from repro.core.oracle import ExplicitOracle
+from repro.difftest.mutate import (
+    MutantModel,
+    model_fingerprint,
+    mutant_tags,
+    resolve_mutant,
+)
+from repro.litmus.catalog import CATALOG
+from repro.models.registry import available_models, get_model
+
+
+class TestRegistry:
+    def test_tags_cover_every_axiom(self):
+        model = get_model("tso")
+        tags = mutant_tags(model)
+        for axiom in model.axiom_names():
+            assert f"drop:{axiom}" in tags
+        assert "empty:fr" in tags
+
+    def test_tags_sorted_and_stable(self):
+        model = get_model("sc")
+        assert mutant_tags(model) == mutant_tags(model)
+        drops = [t for t in mutant_tags(model) if t.startswith("drop:")]
+        assert drops == sorted(drops)
+
+    def test_resolve_unknown_tag(self):
+        model = get_model("tso")
+        with pytest.raises(KeyError):
+            resolve_mutant(model, "drop:no_such_axiom")
+        with pytest.raises(KeyError):
+            resolve_mutant(model, "bogus:fr")
+
+    @pytest.mark.parametrize("model_name", available_models())
+    def test_every_tag_resolves(self, model_name):
+        model = get_model(model_name)
+        for tag in mutant_tags(model):
+            mutant = resolve_mutant(model, tag)
+            assert isinstance(mutant, MutantModel)
+            assert mutant.tag == tag
+            assert mutant.vocabulary == model.vocabulary
+
+
+class TestSemantics:
+    def test_drop_axiom_removes_it(self):
+        model = get_model("tso")
+        mutant = resolve_mutant(model, "drop:sc_per_loc")
+        assert "sc_per_loc" not in mutant.axiom_names()
+        assert set(mutant.axiom_names()) == (
+            set(model.axiom_names()) - {"sc_per_loc"}
+        )
+
+    def test_dropped_axiom_weakens_the_model(self):
+        """CoRW is forbidden by TSO's sc_per_loc alone, so the drop
+        mutant must admit strictly more outcomes on it."""
+        test = CATALOG["CoRW"].test
+        stock = ExplicitOracle(get_model("tso")).analyze(test)
+        mutated = ExplicitOracle(
+            resolve_mutant(get_model("tso"), "drop:sc_per_loc")
+        ).analyze(test)
+        assert stock.model_valid < mutated.model_valid
+        assert stock.all_outcomes == mutated.all_outcomes
+
+    def test_empty_fr_weakens_the_model(self):
+        """With fr emptied, reading stale values stops being ordered
+        against later writes — CoRR-style forbidden outcomes appear."""
+        test = CATALOG["CoRR"].test
+        stock = ExplicitOracle(get_model("sc")).analyze(test)
+        mutated = ExplicitOracle(
+            resolve_mutant(get_model("sc"), "empty:fr")
+        ).analyze(test)
+        assert stock.model_valid < mutated.model_valid
+
+
+class TestFingerprints:
+    @pytest.mark.parametrize("model_name", available_models())
+    def test_mutants_distinguishable_from_stock(self, model_name):
+        model = get_model(model_name)
+        stock = model_fingerprint(model)
+        for tag in mutant_tags(model):
+            mutant = resolve_mutant(model, tag)
+            assert model_fingerprint(mutant, tag) != stock
+            # the default tag argument picks the mutant's own tag up
+            assert model_fingerprint(mutant) == model_fingerprint(mutant, tag)
+
+    def test_fingerprint_stable(self):
+        model = get_model("tso")
+        assert model_fingerprint(model) == model_fingerprint(
+            get_model("tso")
+        )

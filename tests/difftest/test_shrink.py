@@ -1,0 +1,68 @@
+"""Greedy reproducer minimization."""
+
+import pytest
+
+from repro.difftest.harness import DiffHarness
+from repro.difftest.shrink import shrink
+from repro.litmus.catalog import CATALOG
+from repro.litmus.events import read, write
+from repro.litmus.test import LitmusTest
+
+
+@pytest.fixture(scope="module")
+def harness():
+    return DiffHarness("tso", mutants=("drop:sc_per_loc",))
+
+
+def _kill(harness, test):
+    kills = [d for d in harness.check(test) if d.kind == "mutant"]
+    assert kills, "test must kill the mutant"
+    return kills[0]
+
+
+class TestShrink:
+    def test_never_grows(self, harness):
+        disc = _kill(harness, CATALOG["CoRW"].test)
+        shrunk = shrink(harness, disc)
+        assert shrunk.test.num_events <= disc.test.num_events
+        assert harness.reproduces(shrunk, shrunk.test)
+
+    def test_strips_irrelevant_structure(self, harness):
+        """A CoRW core padded with an unrelated thread shrinks back down
+        to (at most) the core's size."""
+        core = CATALOG["CoRW"].test
+        padded = LitmusTest(
+            core.threads + ((write(1, 7), read(1)),),
+            rmw=core.rmw,
+            deps=core.deps,
+        )
+        disc = _kill(harness, padded)
+        shrunk = shrink(harness, disc)
+        assert shrunk.test.num_events <= core.num_events
+        assert harness.reproduces(shrunk, shrunk.test)
+
+    def test_preserves_provenance(self, harness):
+        disc = _kill(harness, CATALOG["CoRW"].test)
+        disc = disc.__class__(**{**disc.__dict__, "seed": 5, "index": 11})
+        shrunk = shrink(harness, disc)
+        assert shrunk.kind == "mutant"
+        assert shrunk.mutant == "drop:sc_per_loc"
+        assert shrunk.seed == 5 and shrunk.index == 11
+
+    def test_deterministic(self, harness):
+        core = CATALOG["CoRW"].test
+        padded = LitmusTest(
+            core.threads + ((write(1, 7), read(1)),),
+            rmw=core.rmw,
+            deps=core.deps,
+        )
+        disc = _kill(harness, padded)
+        a = shrink(harness, disc)
+        b = shrink(harness, disc)
+        assert a == b
+
+    def test_shrinking_reaches_a_fixpoint(self, harness):
+        """Re-shrinking an already-shrunk reproducer changes nothing."""
+        shrunk = shrink(harness, _kill(harness, CATALOG["CoRW"].test))
+        again = shrink(harness, shrunk)
+        assert again.test == shrunk.test

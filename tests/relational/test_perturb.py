@@ -2,12 +2,12 @@
 
 import pytest
 
-from repro.alloy.perturb import Fig5cEncoding
+from repro.alloy.perturb import _AXIOMS, Fig5cEncoding
 from repro.core.minimality import CriterionMode, MinimalityChecker
 from repro.litmus.catalog import CATALOG
 from repro.litmus.events import read, write
 from repro.litmus.test import LitmusTest
-from repro.models.registry import get_model
+from repro.models.registry import available_models, get_model
 
 
 class TestFig5cEncoding:
@@ -88,3 +88,46 @@ class TestFig5cEncoding:
     def test_unknown_model(self):
         with pytest.raises(KeyError):
             Fig5cEncoding(CATALOG["MP"].test, "power")
+
+
+class TestPerturbationGrid:
+    """Every registered model either supports the Fig. 5c perturbations
+    or is skipped with a clean KeyError — never a half-built encoding."""
+
+    @pytest.mark.parametrize("model_name", available_models())
+    def test_applicable_or_skipped(self, model_name):
+        test = CATALOG["MP"].test
+        if model_name not in _AXIOMS:
+            with pytest.raises(KeyError):
+                Fig5cEncoding(test, model_name)
+            return
+        enc = Fig5cEncoding(test, model_name)
+        apps = enc.applications()
+        assert apps, "MP always admits RI perturbations"
+        for p in apps:
+            # every application yields a complete perturbed view whose
+            # derived relations build without error
+            assert p.fr is not None
+            assert p.po_loc is not None
+        assert isinstance(enc.is_minimal(), bool)
+
+    @pytest.mark.parametrize("model_name", available_models())
+    def test_mutant_fingerprints_differ_from_stock(self, model_name):
+        from repro.difftest.mutate import (
+            model_fingerprint,
+            mutant_tags,
+            resolve_mutant,
+        )
+
+        model = get_model(model_name)
+        stock = model_fingerprint(model)
+        tags = mutant_tags(model)
+        assert tags, "every model must advertise at least one mutant"
+        fingerprints = {stock}
+        for tag in tags:
+            mutant = resolve_mutant(model, tag)
+            fp = model_fingerprint(mutant, tag)
+            assert fp != stock, tag
+            fingerprints.add(fp)
+        # distinct tags are pairwise distinguishable, too
+        assert len(fingerprints) == len(tags) + 1

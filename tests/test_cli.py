@@ -203,3 +203,199 @@ class TestCLILint:
             ]
         )
         assert code == 0
+
+
+class TestCLIDifftest:
+    def test_clean_campaign_exit_0(self, capsys):
+        code = main(
+            [
+                "difftest",
+                "--model",
+                "sc",
+                "--seed",
+                "17",
+                "--budget",
+                "25",
+                "--mutants",
+                "drop:sequential_consistency",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "KILLED" in out and "verdict: CLEAN" in out
+
+    def test_json_report_deterministic_across_jobs(self, capsys):
+        argv = [
+            "difftest",
+            "--model",
+            "tso",
+            "--seed",
+            "8",
+            "--budget",
+            "25",
+            "--mutants",
+            "drop:sc_per_loc",
+            "--json",
+        ]
+        assert main(argv) == 0
+        sequential = capsys.readouterr().out
+        assert main([*argv, "--jobs", "4"]) == 0
+        assert capsys.readouterr().out == sequential
+        import json
+
+        doc = json.loads(sequential)
+        assert doc["clean"] is True
+        assert doc["mutant_kills"]["drop:sc_per_loc"]["events"] <= (
+            doc["mutant_kills"]["drop:sc_per_loc"]["original_events"]
+        )
+
+    def test_list_mutants(self, capsys):
+        assert main(["difftest", "--model", "tso", "--list-mutants"]) == 0
+        out = capsys.readouterr().out
+        assert "drop:sc_per_loc" in out and "empty:fr" in out
+
+    def test_unknown_mutant_exit_2(self, capsys):
+        code = main(
+            ["difftest", "--model", "tso", "--mutants", "bogus:tag"]
+        )
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "DIF002" in err and "bogus:tag" in err
+
+    def test_surviving_mutant_exit_1(self, capsys):
+        """With budget 0 no test can kill the mutant: verdict FAILED."""
+        code = main(
+            [
+                "difftest",
+                "--model",
+                "sc",
+                "--budget",
+                "0",
+                "--mutants",
+                "drop:sequential_consistency",
+            ]
+        )
+        assert code == 1
+        assert "SURVIVED" in capsys.readouterr().out
+
+    def test_corpus_roundtrip_and_lint(self, capsys, tmp_path):
+        corpus_dir = str(tmp_path / "corpus")
+        argv = [
+            "difftest",
+            "--model",
+            "sc",
+            "--seed",
+            "17",
+            "--budget",
+            "25",
+            "--mutants",
+            "drop:sequential_consistency",
+            "--corpus-dir",
+            corpus_dir,
+        ]
+        assert main(argv) == 0
+        assert "corpus" not in capsys.readouterr().err
+        assert main(argv) == 0
+        assert "replay: 1 confirmed, 0 stale" in capsys.readouterr().out
+        assert main(["lint", "--corpus-dir", corpus_dir]) == 0
+
+
+class TestCLICompareExtended:
+    def test_compare_json(self, capsys):
+        import json
+
+        code = main(
+            [
+                "compare",
+                "--model",
+                "tso",
+                "--bound",
+                "3",
+                "--max-addresses",
+                "1",
+                "--json",
+            ]
+        )
+        assert code == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["model"] == "tso"
+        assert set(doc) == {
+            "schema_version",
+            "model",
+            "both",
+            "reference_only",
+            "synthesized_only",
+            "fully_subsumed",
+        }
+
+    def test_compare_saved_suite(self, capsys, tmp_path):
+        suite_path = tmp_path / "suite.json"
+        assert (
+            main(
+                [
+                    "synthesize",
+                    "--model",
+                    "tso",
+                    "--bound",
+                    "3",
+                    "--max-addresses",
+                    "1",
+                    "--out",
+                    str(suite_path),
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        code = main(
+            ["compare", "--model", "tso", "--suite", str(suite_path)]
+        )
+        assert code == 0
+        assert "REF-ONLY" in capsys.readouterr().out
+
+    def test_compare_suite_as_reference(self, capsys, tmp_path):
+        suite_path = tmp_path / "suite.json"
+        main(
+            [
+                "synthesize",
+                "--model",
+                "tso",
+                "--bound",
+                "3",
+                "--max-addresses",
+                "1",
+                "--out",
+                str(suite_path),
+            ]
+        )
+        capsys.readouterr()
+        code = main(
+            [
+                "compare",
+                "--model",
+                "tso",
+                "--suite",
+                str(suite_path),
+                "--reference",
+                str(suite_path),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "REF-ONLY" not in out  # a suite always subsumes itself
+
+    def test_compare_missing_suite_file(self, capsys):
+        code = main(
+            ["compare", "--model", "tso", "--suite", "/nonexistent.json"]
+        )
+        assert code == 2
+        assert "cannot read" in capsys.readouterr().err
+
+    def test_compare_bad_reference_file(self, capsys, tmp_path):
+        path = tmp_path / "notasuite.json"
+        path.write_text("{\"hello\": 1}")
+        code = main(
+            ["compare", "--model", "tso", "--reference", str(path)]
+        )
+        assert code == 2
+        assert "not a suite JSON" in capsys.readouterr().err
