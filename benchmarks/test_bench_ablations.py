@@ -180,10 +180,12 @@ class TestIncrementalOracle:
 
         from repro.bench import oracle_workload_report
 
-        result = run_once(benchmark, lambda: oracle_workload_report("tso", 4))
+        envelope = run_once(benchmark, lambda: oracle_workload_report("tso", 4))
         with open("BENCH_oracle.json", "w") as fh:
-            json.dump(result, fh, indent=2)
+            json.dump(envelope, fh, indent=2)
             fh.write("\n")
+        assert envelope["schema"] == {"name": "bench-oracle", "version": 2}
+        result = envelope["payload"]
         inc, cold = result["incremental"], result["cold"]
         report.append(
             "[incremental oracle] TSO bound-4 relational synthesis: "

@@ -37,15 +37,17 @@ class TestDifftestCampaigns:
             ],
         )
         for model, entry in entries:
-            doc = entry["report"]
+            assert entry["schema"] == {"name": "bench-difftest", "version": 2}
+            measurement = entry["payload"]
+            doc = measurement["report"]["payload"]
             assert doc["clean"] is True, (model, doc)
             assert doc["discrepancies"] == [], model
             assert doc["surviving_mutants"] == [], model
             for tag, kill in doc["mutant_kills"].items():
                 assert kill["events"] <= kill["original_events"], (model, tag)
-            assert entry["byte_identical"], model
+            assert measurement["byte_identical"], model
             report.append(
                 f"[difftest] {model} seed={SEED} budget={BUDGET}: "
-                f"{entry['tests_per_second']:.0f} tests/s, "
+                f"{measurement['tests_per_second']:.0f} tests/s, "
                 f"{len(doc['mutant_kills'])} mutants killed, clean"
             )

@@ -2,8 +2,9 @@
 """CI differential-testing smoke: fixed-seed campaigns on tso and sc.
 
 Runs one seeded campaign per model with one injected known-buggy mutant
-each, writes the combined measurement to ``BENCH_difftest.json``, and
-fails when:
+each, writes the combined measurement to ``BENCH_difftest.json`` (a
+``bench-difftest`` v2 Report envelope whose payload maps model name to
+each campaign's own envelope), and fails when:
 
 * a stock-model discrepancy survives (the two oracles disagreed), or
 * a corpus replay entry went stale, or
@@ -22,7 +23,12 @@ import json
 import os
 import sys
 
-from repro.bench import DIFFTEST_BENCH_SCHEMA, difftest_campaign_report
+from repro.bench import (
+    DIFFTEST_BENCH_SCHEMA,
+    DIFFTEST_BENCH_SCHEMA_NAME,
+    difftest_campaign_report,
+)
+from repro.obs import Report
 
 SEED = int(os.environ.get("DIFFTEST_SMOKE_SEED", "2017"))
 BUDGET = int(os.environ.get("DIFFTEST_SMOKE_BUDGET", "2000"))
@@ -36,7 +42,8 @@ CAMPAIGNS = (
 
 
 def check(model: str, entry: dict) -> list[str]:
-    report = entry["report"]
+    measurement = entry["payload"]
+    report = measurement["report"]["payload"]
     failures = []
     if report["discrepancies"] or report["unshrunk_discrepancies"]:
         failures.append(
@@ -53,7 +60,7 @@ def check(model: str, entry: dict) -> list[str]:
                 f"{model}: {tag} reproducer grew while shrinking "
                 f"({kill['original_events']} -> {kill['events']} events)"
             )
-    if not entry["byte_identical"]:
+    if not measurement["byte_identical"]:
         failures.append(
             f"{model}: jobs={JOBS} report differs from the sequential one"
         )
@@ -61,20 +68,28 @@ def check(model: str, entry: dict) -> list[str]:
 
 
 def main() -> int:
-    document = {"schema_version": DIFFTEST_BENCH_SCHEMA, "campaigns": {}}
+    campaigns: dict[str, dict] = {}
     failures: list[str] = []
     for model, mutants in CAMPAIGNS:
         entry = difftest_campaign_report(
             model, seed=SEED, budget=BUDGET, mutants=mutants, jobs=JOBS
         )
-        document["campaigns"][model] = entry
+        campaigns[model] = entry
         failures.extend(check(model, entry))
+        measurement = entry["payload"]
+        report = measurement["report"]["payload"]
         print(
             f"difftest smoke: model={model} seed={SEED} budget={BUDGET} "
-            f"jobs={JOBS} wall={entry['wall_seconds']:.2f}s "
-            f"kills={sorted(entry['report']['mutant_kills'])} "
-            f"clean={entry['report']['clean']}"
+            f"jobs={JOBS} wall={measurement['wall_seconds']:.2f}s "
+            f"kills={sorted(report['mutant_kills'])} "
+            f"clean={report['clean']}"
         )
+    document = Report(
+        schema_name=DIFFTEST_BENCH_SCHEMA_NAME,
+        schema_version=DIFFTEST_BENCH_SCHEMA,
+        command="bench",
+        payload={"campaigns": campaigns},
+    ).to_json_dict()
     with open(OUT, "w") as fh:
         json.dump(document, fh, indent=2, sort_keys=True)
         fh.write("\n")

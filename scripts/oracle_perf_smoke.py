@@ -3,10 +3,13 @@
 
 Runs the x86-TSO size-4 relational-oracle synthesis workload twice —
 incremental engine vs cold-solver baseline — writes the measurement to
-``BENCH_oracle.json``, and fails when:
+``BENCH_oracle.json`` (a ``bench-oracle`` v2 Report envelope), emits a
+:mod:`repro.obs` trace per arm, and fails when:
 
 * the two modes' union suites are not byte-identical, or
-* incremental mode is slower than the cold baseline.
+* incremental mode is slower than the cold baseline, or
+* either arm's trace has a span with no recorded wall time (unclosed
+  span — OBS001) or a phase row missing from the rendered report.
 
 Exit status 0 on success.  Run from the repository root:
 
@@ -19,36 +22,63 @@ import json
 import os
 import sys
 
+from repro.analysis import lint_trace_dir
 from repro.bench import oracle_workload_report
+from repro.obs import summarize_trace_dir
 
 MODEL = os.environ.get("ORACLE_SMOKE_MODEL", "tso")
 BOUND = int(os.environ.get("ORACLE_SMOKE_BOUND", "4"))
 OUT = os.environ.get("ORACLE_SMOKE_OUT", "BENCH_oracle.json")
+TRACE_DIR = os.environ.get("ORACLE_SMOKE_TRACE_DIR", "BENCH_oracle_trace")
+
+
+def check_trace(arm: str) -> list[str]:
+    """Every span closed, every phase's wall present in the report."""
+    trace_dir = os.path.join(TRACE_DIR, arm)
+    failures = [
+        f"{arm}: {diag.subject}: {diag.message} [{diag.id}]"
+        for diag in lint_trace_dir(trace_dir)
+    ]
+    payload = summarize_trace_dir(trace_dir)
+    if not payload["phases"]:
+        failures.append(f"{arm}: trace report has no phase rows")
+    for phase in payload["phases"]:
+        if not isinstance(phase.get("wall"), (int, float)):
+            failures.append(
+                f"{arm}: phase {phase.get('name')!r} has no wall time"
+            )
+    for name, slot in payload["spans"].items():
+        if not isinstance(slot.get("wall"), (int, float)):
+            failures.append(f"{arm}: span {name!r} has no wall time")
+    return failures
 
 
 def main() -> int:
-    report = oracle_workload_report(MODEL, BOUND)
+    report = oracle_workload_report(MODEL, BOUND, trace_dir=TRACE_DIR)
     with open(OUT, "w") as fh:
         json.dump(report, fh, indent=2)
         fh.write("\n")
-    inc = report["incremental"]["wall_seconds"]
-    cold = report["cold"]["wall_seconds"]
+    payload = report["payload"]
+    inc = payload["incremental"]["wall_seconds"]
+    cold = payload["cold"]["wall_seconds"]
     print(
         f"oracle perf smoke: model={MODEL} bound={BOUND} "
         f"incremental={inc:.3f}s cold={cold:.3f}s "
-        f"speedup={report['speedup']:.2f}x -> {OUT}"
+        f"speedup={payload['speedup']:.2f}x -> {OUT} (traces: {TRACE_DIR})"
     )
-    if not report["byte_identical"]:
-        print("FAIL: incremental and cold suites differ", file=sys.stderr)
-        return 1
+    failures: list[str] = []
+    if not payload["byte_identical"]:
+        failures.append("incremental and cold suites differ")
     if inc > cold:
-        print(
-            "FAIL: incremental mode is slower than the cold baseline "
-            f"({inc:.3f}s > {cold:.3f}s)",
-            file=sys.stderr,
+        failures.append(
+            "incremental mode is slower than the cold baseline "
+            f"({inc:.3f}s > {cold:.3f}s)"
         )
-        return 1
-    return 0
+    for arm in ("incremental", "cold"):
+        failures.extend(check_trace(arm))
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
 
 
 if __name__ == "__main__":

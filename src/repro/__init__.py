@@ -31,6 +31,7 @@ Package layout:
 * :mod:`repro.alloy`     — Alloy-style memory-model encodings
 * :mod:`repro.analysis`  — diagnostics / lint passes over the stack
 * :mod:`repro.difftest`  — differential testing + model-mutation fuzzing
+* :mod:`repro.obs`       — tracing, metrics, and the Report envelope
 """
 
 from repro.core import (
@@ -73,6 +74,7 @@ from repro.litmus import (
 from repro.litmus.format import format_test, parse_test
 from repro.machine import Bug, TsoMachine, explore, run_suite
 from repro.models import MemoryModel, Vocabulary, available_models, get_model
+from repro.obs import Report, Stats, load_report
 from repro.relax import ALL_RELAXATIONS, applicability_table, relaxations_for
 
 __version__ = "1.1.0"
@@ -126,6 +128,10 @@ __all__ = [
     "Vocabulary",
     "available_models",
     "get_model",
+    # observability
+    "Report",
+    "Stats",
+    "load_report",
     # relaxations
     "ALL_RELAXATIONS",
     "applicability_table",

@@ -177,10 +177,14 @@ class CNFCache:
         while len(self._memory) > self.capacity:
             self._memory.popitem(last=False)
 
-    def stats(self) -> dict[str, int]:
+    def as_metrics(self) -> dict[str, int]:
+        """The :class:`repro.obs.Stats` protocol: raw summable counters."""
         return {
             "compile_hits": self.hits,
             "compile_misses": self.misses,
             "compile_disk_hits": self.disk_hits,
             "compile_stores": self.stores,
         }
+
+    def stats(self) -> dict[str, int]:
+        return self.as_metrics()

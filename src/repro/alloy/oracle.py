@@ -43,6 +43,7 @@ from repro.alloy.models import ALLOY_MODELS
 from repro.core.oracle import TestAnalysis
 from repro.litmus.execution import Execution, Outcome
 from repro.litmus.test import LitmusTest
+from repro.obs import derive_rates
 from repro.relational.solve import ModelFinder, compile_snapshot
 from repro.sat.solver import SolverStats
 
@@ -374,35 +375,27 @@ class AlloyOracle:
             total.add(session.solver_stats)
         return total
 
-    def cache_stats(self) -> dict[str, float]:
-        """Counters for ``SynthesisResult`` / ``--json`` surfacing.
-
-        Keys ending in ``_rate`` are derived and recomputed after
-        cross-shard merging; the rest are summable counts.
-        """
+    def as_metrics(self) -> dict[str, int | float]:
+        """The :class:`repro.obs.Stats` protocol: raw summable counters
+        (analysis/session caches, CNF compilation, ``sat_``-prefixed
+        CDCL totals) with no derived ratios."""
         sat = self.solver_stats()
-        stats: dict[str, float] = {
+        stats: dict[str, int | float] = {
             "analyses": self._analyses,
             "analysis_hits": self._analysis_hits,
             "sessions": self._session_count,
             "session_hits": self._session_hits,
         }
         if self._cnf_cache is not None:
-            stats.update(self._cnf_cache.stats())
-        for name, value in sat.as_dict().items():
+            stats.update(self._cnf_cache.as_metrics())
+        for name, value in sat.as_metrics().items():
             stats[f"sat_{name}"] = value
-        analysis_total = self._analysis_hits + self._analyses
-        stats["analysis_hit_rate"] = (
-            self._analysis_hits / analysis_total if analysis_total else 0.0
-        )
-        compile_total = stats.get("compile_hits", 0) + stats.get(
-            "compile_misses", 0
-        )
-        if self._cnf_cache is not None:
-            stats["compile_hit_rate"] = (
-                stats["compile_hits"] / compile_total if compile_total else 0.0
-            )
-        stats["sat_reuse_rate"] = (
-            sat.reuse_hits / sat.queries if sat.queries else 0.0
-        )
         return stats
+
+    def cache_stats(self) -> dict[str, float]:
+        """Counters plus derived rates for ``--json`` surfacing — an
+        adapter over :meth:`as_metrics`; merging across shards sums the
+        raw counters and recomputes the rates with
+        :func:`repro.obs.derive_rates`."""
+        metrics = self.as_metrics()
+        return {**metrics, **derive_rates(metrics)}

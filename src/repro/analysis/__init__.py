@@ -7,7 +7,9 @@ Three pass families over the synthesis stack's inputs:
 * **pipeline** — CNF headed for the SAT solver
   (:mod:`repro.analysis.pipeline_lint`);
 * **difftest** — reproducer corpora and mutant registries
-  (:mod:`repro.analysis.difftest_lint`).
+  (:mod:`repro.analysis.difftest_lint`);
+* **obs** — :mod:`repro.obs` trace directories
+  (:mod:`repro.analysis.obs_lint`).
 
 Importing this package registers every pass.  Entry points:
 ``lint_registry`` (the registry-wide self-check behind ``repro lint``)
@@ -35,6 +37,11 @@ from repro.analysis.difftest_lint import (
     lint_mutant_tags,
 )
 from repro.analysis.litmus_lint import early_reject, find_duplicate_tests
+from repro.analysis.obs_lint import (
+    lint_trace_dir,
+    lint_trace_events,
+    lint_trace_file,
+)
 from repro.analysis.pipeline_lint import lint_cnf_cache_dir, lint_oracle_options
 from repro.analysis.registry import (
     ClauseLintContext,
@@ -74,6 +81,9 @@ __all__ = [
     "find_duplicate_tests",
     "lint_oracle_options",
     "lint_cnf_cache_dir",
+    "lint_trace_events",
+    "lint_trace_file",
+    "lint_trace_dir",
     "lint_corpus",
     "lint_mutant_tags",
     "lint_mutant_registry",

@@ -1,0 +1,157 @@
+"""Observability lint: sanity checks over :mod:`repro.obs` trace dirs.
+
+Trace directories are append-only JSONL streams written by concurrent
+workers, so the failure modes are torn runs rather than bad syntax: a
+killed worker leaves a ``begin`` event with no closing ``span``, and a
+directory reused across tool versions mixes incompatible headers.
+
+Diagnostic ids:
+
+=======  ========  ==========================================================
+id       severity  meaning
+=======  ========  ==========================================================
+OBS001   warning   unclosed span: ``begin`` event with no ``span`` close
+OBS002   error     trace dir mixes trace schemas (or a file has no header)
+=======  ========  ==========================================================
+
+Like SAT007/SAT008 these are collection-level checks over artifacts
+rather than registered per-object passes, so they are plain functions:
+:func:`lint_trace_file` and :func:`lint_trace_dir`.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.analysis.diagnostics import Diagnostic, Severity
+from repro.obs import (
+    TRACE_SCHEMA_NAME,
+    TRACE_SCHEMA_VERSION,
+    read_events,
+    trace_files,
+)
+
+__all__ = ["lint_trace_events", "lint_trace_file", "lint_trace_dir"]
+
+
+def _header_schema(events) -> tuple[str, int] | None:
+    """The ``(name, version)`` of a file's header event, if present."""
+    for event in events:
+        if event.get("ev") == "header":
+            schema = event.get("schema")
+            if isinstance(schema, dict):
+                return (str(schema.get("name")), int(schema.get("version", 0)))
+            return ("?", 0)
+    return None
+
+
+def lint_trace_events(subject: str, events) -> list[Diagnostic]:
+    """OBS001: spans opened but never closed in one event stream.
+
+    A ``begin`` event whose id never appears in a closing ``span`` event
+    marks a worker that crashed (or code that forgot ``__exit__``)
+    mid-region — its wall time is missing from every report built on
+    the stream.
+    """
+    out: list[Diagnostic] = []
+    begun: dict[int, str] = {}
+    for event in events:
+        ev = event.get("ev")
+        if ev == "begin":
+            begun[int(event.get("id", 0))] = str(event.get("name", "?"))
+        elif ev == "span":
+            begun.pop(int(event.get("id", 0)), None)
+    for span_id, name in sorted(begun.items()):
+        out.append(
+            Diagnostic(
+                "OBS001",
+                Severity.WARNING,
+                f"{subject}:span#{span_id}",
+                f"span {name!r} was begun but never closed; its wall "
+                "time is absent from any report over this trace",
+                hint="the producing process likely crashed mid-span; "
+                "re-run the traced command or discard the file",
+            )
+        )
+    return out
+
+
+def lint_trace_file(path: str) -> list[Diagnostic]:
+    """OBS001 over one on-disk trace file."""
+    return lint_trace_events(path, read_events(path))
+
+
+def lint_trace_dir(directory: str) -> list[Diagnostic]:
+    """OBS001 over every file plus OBS002 schema-consistency checks.
+
+    A directory reused across runs of different tool versions can mix
+    trace schemas; readers keying on one schema silently drop the other
+    files, so mixing is an error, as is a ``.jsonl`` file with no
+    header at all (it cannot be attributed to any schema).
+    """
+    out: list[Diagnostic] = []
+    try:
+        files = trace_files(directory)
+    except ValueError as exc:
+        return [
+            Diagnostic(
+                "OBS002",
+                Severity.ERROR,
+                directory,
+                str(exc),
+                hint="point --trace-dir at a directory written by "
+                "`synthesize --trace-dir` or `difftest --trace-dir`",
+            )
+        ]
+    schemas: dict[tuple[str, int], list[str]] = {}
+    for name in files:
+        path = os.path.join(directory, name)
+        events = list(read_events(path))
+        schema = _header_schema(events)
+        if schema is None:
+            out.append(
+                Diagnostic(
+                    "OBS002",
+                    Severity.ERROR,
+                    f"{directory}:{name}",
+                    "trace file has no header event; it cannot be "
+                    "attributed to any trace schema",
+                    hint="every repro.obs trace file starts with a "
+                    "header line — this file was written by something "
+                    "else or truncated at byte 0",
+                )
+            )
+            continue
+        schemas.setdefault(schema, []).append(name)
+        out.extend(lint_trace_file(path))
+    if len(schemas) > 1:
+        described = "; ".join(
+            f"{name} v{version}: {', '.join(members)}"
+            for (name, version), members in sorted(schemas.items())
+        )
+        out.append(
+            Diagnostic(
+                "OBS002",
+                Severity.ERROR,
+                directory,
+                f"trace dir mixes trace schemas ({described}); readers "
+                "keyed on one schema silently drop the other files",
+                hint="use a fresh --trace-dir per run instead of "
+                "reusing one across tool versions",
+            )
+        )
+    expected = (TRACE_SCHEMA_NAME, TRACE_SCHEMA_VERSION)
+    for schema, members in sorted(schemas.items()):
+        if schema != expected and len(schemas) == 1:
+            out.append(
+                Diagnostic(
+                    "OBS002",
+                    Severity.ERROR,
+                    directory,
+                    f"trace files declare schema {schema[0]!r} "
+                    f"v{schema[1]}, but this tool reads "
+                    f"{expected[0]!r} v{expected[1]}",
+                    hint="re-generate the trace with this tool version",
+                )
+            )
+    return out

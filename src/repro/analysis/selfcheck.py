@@ -34,6 +34,7 @@ __all__ = [
     "lint_models",
     "lint_catalog",
     "lint_encoding_smoke",
+    "lint_obs_smoke",
     "lint_registry",
 ]
 
@@ -99,6 +100,27 @@ def lint_encoding_smoke() -> Report:
     return report
 
 
+def lint_obs_smoke() -> Report:
+    """Exercise the :mod:`repro.obs` tracer in memory and lint the
+    resulting event stream.
+
+    Any OBS001 finding here means the :class:`~repro.obs.Tracer` itself
+    fails to close spans — the trace-dir lints would then flag every
+    healthy run.
+    """
+    from repro.analysis.obs_lint import lint_trace_events
+    from repro.obs import BufferTracer
+
+    report = Report()
+    tracer = BufferTracer()
+    with tracer.span("outer"):
+        with tracer.span("inner", detail=1):
+            pass
+    tracer.counters({"probe": 1})
+    report.extend(lint_trace_events("obs:tracer-smoke", tracer.events()))
+    return report
+
+
 def lint_registry(probe: bool = True, suppressions=()) -> Report:
     """The full self-check with the documented suppressions applied."""
     report = Report()
@@ -107,6 +129,7 @@ def lint_registry(probe: bool = True, suppressions=()) -> Report:
     report.extend(lint_models(probe).diagnostics)
     report.extend(lint_catalog().diagnostics)
     report.extend(lint_encoding_smoke().diagnostics)
+    report.extend(lint_obs_smoke().diagnostics)
     report.extend(lint_mutant_registry().diagnostics)
     return report.apply_suppressions(
         tuple(REGISTRY_SUPPRESSIONS) + tuple(suppressions)

@@ -8,22 +8,32 @@ comparable — so the measurements live here and both call them.
 
 from __future__ import annotations
 
+import os
 import time
 
 from repro.core.enumerator import EnumerationConfig
 from repro.core.synthesis import SynthesisOptions, synthesize
 from repro.models.registry import get_model
+from repro.obs import Report
 
 __all__ = [
     "ORACLE_BENCH_SCHEMA",
+    "ORACLE_BENCH_SCHEMA_NAME",
     "DIFFTEST_BENCH_SCHEMA",
+    "DIFFTEST_BENCH_SCHEMA_NAME",
     "oracle_workload_report",
     "difftest_campaign_report",
 ]
 
-ORACLE_BENCH_SCHEMA = 1
+ORACLE_BENCH_SCHEMA_NAME = "bench-oracle"
+#: v1 was the pre-envelope top-level shape; v2 wraps the same payload in
+#: the unified :class:`repro.obs.Report` envelope.
+ORACLE_BENCH_SCHEMA = 2
 
-DIFFTEST_BENCH_SCHEMA = 1
+DIFFTEST_BENCH_SCHEMA_NAME = "bench-difftest"
+#: v1 was the pre-envelope top-level shape; v2 wraps the same payload in
+#: the unified :class:`repro.obs.Report` envelope.
+DIFFTEST_BENCH_SCHEMA = 2
 
 
 def _mode_report(result, wall: float) -> dict:
@@ -41,14 +51,18 @@ def oracle_workload_report(
     model_name: str = "tso",
     bound: int = 4,
     cnf_cache_dir: str | None = None,
+    trace_dir: str | None = None,
 ) -> dict:
     """Run the relational-oracle synthesis workload incremental vs cold.
 
     The default is the x86-TSO size-4 workload the acceptance numbers
-    are quoted against.  Returns the ``BENCH_oracle.json`` document:
-    end-to-end wall time, per-query latency, and cache hit rates per
-    mode, plus the speedup and a byte-identity verdict over the union
-    suites.
+    are quoted against.  Returns the ``BENCH_oracle.json`` document — a
+    :class:`repro.obs.Report` envelope (``bench-oracle`` v2) whose
+    payload carries end-to-end wall time, per-query latency, and cache
+    hit rates per mode, plus the speedup and a byte-identity verdict
+    over the union suites.  With ``trace_dir`` set, each arm writes its
+    :mod:`repro.obs` trace under ``trace_dir/incremental`` and
+    ``trace_dir/cold``.
     """
     model = get_model(model_name)
     config = EnumerationConfig(
@@ -56,12 +70,16 @@ def oracle_workload_report(
     )
 
     def run(incremental: bool):
+        arm = "incremental" if incremental else "cold"
         opts = SynthesisOptions(
             bound=bound,
             config=config,
             oracle="relational",
             incremental=incremental,
             cnf_cache_dir=cnf_cache_dir if incremental else None,
+            trace_dir=(
+                os.path.join(trace_dir, arm) if trace_dir is not None else None
+            ),
         )
         t0 = time.perf_counter()
         result = synthesize(model, opts)
@@ -69,8 +87,7 @@ def oracle_workload_report(
 
     incremental, t_inc = run(True)
     cold, t_cold = run(False)
-    return {
-        "schema_version": ORACLE_BENCH_SCHEMA,
+    payload = {
         "workload": {
             "model": model_name,
             "bound": bound,
@@ -82,6 +99,12 @@ def oracle_workload_report(
         "speedup": t_cold / t_inc if t_inc else 0.0,
         "byte_identical": incremental.union.to_json() == cold.union.to_json(),
     }
+    return Report(
+        schema_name=ORACLE_BENCH_SCHEMA_NAME,
+        schema_version=ORACLE_BENCH_SCHEMA,
+        command="bench",
+        payload=payload,
+    ).to_json_dict()
 
 
 def difftest_campaign_report(
@@ -92,7 +115,8 @@ def difftest_campaign_report(
     jobs: int = 1,
     corpus_dir: str | None = None,
 ) -> dict:
-    """Run one difftest campaign and wrap its report for ``BENCH_*.json``.
+    """Run one difftest campaign and wrap its report for ``BENCH_*.json``
+    as a :class:`repro.obs.Report` envelope (``bench-difftest`` v2).
 
     Wall time and throughput live *next to* the campaign report, never
     inside it — the report itself stays byte-deterministic.  The
@@ -125,8 +149,7 @@ def difftest_campaign_report(
     byte_identical = (
         run_campaign(bare(jobs)).to_json() == run_campaign(bare(1)).to_json()
     )
-    return {
-        "schema_version": DIFFTEST_BENCH_SCHEMA,
+    payload = {
         "workload": {
             "model": model_name,
             "seed": seed,
@@ -139,3 +162,9 @@ def difftest_campaign_report(
         "byte_identical": byte_identical,
         "report": report.to_json_dict(),
     }
+    return Report(
+        schema_name=DIFFTEST_BENCH_SCHEMA_NAME,
+        schema_version=DIFFTEST_BENCH_SCHEMA,
+        command="bench",
+        payload=payload,
+    ).to_json_dict()

@@ -8,7 +8,8 @@
                             [--mode exact|execution|execution-wa]
                             [--jobs N] [--checkpoint-dir D] [--json]
                             [--oracle explicit|relational] [--cold-solver]
-                            [--cnf-cache-dir D] [--out suite.json]
+                            [--cnf-cache-dir D] [--trace-dir D]
+                            [--out suite.json]
     litmus-synth check --model tso test.litmus
     litmus-synth show --name MP
     litmus-synth show --file test.litmus
@@ -16,10 +17,14 @@
                          [--reference owens|cambridge|suite.json] [--json]
     litmus-synth difftest --model tso [--seed 0] [--budget 100]
                           [--mutants TAG ...] [--corpus-dir D] [--jobs N]
-                          [--json] [--list-mutants]
+                          [--trace-dir D] [--json] [--list-mutants]
+    litmus-synth report TRACE_DIR [--json]
     litmus-synth lint [--all-models] [--catalog] [--model tso]
-                      [--corpus-dir D] [--format text|json]
+                      [--corpus-dir D] [--trace-dir D] [--format text|json]
                       [--suppress ID[:GLOB]] [tests.litmus ...]
+
+File errors are uniformly reported as ``error: <path>: <reason>`` on
+stderr with exit status 2.
 """
 
 from __future__ import annotations
@@ -53,12 +58,18 @@ class _CliError(Exception):
     """A user-facing CLI failure: message to stderr, exit status 2."""
 
 
+def _file_error(path: str, reason: str) -> _CliError:
+    """The one file-error shape every subcommand reports:
+    ``error: <path>: <reason>`` (printed by :func:`main`, exit 2)."""
+    return _CliError(f"{path}: {reason}")
+
+
 def _read_file(path: str) -> str:
     try:
         with open(path) as fh:
             return fh.read()
     except OSError as exc:
-        raise _CliError(f"cannot read {path}: {exc.strerror or exc}") from exc
+        raise _file_error(path, f"cannot read: {exc.strerror or exc}") from exc
 
 
 def _load_litmus(path: str) -> tuple[LitmusTest, Outcome | None]:
@@ -67,7 +78,7 @@ def _load_litmus(path: str) -> tuple[LitmusTest, Outcome | None]:
     try:
         return parse_test(text)
     except (ParseError, ValueError) as exc:
-        raise _CliError(f"{path}: {exc}") from exc
+        raise _file_error(path, str(exc)) from exc
 
 
 def _cmd_models(_args) -> int:
@@ -105,6 +116,7 @@ def _cmd_synthesize(args) -> int:
         oracle=args.oracle,
         incremental=not args.cold_solver,
         cnf_cache_dir=args.cnf_cache_dir,
+        trace_dir=args.trace_dir,
     )
     findings = analysis.lint_oracle_options(options)
     if args.cnf_cache_dir:
@@ -217,9 +229,12 @@ def _cmd_lint(args) -> int:
     if args.catalog or default_all:
         report.extend(selfcheck.lint_catalog().diagnostics)
     if default_all:
+        report.extend(selfcheck.lint_obs_smoke().diagnostics)
         report.extend(analysis.lint_mutant_registry().diagnostics)
     if args.corpus_dir:
         report.extend(analysis.lint_corpus(args.corpus_dir))
+    if args.trace_dir:
+        report.extend(analysis.lint_trace_dir(args.trace_dir))
     model = get_model(args.model) if args.model else None
     named: list[tuple[str, LitmusTest]] = []
     for path in args.paths:
@@ -262,7 +277,7 @@ def _load_suite(path: str):
     try:
         return TestSuite.from_json(text)
     except (KeyError, TypeError, ValueError) as exc:
-        raise _CliError(f"{path}: not a suite JSON file: {exc}") from exc
+        raise _file_error(path, f"not a suite JSON file: {exc}") from exc
 
 
 def _reference_entries(spec: str):
@@ -333,6 +348,7 @@ def _cmd_difftest(args) -> int:
             mutants=mutants,
             corpus_dir=args.corpus_dir,
             jobs=args.jobs,
+            trace_dir=args.trace_dir,
             generator=GeneratorConfig(
                 max_events=args.max_events,
                 max_threads=args.max_threads,
@@ -349,6 +365,32 @@ def _cmd_difftest(args) -> int:
     else:
         print(report.summary())
     return 0 if report.clean else 1
+
+
+def _cmd_report(args) -> int:
+    from repro.obs import (
+        TRACE_REPORT_SCHEMA_NAME,
+        TRACE_REPORT_SCHEMA_VERSION,
+        Report,
+        render_trace_text,
+        summarize_trace_dir,
+    )
+
+    try:
+        payload = summarize_trace_dir(args.trace_dir)
+    except (OSError, ValueError) as exc:
+        raise _file_error(args.trace_dir, str(exc)) from exc
+    if args.json:
+        envelope = Report(
+            schema_name=TRACE_REPORT_SCHEMA_NAME,
+            schema_version=TRACE_REPORT_SCHEMA_VERSION,
+            command="report",
+            payload=payload,
+        )
+        print(envelope.to_json())
+    else:
+        print(render_trace_text(payload), end="")
+    return 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -418,10 +460,16 @@ def build_parser() -> argparse.ArgumentParser:
         "shared across workers and runs",
     )
     p.add_argument(
+        "--trace-dir",
+        default=None,
+        help="write a repro.obs trace here (driver/shard span timings "
+        "plus a deterministic merged stream); render with `repro report`",
+    )
+    p.add_argument(
         "--json",
         action="store_true",
-        help="print the machine-readable result summary (schema v2) "
-        "instead of the text report",
+        help="print the machine-readable result as a repro.obs.Report "
+        "envelope (synthesis-result v3) instead of the text report",
     )
     p.add_argument("-v", "--verbose", action="store_true")
 
@@ -512,9 +560,30 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--max-deps", type=int, default=1)
     p.add_argument("--max-rmws", type=int, default=1)
     p.add_argument(
+        "--trace-dir",
+        default=None,
+        help="write a repro.obs trace of the campaign here; render "
+        "with `repro report`",
+    )
+    p.add_argument(
         "--json",
         action="store_true",
         help="print the machine-readable campaign report",
+    )
+
+    p = sub.add_parser(
+        "report",
+        help="render a --trace-dir directory into per-phase tables",
+        description="Summarizes a repro.obs trace directory (written by "
+        "`synthesize --trace-dir` or `difftest --trace-dir`) into "
+        "per-phase and per-shard timing tables plus merged counters.",
+    )
+    p.add_argument("trace_dir", help="trace directory to render")
+    p.add_argument(
+        "--json",
+        action="store_true",
+        help="print the report as a repro.obs.Report envelope "
+        "(trace-report v1) instead of text tables",
     )
 
     p = sub.add_parser(
@@ -561,6 +630,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="also replay a difftest reproducer corpus and flag stale "
         "entries (DIF001/DIF002)",
     )
+    p.add_argument(
+        "--trace-dir",
+        default=None,
+        help="also lint a repro.obs trace directory for unclosed spans "
+        "and mixed schemas (OBS001/OBS002)",
+    )
 
     return parser
 
@@ -573,6 +648,7 @@ _COMMANDS = {
     "show": _cmd_show,
     "compare": _cmd_compare,
     "difftest": _cmd_difftest,
+    "report": _cmd_report,
     "lint": _cmd_lint,
 }
 

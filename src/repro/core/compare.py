@@ -27,9 +27,16 @@ __all__ = [
     "subtests",
     "is_subtest",
     "find_subtest",
+    "COMPARISON_SCHEMA_NAME",
+    "COMPARISON_SCHEMA_VERSION",
     "SuiteComparison",
     "compare_suites",
 ]
+
+COMPARISON_SCHEMA_NAME = "suite-comparison"
+#: v1 was the pre-envelope top-level shape; v2 wraps the same payload in
+#: the unified :class:`repro.obs.Report` envelope.
+COMPARISON_SCHEMA_VERSION = 2
 
 
 def subtests(
@@ -105,13 +112,16 @@ class SuiteComparison:
         return all(v is not None for v in self.reference_only.values())
 
     def to_json_dict(self) -> dict:
-        """Machine-readable comparison (``repro compare --json``).
+        """Machine-readable comparison (``repro compare --json``): a
+        :class:`repro.obs.Report` envelope around the
+        ``suite-comparison`` payload (schema v2).
 
         ``synthesized_only`` comes from a set difference, so it is
         re-sorted here — JSON output must not depend on hash order.
         """
-        return {
-            "schema_version": 1,
+        from repro.obs import Report
+
+        payload = {
             "model": self.model_name,
             "both": list(self.both),
             "reference_only": {
@@ -127,6 +137,12 @@ class SuiteComparison:
             ],
             "fully_subsumed": self.fully_subsumed,
         }
+        return Report(
+            schema_name=COMPARISON_SCHEMA_NAME,
+            schema_version=COMPARISON_SCHEMA_VERSION,
+            command="compare",
+            payload=payload,
+        ).to_json_dict()
 
     def summary(self) -> str:
         lines = [

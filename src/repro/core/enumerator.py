@@ -45,6 +45,7 @@ from itertools import combinations, combinations_with_replacement, product
 from repro.litmus.events import DepKind, Instruction, fence, read, write
 from repro.litmus.test import Dep, LitmusTest
 from repro.models.base import Vocabulary
+from repro.obs import current_registry
 
 __all__ = [
     "EnumerationConfig",
@@ -394,10 +395,14 @@ def enumerate_shard(
                             candidate = _assemble(selection, assignment)
                             if reject is None or not reject(candidate):
                                 yield item, candidate
+                            else:
+                                current_registry().count("early_rejects")
                     else:
                         candidate = _assemble(selection)
                         if reject is None or not reject(candidate):
                             yield item, candidate
+                        else:
+                            current_registry().count("early_rejects")
 
 
 def _group_sizes(sizes: tuple[int, ...]) -> list[tuple[int, int]]:

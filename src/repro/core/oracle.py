@@ -20,6 +20,7 @@ from dataclasses import dataclass
 from repro.litmus.execution import Execution, Outcome
 from repro.litmus.test import LitmusTest
 from repro.models.base import MemoryModel
+from repro.obs import derive_rates
 from repro.semantics.enumerate import enumerate_executions
 
 __all__ = ["TestAnalysis", "ExplicitOracle"]
@@ -112,17 +113,17 @@ class ExplicitOracle:
             "executions": 0,
         }
 
+    def as_metrics(self) -> dict[str, int | float]:
+        """The :class:`repro.obs.Stats` protocol: raw summable counters
+        only — derived ratios come from :func:`repro.obs.derive_rates`."""
+        return dict(self.stats)
+
     def cache_stats(self) -> dict[str, float]:
-        """Counters plus derived hit rates, for aggregation across
-        synthesis workers (each worker owns its own oracle, so rates are
-        meaningful per worker and summable as raw counters)."""
-        out: dict[str, float] = dict(self.stats)
-        for kind in ("analysis", "observe"):
-            hits = self.stats[f"{kind}_hits"]
-            misses = self.stats["analyses" if kind == "analysis" else "observations"]
-            total = hits + misses
-            out[f"{kind}_hit_rate"] = hits / total if total else 0.0
-        return out
+        """Counters plus derived hit rates — an adapter over
+        :meth:`as_metrics` kept for the ``--json`` surfaces; merging
+        across shards sums the raw counters and recomputes the rates."""
+        metrics = self.as_metrics()
+        return {**metrics, **derive_rates(metrics)}
 
     # -- execution-level helpers -----------------------------------------------
 

@@ -26,6 +26,7 @@ from dataclasses import dataclass, field, fields
 
 from repro.litmus.test import LitmusTest
 from repro.models.base import MemoryModel
+from repro.obs import current_registry
 from repro.core.canonical import canonical_form
 from repro.core.enumerator import EnumerationConfig, enumerate_tests
 from repro.core.minimality import CriterionMode, MinimalityChecker
@@ -34,6 +35,7 @@ from repro.core.suite import TestSuite
 __all__ = [
     "SynthesisOptions",
     "SynthesisResult",
+    "RESULT_SCHEMA_NAME",
     "RESULT_SCHEMA_VERSION",
     "ORACLES",
     "build_checker",
@@ -43,11 +45,13 @@ __all__ = [
 #: recognized ``SynthesisOptions.oracle`` backends
 ORACLES = ("explicit", "relational")
 
-#: version of the JSON document ``SynthesisResult.to_json_dict`` emits
-#: (and the CLI's ``synthesize --json`` prints).  v1 was the implicit
-#: pre-1.1 counts-only shape; v2 adds the wall/cpu seconds split, shard
-#: bookkeeping, and aggregated oracle cache statistics.
-RESULT_SCHEMA_VERSION = 2
+#: payload schema of the JSON document ``SynthesisResult.to_json_dict``
+#: emits (and the CLI's ``synthesize --json`` prints).  v1 was the
+#: implicit pre-1.1 counts-only shape; v2 added the wall/cpu seconds
+#: split, shard bookkeeping, and aggregated oracle cache statistics; v3
+#: wraps the payload in the unified :class:`repro.obs.Report` envelope.
+RESULT_SCHEMA_NAME = "synthesis-result"
+RESULT_SCHEMA_VERSION = 3
 
 #: ``SynthesisOptions.reject`` sentinel: build the lint-based early-reject
 #: filter (:func:`repro.analysis.early_reject`) for the target model.
@@ -97,6 +101,12 @@ class SynthesisOptions:
         cnf_cache_dir: optional on-disk CNF compilation cache directory
             for the relational oracle, shared across worker processes
             and across runs.
+        trace_dir: optional directory for :mod:`repro.obs` trace files
+            (driver phase spans, per-shard span/counter streams, and the
+            deterministic ``merged.jsonl``).  Setting it routes the run
+            through the sharded runtime even at ``jobs=1`` so the merged
+            trace is byte-identical for every job count; render with
+            ``repro report``.
     """
 
     bound: int
@@ -113,6 +123,7 @@ class SynthesisOptions:
     oracle: str = "explicit"
     incremental: bool = True
     cnf_cache_dir: str | None = None
+    trace_dir: str | None = None
 
     def __post_init__(self) -> None:
         if self.bound < 1:
@@ -191,13 +202,16 @@ class SynthesisResult:
         return out
 
     def to_json_dict(self) -> dict:
-        """The stable machine-readable summary (schema v2)."""
+        """The stable machine-readable summary: a
+        :class:`repro.obs.Report` envelope around the ``synthesis-result``
+        payload (schema v3)."""
+        from repro.obs import Report
+
         suite_counts: dict = {
             name: len(suite) for name, suite in self.per_axiom.items()
         }
         suite_counts["union"] = len(self.union)
-        return {
-            "schema_version": RESULT_SCHEMA_VERSION,
+        payload = {
             "model": self.model_name,
             "bound": self.bound,
             "jobs": self.jobs,
@@ -211,6 +225,12 @@ class SynthesisResult:
             "suite_counts": suite_counts,
             "oracle": dict(self.oracle_stats),
         }
+        return Report(
+            schema_name=RESULT_SCHEMA_NAME,
+            schema_version=RESULT_SCHEMA_VERSION,
+            command="synthesize",
+            payload=payload,
+        ).to_json_dict()
 
     def summary(self) -> str:
         rate = self.candidates / self.wall_seconds if self.wall_seconds else 0.0
@@ -313,7 +333,12 @@ def synthesize(
         )
         opts = SynthesisOptions(**legacy)
 
-    if opts.jobs > 1 or opts.shards is not None or opts.checkpoint_dir is not None:
+    if (
+        opts.jobs > 1
+        or opts.shards is not None
+        or opts.checkpoint_dir is not None
+        or opts.trace_dir is not None
+    ):
         from repro.exec import run_sharded
 
         return run_sharded(model, opts)
@@ -375,6 +400,10 @@ def _run_sequential(model: MemoryModel, opts: SynthesisOptions) -> SynthesisResu
             union.add(test, witness, minimal_for)
 
     elapsed = time.perf_counter() - start
+    registry = current_registry()
+    registry.count("candidates", n_candidates)
+    registry.count("unique_candidates", n_unique)
+    registry.count("minimal_tests", n_minimal)
     cache_stats = getattr(checker.oracle, "cache_stats", None)
     return SynthesisResult(
         model_name=model.name,

@@ -24,6 +24,7 @@ guarantee is checkable from the report alone.
 from __future__ import annotations
 
 import json
+import os
 from dataclasses import asdict, dataclass, field
 
 from repro.difftest.corpus import Corpus
@@ -36,10 +37,29 @@ from repro.difftest.shrink import shrink
 from repro.exec.fanout import FanoutTask, run_fanout
 from repro.exec.sharding import plan_shards
 from repro.models.registry import get_model
+from repro.obs import (
+    TOOL_NAME,
+    TRACE_SCHEMA_NAME,
+    TRACE_SCHEMA_VERSION,
+    Report,
+    Tracer,
+    format_event,
+    header_event,
+    null_tracer,
+)
 
-__all__ = ["CAMPAIGN_SCHEMA", "CampaignOptions", "CampaignReport", "run_campaign"]
+__all__ = [
+    "CAMPAIGN_SCHEMA",
+    "CAMPAIGN_SCHEMA_NAME",
+    "CampaignOptions",
+    "CampaignReport",
+    "run_campaign",
+]
 
-CAMPAIGN_SCHEMA = 1
+CAMPAIGN_SCHEMA_NAME = "difftest-campaign"
+#: v1 was the pre-envelope top-level shape; v2 wraps the same payload in
+#: the unified :class:`repro.obs.Report` envelope.
+CAMPAIGN_SCHEMA = 2
 
 #: stock discrepancies shrunk per campaign (a healthy run has zero; a
 #: broken oracle can produce hundreds, and shrinking each would stall
@@ -62,6 +82,9 @@ class CampaignOptions:
     generator: GeneratorConfig = field(default_factory=GeneratorConfig)
     #: cross-check the minimality criterion through both oracles
     minimality: bool = True
+    #: optional :mod:`repro.obs` trace directory (driver phase spans +
+    #: the deterministic merged discrepancy stream)
+    trace_dir: str | None = None
 
     def __post_init__(self) -> None:
         if self.budget < 0:
@@ -100,9 +123,10 @@ class CampaignReport:
     # -- rendering -----------------------------------------------------------
 
     def to_json_dict(self) -> dict:
+        """The machine-readable report: a :class:`repro.obs.Report`
+        envelope around the ``difftest-campaign`` payload (schema v2)."""
         opts = self.options
-        return {
-            "schema_version": CAMPAIGN_SCHEMA,
+        payload = {
             "model": opts.model,
             "model_fingerprint": model_fingerprint(get_model(opts.model)),
             "seed": opts.seed,
@@ -128,6 +152,12 @@ class CampaignReport:
             "corpus_added": self.corpus_added,
             "clean": self.clean,
         }
+        return Report(
+            schema_name=CAMPAIGN_SCHEMA_NAME,
+            schema_version=CAMPAIGN_SCHEMA,
+            command="difftest",
+            payload=payload,
+        ).to_json_dict()
 
     def to_json(self) -> str:
         return json.dumps(self.to_json_dict(), indent=2, sort_keys=True)
@@ -206,8 +236,65 @@ def _sort_key(disc: Discrepancy):
     return (disc.index, KINDS.index(disc.kind), disc.mutant or "", disc.detail)
 
 
+def _write_campaign_trace(
+    trace_dir: str, options: CampaignOptions, merged: list[Discrepancy], tests_run: int
+) -> None:
+    """``meta.json`` + the deterministic ``merged.jsonl`` for a campaign."""
+    os.makedirs(trace_dir, exist_ok=True)
+    meta = {
+        "schema": {"name": TRACE_SCHEMA_NAME, "version": TRACE_SCHEMA_VERSION},
+        "tool": TOOL_NAME,
+        "command": "difftest",
+        "model": options.model,
+        "seed": options.seed,
+        "budget": options.budget,
+    }
+    with open(os.path.join(trace_dir, "meta.json"), "w", encoding="utf-8") as fh:
+        json.dump(meta, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    lines = [format_event(header_event())]
+    lines.append(
+        format_event(
+            {
+                "ev": "meta",
+                "command": "difftest",
+                "model": options.model,
+                "seed": options.seed,
+            }
+        )
+    )
+    for disc in merged:
+        lines.append(
+            format_event(
+                {
+                    "ev": "discrepancy",
+                    "index": disc.index,
+                    "kind": disc.kind,
+                    "mutant": disc.mutant,
+                }
+            )
+        )
+    lines.append(
+        format_event(
+            {"ev": "summary", "tests_run": tests_run, "found": len(merged)}
+        )
+    )
+    with open(os.path.join(trace_dir, "merged.jsonl"), "w", encoding="utf-8") as fh:
+        fh.write("".join(lines))
+
+
 def run_campaign(options: CampaignOptions) -> CampaignReport:
     """Run one campaign: replay, fuzz (sharded), shrink, persist."""
+    tracer = (
+        Tracer(os.path.join(options.trace_dir, "driver.jsonl"))
+        if options.trace_dir is not None
+        else null_tracer()
+    )
+    with tracer:
+        return _run_campaign(options, tracer)
+
+
+def _run_campaign(options: CampaignOptions, tracer: Tracer) -> CampaignReport:
     harness = DiffHarness(
         options.model, mutants=options.mutants, minimality=options.minimality
     )
@@ -216,34 +303,40 @@ def run_campaign(options: CampaignOptions) -> CampaignReport:
     # 1. Replay the persisted reproducers before any new fuzzing.
     replay_confirmed = 0
     replay_stale: list[Discrepancy] = []
-    if corpus is not None:
-        for disc in corpus.load(options.model):
-            try:
-                ok = harness.reproduces(disc)
-            except KeyError:
-                ok = False  # entry names a mutant the registry dropped
-            if ok:
-                replay_confirmed += 1
-            else:
-                replay_stale.append(disc)
+    with tracer.span("replay"):
+        if corpus is not None:
+            for disc in corpus.load(options.model):
+                try:
+                    ok = harness.reproduces(disc)
+                except KeyError:
+                    ok = False  # entry names a mutant the registry dropped
+                if ok:
+                    replay_confirmed += 1
+                else:
+                    replay_stale.append(disc)
 
     # 2. Fuzz, fanned out over deterministic shards.
-    plan = plan_shards(options.jobs, options.shards)
-    payload = _ShardPayload(options, plan.count)
-    task = FanoutTask(
-        setup=_setup_worker,
-        work=_run_shard,
-        payload=payload,
-        shard_count=plan.count,
-    )
-    results = run_fanout(task, options.jobs)
-    tests_run = sum(r["tests"] for r in results)
-    merged = [
-        Discrepancy.from_dict(item)
-        for result in results
-        for item in result["discrepancies"]
-    ]
-    merged.sort(key=_sort_key)
+    with tracer.span("fuzz") as fuzz_span:
+        plan = plan_shards(options.jobs, options.shards)
+        payload = _ShardPayload(options, plan.count)
+        task = FanoutTask(
+            setup=_setup_worker,
+            work=_run_shard,
+            payload=payload,
+            shard_count=plan.count,
+        )
+        results = run_fanout(task, options.jobs)
+        tests_run = sum(r["tests"] for r in results)
+        merged = [
+            Discrepancy.from_dict(item)
+            for result in results
+            for item in result["discrepancies"]
+        ]
+        merged.sort(key=_sort_key)
+        fuzz_span.annotate(tests=tests_run, found=len(merged))
+
+    if options.trace_dir is not None:
+        _write_campaign_trace(options.trace_dir, options, merged, tests_run)
 
     # 3. Split stock findings from mutant kills; dedup stock by content.
     stock_raw: list[Discrepancy] = []
@@ -260,20 +353,22 @@ def run_campaign(options: CampaignOptions) -> CampaignReport:
                 stock_raw.append(disc)
 
     # 4. Shrink in the parent (merged order => deterministic output).
-    stock = [shrink(harness, d) for d in stock_raw[:_MAX_SHRINKS]]
-    unshrunk = max(0, len(stock_raw) - _MAX_SHRINKS)
-    kills = {
-        tag: (shrink(harness, disc), disc.test.num_events)
-        for tag, disc in kills_raw.items()
-    }
-    surviving = tuple(t for t in options.mutants if t not in kills)
+    with tracer.span("shrink"):
+        stock = [shrink(harness, d) for d in stock_raw[:_MAX_SHRINKS]]
+        unshrunk = max(0, len(stock_raw) - _MAX_SHRINKS)
+        kills = {
+            tag: (shrink(harness, disc), disc.test.num_events)
+            for tag, disc in kills_raw.items()
+        }
+        surviving = tuple(t for t in options.mutants if t not in kills)
 
     # 5. Persist the shrunken reproducers.
     corpus_added = 0
-    if corpus is not None:
-        corpus_added = corpus.append(
-            options.model, stock + [d for d, _ in kills.values()]
-        )
+    with tracer.span("persist"):
+        if corpus is not None:
+            corpus_added = corpus.append(
+                options.model, stock + [d for d, _ in kills.values()]
+            )
 
     return CampaignReport(
         options=options,

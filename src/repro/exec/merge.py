@@ -11,15 +11,66 @@ same representatives, same witnesses, same JSON serialization.
 
 from __future__ import annotations
 
+import os
 import time
 
 from repro.core.canonical import canonical_form
 from repro.core.suite import TestSuite, outcome_from_dict, test_from_dict
 from repro.core.synthesis import SynthesisOptions, SynthesisResult
+from repro.exec.worker import fingerprint
 from repro.litmus.test import LitmusTest
 from repro.models.base import MemoryModel
+from repro.obs import derive_rates, format_event, header_event, merge_metrics
 
 __all__ = ["merge_shards"]
+
+
+def _write_merged_trace(
+    trace_dir: str,
+    model: MemoryModel,
+    opts: SynthesisOptions,
+    merged_records: list[dict],
+    candidates: int,
+    unique: int,
+) -> None:
+    """``merged.jsonl``: the deterministic merged event stream.
+
+    Only order- and content-stable facts appear (no wall times, no
+    worker counts), and records are already in global ``(item, pos)``
+    order — so the file is byte-identical for every ``--jobs`` value,
+    exactly like the merged suites.
+    """
+    lines = [format_event(header_event())]
+    lines.append(
+        format_event(
+            {"ev": "meta", "command": "synthesize", "model": model.name, "bound": opts.bound}
+        )
+    )
+    for rec in merged_records:
+        lines.append(
+            format_event(
+                {
+                    "ev": "test",
+                    "item": rec["item"],
+                    "pos": rec["pos"],
+                    "minimal_for": list(rec["minimal_for"]),
+                    "digest": rec["digest"],
+                }
+            )
+        )
+    lines.append(
+        format_event(
+            {
+                "ev": "summary",
+                "candidates": candidates,
+                "unique": unique,
+                "minimal": len(merged_records),
+            }
+        )
+    )
+    os.makedirs(trace_dir, exist_ok=True)
+    with open(os.path.join(trace_dir, "merged.jsonl"), "w", encoding="utf-8") as fh:
+        fh.write("".join(lines))
 
 
 def merge_shards(
@@ -44,6 +95,7 @@ def merge_shards(
     )
     seen: set[LitmusTest] = set()
     n_minimal = 0
+    merged_records: list[dict] = []
     for rec in records:
         test = test_from_dict(rec["test"])
         canon = canonical_form(test)
@@ -53,6 +105,7 @@ def merge_shards(
             continue
         seen.add(canon)
         n_minimal += 1
+        merged_records.append({**rec, "digest": fingerprint(canon)})
         witness = None
         for name in rec["minimal_for"]:
             witness = outcome_from_dict(rec["witnesses"][name])
@@ -64,7 +117,6 @@ def merge_shards(
     unique_digests: set[str] = set()
     axiom_seconds = {name: 0.0 for name in axiom_names}
     cpu_seconds = time.perf_counter() - merge_t0
-    oracle_totals: dict[str, float] = {}
     for result in shard_results:
         stats = result["stats"]
         n_candidates += stats["candidates"]
@@ -73,21 +125,21 @@ def merge_shards(
         for name, secs in stats["axiom_seconds"].items():
             if name in axiom_seconds:
                 axiom_seconds[name] += secs
-        for key, value in stats.get("oracle", {}).items():
-            if not key.endswith("_rate"):
-                oracle_totals[key] = oracle_totals.get(key, 0) + value
-    for kind, miss_key in (("analysis", "analyses"), ("observe", "observations")):
-        hits = oracle_totals.get(f"{kind}_hits", 0)
-        total = hits + oracle_totals.get(miss_key, 0)
-        oracle_totals[f"{kind}_hit_rate"] = hits / total if total else 0.0
-    if "compile_hits" in oracle_totals:
-        hits = oracle_totals["compile_hits"]
-        total = hits + oracle_totals.get("compile_misses", 0)
-        oracle_totals["compile_hit_rate"] = hits / total if total else 0.0
-    if "sat_queries" in oracle_totals:
-        queries = oracle_totals["sat_queries"]
-        oracle_totals["sat_reuse_rate"] = (
-            oracle_totals.get("sat_reuse_hits", 0) / queries if queries else 0.0
+    # One shared aggregation path for all stats surfaces: sum the raw
+    # counters, then recompute every derived rate the counters support.
+    oracle_totals: dict[str, float] = dict(
+        merge_metrics(*(r["stats"].get("oracle", {}) for r in shard_results))
+    )
+    oracle_totals.update(derive_rates(oracle_totals))
+
+    if opts.trace_dir is not None:
+        _write_merged_trace(
+            opts.trace_dir,
+            model,
+            opts,
+            merged_records,
+            candidates=n_candidates,
+            unique=len(unique_digests),
         )
 
     return SynthesisResult(

@@ -16,7 +16,9 @@ options — parallelism and resume are pure wall-clock concerns.
 
 from __future__ import annotations
 
+import json
 import multiprocessing
+import os
 import pickle
 import time
 
@@ -37,8 +39,36 @@ from repro.exec.worker import (
     run_shard,
 )
 from repro.models.base import MemoryModel
+from repro.obs import (
+    TOOL_NAME,
+    TRACE_SCHEMA_NAME,
+    TRACE_SCHEMA_VERSION,
+    Tracer,
+    null_tracer,
+)
 
 __all__ = ["run_sharded"]
+
+
+def _write_trace_meta(trace_dir: str, model: MemoryModel, opts: SynthesisOptions) -> None:
+    """``meta.json``: the deterministic description of a traced run.
+
+    Worker counts and wall timings deliberately stay out — the merged
+    trace must be byte-identical for every ``--jobs`` value, and meta is
+    part of what consumers compare.
+    """
+    os.makedirs(trace_dir, exist_ok=True)
+    meta = {
+        "schema": {"name": TRACE_SCHEMA_NAME, "version": TRACE_SCHEMA_VERSION},
+        "tool": TOOL_NAME,
+        "command": "synthesize",
+        "model": model.name,
+        "bound": opts.bound,
+        "oracle": opts.oracle,
+    }
+    with open(os.path.join(trace_dir, "meta.json"), "w", encoding="utf-8") as fh:
+        json.dump(meta, fh, indent=2, sort_keys=True)
+        fh.write("\n")
 
 
 def _worker_task(model: MemoryModel, opts: SynthesisOptions, shard_count: int) -> WorkerTask:
@@ -64,6 +94,7 @@ def _worker_task(model: MemoryModel, opts: SynthesisOptions, shard_count: int) -
         oracle=opts.oracle,
         incremental=opts.incremental,
         cnf_cache_dir=opts.cnf_cache_dir,
+        trace_dir=opts.trace_dir,
     )
 
 
@@ -75,51 +106,71 @@ def run_sharded(model: MemoryModel, opts: SynthesisOptions) -> SynthesisResult:
             "run it with jobs=1 and no checkpoint_dir"
         )
     start = time.perf_counter()
-    shards = opts.shards
-    if shards is None and opts.checkpoint_dir is not None:
-        # A resume may change jobs (scheduling) but never the partition:
-        # without an explicit shard count, adopt the checkpoint's.
-        shards = saved_shard_count(opts.checkpoint_dir)
-    plan = plan_shards(opts.jobs, shards)
-    task = _worker_task(model, opts, plan.count)
+    if opts.trace_dir is not None:
+        _write_trace_meta(opts.trace_dir, model, opts)
+        tracer = Tracer(os.path.join(opts.trace_dir, "driver.jsonl"))
+    else:
+        tracer = null_tracer()
 
-    store: CheckpointStore | None = None
-    completed: dict[int, dict] = {}
-    if opts.checkpoint_dir is not None:
-        store = CheckpointStore(opts.checkpoint_dir, run_fingerprint(task, opts))
-        completed = store.load()
-    pending = [i for i in plan.indices() if i not in completed]
+    with tracer:
+        with tracer.span("plan"):
+            shards = opts.shards
+            if shards is None and opts.checkpoint_dir is not None:
+                # A resume may change jobs (scheduling) but never the
+                # partition: without an explicit shard count, adopt the
+                # checkpoint's.
+                shards = saved_shard_count(opts.checkpoint_dir)
+            plan = plan_shards(opts.jobs, shards)
+            task = _worker_task(model, opts, plan.count)
 
-    progress = opts.progress
-    candidates_done = sum(r["stats"]["candidates"] for r in completed.values())
+        with tracer.span("replay"):
+            store: CheckpointStore | None = None
+            completed: dict[int, dict] = {}
+            if opts.checkpoint_dir is not None:
+                store = CheckpointStore(
+                    opts.checkpoint_dir, run_fingerprint(task, opts)
+                )
+                completed = store.load()
+            pending = [i for i in plan.indices() if i not in completed]
 
-    def finish(result: dict) -> None:
-        nonlocal candidates_done
-        completed[result["shard"]] = result
-        candidates_done += result["stats"]["candidates"]
-        if store is not None:
-            store.record(result)
-        if progress is not None:
-            progress(candidates_done)
+        progress = opts.progress
+        candidates_done = sum(
+            r["stats"]["candidates"] for r in completed.values()
+        )
 
-    if opts.jobs == 1:
-        # In-process: same shard/merge/checkpoint path, no pool overhead.
-        state = _WorkerState(task)
-        for index in pending:
-            finish(compute_shard(state, index))
-    elif pending:
-        with multiprocessing.get_context().Pool(
-            processes=min(opts.jobs, len(pending)),
-            initializer=init_worker,
-            initargs=(task,),
-        ) as pool:
-            for result in pool.imap_unordered(run_shard, pending, chunksize=1):
-                finish(result)
+        def finish(result: dict) -> None:
+            nonlocal candidates_done
+            completed[result["shard"]] = result
+            candidates_done += result["stats"]["candidates"]
+            if store is not None:
+                store.record(result)
+            if progress is not None:
+                progress(candidates_done)
 
-    return merge_shards(
-        model,
-        opts,
-        list(completed.values()),
-        wall_seconds=time.perf_counter() - start,
-        shard_count=plan.count,
-    )
+        with tracer.span("shards", pending=len(pending)):
+            if opts.jobs == 1:
+                # In-process: same shard/merge/checkpoint path, no pool
+                # overhead.
+                state = _WorkerState(task)
+                for index in pending:
+                    finish(compute_shard(state, index))
+            elif pending:
+                with multiprocessing.get_context().Pool(
+                    processes=min(opts.jobs, len(pending)),
+                    initializer=init_worker,
+                    initargs=(task,),
+                ) as pool:
+                    for result in pool.imap_unordered(
+                        run_shard, pending, chunksize=1
+                    ):
+                        finish(result)
+
+        wall_seconds = time.perf_counter() - start
+        with tracer.span("merge"):
+            return merge_shards(
+                model,
+                opts,
+                list(completed.values()),
+                wall_seconds=wall_seconds,
+                shard_count=plan.count,
+            )

@@ -23,6 +23,7 @@ what lets :mod:`repro.exec.merge` produce byte-identical suites.
 from __future__ import annotations
 
 import hashlib
+import os
 import time
 from dataclasses import dataclass
 from typing import Any
@@ -34,6 +35,7 @@ from repro.core.suite import outcome_to_dict, test_to_dict
 from repro.core.synthesis import SynthesisOptions, build_checker
 from repro.litmus.test import LitmusTest
 from repro.models.registry import get_model
+from repro.obs import MetricsRegistry, Tracer, null_tracer, use_registry
 
 __all__ = ["WorkerTask", "compute_shard", "init_worker", "run_shard", "fingerprint"]
 
@@ -57,6 +59,7 @@ class WorkerTask:
     oracle: str = "explicit"
     incremental: bool = True
     cnf_cache_dir: str | None = None
+    trace_dir: str | None = None
 
 
 def fingerprint(test: LitmusTest) -> str:
@@ -102,8 +105,21 @@ class _WorkerState:
         ).resolved_reject(self.model)
 
 
+def _oracle_metrics(oracle: Any) -> dict[str, int | float]:
+    """Raw counter snapshot of an oracle implementing the Stats protocol."""
+    as_metrics = getattr(oracle, "as_metrics", None)
+    return dict(as_metrics()) if as_metrics is not None else {}
+
+
 def compute_shard(state: _WorkerState, shard_index: int) -> dict:
-    """Run the synthesis loop over one shard; return a shard result."""
+    """Run the synthesis loop over one shard; return a shard result.
+
+    Oracle counters are reported as this shard's *delta* (the worker's
+    oracle persists across the shards one process computes, so a raw
+    snapshot would double-count earlier shards after the merge sums
+    them).  With ``task.trace_dir`` set, the shard also streams a span +
+    counters trace to ``shard-NNNN.jsonl``.
+    """
     t0 = time.perf_counter()
     task = state.task
     checker = state.checker
@@ -114,43 +130,65 @@ def compute_shard(state: _WorkerState, shard_index: int) -> dict:
     n_candidates = 0
     current_item = -1
     pos = 0
-    for item, test in enumerate_shard(
-        state.model.vocabulary,
-        task.config,
-        shard=(shard_index, task.shard_count),
-        reject=state.reject,
-    ):
-        if item != current_item:
-            current_item, pos = item, 0
-        else:
-            pos += 1
-        n_candidates += 1
-        canon = canonical_form(test)
-        if canon in seen:
-            continue
-        seen.add(canon)
-        digests.append(fingerprint(canon))
-        minimal_for: list[str] = []
-        witnesses: dict[str, dict] = {}
-        for name in state.axiom_names:
-            t_ax = time.perf_counter()
-            result = checker.check(test, name)
-            axiom_seconds[name] += time.perf_counter() - t_ax
-            if result.is_minimal:
-                assert result.witness is not None
-                minimal_for.append(name)
-                witnesses[name] = outcome_to_dict(result.witness)
-        if minimal_for:
-            records.append(
-                {
-                    "item": item,
-                    "pos": pos,
-                    "test": test_to_dict(test),
-                    "minimal_for": minimal_for,
-                    "witnesses": witnesses,
-                }
+    oracle_before = _oracle_metrics(checker.oracle)
+    tracer = (
+        Tracer(os.path.join(task.trace_dir, f"shard-{shard_index:04d}.jsonl"))
+        if task.trace_dir is not None
+        else null_tracer()
+    )
+    registry = MetricsRegistry()
+    with tracer, use_registry(registry):
+        with tracer.span("shard", shard=shard_index) as shard_span:
+            for item, test in enumerate_shard(
+                state.model.vocabulary,
+                task.config,
+                shard=(shard_index, task.shard_count),
+                reject=state.reject,
+            ):
+                if item != current_item:
+                    current_item, pos = item, 0
+                else:
+                    pos += 1
+                n_candidates += 1
+                canon = canonical_form(test)
+                if canon in seen:
+                    continue
+                seen.add(canon)
+                digests.append(fingerprint(canon))
+                minimal_for: list[str] = []
+                witnesses: dict[str, dict] = {}
+                for name in state.axiom_names:
+                    t_ax = time.perf_counter()
+                    result = checker.check(test, name)
+                    axiom_seconds[name] += time.perf_counter() - t_ax
+                    if result.is_minimal:
+                        assert result.witness is not None
+                        minimal_for.append(name)
+                        witnesses[name] = outcome_to_dict(result.witness)
+                if minimal_for:
+                    records.append(
+                        {
+                            "item": item,
+                            "pos": pos,
+                            "test": test_to_dict(test),
+                            "minimal_for": minimal_for,
+                            "witnesses": witnesses,
+                        }
+                    )
+            shard_span.annotate(
+                candidates=n_candidates, unique=len(seen), minimal=len(records)
             )
-    cache_stats = getattr(checker.oracle, "cache_stats", None)
+        oracle_after = _oracle_metrics(checker.oracle)
+        oracle_delta = {
+            key: value - oracle_before.get(key, 0)
+            for key, value in oracle_after.items()
+        }
+        registry.count("candidates", n_candidates)
+        registry.count("unique_candidates", len(seen))
+        registry.count("minimal_records", len(records))
+        tracer.counters(
+            {**registry.as_metrics(), **oracle_delta}, shard=shard_index
+        )
     return {
         "shard": shard_index,
         "records": records,
@@ -160,7 +198,7 @@ def compute_shard(state: _WorkerState, shard_index: int) -> dict:
             "digests": digests,
             "axiom_seconds": axiom_seconds,
             "cpu_seconds": time.perf_counter() - t0,
-            "oracle": cache_stats() if cache_stats is not None else {},
+            "oracle": oracle_delta,
         },
     }
 

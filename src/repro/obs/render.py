@@ -1,0 +1,208 @@
+"""Render a trace directory into per-phase / per-shard summaries.
+
+A trace directory (produced by ``synthesize --trace-dir`` or
+``difftest --trace-dir``) contains:
+
+``meta.json``
+    a deterministic description of the run (schema, tool, command,
+    model, bound) — never timings or worker counts;
+``driver.jsonl``
+    the orchestrating process's phase spans (plan/replay/shards/merge);
+``shard-NNNN.jsonl``
+    one file per shard with the worker's spans and counter snapshots;
+``merged.jsonl``
+    the deterministic merged event stream (byte-identical for a given
+    input regardless of ``--jobs``).
+
+:func:`summarize_trace_dir` folds these into one JSON-ready payload
+(the ``trace-report`` schema) and :func:`render_trace_text` pretty
+prints it for the ``repro report`` subcommand.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+from typing import Any
+
+from .metrics import derive_rates, merge_metrics
+from .trace import read_events
+
+__all__ = [
+    "TRACE_REPORT_SCHEMA_NAME",
+    "TRACE_REPORT_SCHEMA_VERSION",
+    "trace_files",
+    "summarize_trace_dir",
+    "render_trace_text",
+]
+
+TRACE_REPORT_SCHEMA_NAME = "trace-report"
+TRACE_REPORT_SCHEMA_VERSION = 1
+
+_SHARD_FILE = re.compile(r"^shard-(\d+)\.jsonl$")
+
+
+def trace_files(trace_dir: str) -> list[str]:
+    """The JSONL event files of a trace directory, sorted by name."""
+    try:
+        names = sorted(os.listdir(trace_dir))
+    except OSError as exc:
+        raise ValueError(f"cannot read trace dir: {exc.strerror or exc}") from exc
+    return [n for n in names if n.endswith(".jsonl")]
+
+
+def _span_totals(events: list[dict[str, Any]]) -> dict[str, dict[str, float]]:
+    """Aggregate ``span`` events by name → {count, wall}."""
+    totals: dict[str, dict[str, float]] = {}
+    for event in events:
+        if event.get("ev") != "span":
+            continue
+        slot = totals.setdefault(event.get("name", "?"), {"count": 0, "wall": 0.0})
+        slot["count"] += 1
+        slot["wall"] += float(event.get("wall", 0.0))
+    return totals
+
+
+def _top_level_wall(events: list[dict[str, Any]]) -> float:
+    """Summed wall of root spans only (children are nested inside)."""
+    return sum(
+        float(event.get("wall", 0.0))
+        for event in events
+        if event.get("ev") == "span" and event.get("parent") is None
+    )
+
+
+def summarize_trace_dir(trace_dir: str) -> dict[str, Any]:
+    """Fold one trace directory into the ``trace-report`` payload."""
+    meta: dict[str, Any] | None = None
+    meta_path = os.path.join(trace_dir, "meta.json")
+    if os.path.exists(meta_path):
+        with open(meta_path, "r", encoding="utf-8") as handle:
+            meta = json.load(handle)
+
+    files = trace_files(trace_dir)
+    if not files and meta is None:
+        raise ValueError("no trace files found (*.jsonl or meta.json)")
+
+    phases: list[dict[str, Any]] = []
+    shards: list[dict[str, Any]] = []
+    all_spans: dict[str, dict[str, float]] = {}
+    counter_snaps: list[dict[str, int | float]] = []
+    merged_summary: dict[str, Any] | None = None
+    merged_tests = 0
+    total_wall = 0.0
+
+    for name in files:
+        events = list(read_events(os.path.join(trace_dir, name)))
+        match = _SHARD_FILE.match(name)
+        for span_name, slot in _span_totals(events).items():
+            acc = all_spans.setdefault(span_name, {"count": 0, "wall": 0.0})
+            acc["count"] += slot["count"]
+            acc["wall"] += slot["wall"]
+        for event in events:
+            if event.get("ev") == "counters":
+                counter_snaps.append(dict(event.get("counters", {})))
+
+        if name == "driver.jsonl":
+            # Preserve the driver's phase order; one row per root span.
+            for event in events:
+                if event.get("ev") == "span" and event.get("parent") is None:
+                    phases.append(
+                        {
+                            "name": event.get("name", "?"),
+                            "wall": float(event.get("wall", 0.0)),
+                        }
+                    )
+            total_wall += _top_level_wall(events)
+        elif match:
+            shards.append(
+                {
+                    "shard": int(match.group(1)),
+                    "wall": _top_level_wall(events),
+                    "spans": {
+                        k: round(v["wall"], 6)
+                        for k, v in sorted(_span_totals(events).items())
+                    },
+                }
+            )
+        elif name == "merged.jsonl":
+            for event in events:
+                if event.get("ev") == "test":
+                    merged_tests += 1
+                elif event.get("ev") == "summary":
+                    merged_summary = {
+                        k: v for k, v in event.items() if k != "ev"
+                    }
+
+    shards.sort(key=lambda entry: entry["shard"])
+    counters = merge_metrics(*counter_snaps)
+    payload: dict[str, Any] = {
+        "trace_dir": trace_dir,
+        "meta": meta,
+        "files": files,
+        "phases": [
+            {"name": p["name"], "wall": round(p["wall"], 6)} for p in phases
+        ],
+        "total_wall": round(total_wall, 6),
+        "shards": shards,
+        "spans": {
+            name: {"count": int(slot["count"]), "wall": round(slot["wall"], 6)}
+            for name, slot in sorted(all_spans.items())
+        },
+        "counters": dict(sorted(counters.items())),
+        "rates": derive_rates(counters),
+        "merged": {"tests": merged_tests, "summary": merged_summary},
+    }
+    return payload
+
+
+def _fmt_wall(seconds: float) -> str:
+    return f"{seconds:10.4f}"
+
+
+def render_trace_text(payload: dict[str, Any]) -> str:
+    """Human-readable tables for one ``trace-report`` payload."""
+    lines: list[str] = []
+    meta = payload.get("meta") or {}
+    describe = " ".join(
+        f"{key}={meta[key]}"
+        for key in ("command", "model", "bound")
+        if key in meta
+    )
+    lines.append(f"trace {payload['trace_dir']}" + (f" ({describe})" if describe else ""))
+
+    if payload["phases"]:
+        lines.append("")
+        lines.append("phase                      wall_s")
+        for phase in payload["phases"]:
+            lines.append(f"  {phase['name']:<22}{_fmt_wall(phase['wall'])}")
+        lines.append(f"  {'total':<22}{_fmt_wall(payload['total_wall'])}")
+
+    if payload["shards"]:
+        lines.append("")
+        lines.append("shard    wall_s  spans")
+        for shard in payload["shards"]:
+            span_bits = " ".join(
+                f"{name}={wall:.4f}" for name, wall in shard["spans"].items()
+            )
+            lines.append(
+                f"  {shard['shard']:<5}{_fmt_wall(shard['wall'])}  {span_bits}"
+            )
+
+    if payload["counters"]:
+        lines.append("")
+        lines.append("counters")
+        for name, value in payload["counters"].items():
+            lines.append(f"  {name} = {value}")
+        for name, value in sorted(payload.get("rates", {}).items()):
+            lines.append(f"  {name} = {value:.4f}")
+
+    merged = payload.get("merged") or {}
+    if merged.get("summary") is not None or merged.get("tests"):
+        lines.append("")
+        summary = merged.get("summary") or {}
+        bits = " ".join(f"{k}={v}" for k, v in sorted(summary.items()))
+        lines.append(f"merged: {merged.get('tests', 0)} test event(s) {bits}".rstrip())
+
+    return "\n".join(lines) + "\n"

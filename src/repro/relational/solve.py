@@ -21,9 +21,11 @@ which is what the structural-hash compilation cache in
 
 from __future__ import annotations
 
+import time
 from collections.abc import Iterable, Iterator
 from dataclasses import dataclass
 
+from repro.obs import current_registry
 from repro.relational import ast
 from repro.relational.circuit import FALSE, TRUE, Circuit
 from repro.relational.problem import Problem
@@ -157,7 +159,7 @@ class ModelFinder:
 
         Returns False when the conjunction became trivially unsatisfiable.
         """
-        root = self._translator().formula(formula)
+        root = self._compile(formula)
         return self.circuit.assert_true(root)
 
     def selector_for(self, formula: ast.Formula) -> int | None:
@@ -172,7 +174,7 @@ class ModelFinder:
         """
         if formula in self._selectors:
             return self._selectors[formula]
-        root = self._translator().formula(formula)
+        root = self._compile(formula)
         sel: int | None
         if root == TRUE:
             sel = None
@@ -181,6 +183,19 @@ class ModelFinder:
             self.circuit.assert_guarded(sel, root)
         self._selectors[formula] = sel
         return sel
+
+    def _compile(self, formula: ast.Formula):
+        """Translate one formula to a circuit root, publishing the
+        compile count and wall time into the process-local metrics
+        registry (``relational_compiles`` / ``relational_compile_seconds``)."""
+        start = time.perf_counter()
+        root = self._translator().formula(formula)
+        elapsed = time.perf_counter() - start
+        registry = current_registry()
+        registry.count("relational_compiles")
+        registry.count("relational_compile_seconds", elapsed)
+        registry.observe("relational_compile_wall", elapsed)
+        return root
 
     def _translator(self) -> Translator:
         if self.translator is None:

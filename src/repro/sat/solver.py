@@ -69,6 +69,10 @@ class SolverStats:
     def as_dict(self) -> dict[str, int]:
         return asdict(self)
 
+    def as_metrics(self) -> dict[str, int]:
+        """The :class:`repro.obs.Stats` protocol: raw summable counters."""
+        return asdict(self)
+
     def add(self, other: "SolverStats | dict") -> None:
         """Accumulate another stats record into this one."""
         items = other.as_dict() if isinstance(other, SolverStats) else other

@@ -40,7 +40,11 @@ class TestFixedSeedCampaign:
         assert sc_report.clean
 
     def test_report_json_schema(self, sc_report):
-        doc = json.loads(sc_report.to_json())
+        envelope = json.loads(sc_report.to_json())
+        assert envelope["schema"] == {"name": "difftest-campaign", "version": 2}
+        assert envelope["tool"] == "litmus-synth"
+        assert envelope["command"] == "difftest"
+        doc = envelope["payload"]
         assert doc["model"] == "sc"
         assert doc["clean"] is True
         assert doc["surviving_mutants"] == []

@@ -26,8 +26,12 @@ class TestCliParallel:
         assert code == 0
         code, par_out = _run(capsys, "--jobs", "2", "--json")
         assert code == 0
-        seq, par = json.loads(seq_out), json.loads(par_out)
-        assert seq["schema_version"] == par["schema_version"] == 2
+        seq_env, par_env = json.loads(seq_out), json.loads(par_out)
+        for env in (seq_env, par_env):
+            assert env["schema"] == {"name": "synthesis-result", "version": 3}
+            assert env["tool"] == "litmus-synth"
+            assert env["command"] == "synthesize"
+        seq, par = seq_env["payload"], par_env["payload"]
         assert seq["suite_counts"] == par["suite_counts"]
         assert seq["candidates"] == par["candidates"]
         assert seq["unique_candidates"] == par["unique_candidates"]
@@ -48,8 +52,8 @@ class TestCliParallel:
         code, second = _run(capsys, "--checkpoint-dir", ckpt, "--json")
         assert code == 0
         assert (
-            json.loads(first)["suite_counts"]
-            == json.loads(second)["suite_counts"]
+            json.loads(first)["payload"]["suite_counts"]
+            == json.loads(second)["payload"]["suite_counts"]
         )
 
     def test_checkpoint_mismatch_is_cli_error(self, capsys, tmp_path):

@@ -64,14 +64,21 @@ class TestSynthesisOptions:
 
 
 class TestResultSchema:
-    def test_json_dict_schema_v2(self):
+    def test_json_dict_schema_v3_envelope(self):
         result = synthesize(
             get_model("tso"),
             SynthesisOptions(bound=3, config=_config(), shards=3),
         )
-        payload = result.to_json_dict()
-        json.dumps(payload)  # must be serializable as-is
-        assert payload["schema_version"] == RESULT_SCHEMA_VERSION == 2
+        envelope = result.to_json_dict()
+        json.dumps(envelope)  # must be serializable as-is
+        assert envelope["schema"] == {
+            "name": "synthesis-result",
+            "version": RESULT_SCHEMA_VERSION,
+        }
+        assert RESULT_SCHEMA_VERSION == 3
+        assert envelope["tool"] == "litmus-synth"
+        assert envelope["command"] == "synthesize"
+        payload = envelope["payload"]
         assert payload["model"] == "tso"
         assert payload["bound"] == 3
         assert payload["jobs"] == 1

@@ -1,0 +1,110 @@
+"""MetricsRegistry, the Stats protocol, merge_metrics and derive_rates."""
+
+from repro.obs import (
+    MetricsRegistry,
+    Stats,
+    current_registry,
+    derive_rates,
+    merge_metrics,
+    use_registry,
+)
+
+
+class _FakeStats:
+    def as_metrics(self):
+        return {"queries": 7, "hits": 3.0}
+
+
+class TestStatsProtocol:
+    def test_runtime_checkable(self):
+        assert isinstance(_FakeStats(), Stats)
+        assert not isinstance(object(), Stats)
+
+    def test_solver_stats_implement_it(self):
+        from repro.sat.solver import SolverStats
+
+        assert isinstance(SolverStats(), Stats)
+
+    def test_cnf_cache_implements_it(self):
+        from repro.alloy.cache import CNFCache
+
+        assert isinstance(CNFCache("fp"), Stats)
+
+    def test_explicit_oracle_implements_it(self):
+        from repro.core.oracle import ExplicitOracle
+        from repro.models.registry import get_model
+
+        assert isinstance(ExplicitOracle(get_model("sc")), Stats)
+
+
+class TestMetricsRegistry:
+    def test_counters_accumulate(self):
+        reg = MetricsRegistry()
+        reg.count("a")
+        reg.count("a", 2)
+        reg.gauge("g", 1.5)
+        assert reg.as_metrics()["a"] == 3
+        assert reg.gauges()["g"] == 1.5
+        assert reg.snapshot()["counters"] == {"a": 3}
+
+    def test_histograms_summarize(self):
+        reg = MetricsRegistry()
+        for v in (1.0, 3.0, 2.0):
+            reg.observe("h", v)
+        summary = reg.histogram_summary()["h"]
+        assert summary["count"] == 3
+        assert summary["min"] == 1.0
+        assert summary["max"] == 3.0
+        assert summary["sum"] == 6.0
+
+    def test_publish_stats_with_prefix(self):
+        reg = MetricsRegistry()
+        reg.publish(_FakeStats(), prefix="sat_")
+        metrics = reg.as_metrics()
+        assert metrics["sat_queries"] == 7
+        # int-valued floats normalize to int
+        assert metrics["sat_hits"] == 3
+        assert isinstance(metrics["sat_hits"], int)
+
+    def test_use_registry_scopes_the_current_one(self):
+        outer = current_registry()
+        inner = MetricsRegistry()
+        with use_registry(inner):
+            assert current_registry() is inner
+            current_registry().count("only_inner")
+        assert current_registry() is outer
+        assert "only_inner" not in outer.as_metrics()
+        assert inner.as_metrics()["only_inner"] == 1
+
+
+class TestMergeAndRates:
+    def test_merge_sums_keywise_and_skips_rates(self):
+        merged = merge_metrics(
+            {"a": 1, "b": 2.5, "x_rate": 0.9},
+            {"a": 4, "c": 1},
+        )
+        assert merged == {"a": 5, "b": 2.5, "c": 1}
+
+    def test_analysis_rate_counts_misses(self):
+        # "analyses" counts cache MISSES: total calls = hits + misses.
+        rates = derive_rates({"analyses": 25, "analysis_hits": 75})
+        assert rates["analysis_hit_rate"] == 0.75
+
+    def test_observe_rate_counts_misses(self):
+        rates = derive_rates({"observations": 10, "observe_hits": 30})
+        assert rates["observe_hit_rate"] == 0.75
+
+    def test_compile_and_sat_rates(self):
+        rates = derive_rates(
+            {
+                "compile_hits": 9,
+                "compile_misses": 1,
+                "sat_queries": 4,
+                "sat_reuse_hits": 2,
+            }
+        )
+        assert rates["compile_hit_rate"] == 0.9
+        assert rates["sat_reuse_rate"] == 0.5
+
+    def test_rates_are_conditional_on_constituents(self):
+        assert derive_rates({"candidates": 5}) == {}

@@ -1,0 +1,94 @@
+"""summarize_trace_dir / render_trace_text over synthetic trace dirs."""
+
+import json
+import os
+
+import pytest
+
+from repro.obs import (
+    Tracer,
+    format_event,
+    render_trace_text,
+    summarize_trace_dir,
+    trace_files,
+)
+
+
+def _write_driver(trace_dir):
+    with Tracer(os.path.join(trace_dir, "driver.jsonl")) as tracer:
+        with tracer.span("plan"):
+            pass
+        with tracer.span("shards"):
+            pass
+        with tracer.span("merge"):
+            pass
+
+
+def _write_shard(trace_dir, index, counters):
+    path = os.path.join(trace_dir, f"shard-{index:04d}.jsonl")
+    with Tracer(path) as tracer:
+        with tracer.span("shard", shard=index):
+            pass
+        tracer.counters(counters, shard=index)
+
+
+class TestSummarize:
+    def test_phases_shards_and_counters(self, tmp_path):
+        trace_dir = str(tmp_path)
+        _write_driver(trace_dir)
+        _write_shard(trace_dir, 1, {"candidates": 3, "analyses": 2})
+        _write_shard(trace_dir, 0, {"candidates": 4, "analysis_hits": 6})
+        payload = summarize_trace_dir(trace_dir)
+        assert [p["name"] for p in payload["phases"]] == [
+            "plan",
+            "shards",
+            "merge",
+        ]
+        assert [s["shard"] for s in payload["shards"]] == [0, 1]
+        assert payload["counters"]["candidates"] == 7
+        # rates derived from merged counters, misses + hits semantics
+        assert payload["rates"]["analysis_hit_rate"] == pytest.approx(0.75)
+        assert payload["spans"]["shard"]["count"] == 2
+        assert payload["total_wall"] >= 0
+
+    def test_meta_and_merged_stream(self, tmp_path):
+        trace_dir = str(tmp_path)
+        (tmp_path / "meta.json").write_text(
+            json.dumps({"command": "synthesize", "model": "tso", "bound": 3})
+        )
+        with open(tmp_path / "merged.jsonl", "w") as fh:
+            fh.write(format_event({"ev": "test", "item": 0, "pos": 0}))
+            fh.write(format_event({"ev": "test", "item": 1, "pos": 0}))
+            fh.write(format_event({"ev": "summary", "minimal": 2}))
+        payload = summarize_trace_dir(trace_dir)
+        assert payload["meta"]["model"] == "tso"
+        assert payload["merged"]["tests"] == 2
+        assert payload["merged"]["summary"] == {"minimal": 2}
+
+    def test_empty_dir_raises(self, tmp_path):
+        with pytest.raises(ValueError, match="no trace files"):
+            summarize_trace_dir(str(tmp_path))
+
+    def test_missing_dir_raises(self, tmp_path):
+        with pytest.raises(ValueError, match="cannot read trace dir"):
+            summarize_trace_dir(str(tmp_path / "nope"))
+
+    def test_trace_files_sorted(self, tmp_path):
+        for name in ("shard-0001.jsonl", "driver.jsonl", "notes.txt"):
+            (tmp_path / name).write_text("")
+        assert trace_files(str(tmp_path)) == [
+            "driver.jsonl",
+            "shard-0001.jsonl",
+        ]
+
+
+class TestRenderText:
+    def test_tables_mention_phases_shards_counters(self, tmp_path):
+        trace_dir = str(tmp_path)
+        _write_driver(trace_dir)
+        _write_shard(trace_dir, 0, {"candidates": 4})
+        text = render_trace_text(summarize_trace_dir(trace_dir))
+        assert "phase" in text
+        assert "plan" in text and "merge" in text
+        assert "shard" in text
+        assert "candidates = 4" in text

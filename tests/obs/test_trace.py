@@ -1,0 +1,101 @@
+"""Tracer/Span event streams: nesting, headers, canonical serialization."""
+
+import json
+
+from repro.obs import (
+    TRACE_SCHEMA_NAME,
+    TRACE_SCHEMA_VERSION,
+    BufferTracer,
+    Tracer,
+    format_event,
+    header_event,
+    null_tracer,
+    read_events,
+)
+
+
+class TestEventStream:
+    def test_header_is_first(self):
+        tracer = BufferTracer()
+        with tracer.span("x"):
+            pass
+        events = tracer.events()
+        assert events[0] == {
+            "ev": "header",
+            "schema": {
+                "name": TRACE_SCHEMA_NAME,
+                "version": TRACE_SCHEMA_VERSION,
+            },
+        }
+
+    def test_begin_then_span_with_wall(self):
+        tracer = BufferTracer()
+        with tracer.span("work", shard=3):
+            pass
+        begin, close = tracer.events()[1:]
+        assert begin == {"ev": "begin", "id": 1, "name": "work", "parent": None}
+        assert close["ev"] == "span"
+        assert close["id"] == 1
+        assert close["wall"] >= 0
+        assert close["attrs"] == {"shard": 3}
+
+    def test_nesting_records_parent(self):
+        tracer = BufferTracer()
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        spans = {e["name"]: e for e in tracer.events() if e["ev"] == "span"}
+        assert spans["outer"]["parent"] is None
+        assert spans["inner"]["parent"] == spans["outer"]["id"]
+
+    def test_annotate_adds_closing_attrs(self):
+        tracer = BufferTracer()
+        with tracer.span("phase") as span:
+            span.annotate(items=9)
+        close = tracer.events()[-1]
+        assert close["attrs"] == {"items": 9}
+
+    def test_counters_event(self):
+        tracer = BufferTracer()
+        tracer.counters({"b": 2, "a": 1}, shard=0)
+        event = tracer.events()[-1]
+        assert event["ev"] == "counters"
+        assert event["counters"] == {"a": 1, "b": 2}
+        assert event["shard"] == 0
+
+    def test_format_event_is_canonical(self):
+        line = format_event({"b": 1, "a": 2})
+        assert line == '{"a":2,"b":1}\n'
+
+    def test_null_tracer_times_but_writes_nothing(self):
+        tracer = null_tracer()
+        with tracer.span("anything"):
+            pass
+        tracer.counters({"x": 1})
+        tracer.close()  # no error, no output
+
+
+class TestFileSink:
+    def test_writes_header_and_events(self, tmp_path):
+        path = str(tmp_path / "t.jsonl")
+        with Tracer(path) as tracer:
+            with tracer.span("s"):
+                pass
+        events = list(read_events(path))
+        assert [e["ev"] for e in events] == ["header", "begin", "span"]
+
+    def test_read_events_skips_torn_lines(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text(
+            format_event(header_event()) + '{"ev":"begin","id":1,"na'
+        )
+        events = list(read_events(str(path)))
+        assert [e["ev"] for e in events] == ["header"]
+
+    def test_lines_parse_as_json(self, tmp_path):
+        path = str(tmp_path / "t.jsonl")
+        with Tracer(path) as tracer:
+            with tracer.span("a"):
+                pass
+        for line in open(path):
+            json.loads(line)

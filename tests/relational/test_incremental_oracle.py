@@ -235,7 +235,7 @@ class TestStatsSurface:
             model,
             SynthesisOptions(bound=3, config=config, oracle="relational"),
         )
-        doc = result.to_json_dict()["oracle"]
+        doc = result.to_json_dict()["payload"]["oracle"]
         for key in (
             "sat_conflicts",
             "sat_propagations",

@@ -100,22 +100,38 @@ class TestCLI:
 
 
 class TestCLIFileErrors:
-    """check/show must fail cleanly (stderr + status 2), not traceback."""
+    """check/show/compare fail cleanly and uniformly: one
+    ``error: <path>: <reason>`` line on stderr, exit status 2."""
 
     def test_check_missing_file(self, capsys):
         assert main(["check", "--model", "tso", "/nonexistent.litmus"]) == 2
         err = capsys.readouterr().err
         assert "error:" in err and "cannot read" in err
+        assert "error: /nonexistent.litmus: cannot read:" in err
 
     def test_check_unparsable_file(self, capsys, tmp_path):
         path = tmp_path / "bad.litmus"
         path.write_text("thread\nnot a real instruction\n")
         assert main(["check", "--model", "tso", str(path)]) == 2
-        assert "error:" in capsys.readouterr().err
+        assert f"error: {path}: " in capsys.readouterr().err
 
     def test_show_missing_file(self, capsys):
         assert main(["show", "--file", "/nonexistent.litmus"]) == 2
-        assert "error:" in capsys.readouterr().err
+        err = capsys.readouterr().err
+        assert "error: /nonexistent.litmus: cannot read:" in err
+
+    def test_compare_missing_suite_shares_the_format(self, capsys):
+        code = main(
+            ["compare", "--model", "tso", "--suite", "/nonexistent.json"]
+        )
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "error: /nonexistent.json: cannot read:" in err
+
+    def test_report_missing_dir_shares_the_format(self, capsys):
+        assert main(["report", "/nonexistent-trace"]) == 2
+        err = capsys.readouterr().err
+        assert "error: /nonexistent-trace: cannot read trace dir" in err
 
     def test_show_file_roundtrip(self, capsys, tmp_path):
         path = tmp_path / "mp.litmus"
@@ -243,7 +259,9 @@ class TestCLIDifftest:
         assert capsys.readouterr().out == sequential
         import json
 
-        doc = json.loads(sequential)
+        envelope = json.loads(sequential)
+        assert envelope["schema"] == {"name": "difftest-campaign", "version": 2}
+        doc = envelope["payload"]
         assert doc["clean"] is True
         assert doc["mutant_kills"]["drop:sc_per_loc"]["events"] <= (
             doc["mutant_kills"]["drop:sc_per_loc"]["original_events"]
@@ -300,6 +318,93 @@ class TestCLIDifftest:
         assert main(["lint", "--corpus-dir", corpus_dir]) == 0
 
 
+class TestCLIReport:
+    def _trace(self, tmp_path, *extra):
+        trace_dir = str(tmp_path / "trace")
+        argv = [
+            "synthesize",
+            "--model",
+            "tso",
+            "--bound",
+            "3",
+            "--max-addresses",
+            "2",
+            "--trace-dir",
+            trace_dir,
+            *extra,
+        ]
+        assert main(argv) == 0
+        return trace_dir
+
+    def test_report_renders_phases_and_counters(self, capsys, tmp_path):
+        trace_dir = self._trace(tmp_path)
+        capsys.readouterr()
+        assert main(["report", trace_dir]) == 0
+        out = capsys.readouterr().out
+        for phase in ("plan", "shards", "merge"):
+            assert phase in out
+        assert "candidates" in out
+        assert "merged:" in out
+
+    def test_report_json_is_an_envelope(self, capsys, tmp_path):
+        import json
+
+        trace_dir = self._trace(tmp_path, "--jobs", "2")
+        capsys.readouterr()
+        assert main(["report", trace_dir, "--json"]) == 0
+        envelope = json.loads(capsys.readouterr().out)
+        assert envelope["schema"] == {"name": "trace-report", "version": 1}
+        assert envelope["tool"] == "litmus-synth"
+        assert envelope["command"] == "report"
+        payload = envelope["payload"]
+        assert [p["name"] for p in payload["phases"]] == [
+            "plan",
+            "replay",
+            "shards",
+            "merge",
+        ]
+        assert payload["meta"]["model"] == "tso"
+        assert len(payload["shards"]) >= 1
+
+    def test_lint_trace_dir_clean_on_real_trace(self, capsys, tmp_path):
+        trace_dir = self._trace(tmp_path)
+        capsys.readouterr()
+        assert main(["lint", "--catalog", "--trace-dir", trace_dir]) == 0
+
+    def test_lint_trace_dir_flags_unclosed_span(self, capsys, tmp_path):
+        from repro.obs import format_event, header_event
+
+        trace_dir = tmp_path / "trace"
+        trace_dir.mkdir()
+        (trace_dir / "shard-0000.jsonl").write_text(
+            format_event(header_event())
+            + format_event(
+                {"ev": "begin", "id": 1, "name": "shard", "parent": None}
+            )
+        )
+        assert main(["lint", "--catalog", "--trace-dir", str(trace_dir)]) == 1
+        assert "OBS001" in capsys.readouterr().out
+
+    def test_difftest_trace_dir(self, capsys, tmp_path):
+        trace_dir = str(tmp_path / "dtrace")
+        argv = [
+            "difftest",
+            "--model",
+            "sc",
+            "--seed",
+            "3",
+            "--budget",
+            "20",
+            "--trace-dir",
+            trace_dir,
+        ]
+        assert main(argv) == 0
+        capsys.readouterr()
+        assert main(["report", trace_dir]) == 0
+        out = capsys.readouterr().out
+        assert "replay" in out and "fuzz" in out
+
+
 class TestCLICompareExtended:
     def test_compare_json(self, capsys):
         import json
@@ -317,10 +422,13 @@ class TestCLICompareExtended:
             ]
         )
         assert code == 0
-        doc = json.loads(capsys.readouterr().out)
+        envelope = json.loads(capsys.readouterr().out)
+        assert envelope["schema"] == {"name": "suite-comparison", "version": 2}
+        assert envelope["tool"] == "litmus-synth"
+        assert envelope["command"] == "compare"
+        doc = envelope["payload"]
         assert doc["model"] == "tso"
         assert set(doc) == {
-            "schema_version",
             "model",
             "both",
             "reference_only",
