@@ -184,9 +184,10 @@ class TestIncrementalOracle:
         with open("BENCH_oracle.json", "w") as fh:
             json.dump(envelope, fh, indent=2)
             fh.write("\n")
-        assert envelope["schema"] == {"name": "bench-oracle", "version": 2}
+        assert envelope["schema"] == {"name": "bench-oracle", "version": 3}
         result = envelope["payload"]
         inc, cold = result["incremental"], result["cold"]
+        pre = result["prefilter"]
         report.append(
             "[incremental oracle] TSO bound-4 relational synthesis: "
             f"incremental={inc['wall_seconds']:.2f}s "
@@ -194,10 +195,13 @@ class TestIncrementalOracle:
             f"cold={cold['wall_seconds']:.2f}s "
             f"({cold['per_query_seconds'] * 1e6:.0f}us/query), "
             f"speedup={result['speedup']:.2f}x, "
+            f"prefilter={pre['wall_seconds']:.2f}s "
+            f"(hit_rate={pre['cache'].get('prefilter_hit_rate', 0.0):.0%}), "
             f"byte_identical={result['byte_identical']}"
         )
         assert result["byte_identical"]
         assert result["speedup"] >= 1.0
+        assert pre["cache"].get("prefilter_hit_rate", 0.0) > 0.0
 
 
 class TestDependencyVocabulary:

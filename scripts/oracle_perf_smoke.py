@@ -1,14 +1,17 @@
 #!/usr/bin/env python
 """CI perf smoke for the incremental SAT oracle.
 
-Runs the x86-TSO size-4 relational-oracle synthesis workload twice —
-incremental engine vs cold-solver baseline — writes the measurement to
-``BENCH_oracle.json`` (a ``bench-oracle`` v2 Report envelope), emits a
-:mod:`repro.obs` trace per arm, and fails when:
+Runs the x86-TSO size-4 relational-oracle synthesis workload over three
+arms — incremental engine, incremental + static prefilter, and the
+cold-solver baseline — writes the measurement to ``BENCH_oracle.json``
+(a ``bench-oracle`` v3 Report envelope), emits a :mod:`repro.obs` trace
+per arm, and fails when:
 
-* the two modes' union suites are not byte-identical, or
+* the three arms' union suites are not byte-identical, or
 * incremental mode is slower than the cold baseline, or
-* either arm's trace has a span with no recorded wall time (unclosed
+* the prefilter arm decided zero queries statically (hit rate 0 means
+  the prefilter never ran — a wiring regression), or
+* any arm's trace has a span with no recorded wall time (unclosed
   span — OBS001) or a phase row missing from the rendered report.
 
 Exit status 0 on success.  Run from the repository root:
@@ -61,20 +64,28 @@ def main() -> int:
     payload = report["payload"]
     inc = payload["incremental"]["wall_seconds"]
     cold = payload["cold"]["wall_seconds"]
+    pre = payload["prefilter"]["wall_seconds"]
+    hit_rate = payload["prefilter"]["cache"].get("prefilter_hit_rate", 0.0)
     print(
         f"oracle perf smoke: model={MODEL} bound={BOUND} "
-        f"incremental={inc:.3f}s cold={cold:.3f}s "
+        f"incremental={inc:.3f}s prefilter={pre:.3f}s "
+        f"(hit_rate={hit_rate:.0%}) cold={cold:.3f}s "
         f"speedup={payload['speedup']:.2f}x -> {OUT} (traces: {TRACE_DIR})"
     )
     failures: list[str] = []
     if not payload["byte_identical"]:
-        failures.append("incremental and cold suites differ")
+        failures.append("incremental, prefilter, and cold suites differ")
     if inc > cold:
         failures.append(
             "incremental mode is slower than the cold baseline "
             f"({inc:.3f}s > {cold:.3f}s)"
         )
-    for arm in ("incremental", "cold"):
+    if hit_rate <= 0.0:
+        failures.append(
+            "prefilter arm decided zero queries statically "
+            "(hit rate 0 — the prefilter never ran)"
+        )
+    for arm in ("incremental", "prefilter", "cold"):
         failures.extend(check_trace(arm))
     for failure in failures:
         print(f"FAIL: {failure}", file=sys.stderr)

@@ -24,10 +24,19 @@ Kodkod does:
 * **Determinism** — enumerated executions are sorted by a canonical key
   before use, so incremental and cold runs produce identical results
   even though solver enumeration order differs with solver state.
+* **Prefilter** (opt-in, ``prefilter=True``) — fully-pinned per-axiom
+  queries are ground relational evaluations, so the polynomial
+  pre-filter (:class:`repro.analysis.flow.prefilter.ExecutionPrefilter`)
+  answers them before the solver is consulted; only undecided queries
+  fall back to SAT.  Hit/fallback counters surface through
+  :meth:`AlloyOracle.as_metrics` as ``prefilter_*`` and the derived
+  ``prefilter_hit_rate``.  Verdicts agree with the pinned SAT query by
+  construction and are cross-validated in the test suite and through
+  the difftest harness.
 
 ``incremental=False`` restores the cold baseline: a fresh finder (and
-fresh solver) per query, no session reuse, no compilation cache — kept
-for A/B benchmarking and the equivalence test grid.
+fresh solver) per query, no session reuse, no compilation cache, no
+prefilter — kept for A/B benchmarking and the equivalence test grid.
 """
 
 from __future__ import annotations
@@ -91,6 +100,11 @@ class _Session:
                 self.finder.translator.relation_matrix(name)
             if cache is not None:
                 cache.put(key, compile_snapshot(self.finder, self.selectors))
+        self.prefilter = (
+            oracle._prefilter_cls(self.encoding)
+            if oracle._prefilter_cls is not None
+            else None
+        )
         self._enumerated: dict[str | None, tuple[Execution, ...]] = {}
         self._pins: dict[Execution, list[int]] = {}
 
@@ -131,11 +145,10 @@ class _Session:
         else:
             cached = self._intersect_cached() if axiom == _FULL_MODEL else None
             if cached is None:
-                selectors = self._assumptions(axiom)
                 cached = tuple(
                     ex
                     for ex in self.executions_for(None)
-                    if self._satisfies(ex, selectors)
+                    if self._selection_holds(ex, axiom)
                 )
         self._enumerated[axiom] = cached
         return cached
@@ -153,6 +166,33 @@ class _Session:
         for entry in lists[1:]:
             member &= set(entry)
         return tuple(ex for ex in self.executions_for(None) if ex in member)
+
+    def _selection_holds(self, execution: Execution, axiom: str) -> bool:
+        """Does one execution satisfy one axiom selection (or ``"*"``)?
+
+        With the prefilter on, the static evaluator answers first; every
+        decided query skips the solver entirely.  Undecided queries (and
+        all queries with the prefilter off) fall back to the pinned
+        assumption query.  The two paths agree by construction — the
+        static env pins exactly the tuples :meth:`_satisfies` assumes —
+        and the agreement is cross-validated in the test grid.
+        """
+        if self.prefilter is not None:
+            oracle = self.oracle
+            oracle._prefilter_queries += 1
+            if axiom == _FULL_MODEL:
+                verdict = self.prefilter.model_verdict(
+                    execution, oracle._formulas.values()
+                )
+            else:
+                verdict = self.prefilter.axiom_verdict(
+                    execution, oracle._formulas[axiom]
+                )
+            if verdict is not None:
+                oracle._prefilter_hits += 1
+                return verdict
+            oracle._prefilter_fallbacks += 1
+        return self._satisfies(execution, self._assumptions(axiom))
 
     def _satisfies(self, execution: Execution, selectors: list[int]) -> bool:
         """One pinned query: all free rf/co/sc variables assumed to the
@@ -179,7 +219,7 @@ class _Session:
             decl = self.encoding.problem.declarations[name]
             if not pinned[name] <= decl.upper or not decl.lower <= pinned[name]:
                 return False
-        return self._satisfies(execution, self._assumptions(_FULL_MODEL))
+        return self._selection_holds(execution, _FULL_MODEL)
 
     def _pinned_tuples(self, execution: Execution) -> dict[str, set]:
         pinned: dict[str, set] = {
@@ -224,6 +264,9 @@ class AlloyOracle:
             0 disables it (the analysis lints flag that configuration).
         cnf_cache_dir: optional directory for the on-disk compilation
             cache layer, shared across processes and runs.
+        prefilter: answer fully-pinned queries with the polynomial
+            static evaluator before the solver (incremental mode only;
+            the flag is inert in cold mode and the lints flag that).
     """
 
     def __init__(
@@ -234,6 +277,7 @@ class AlloyOracle:
         session_cache: int = 64,
         compile_cache: int = 256,
         cnf_cache_dir: str | None = None,
+        prefilter: bool = False,
     ):
         if model_name not in ALLOY_MODELS:
             known = ", ".join(sorted(ALLOY_MODELS))
@@ -255,6 +299,17 @@ class AlloyOracle:
         self._session_count = 0
         self._session_hits = 0
         self._sat_totals = SolverStats()
+        self.prefilter = bool(prefilter) and incremental
+        self._prefilter_cls = None
+        if self.prefilter:
+            # Runtime import: repro.analysis imports this module's package
+            # siblings at its own init, so the top level must stay clean.
+            from repro.analysis.flow.prefilter import ExecutionPrefilter
+
+            self._prefilter_cls = ExecutionPrefilter
+        self._prefilter_queries = 0
+        self._prefilter_hits = 0
+        self._prefilter_fallbacks = 0
         self._cnf_cache: CNFCache | None = None
         if incremental and (compile_cache > 0 or cnf_cache_dir is not None):
             self._cnf_cache = CNFCache(
@@ -386,6 +441,10 @@ class AlloyOracle:
             "sessions": self._session_count,
             "session_hits": self._session_hits,
         }
+        if self.prefilter:
+            stats["prefilter_queries"] = self._prefilter_queries
+            stats["prefilter_hits"] = self._prefilter_hits
+            stats["prefilter_fallbacks"] = self._prefilter_fallbacks
         if self._cnf_cache is not None:
             stats.update(self._cnf_cache.as_metrics())
         for name, value in sat.as_metrics().items():

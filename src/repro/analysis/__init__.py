@@ -11,17 +11,23 @@ Three pass families over the synthesis stack's inputs:
 * **obs** — :mod:`repro.obs` trace directories
   (:mod:`repro.analysis.obs_lint`).
 
+The dataflow layer (:mod:`repro.analysis.flow`) contributes semantic
+passes to the model and litmus families (``MDL01x``/``LIT01x``) plus
+the polynomial execution pre-filter behind ``--prefilter``.
+
 Importing this package registers every pass.  Entry points:
 ``lint_registry`` (the registry-wide self-check behind ``repro lint``)
 and ``early_reject`` (the enumerator filter hook).
 """
 
 from repro.analysis import (  # noqa: F401  (imports register the passes)
+    flow,
     litmus_lint,
     model_lint,
     pipeline_lint,
 )
 from repro.analysis.diagnostics import (
+    DIAGNOSTIC_IDS,
     JSON_SCHEMA_VERSION,
     Diagnostic,
     Report,
@@ -30,6 +36,11 @@ from repro.analysis.diagnostics import (
     parse_suppression,
     render_json,
     render_text,
+)
+from repro.analysis.flow import (
+    ExecutionPrefilter,
+    application_counts,
+    fr_statically_empty,
 )
 from repro.analysis.difftest_lint import (
     lint_corpus,
@@ -61,6 +72,7 @@ from repro.analysis.selfcheck import (
 )
 
 __all__ = [
+    "DIAGNOSTIC_IDS",
     "JSON_SCHEMA_VERSION",
     "Diagnostic",
     "Severity",
@@ -69,6 +81,9 @@ __all__ = [
     "parse_suppression",
     "render_text",
     "render_json",
+    "ExecutionPrefilter",
+    "application_counts",
+    "fr_statically_empty",
     "ModelLintContext",
     "LitmusLintContext",
     "ClauseLintContext",

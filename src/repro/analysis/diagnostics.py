@@ -24,11 +24,50 @@ __all__ = [
     "parse_suppression",
     "render_text",
     "render_json",
+    "DIAGNOSTIC_IDS",
     "JSON_SCHEMA_VERSION",
 ]
 
 #: Bumped whenever the JSON rendering changes shape.
 JSON_SCHEMA_VERSION = 1
+
+#: Every diagnostic id the analysis subsystem can emit, with a one-line
+#: meaning.  :func:`parse_suppression` validates ids against this table,
+#: and the registry self-check asserts that every registered pass
+#: declares a subset of it and that no id here is orphaned — so the
+#: suppression syntax, the README table, and ``repro lint`` stay
+#: exhaustive by construction.
+DIAGNOSTIC_IDS: dict[str, str] = {
+    "MDL001": "declared free relation never referenced by any axiom",
+    "MDL002": "axiom vacuously true across the probe battery",
+    "MDL003": "axiom unsatisfiable across the probe battery",
+    "MDL004": "Acyclic/Irreflexive applied to a closure expression",
+    "MDL005": "two axioms are structurally identical",
+    "MDL006": "wa_axioms out of sync with axioms",
+    "MDL010": "axiom abstractly true on every probe (statically vacuous)",
+    "MDL011": "axiom abstractly false on a probe (unsat by construction)",
+    "MDL012": "operator-induced statically-empty subexpression (dead)",
+    "LIT001": "read from an address no write ever stores to",
+    "LIT002": "outcome references a missing read / write event",
+    "LIT003": "sync annotation outside the model's vocabulary (dead)",
+    "LIT004": "test duplicates an earlier test modulo symmetry",
+    "LIT005": "outcome rf pairs a read with a write to another address",
+    "LIT006": "litmus test file cannot be loaded",
+    "LIT010": "no relaxation application exists (statically degenerate)",
+    "LIT011": "rf/co(/sc) bounds statically empty (single execution)",
+    "SAT001": "variable never referenced by any clause (orphan)",
+    "SAT002": "tautological clause",
+    "SAT003": "empty clause (formula trivially unsatisfiable)",
+    "SAT004": "duplicate literal within one clause",
+    "SAT005": "literal references a variable beyond num_vars",
+    "SAT006": "unit clause in the input",
+    "SAT007": "oracle knob combination that silently does nothing",
+    "SAT008": "CNF cache directory holds stale or mixed entries",
+    "DIF001": "corpus entry is stale (unregistered model or healed)",
+    "DIF002": "corpus/config names an unknown model or broken mutant",
+    "OBS001": "trace span begun but never closed",
+    "OBS002": "trace file/dir unreadable or schema-inconsistent",
+}
 
 
 class Severity(enum.IntEnum):
@@ -103,12 +142,20 @@ def parse_suppression(spec: str, reason: str = "") -> Suppression:
     """Parse the CLI/file suppression syntax ``ID`` or ``ID:subject-glob``.
 
     Examples: ``LIT001`` (everywhere), ``LIT001:catalog:PPOAA*`` (one
-    entry and its events).
+    entry and its events).  The id must exist in
+    :data:`DIAGNOSTIC_IDS` — a typo'd suppression that silently matches
+    nothing is worse than an error.
     """
     spec = spec.strip()
     if not spec:
         raise ValueError("empty suppression spec")
     diag_id, _, subject = spec.partition(":")
+    if diag_id not in DIAGNOSTIC_IDS:
+        known = ", ".join(sorted(DIAGNOSTIC_IDS))
+        raise ValueError(
+            f"unknown diagnostic id {diag_id!r} in suppression spec "
+            f"(known ids: {known})"
+        )
     return Suppression(diag_id, subject or "*", reason)
 
 

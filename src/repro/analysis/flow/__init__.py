@@ -1,0 +1,65 @@
+"""Dataflow-style static analysis over model ASTs and the litmus IR.
+
+Three layers, all built on one abstract domain — tuple-set intervals
+with Kleene three-valued formula evaluation
+(:mod:`repro.analysis.flow.absint`):
+
+* **model passes** (:mod:`repro.analysis.flow.model_pass`) — abstract
+  interpretation of each axiom over the probe battery's relation
+  bounds, emitting ``MDL010``/``MDL011``/``MDL012`` for statically
+  vacuous, unsatisfiable-by-construction, and dead definitions;
+* **litmus passes** (:mod:`repro.analysis.flow.applicability`) —
+  closed-form relaxation-application counts proving perturbations
+  inapplicable without a solver round-trip (``LIT010``, feeding the
+  enumerator's ``early_reject`` hook) and statically-singleton
+  execution spaces (``LIT011``);
+* **execution pre-filter** (:mod:`repro.analysis.flow.prefilter`) — a
+  polynomial decision procedure for the SAT oracle's fully-pinned
+  per-axiom queries, wired behind ``--prefilter`` on ``synthesize`` and
+  ``difftest`` and instrumented via :mod:`repro.obs`
+  (``prefilter_hit_rate``).
+
+Importing this package registers the flow passes in the lint registry.
+"""
+
+from repro.analysis.flow import (  # noqa: F401  (imports register the passes)
+    applicability,
+    model_pass,
+)
+from repro.analysis.flow.absint import (
+    AbstractEnv,
+    Interval,
+    Tri,
+    UnboundRelation,
+    env_from_problem,
+    eval_expr,
+    eval_formula,
+    exact,
+    render_expr,
+    render_formula,
+)
+from repro.analysis.flow.applicability import application_counts
+from repro.analysis.flow.prefilter import (
+    ExecutionPrefilter,
+    dynamic_intervals,
+    fr_statically_empty,
+    pinned_tuples,
+)
+
+__all__ = [
+    "Tri",
+    "Interval",
+    "AbstractEnv",
+    "UnboundRelation",
+    "exact",
+    "env_from_problem",
+    "eval_expr",
+    "eval_formula",
+    "render_expr",
+    "render_formula",
+    "application_counts",
+    "ExecutionPrefilter",
+    "pinned_tuples",
+    "fr_statically_empty",
+    "dynamic_intervals",
+]

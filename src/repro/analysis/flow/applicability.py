@@ -1,0 +1,150 @@
+"""Static perturbation-applicability analysis: LIT010/LIT011.
+
+The minimality criterion (paper Definition 1) quantifies over every
+application of every relaxation the model's vocabulary admits.  The
+number of applications is a closed-form function of the test's
+instruction mix — no generator walk, no solver round-trip — which is
+what :func:`application_counts` computes, mirroring the per-relaxation
+``applications()`` logic in :mod:`repro.relax.instruction` exactly (a
+property test asserts the equality).
+
+Diagnostic ids:
+
+=======  ========  ==========================================================
+id       severity  meaning
+=======  ========  ==========================================================
+LIT010   warning   no relaxation application exists (statically degenerate)
+LIT011   info      rf/co(/sc) bounds statically empty (single execution)
+=======  ========  ==========================================================
+
+LIT010 is a warning, so it feeds the enumerator's existing
+``early_reject`` hook (:func:`repro.analysis.early_reject` rejects at
+warning severity) — such candidates are dropped before any oracle
+query.  LIT011 stays informational: a test whose dynamic relations are
+all statically empty admits exactly one well-formed execution and can
+never exhibit a forbidden outcome, but rejecting it is the enumerator's
+communication filter's job.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+from repro.analysis.diagnostics import Diagnostic, Severity
+from repro.analysis.flow.prefilter import dynamic_intervals
+from repro.analysis.registry import LitmusLintContext, register_pass
+from repro.litmus.test import LitmusTest
+from repro.models.base import Vocabulary
+from repro.relax.instruction import relaxations_for
+
+__all__ = [
+    "application_counts",
+    "check_static_applicability",
+    "check_singleton_executions",
+]
+
+
+def application_counts(
+    test: LitmusTest, vocab: Vocabulary
+) -> dict[str, int]:
+    """``len(list(r.applications(test, vocab)))`` per applicable
+    relaxation, computed in closed form."""
+    return {
+        relaxation.name: _count(relaxation.name, test, vocab)
+        for relaxation in relaxations_for(vocab)
+    }
+
+
+def _count(name: str, test: LitmusTest, vocab: Vocabulary) -> int:
+    if name == "RI":
+        return test.num_events if test.num_events > 1 else 0
+    if name == "DRMW":
+        return len(test.rmw)
+    if name == "DF":
+        return sum(
+            len(vocab.fence_demotions.get(inst.fence, ()))
+            for inst in test.instructions
+            if inst.is_fence
+        )
+    if name == "DMO":
+        return sum(
+            len(vocab.order_demotions.get(inst.order, ()))
+            for inst in test.instructions
+            if not inst.is_fence
+        )
+    if name == "RD":
+        return len(
+            {d.src for d in test.deps} | {r for r, _ in test.rmw}
+        )
+    if name == "DS":
+        levels = sorted(vocab.scopes)
+        return sum(
+            1
+            for inst in test.instructions
+            if inst.scope is not None
+            and inst.scope in vocab.scopes
+            and levels.index(inst.scope) > 0
+        )
+    raise ValueError(f"unknown relaxation {name!r}")
+
+
+@register_pass(
+    "litmus-static-applicability",
+    "litmus",
+    "tests no instruction relaxation can weaken",
+    ids=("LIT010",),
+)
+def check_static_applicability(
+    ctx: LitmusLintContext,
+) -> Iterator[Diagnostic]:
+    """LIT010: zero relaxation applications under the model's
+    vocabulary.  Minimality quantifies vacuously over such tests — they
+    carry no evidence about any axiom and never belong in a suite."""
+    if ctx.model is None:
+        return
+    counts = application_counts(ctx.test, ctx.model.vocabulary)
+    if any(counts.values()):
+        return
+    columns = ", ".join(sorted(counts)) or "none"
+    yield Diagnostic(
+        "LIT010",
+        Severity.WARNING,
+        ctx.subject,
+        f"no relaxation application exists under the {ctx.model.name} "
+        f"vocabulary (columns checked: {columns}); the minimality "
+        "criterion is vacuous for this test",
+        hint="a minimal test must admit at least one weakening (paper "
+        "Definition 1); the early-reject hook drops such candidates "
+        "before any solver query",
+    )
+
+
+@register_pass(
+    "litmus-singleton-execution",
+    "litmus",
+    "tests whose dynamic relations are statically fixed",
+    ids=("LIT011",),
+)
+def check_singleton_executions(
+    ctx: LitmusLintContext,
+) -> Iterator[Diagnostic]:
+    """LIT011: every dynamic relation's upper bound is statically empty,
+    so the test has exactly one well-formed execution."""
+    with_sc = bool(
+        ctx.model is not None
+        and getattr(ctx.model, "uses_sc_order", False)
+    )
+    intervals = dynamic_intervals(ctx.test, with_sc=with_sc)
+    if any(interval.upper for interval in intervals.values()):
+        return
+    names = "/".join(sorted(intervals))
+    yield Diagnostic(
+        "LIT011",
+        Severity.INFO,
+        ctx.subject,
+        f"dynamic relations ({names}) have statically empty upper "
+        "bounds: the test admits exactly one well-formed execution, so "
+        "no outcome can ever be forbidden",
+        hint="informational; such tests cannot discriminate between "
+        "models and never enter a synthesized suite",
+    )

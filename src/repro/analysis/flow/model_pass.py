@@ -1,0 +1,178 @@
+"""Abstract-interpretation model lint: MDL010/MDL011/MDL012.
+
+The probe passes in :mod:`repro.analysis.model_lint` (MDL002/MDL003)
+answer vacuity and unsatisfiability *semantically*, at the price of one
+SAT query per (probe, axiom).  These passes answer the statically
+decidable fraction for free: each axiom is evaluated abstractly
+(:mod:`repro.analysis.flow.absint`) over the probe battery's declared
+relation bounds, with the dynamic ``rf``/``co``/``sc`` relations left
+genuinely abstract.
+
+Diagnostic ids:
+
+=======  ========  ==========================================================
+id       severity  meaning
+=======  ========  ==========================================================
+MDL010   warning   axiom abstractly true on every probe (statically vacuous)
+MDL011   error     axiom abstractly false on a probe (unsat by construction)
+MDL012   warning   operator-induced statically-empty subexpression (dead)
+=======  ========  ==========================================================
+
+MDL012 only fires on *operator-induced* deadness: a composite node whose
+upper bound is empty on every probe even though each operand is nonempty
+on at least one common probe (e.g. intersecting disjoint relations, or a
+join with no matching middle column).  A merely unexercised vocabulary
+relation — ``FenceAcqRel`` on a battery without acq_rel fences — does
+not qualify, so the stock models stay clean.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+from repro.alloy.encoding import LitmusEncoding
+from repro.analysis.diagnostics import Diagnostic, Severity
+from repro.analysis.flow.absint import (
+    AbstractEnv,
+    Tri,
+    UnboundRelation,
+    env_from_problem,
+    eval_expr,
+    eval_formula,
+    render_expr,
+)
+from repro.analysis.probes import PROBE_BATTERY
+from repro.analysis.registry import ModelLintContext, register_pass
+from repro.relational import ast
+
+__all__ = ["check_axiom_dataflow"]
+
+#: binary operators that can produce an empty relation from nonempty
+#: operands — the shapes MDL012's deadness criterion is about
+_KILLER_NODES = (
+    ast.Inter,
+    ast.Diff,
+    ast.Join,
+    ast.DomRestrict,
+    ast.RanRestrict,
+)
+
+
+def _probe_envs(needs_sc: bool) -> list[AbstractEnv]:
+    return [
+        env_from_problem(LitmusEncoding(probe, with_sc=needs_sc).problem)
+        for probe in PROBE_BATTERY
+    ]
+
+
+@register_pass(
+    "model-flow-absint",
+    "model",
+    "abstract interpretation: vacuous, unsatisfiable, and dead axioms",
+    ids=("MDL010", "MDL011", "MDL012"),
+)
+def check_axiom_dataflow(ctx: ModelLintContext) -> Iterator[Diagnostic]:
+    """MDL010/MDL011/MDL012 (see module docstring).  Runs regardless of
+    ``ctx.probe``: abstract evaluation costs no solver queries."""
+    if ctx.formulas is None:
+        return
+    envs = _probe_envs(ctx.needs_sc)
+    for axiom_name, formula in ctx.formulas.items():
+        subject = f"{ctx.subject}:{axiom_name}"
+        verdicts: list[Tri] | None = []
+        for env in envs:
+            try:
+                verdicts.append(eval_formula(formula, env))
+            except (UnboundRelation, TypeError):
+                verdicts = None  # misspelled Rel names are MDL001's job
+                break
+        if verdicts is None:
+            continue
+        if all(v is Tri.TRUE for v in verdicts):
+            yield Diagnostic(
+                "MDL010",
+                Severity.WARNING,
+                subject,
+                f"axiom is abstractly true on every probe structure "
+                f"({len(envs)} probes): no choice of rf/co could ever "
+                "violate it",
+                hint="a statically-vacuous axiom contributes an empty "
+                "per-axiom suite; the definition is probably degenerate "
+                "(the solver probe MDL002 confirms semantically)",
+            )
+        false_count = sum(1 for v in verdicts if v is Tri.FALSE)
+        if false_count:
+            yield Diagnostic(
+                "MDL011",
+                Severity.ERROR,
+                subject,
+                f"axiom is abstractly false on {false_count} probe "
+                "structure(s): unsatisfiable by construction, no choice "
+                "of rf/co can satisfy it",
+                hint="an always-false axiom makes every candidate "
+                "forbidden; check operator polarity (the solver probe "
+                "MDL003 confirms semantically)",
+            )
+        yield from _dead_subexpressions(subject, formula, envs)
+
+
+def _expr_roots(formula: ast.Formula) -> Iterator[ast.Expr]:
+    """Top-level expression arguments of every formula node."""
+    for node in ast.walk(formula):
+        if isinstance(node, ast.Formula):
+            for child in ast.children(node):
+                if isinstance(child, ast.Expr):
+                    yield child
+
+
+def _expr_children(node: ast.Expr) -> tuple[ast.Expr, ...]:
+    return tuple(
+        child
+        for child in ast.children(node)
+        if isinstance(child, ast.Expr)
+    )
+
+
+def _dead_subexpressions(
+    subject: str, formula: ast.Formula, envs: list[AbstractEnv]
+) -> Iterator[Diagnostic]:
+    """MDL012: maximal operator-induced dead subexpressions, top-down
+    (a flagged node's descendants are not re-flagged)."""
+    reported: set[str] = set()
+
+    def visit(node: ast.Expr) -> Iterator[Diagnostic]:
+        kids = _expr_children(node)
+        if isinstance(node, _KILLER_NODES):
+            try:
+                dead_everywhere = all(
+                    not eval_expr(node, env).upper for env in envs
+                )
+                operands_live_somewhere = any(
+                    all(eval_expr(kid, env).upper for kid in kids)
+                    for env in envs
+                )
+            except (UnboundRelation, TypeError):
+                return
+            if dead_everywhere and operands_live_somewhere:
+                rendered = render_expr(node)
+                if rendered not in reported:
+                    reported.add(rendered)
+                    yield Diagnostic(
+                        "MDL012",
+                        Severity.WARNING,
+                        subject,
+                        f"subexpression {rendered} is statically empty "
+                        "on every probe although its operands are not: "
+                        "the operator combination can never produce a "
+                        "tuple",
+                        hint="an always-empty term is dead weight in the "
+                        "axiom; check for disjoint intersections, joins "
+                        "with no matching column, or a misdirected "
+                        "restriction",
+                    )
+                return  # maximal node reported; skip descendants
+        for kid in kids:
+            yield from visit(kid)
+
+    for root in _expr_roots(formula):
+        yield from visit(root)

@@ -1,0 +1,168 @@
+"""Polynomial execution pre-filter over the relational encoding.
+
+The incremental SAT oracle (:class:`repro.alloy.oracle.AlloyOracle`)
+answers per-axiom queries by pinning every free ``rf``/``co``/``sc``
+variable to one execution's values and asking the warm solver.  But a
+fully-pinned query has no free variables left: the axiom's truth is a
+*ground* relational evaluation, decidable in polynomial time.  This is
+the repository's instantiation of the polynomial rf-consistency fast
+path ROADMAP calls for (cf. "Optimal Reads-From Consistency Checking",
+PAPERS.md) — :class:`ExecutionPrefilter` builds an exact abstract
+environment (:mod:`repro.analysis.flow.absint`) per execution and
+evaluates axioms directly, falling back to SAT only when a formula node
+escapes the evaluator.
+
+Soundness: the environment binds every declaration of the encoding's
+problem — constants to their exact Kodkod bounds, dynamic relations to
+the execution's pinned tuples (derived identically to the oracle's
+``_Session._pinned_tuples``) — so the three-valued verdict coincides
+with the pinned SAT query whenever it is decided.  The difftest harness
+cross-validates the two paths; any disagreement is a bug.
+
+Also exported: :func:`fr_statically_empty`, the emptiness analysis the
+``empty:fr`` campaign mutation consults, and :func:`dynamic_intervals`,
+the static bounds behind the ``LIT011`` singleton-execution lint.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.alloy.encoding import CO, RF, SC_REL, LitmusEncoding
+from repro.analysis.flow.absint import (
+    AbstractEnv,
+    Interval,
+    Tri,
+    UnboundRelation,
+    env_from_problem,
+    eval_expr,
+    eval_formula,
+    exact,
+)
+from repro.litmus.execution import Execution
+from repro.litmus.test import LitmusTest
+from repro.relational import ast
+
+__all__ = [
+    "ExecutionPrefilter",
+    "pinned_tuples",
+    "fr_statically_empty",
+    "dynamic_intervals",
+]
+
+
+def pinned_tuples(
+    execution: Execution, with_sc: bool = False
+) -> dict[str, frozenset[tuple[int, ...]]]:
+    """The execution's concrete rf/co(/sc) tuple sets, in the encoding's
+    relation shapes (``rf`` is write->read; ``co``/``sc`` are the strict
+    pair sets of each total order)."""
+    rf = frozenset(
+        (src, r) for r, src in execution.rf if src is not None
+    )
+    co: set[tuple[int, ...]] = set()
+    for order in execution.co:
+        for i, w1 in enumerate(order):
+            for w2 in order[i + 1 :]:
+                co.add((w1, w2))
+    pinned = {RF: rf, CO: frozenset(co)}
+    if with_sc:
+        sc: set[tuple[int, ...]] = set()
+        seq = execution.sc
+        for i, a in enumerate(seq):
+            for b in seq[i + 1 :]:
+                sc.add((a, b))
+        pinned[SC_REL] = frozenset(sc)
+    return pinned
+
+
+class ExecutionPrefilter:
+    """Ground evaluation of model formulas against pinned executions.
+
+    Shares the session's :class:`LitmusEncoding`; constructing the
+    filter forces ``encoding.facts()`` so the lazily-declared
+    ``atom_*``/``pair_*`` constants exist even when the session was
+    restored from a CNF-cache snapshot (which skips ``facts()``).
+    """
+
+    def __init__(self, encoding: LitmusEncoding):
+        self.encoding = encoding
+        self._facts = encoding.facts()
+        problem = encoding.problem
+        self._universe = problem.universe_size
+        self._static = {
+            name: Interval(decl.lower, decl.upper)
+            for name, decl in problem.declarations.items()
+            if not decl.free
+        }
+        self._dyn = tuple(
+            name
+            for name, decl in problem.declarations.items()
+            if decl.free
+        )
+        self._envs: dict[Execution, AbstractEnv] = {}
+
+    def _env(self, execution: Execution) -> AbstractEnv:
+        env = self._envs.get(execution)
+        if env is None:
+            values = dict(self._static)
+            pinned = pinned_tuples(
+                execution, with_sc=self.encoding.with_sc
+            )
+            for name in self._dyn:
+                values[name] = exact(pinned.get(name, frozenset()))
+            env = AbstractEnv(self._universe, values)
+            self._envs[execution] = env
+        return env
+
+    def axiom_verdict(
+        self, execution: Execution, formula: ast.Formula
+    ) -> bool | None:
+        """Does the pinned execution satisfy one formula?  ``None`` when
+        the evaluator cannot decide (fall back to SAT)."""
+        try:
+            tri = eval_formula(formula, self._env(execution))
+        except (UnboundRelation, TypeError):
+            return None
+        if tri is Tri.UNKNOWN:
+            return None
+        return tri is Tri.TRUE
+
+    def model_verdict(
+        self, execution: Execution, formulas: Iterable[ast.Formula]
+    ) -> bool | None:
+        """Facts plus every axiom: ``False`` as soon as one formula is
+        decidedly violated, ``True`` only when all are decidedly
+        satisfied, ``None`` otherwise."""
+        decided_all = True
+        for formula in (self._facts, *formulas):
+            verdict = self.axiom_verdict(execution, formula)
+            if verdict is False:
+                return False
+            if verdict is None:
+                decided_all = False
+        return True if decided_all else None
+
+
+def fr_statically_empty(test: LitmusTest) -> bool:
+    """Can ``fr`` (Fig. 4's from-reads) ever hold a tuple on this test?
+
+    ``fr``'s upper bound is the set of same-address (read, write) pairs
+    — the subtracted ``no_later`` term has an empty lower bound because
+    ``rf`` does — so the abstract answer is exact: an empty upper bound
+    means *every* execution of the test has an empty ``fr``, making any
+    ``empty:fr``-style mutation behaviourally identical to the stock
+    model on this test."""
+    encoding = LitmusEncoding(test)
+    env = env_from_problem(encoding.problem)
+    return not eval_expr(LitmusEncoding.fr(), env).upper
+
+
+def dynamic_intervals(
+    test: LitmusTest, with_sc: bool = False
+) -> dict[str, Interval]:
+    """Static bounds of the dynamic relations, keyed by relation name."""
+    problem = LitmusEncoding(test, with_sc=with_sc).problem
+    env = env_from_problem(problem)
+    names = [RF, CO] + ([SC_REL] if with_sc else [])
+    return {name: eval_expr(ast.Rel(name), env) for name in names}

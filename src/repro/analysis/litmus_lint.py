@@ -43,6 +43,7 @@ __all__ = ["lint_litmus_context", "find_duplicate_tests", "early_reject"]
     "litmus-unwritten-read",
     "litmus",
     "reads from addresses no write stores to",
+    ids=("LIT001",),
 )
 def check_unwritten_reads(ctx: LitmusLintContext) -> Iterator[Diagnostic]:
     """LIT001: such a read can only return the initial value, so any rf
@@ -71,6 +72,7 @@ def check_unwritten_reads(ctx: LitmusLintContext) -> Iterator[Diagnostic]:
     "litmus-outcome-events",
     "litmus",
     "outcome conditions referencing missing or mismatched events",
+    ids=("LIT002", "LIT005"),
 )
 def check_outcome_events(ctx: LitmusLintContext) -> Iterator[Diagnostic]:
     """LIT002/LIT005: every rf constraint must name a read of the test
@@ -144,6 +146,7 @@ def check_outcome_events(ctx: LitmusLintContext) -> Iterator[Diagnostic]:
     "litmus-dead-sync",
     "litmus",
     "synchronization annotations outside the model's vocabulary",
+    ids=("LIT003",),
 )
 def check_dead_sync(ctx: LitmusLintContext) -> Iterator[Diagnostic]:
     """LIT003: an annotation the model's vocabulary does not include has

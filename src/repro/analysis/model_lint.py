@@ -27,7 +27,6 @@ MDL006   error     ``wa_axioms`` axiom names out of sync with ``axioms``
 
 from __future__ import annotations
 
-import dataclasses
 from collections.abc import Iterable, Iterator
 
 from repro.alloy.encoding import LitmusEncoding
@@ -57,15 +56,10 @@ __all__ = [
 def walk_nodes(node: ast.Expr | ast.Formula) -> Iterator[ast.Expr | ast.Formula]:
     """Yield every node of a Formula/Expr tree (preorder).
 
-    All AST nodes are frozen dataclasses whose children are the fields
-    that are themselves ``Expr``/``Formula`` instances, so a generic
-    field walk covers current and future node types.
+    Thin alias of :func:`repro.relational.ast.walk`, kept for the
+    existing pass/test surface.
     """
-    yield node
-    for field in dataclasses.fields(node):
-        child = getattr(node, field.name)
-        if isinstance(child, (ast.Expr, ast.Formula)):
-            yield from walk_nodes(child)
+    return ast.walk(node)
 
 
 def referenced_relations(*roots: ast.Expr | ast.Formula) -> set[str]:
@@ -85,6 +79,7 @@ def referenced_relations(*roots: ast.Expr | ast.Formula) -> set[str]:
     "model-unused-relation",
     "model",
     "free declared relations every axiom ignores",
+    ids=("MDL001",),
 )
 def check_unused_relations(ctx: ModelLintContext) -> Iterator[Diagnostic]:
     """MDL001: a relation with free (solver-chosen) tuples that no axiom
@@ -108,6 +103,7 @@ def check_unused_relations(ctx: ModelLintContext) -> Iterator[Diagnostic]:
     "model-closure-misuse",
     "model",
     "Acyclic/Irreflexive applied to closure expressions",
+    ids=("MDL004",),
 )
 def check_closure_misuse(ctx: ModelLintContext) -> Iterator[Diagnostic]:
     """MDL004: ``Acyclic(^r)`` is redundant, ``Irreflexive(^r)`` should be
@@ -150,6 +146,7 @@ def check_closure_misuse(ctx: ModelLintContext) -> Iterator[Diagnostic]:
     "model-duplicate-axiom",
     "model",
     "axioms that duplicate or shadow one another",
+    ids=("MDL005", "MDL006"),
 )
 def check_duplicate_axioms(ctx: ModelLintContext) -> Iterator[Diagnostic]:
     """MDL005/MDL006: duplicate axiom bodies within one set, and
@@ -196,6 +193,7 @@ def _duplicate_bodies(ctx: ModelLintContext, axioms: dict) -> Iterator[Diagnosti
     "model-axiom-probe",
     "model",
     "tiny-bound vacuity/unsatisfiability probe",
+    ids=("MDL002", "MDL003"),
 )
 def check_axiom_probe(ctx: ModelLintContext) -> Iterator[Diagnostic]:
     """MDL002/MDL003 via the probe battery (see module docstring)."""

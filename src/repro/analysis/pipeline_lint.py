@@ -54,6 +54,7 @@ __all__ = [
     "pipeline-clause-shape",
     "pipeline",
     "degenerate clauses: empty, tautological, duplicated literals",
+    ids=("SAT002", "SAT003", "SAT004", "SAT006"),
 )
 def check_clause_shapes(ctx: ClauseLintContext):
     """SAT002/SAT003/SAT004/SAT006 over each clause in input order."""
@@ -104,6 +105,7 @@ def check_clause_shapes(ctx: ClauseLintContext):
     "pipeline-variable-use",
     "pipeline",
     "orphan and out-of-range variables",
+    ids=("SAT001", "SAT005"),
 )
 def check_variable_use(ctx: ClauseLintContext):
     """SAT001/SAT005: every declared variable should appear in some
@@ -190,6 +192,7 @@ def lint_oracle_options(opts) -> list[Diagnostic]:
     oracle = getattr(opts, "oracle", "explicit")
     incremental = getattr(opts, "incremental", True)
     cache_dir = getattr(opts, "cnf_cache_dir", None)
+    prefilter = getattr(opts, "prefilter", False)
     out: list[Diagnostic] = []
     if oracle == "relational":
         if not incremental and cache_dir is not None:
@@ -204,10 +207,24 @@ def lint_oracle_options(opts) -> list[Diagnostic]:
                     "solving",
                 )
             )
+        if not incremental and prefilter:
+            out.append(
+                Diagnostic(
+                    "SAT007",
+                    Severity.WARNING,
+                    "options:prefilter",
+                    "cold-solver mode (incremental=False) re-enumerates "
+                    "per query instead of filtering pinned executions, so "
+                    "the static prefilter never runs",
+                    hint="drop --cold-solver to make --prefilter "
+                    "effective",
+                )
+            )
     else:
         for knob, active in (
             ("cnf_cache_dir", cache_dir is not None),
             ("incremental", not incremental),
+            ("prefilter", prefilter),
         ):
             if active:
                 out.append(

@@ -108,27 +108,41 @@ PassFn = Callable[[Any], Iterable[Diagnostic]]
 
 @dataclass(frozen=True)
 class LintPass:
-    """One registered pass: identity, family, and the check function."""
+    """One registered pass: identity, family, check function, and the
+    diagnostic ids it may emit (cross-checked against
+    :data:`~repro.analysis.diagnostics.DIAGNOSTIC_IDS` by the registry
+    self-check)."""
 
     name: str
     family: str
     fn: PassFn
     description: str = ""
+    ids: tuple[str, ...] = ()
 
 
 _FAMILIES = ("model", "litmus", "pipeline")
 _REGISTRY: dict[str, LintPass] = {}
 
 
-def register_pass(name: str, family: str, description: str = ""):
-    """Decorator registering a pass function under ``name``/``family``."""
+def register_pass(
+    name: str,
+    family: str,
+    description: str = "",
+    ids: tuple[str, ...] = (),
+):
+    """Decorator registering a pass function under ``name``/``family``.
+
+    ``ids`` declares the diagnostic ids the pass may emit; the registry
+    self-check asserts they exist in the id table and that the table
+    holds no orphans.
+    """
     if family not in _FAMILIES:
         raise ValueError(f"unknown pass family {family!r}")
 
     def deco(fn: PassFn) -> PassFn:
         if name in _REGISTRY:
             raise ValueError(f"lint pass {name!r} already registered")
-        _REGISTRY[name] = LintPass(name, family, fn, description)
+        _REGISTRY[name] = LintPass(name, family, fn, description, tuple(ids))
         return fn
 
     return deco

@@ -18,12 +18,12 @@ from __future__ import annotations
 
 from repro.alloy.encoding import LitmusEncoding
 from repro.alloy.models import ALLOY_MODELS
-from repro.analysis.diagnostics import Report, Suppression
+from repro.analysis.diagnostics import DIAGNOSTIC_IDS, Report, Suppression
 from repro.analysis.litmus_lint import find_duplicate_tests
 from repro.analysis.model_lint import alloy_context, model_context
 from repro.analysis.pipeline_lint import context_from_solver
 from repro.analysis.probes import PROBE_BATTERY
-from repro.analysis.registry import LitmusLintContext, run_family
+from repro.analysis.registry import LitmusLintContext, all_passes, run_family
 from repro.litmus.catalog import CATALOG
 from repro.models.registry import available_models, get_model
 from repro.relational.ast import TRUE_F
@@ -31,12 +31,61 @@ from repro.relational.solve import ModelFinder
 
 __all__ = [
     "REGISTRY_SUPPRESSIONS",
+    "COLLECTION_IDS",
+    "id_registry_problems",
     "lint_models",
     "lint_catalog",
     "lint_encoding_smoke",
     "lint_obs_smoke",
     "lint_registry",
 ]
+
+#: Ids emitted by collection-level checks (plain functions) rather than
+#: registered passes; the exhaustiveness check accounts for them so the
+#: id table holds no orphans.
+COLLECTION_IDS: frozenset[str] = frozenset(
+    {
+        "LIT004",  # litmus_lint.find_duplicate_tests
+        "LIT006",  # cli litmus-file load errors
+        "SAT007",  # pipeline_lint.lint_oracle_options
+        "SAT008",  # pipeline_lint.lint_cnf_cache_dir
+        "DIF001",  # difftest_lint corpus checks
+        "DIF002",  # difftest_lint corpus/config/mutant checks
+        "OBS001",  # obs_lint span accounting
+        "OBS002",  # obs_lint trace file/dir integrity
+    }
+)
+
+
+def id_registry_problems() -> list[str]:
+    """Cross-check pass-declared ids against the id table, both ways.
+
+    Returns human-readable problems; an inconsistent registry is a
+    programming error, so :func:`lint_registry` raises on any."""
+    problems: list[str] = []
+    declared: set[str] = set()
+    for lint_pass in all_passes():
+        if not lint_pass.ids:
+            problems.append(
+                f"pass {lint_pass.name!r} declares no diagnostic ids"
+            )
+        for diag_id in lint_pass.ids:
+            if diag_id not in DIAGNOSTIC_IDS:
+                problems.append(
+                    f"pass {lint_pass.name!r} declares id {diag_id} "
+                    "missing from DIAGNOSTIC_IDS"
+                )
+        declared.update(lint_pass.ids)
+    for diag_id in sorted(COLLECTION_IDS - set(DIAGNOSTIC_IDS)):
+        problems.append(
+            f"collection-level id {diag_id} missing from DIAGNOSTIC_IDS"
+        )
+    for diag_id in sorted(set(DIAGNOSTIC_IDS) - declared - COLLECTION_IDS):
+        problems.append(
+            f"id {diag_id} is registered but no pass or collection "
+            "check declares it"
+        )
+    return problems
 
 #: Documented intentional findings in the shipped registry/catalog.
 REGISTRY_SUPPRESSIONS: tuple[Suppression, ...] = (
@@ -122,7 +171,16 @@ def lint_obs_smoke() -> Report:
 
 
 def lint_registry(probe: bool = True, suppressions=()) -> Report:
-    """The full self-check with the documented suppressions applied."""
+    """The full self-check with the documented suppressions applied.
+
+    Raises ``RuntimeError`` when the diagnostic-id registry itself is
+    inconsistent — that is a bug in the pass declarations, not a lint
+    finding."""
+    problems = id_registry_problems()
+    if problems:
+        raise RuntimeError(
+            "diagnostic id registry inconsistent: " + "; ".join(problems)
+        )
     report = Report()
     from repro.analysis.difftest_lint import lint_mutant_registry
 

@@ -26,9 +26,11 @@ __all__ = [
 ]
 
 ORACLE_BENCH_SCHEMA_NAME = "bench-oracle"
-#: v1 was the pre-envelope top-level shape; v2 wraps the same payload in
-#: the unified :class:`repro.obs.Report` envelope.
-ORACLE_BENCH_SCHEMA = 2
+#: v1 was the pre-envelope top-level shape; v2 wrapped the same payload
+#: in the unified :class:`repro.obs.Report` envelope; v3 adds the
+#: ``prefilter`` arm (incremental + static prefilter) and extends the
+#: byte-identity verdict across all three arms.
+ORACLE_BENCH_SCHEMA = 3
 
 DIFFTEST_BENCH_SCHEMA_NAME = "bench-difftest"
 #: v1 was the pre-envelope top-level shape; v2 wraps the same payload in
@@ -53,30 +55,32 @@ def oracle_workload_report(
     cnf_cache_dir: str | None = None,
     trace_dir: str | None = None,
 ) -> dict:
-    """Run the relational-oracle synthesis workload incremental vs cold.
+    """Run the relational-oracle synthesis workload over three arms:
+    incremental, incremental + static prefilter, and cold.
 
     The default is the x86-TSO size-4 workload the acceptance numbers
     are quoted against.  Returns the ``BENCH_oracle.json`` document — a
-    :class:`repro.obs.Report` envelope (``bench-oracle`` v2) whose
+    :class:`repro.obs.Report` envelope (``bench-oracle`` v3) whose
     payload carries end-to-end wall time, per-query latency, and cache
-    hit rates per mode, plus the speedup and a byte-identity verdict
-    over the union suites.  With ``trace_dir`` set, each arm writes its
-    :mod:`repro.obs` trace under ``trace_dir/incremental`` and
-    ``trace_dir/cold``.
+    hit rates per arm (the ``prefilter`` arm's cache block includes the
+    ``prefilter_*`` counters and derived ``prefilter_hit_rate``), plus
+    the speedup and a byte-identity verdict over all three union
+    suites.  With ``trace_dir`` set, each arm writes its
+    :mod:`repro.obs` trace under ``trace_dir/<arm>``.
     """
     model = get_model(model_name)
     config = EnumerationConfig(
         max_events=bound, max_addresses=2, max_deps=0, max_rmws=0
     )
 
-    def run(incremental: bool):
-        arm = "incremental" if incremental else "cold"
+    def run(arm: str, incremental: bool, prefilter: bool = False):
         opts = SynthesisOptions(
             bound=bound,
             config=config,
             oracle="relational",
             incremental=incremental,
             cnf_cache_dir=cnf_cache_dir if incremental else None,
+            prefilter=prefilter,
             trace_dir=(
                 os.path.join(trace_dir, arm) if trace_dir is not None else None
             ),
@@ -85,8 +89,10 @@ def oracle_workload_report(
         result = synthesize(model, opts)
         return result, time.perf_counter() - t0
 
-    incremental, t_inc = run(True)
-    cold, t_cold = run(False)
+    incremental, t_inc = run("incremental", True)
+    prefiltered, t_pre = run("prefilter", True, prefilter=True)
+    cold, t_cold = run("cold", False)
+    union_json = incremental.union.to_json()
     payload = {
         "workload": {
             "model": model_name,
@@ -95,9 +101,14 @@ def oracle_workload_report(
             "oracle": "relational",
         },
         "incremental": _mode_report(incremental, t_inc),
+        "prefilter": _mode_report(prefiltered, t_pre),
         "cold": _mode_report(cold, t_cold),
         "speedup": t_cold / t_inc if t_inc else 0.0,
-        "byte_identical": incremental.union.to_json() == cold.union.to_json(),
+        "prefilter_speedup": t_inc / t_pre if t_pre else 0.0,
+        "byte_identical": (
+            union_json == cold.union.to_json()
+            and union_json == prefiltered.union.to_json()
+        ),
     }
     return Report(
         schema_name=ORACLE_BENCH_SCHEMA_NAME,

@@ -8,8 +8,8 @@
                             [--mode exact|execution|execution-wa]
                             [--jobs N] [--checkpoint-dir D] [--json]
                             [--oracle explicit|relational] [--cold-solver]
-                            [--cnf-cache-dir D] [--trace-dir D]
-                            [--out suite.json]
+                            [--prefilter] [--cnf-cache-dir D]
+                            [--trace-dir D] [--out suite.json]
     litmus-synth check --model tso test.litmus
     litmus-synth show --name MP
     litmus-synth show --file test.litmus
@@ -17,7 +17,8 @@
                          [--reference owens|cambridge|suite.json] [--json]
     litmus-synth difftest --model tso [--seed 0] [--budget 100]
                           [--mutants TAG ...] [--corpus-dir D] [--jobs N]
-                          [--trace-dir D] [--json] [--list-mutants]
+                          [--prefilter] [--trace-dir D] [--json]
+                          [--list-mutants]
     litmus-synth report TRACE_DIR [--json]
     litmus-synth lint [--all-models] [--catalog] [--model tso]
                       [--corpus-dir D] [--trace-dir D] [--format text|json]
@@ -116,6 +117,7 @@ def _cmd_synthesize(args) -> int:
         oracle=args.oracle,
         incremental=not args.cold_solver,
         cnf_cache_dir=args.cnf_cache_dir,
+        prefilter=args.prefilter,
         trace_dir=args.trace_dir,
     )
     findings = analysis.lint_oracle_options(options)
@@ -348,6 +350,7 @@ def _cmd_difftest(args) -> int:
             mutants=mutants,
             corpus_dir=args.corpus_dir,
             jobs=args.jobs,
+            prefilter=args.prefilter,
             trace_dir=args.trace_dir,
             generator=GeneratorConfig(
                 max_events=args.max_events,
@@ -454,6 +457,13 @@ def build_parser() -> argparse.ArgumentParser:
         "the incremental engine (A/B baseline; much slower)",
     )
     p.add_argument(
+        "--prefilter",
+        action="store_true",
+        help="relational oracle only: answer fully-pinned per-axiom "
+        "queries with the polynomial static evaluator before SAT "
+        "(identical output; hit rate lands in the oracle stats)",
+    )
+    p.add_argument(
         "--cnf-cache-dir",
         default=None,
         help="relational oracle only: on-disk CNF compilation cache "
@@ -553,6 +563,13 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=1,
         help="worker processes; output is byte-identical to --jobs 1",
+    )
+    p.add_argument(
+        "--prefilter",
+        action="store_true",
+        help="route the campaign's relational oracle through the "
+        "polynomial static prefilter (also exercises its agreement "
+        "with the explicit oracle)",
     )
     p.add_argument("--max-events", type=int, default=4)
     p.add_argument("--max-threads", type=int, default=3)

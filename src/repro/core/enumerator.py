@@ -393,16 +393,24 @@ def enumerate_shard(
                     if vocab.has_scopes:
                         for assignment in _group_assignments(len(selection)):
                             candidate = _assemble(selection, assignment)
-                            if reject is None or not reject(candidate):
+                            if reject is None:
+                                yield item, candidate
+                                continue
+                            current_registry().count("reject_checks")
+                            if not reject(candidate):
                                 yield item, candidate
                             else:
                                 current_registry().count("early_rejects")
                     else:
                         candidate = _assemble(selection)
-                        if reject is None or not reject(candidate):
+                        if reject is None:
                             yield item, candidate
                         else:
-                            current_registry().count("early_rejects")
+                            current_registry().count("reject_checks")
+                            if not reject(candidate):
+                                yield item, candidate
+                            else:
+                                current_registry().count("early_rejects")
 
 
 def _group_sizes(sizes: tuple[int, ...]) -> list[tuple[int, int]]:

@@ -101,6 +101,11 @@ class SynthesisOptions:
         cnf_cache_dir: optional on-disk CNF compilation cache directory
             for the relational oracle, shared across worker processes
             and across runs.
+        prefilter: with the relational oracle in incremental mode,
+            answer fully-pinned per-axiom queries with the polynomial
+            static evaluator (:mod:`repro.analysis.flow`) before falling
+            back to SAT.  Output is identical with or without it; the
+            hit/fallback counters land in the oracle stats.
         trace_dir: optional directory for :mod:`repro.obs` trace files
             (driver phase spans, per-shard span/counter streams, and the
             deterministic ``merged.jsonl``).  Setting it routes the run
@@ -123,6 +128,7 @@ class SynthesisOptions:
     oracle: str = "explicit"
     incremental: bool = True
     cnf_cache_dir: str | None = None
+    prefilter: bool = False
     trace_dir: str | None = None
 
     def __post_init__(self) -> None:
@@ -266,6 +272,7 @@ def build_checker(
     oracle: str = "explicit",
     incremental: bool = True,
     cnf_cache_dir: str | None = None,
+    prefilter: bool = False,
 ) -> MinimalityChecker:
     """Build the minimality checker for one oracle configuration.
 
@@ -284,6 +291,7 @@ def build_checker(
             model.name,
             incremental=incremental,
             cnf_cache_dir=cnf_cache_dir,
+            prefilter=prefilter,
         )
         return MinimalityChecker(model, mode, oracle=backend)
     return MinimalityChecker(model, mode)
@@ -355,6 +363,7 @@ def _run_sequential(model: MemoryModel, opts: SynthesisOptions) -> SynthesisResu
         oracle=opts.oracle,
         incremental=opts.incremental,
         cnf_cache_dir=opts.cnf_cache_dir,
+        prefilter=opts.prefilter,
     )
     per_axiom = {
         name: TestSuite(model.name, name, opts.exact_symmetry)

@@ -82,6 +82,9 @@ class CampaignOptions:
     generator: GeneratorConfig = field(default_factory=GeneratorConfig)
     #: cross-check the minimality criterion through both oracles
     minimality: bool = True
+    #: route the relational oracle through the polynomial static
+    #: prefilter (also exercises its agreement with the explicit oracle)
+    prefilter: bool = False
     #: optional :mod:`repro.obs` trace directory (driver phase spans +
     #: the deterministic merged discrepancy stream)
     trace_dir: str | None = None
@@ -109,6 +112,9 @@ class CampaignReport:
     corpus_added: int
     #: stock discrepancies found but left unshrunk (over the cap)
     unshrunk: int = 0
+    #: ``empty:fr`` checks skipped as statically vacuous (no fr edge to
+    #: forget; see :attr:`DiffHarness.mutant_skips`)
+    mutant_skips: int = 0
 
     @property
     def clean(self) -> bool:
@@ -144,6 +150,7 @@ class CampaignReport:
                 }
                 for tag, (disc, original) in sorted(self.kills.items())
             },
+            "mutant_skips": self.mutant_skips,
             "surviving_mutants": sorted(self.surviving),
             "replay": {
                 "confirmed": self.replay_confirmed,
@@ -172,6 +179,11 @@ class CampaignReport:
             f"{self.replay_confirmed} confirmed, "
             f"{len(self.replay_stale)} stale"
         ]
+        if self.mutant_skips:
+            lines.append(
+                f"  SKIPPED  {self.mutant_skips} statically-vacuous "
+                "empty:fr checks (no fr edge to forget)"
+            )
         for disc in self.stock:
             lines.append(
                 f"  DISAGREE [{disc.kind}] test #{disc.index}: {disc.detail}"
@@ -209,7 +221,10 @@ class _ShardPayload:
 def _setup_worker(payload: _ShardPayload):
     opts = payload.options
     harness = DiffHarness(
-        opts.model, mutants=opts.mutants, minimality=opts.minimality
+        opts.model,
+        mutants=opts.mutants,
+        minimality=opts.minimality,
+        prefilter=opts.prefilter,
     )
     generator = TestGenerator(harness.model.vocabulary, opts.generator)
     return payload, harness, generator
@@ -220,13 +235,21 @@ def _run_shard(state, shard_index: int) -> dict:
     opts = payload.options
     found: list[dict] = []
     tests_run = 0
+    # The harness persists across the shards one process computes, so
+    # report this shard's *delta* (like the synthesis worker's oracle
+    # counters) — the driver sums deltas without double counting.
+    skips_before = harness.mutant_skips
     for index in range(shard_index, opts.budget, payload.shard_count):
         rng = stream(opts.seed, index)
         test = generator.generate(rng)
         tests_run += 1
         for disc in harness.check(test, seed=opts.seed, index=index):
             found.append(disc.to_dict())
-    return {"tests": tests_run, "discrepancies": found}
+    return {
+        "tests": tests_run,
+        "discrepancies": found,
+        "mutant_skips": harness.mutant_skips - skips_before,
+    }
 
 
 # -- the driver ---------------------------------------------------------------
@@ -296,7 +319,10 @@ def run_campaign(options: CampaignOptions) -> CampaignReport:
 
 def _run_campaign(options: CampaignOptions, tracer: Tracer) -> CampaignReport:
     harness = DiffHarness(
-        options.model, mutants=options.mutants, minimality=options.minimality
+        options.model,
+        mutants=options.mutants,
+        minimality=options.minimality,
+        prefilter=options.prefilter,
     )
     corpus = Corpus(options.corpus_dir) if options.corpus_dir else None
 
@@ -327,6 +353,7 @@ def _run_campaign(options: CampaignOptions, tracer: Tracer) -> CampaignReport:
         )
         results = run_fanout(task, options.jobs)
         tests_run = sum(r["tests"] for r in results)
+        mutant_skips = sum(r.get("mutant_skips", 0) for r in results)
         merged = [
             Discrepancy.from_dict(item)
             for result in results
@@ -380,4 +407,5 @@ def _run_campaign(options: CampaignOptions, tracer: Tracer) -> CampaignReport:
         replay_stale=replay_stale,
         corpus_added=corpus_added,
         unshrunk=unshrunk,
+        mutant_skips=mutant_skips,
     )

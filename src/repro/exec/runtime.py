@@ -94,6 +94,7 @@ def _worker_task(model: MemoryModel, opts: SynthesisOptions, shard_count: int) -
         oracle=opts.oracle,
         incremental=opts.incremental,
         cnf_cache_dir=opts.cnf_cache_dir,
+        prefilter=opts.prefilter,
         trace_dir=opts.trace_dir,
     )
 

@@ -59,6 +59,7 @@ class WorkerTask:
     oracle: str = "explicit"
     incremental: bool = True
     cnf_cache_dir: str | None = None
+    prefilter: bool = False
     trace_dir: str | None = None
 
 
@@ -94,6 +95,7 @@ class _WorkerState:
             oracle=task.oracle,
             incremental=task.incremental,
             cnf_cache_dir=task.cnf_cache_dir,
+            prefilter=task.prefilter,
         )
         self.axiom_names = (
             task.axioms if task.axioms is not None else self.model.axiom_names()

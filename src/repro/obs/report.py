@@ -10,33 +10,21 @@ top-level shape::
       "payload": { ... }
     }
 
-:func:`load_report` also accepts the pre-envelope shapes emitted before
-this layer existed (``schema_version`` at top level) for one release,
-upgrading them in memory and raising a :class:`DeprecationWarning`.
+:func:`load_report` only accepts this envelope.  The pre-envelope
+shapes (``schema_version`` at top level) had a one-release
+DeprecationWarning window, which has closed; they now raise
+:class:`ValueError` like any other non-envelope document.
 """
 
 from __future__ import annotations
 
 import json
-import warnings
 from dataclasses import dataclass
 from typing import Any, Mapping
 
 __all__ = ["TOOL_NAME", "Report", "load_report"]
 
 TOOL_NAME = "litmus-synth"
-
-#: Heuristics mapping a legacy top-level shape to its schema name.  Each
-#: entry is ``(marker_keys, schema_name)``; the first whose markers are
-#: all present wins, so the most distinctive shapes are listed first.
-_LEGACY_SHAPES: tuple[tuple[tuple[str, ...], str], ...] = (
-    (("suite_counts", "minimal_tests"), "synthesis-result"),
-    (("mutant_kills", "clean"), "difftest-campaign"),
-    (("incremental", "cold", "speedup"), "bench-oracle"),
-    (("workload", "report"), "bench-difftest"),
-    (("campaigns",), "bench-difftest"),
-    (("fully_subsumed", "reference_only"), "suite-comparison"),
-)
 
 
 @dataclass(frozen=True)
@@ -72,59 +60,32 @@ class Report:
         )
 
 
-def _legacy_schema_name(doc: Mapping[str, Any]) -> str | None:
-    for markers, name in _LEGACY_SHAPES:
-        if all(key in doc for key in markers):
-            return name
-    return None
-
-
 def load_report(doc: Mapping[str, Any] | str, *, command: str = "") -> Report:
-    """Parse an enveloped document — or upgrade a legacy one.
+    """Parse an enveloped document.
 
-    ``doc`` may be a mapping or a JSON string.  Legacy (pre-envelope)
-    shapes are recognised by their distinctive top-level keys, loaded
-    with their old ``schema_version``, and flagged with a
-    :class:`DeprecationWarning`; anything unrecognisable raises
-    :class:`ValueError`.
+    ``doc`` may be a mapping or a JSON string.  Anything that is not a
+    ``{schema, tool, command, payload}`` envelope — including the
+    pre-envelope legacy shapes whose deprecation window has closed —
+    raises :class:`ValueError`.
     """
     if isinstance(doc, str):
         doc = json.loads(doc)
     if not isinstance(doc, Mapping):
         raise ValueError("report document must be a JSON object")
 
-    if Report.is_envelope(doc):
-        schema = doc["schema"]
-        payload = doc["payload"]
-        if not isinstance(payload, Mapping):
-            raise ValueError("report payload must be a JSON object")
-        return Report(
-            schema_name=schema["name"],
-            schema_version=schema["version"],
-            command=str(doc.get("command", command)),
-            payload=dict(payload),
-            tool=str(doc.get("tool", TOOL_NAME)),
-        )
-
-    legacy_name = _legacy_schema_name(doc)
-    if legacy_name is None:
+    if not Report.is_envelope(doc):
         raise ValueError(
             "not a report: expected a {schema, tool, command, payload} "
-            "envelope or a recognised legacy shape"
+            "envelope (pre-envelope legacy shapes are no longer accepted)"
         )
-    version = doc.get("schema_version")
-    if not isinstance(version, int):
-        version = 1
-    warnings.warn(
-        f"loading legacy (pre-envelope) {legacy_name!r} document; "
-        "wrap outputs in the repro.obs.Report envelope",
-        DeprecationWarning,
-        stacklevel=2,
-    )
-    payload = {k: v for k, v in doc.items() if k != "schema_version"}
+    schema = doc["schema"]
+    payload = doc["payload"]
+    if not isinstance(payload, Mapping):
+        raise ValueError("report payload must be a JSON object")
     return Report(
-        schema_name=legacy_name,
-        schema_version=version,
-        command=command,
-        payload=payload,
+        schema_name=schema["name"],
+        schema_version=schema["version"],
+        command=str(doc.get("command", command)),
+        payload=dict(payload),
+        tool=str(doc.get("tool", TOOL_NAME)),
     )

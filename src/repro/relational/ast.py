@@ -22,9 +22,13 @@ Alloy      here                     meaning
 
 from __future__ import annotations
 
+import dataclasses
+from collections.abc import Iterator
 from dataclasses import dataclass
 
 __all__ = [
+    "children",
+    "walk",
     "Expr",
     "Rel",
     "Iden",
@@ -284,3 +288,29 @@ class _TrueFormula(Formula):
 
 
 TRUE_F = _TrueFormula()
+
+
+# -- generic traversal ---------------------------------------------------------------
+
+
+def children(node: Expr | Formula) -> tuple[Expr | Formula, ...]:
+    """The node's direct sub-expressions/sub-formulas.
+
+    All AST nodes are frozen dataclasses whose children are exactly the
+    fields that are themselves ``Expr``/``Formula`` instances, so a
+    generic field inspection covers current and future node types.
+    """
+    return tuple(
+        child
+        for field in dataclasses.fields(node)
+        if isinstance(
+            child := getattr(node, field.name), (Expr, Formula)
+        )
+    )
+
+
+def walk(node: Expr | Formula) -> Iterator[Expr | Formula]:
+    """Yield every node of a Formula/Expr tree, preorder."""
+    yield node
+    for child in children(node):
+        yield from walk(child)

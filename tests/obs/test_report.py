@@ -1,4 +1,4 @@
-"""The Report envelope: round-trips and legacy-document acceptance."""
+"""The Report envelope: round-trips and legacy-document rejection."""
 
 import json
 
@@ -51,53 +51,50 @@ class TestRoundTrip:
         assert not Report.is_envelope({"schema": {"name": "x"}, "payload": {}})
 
 
-class TestLegacyAcceptance:
-    def test_legacy_synthesis_result(self):
+class TestLegacyRejection:
+    """The pre-envelope shapes' deprecation window has closed: every
+    bare legacy document is now a plain :class:`ValueError`."""
+
+    def test_legacy_synthesis_result_rejected(self):
         legacy = {
             "schema_version": 2,
             "model": "tso",
             "suite_counts": {"union": 5},
             "minimal_tests": 5,
         }
-        with pytest.deprecated_call():
-            report = load_report(legacy)
-        assert report.schema_name == "synthesis-result"
-        assert report.schema_version == 2
-        assert report.payload["model"] == "tso"
-        assert "schema_version" not in report.payload
+        with pytest.raises(ValueError, match="no longer accepted"):
+            load_report(legacy)
 
-    def test_legacy_campaign(self):
+    def test_legacy_campaign_rejected(self):
         legacy = {"schema_version": 1, "mutant_kills": {}, "clean": True}
-        with pytest.deprecated_call():
-            report = load_report(legacy)
-        assert report.schema_name == "difftest-campaign"
+        with pytest.raises(ValueError, match="no longer accepted"):
+            load_report(legacy)
 
-    def test_legacy_bench_oracle(self):
+    def test_legacy_bench_oracle_rejected(self):
         legacy = {
             "schema_version": 1,
             "incremental": {},
             "cold": {},
             "speedup": 2.0,
         }
-        with pytest.deprecated_call():
-            report = load_report(legacy)
-        assert report.schema_name == "bench-oracle"
+        with pytest.raises(ValueError, match="no longer accepted"):
+            load_report(legacy)
 
-    def test_legacy_comparison(self):
+    def test_legacy_comparison_rejected(self):
         legacy = {
             "schema_version": 1,
             "fully_subsumed": True,
             "reference_only": {},
         }
-        with pytest.deprecated_call():
-            report = load_report(legacy)
-        assert report.schema_name == "suite-comparison"
+        with pytest.raises(ValueError, match="no longer accepted"):
+            load_report(legacy)
 
-    def test_legacy_without_version_defaults_to_1(self):
-        with pytest.deprecated_call():
-            report = load_report({"campaigns": {}})
-        assert report.schema_name == "bench-difftest"
-        assert report.schema_version == 1
+    def test_legacy_rejection_does_not_warn(self, recwarn):
+        with pytest.raises(ValueError):
+            load_report({"campaigns": {}})
+        assert not [
+            w for w in recwarn if issubclass(w.category, DeprecationWarning)
+        ]
 
     def test_unrecognisable_document_raises(self):
         with pytest.raises(ValueError):
