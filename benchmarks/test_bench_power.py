@@ -69,7 +69,7 @@ class TestFig16:
                     config=EnumerationConfig(max_events=bound, max_addresses=2),
                 ),
             )
-            p, t = sweep[bound].elapsed_seconds, tso_res.elapsed_seconds
+            p, t = sweep[bound].wall_seconds, tso_res.wall_seconds
             report.append(
                 f"[Fig 16c] {bound:5d} | {p:9.3f} | {t:7.3f}"
             )

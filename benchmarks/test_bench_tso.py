@@ -93,7 +93,7 @@ class TestFig13:
         report.append("[Fig 13c] bound | runtime (s)")
         times = []
         for bound in BOUNDS:
-            t = sweep[bound].elapsed_seconds
+            t = sweep[bound].wall_seconds
             times.append(t)
             report.append(f"[Fig 13c] {bound:5d} | {t:11.3f}")
         # paper: super-exponential runtime — successive ratios increase

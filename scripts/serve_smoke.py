@@ -1,0 +1,190 @@
+#!/usr/bin/env python
+"""CI serve smoke: boot the synthesis daemon and exercise its contract.
+
+Boots `repro.service` on a unix socket with one resident worker, then:
+
+* submits two identical requests while the worker is busy and asserts
+  the second coalesces onto the first (``dedup_hits`` and shared job id),
+* submits one distinct request and asserts it does NOT coalesce,
+* asserts the daemon's suites are byte-identical to a local
+  ``synthesize`` run with the same options,
+* restarts the daemon over the same CNF cache directory and asserts the
+  repeated request reports a warm compile layer
+  (``compile_hit_rate > 0`` over ``compile_warm_entries``),
+* lints the emitted service trace directory (no orphan spans, every
+  span timed) and writes the combined measurement to
+  ``BENCH_serve.json``.
+
+Exit status 0 on success.  Run from the repository root:
+
+    PYTHONPATH=src python scripts/serve_smoke.py
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import sys
+import tempfile
+import threading
+
+from repro.analysis import lint_trace_dir
+from repro.core.enumerator import EnumerationConfig
+from repro.core.synthesis import synthesize
+from repro.models.registry import get_model
+from repro.obs import Report
+from repro.service import Client, JobManager, SynthesisRequest, serve_async
+
+BOUND = int(os.environ.get("SERVE_SMOKE_BOUND", "4"))
+OUT = os.environ.get("SERVE_SMOKE_OUT", "BENCH_serve.json")
+TRACE_DIR = os.environ.get("SERVE_SMOKE_TRACE_DIR", "BENCH_serve_trace")
+
+
+def request(bound: int = BOUND) -> SynthesisRequest:
+    return SynthesisRequest.build(
+        "tso",
+        bound=bound,
+        config=EnumerationConfig(max_events=bound, max_addresses=2),
+        oracle="relational",
+    )
+
+
+class Daemon:
+    """A serve_async loop on a background thread, stoppable."""
+
+    def __init__(self, socket_path: str, **manager_knobs):
+        self.socket_path = socket_path
+        self.manager = JobManager(**manager_knobs)
+        self._ready = threading.Event()
+        self._stop: asyncio.Event | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._thread = threading.Thread(target=self._run, daemon=True)
+
+    def _run(self) -> None:
+        async def body() -> None:
+            self._loop = asyncio.get_running_loop()
+            self._stop = asyncio.Event()
+            await serve_async(
+                self.manager,
+                socket_path=self.socket_path,
+                ready=lambda addr: self._ready.set(),
+                stop=self._stop,
+            )
+
+        asyncio.run(body())
+
+    def __enter__(self) -> "Daemon":
+        self._thread.start()
+        if not self._ready.wait(30):
+            raise RuntimeError("daemon never came up")
+        return self
+
+    def __exit__(self, *exc) -> None:
+        assert self._loop is not None and self._stop is not None
+        self._loop.call_soon_threadsafe(self._stop.set)
+        self._thread.join(10)
+        self.manager.close()
+
+
+def main() -> int:
+    failures: list[str] = []
+    workdir = tempfile.mkdtemp(prefix="repro-serve-smoke-")
+    socket_path = os.path.join(workdir, "repro.sock")
+    cnf_dir = os.path.join(workdir, "cnf")
+    measurement: dict = {"bound": BOUND}
+
+    # --- cold daemon: dedup + byte-identical contract ------------------
+    with Daemon(
+        socket_path, workers=1, cnf_cache_dir=cnf_dir, trace_dir=TRACE_DIR
+    ):
+        client = Client(socket_path)
+        first, deduped_first = client.submit(request())
+        second, deduped_second = client.submit(request())
+        distinct, deduped_distinct = client.submit(request(bound=BOUND - 1))
+        if deduped_first:
+            failures.append("first submission claims to be a duplicate")
+        if not deduped_second or second.job_id != first.job_id:
+            failures.append(
+                "identical active submission did not coalesce "
+                f"({first.job_id} vs {second.job_id})"
+            )
+        if deduped_distinct or distinct.job_id == first.job_id:
+            failures.append("distinct request coalesced onto the first job")
+
+        cold = client.result(first.job_id, timeout=600)
+        client.result(distinct.job_id, timeout=600)
+        if cold.state != "done":
+            failures.append(f"cold job finished {cold.state}: {cold.error}")
+
+        metrics = client.metrics()
+        measurement["cold_metrics"] = metrics
+        if metrics.get("dedup_hits", 0) < 1:
+            failures.append(f"dedup_hits = {metrics.get('dedup_hits')}")
+        if metrics.get("jobs_submitted") != 2:
+            failures.append(f"jobs_submitted = {metrics.get('jobs_submitted')}")
+
+        local = synthesize(get_model("tso"), request().options)
+        if cold.result.union.to_json() != local.union.to_json():
+            failures.append("daemon union differs from local run")
+        for name, suite in local.per_axiom.items():
+            if cold.result.per_axiom[name].to_json() != suite.to_json():
+                failures.append(f"daemon per-axiom suite differs: {name}")
+        cold_stats = dict(cold.result.oracle_stats)
+        measurement["cold_oracle_stats"] = cold_stats
+        if cold_stats.get("compile_misses", 0) <= 0:
+            failures.append("cold run reported no compile misses")
+
+    # --- restarted daemon: the warm-compile story ----------------------
+    with Daemon(
+        socket_path, workers=1, cnf_cache_dir=cnf_dir
+    ):
+        client = Client(socket_path)
+        warm = client.synthesize("tso", request().options, timeout=600)
+        warm_stats = dict(warm.oracle_stats)
+        measurement["warm_oracle_stats"] = warm_stats
+        if warm_stats.get("compile_warm_entries", 0) <= 0:
+            failures.append(
+                "restarted daemon found no warm CNF entries "
+                f"(stats: {warm_stats})"
+            )
+        if warm_stats.get("compile_hit_rate", 0.0) <= 0.0:
+            failures.append(
+                "restarted daemon reported compile_hit_rate = "
+                f"{warm_stats.get('compile_hit_rate')}"
+            )
+        if warm.union.to_json() != local.union.to_json():
+            failures.append("warm daemon union differs from local run")
+
+    # --- the trace the first daemon emitted must lint clean ------------
+    findings = lint_trace_dir(TRACE_DIR)
+    measurement["trace_findings"] = [f.id for f in findings]
+    for finding in findings:
+        failures.append(f"trace lint: [{finding.id}] {finding.message}")
+
+    report = Report(
+        schema_name="bench-serve",
+        schema_version=1,
+        command="serve-smoke",
+        payload=measurement,
+    )
+    with open(OUT, "w") as fh:
+        json.dump(report.to_json_dict(), fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"measurement written to {OUT}")
+
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    dedup = measurement["cold_metrics"]["dedup_hits"]
+    rate = measurement["warm_oracle_stats"]["compile_hit_rate"]
+    print(
+        f"serve smoke OK: dedup_hits={dedup}, "
+        f"warm compile_hit_rate={rate:.2f}"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

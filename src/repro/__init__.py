@@ -7,12 +7,17 @@ A from-scratch reproduction of Lustig, Wright, Papakonstantinou & Giroux,
 
 Quick start::
 
-    from repro import SynthesisOptions, get_model, synthesize
+    from repro import SynthesisRequest, synthesize
 
-    tso = get_model("tso")
-    result = synthesize(tso, SynthesisOptions(bound=4))
+    result = synthesize(SynthesisRequest.build("tso", bound=4))
     for entry in result.union:
         print(entry.pretty())
+
+A :class:`SynthesisRequest` is the single public entry shape: the same
+value runs locally (above), ships to a synthesis daemon
+(``repro serve`` + :class:`repro.service.Client`), and keys request
+deduplication.  ``synthesize(model, SynthesisOptions(...))`` remains
+the equivalent two-argument form.
 
 Add ``jobs=4`` (and optionally ``checkpoint_dir="ckpt/"``) to the
 options to run the sharded multiprocess runtime; the output is identical
@@ -32,6 +37,7 @@ Package layout:
 * :mod:`repro.analysis`  — diagnostics / lint passes over the stack
 * :mod:`repro.difftest`  — differential testing + model-mutation fuzzing
 * :mod:`repro.obs`       — tracing, metrics, and the Report envelope
+* :mod:`repro.service`   — synthesis-as-a-service daemon, queue, client
 """
 
 from repro.core import (
@@ -76,6 +82,17 @@ from repro.machine import Bug, TsoMachine, explore, run_suite
 from repro.models import MemoryModel, Vocabulary, available_models, get_model
 from repro.obs import Report, Stats, load_report
 from repro.relax import ALL_RELAXATIONS, applicability_table, relaxations_for
+
+# The service layer imports repro.core at module load time, so it must
+# come after the core imports above (synthesize itself resolves
+# SynthesisRequest lazily to keep the cycle one-directional).
+from repro.service import (
+    Client,
+    JobResult,
+    JobStatus,
+    ServiceError,
+    SynthesisRequest,
+)
 
 __version__ = "1.1.0"
 
@@ -132,6 +149,12 @@ __all__ = [
     "Report",
     "Stats",
     "load_report",
+    # service
+    "SynthesisRequest",
+    "JobStatus",
+    "JobResult",
+    "Client",
+    "ServiceError",
     # relaxations
     "ALL_RELAXATIONS",
     "applicability_table",

@@ -111,8 +111,19 @@ class CNFCache:
         self.misses = 0
         self.disk_hits = 0
         self.stores = 0
+        #: entries already present in the disk layer when this cache was
+        #: built — a freshly (re)started process over a populated
+        #: directory is *warm*, and the SAT009 lint flags warm runs
+        #: whose compile_hit_rate still reads 0.0 (the signature of a
+        #: mis-pointed or fingerprint-mismatched cache directory).
+        self.warm_entries = 0
         if disk_dir is not None:
             os.makedirs(disk_dir, exist_ok=True)
+            self.warm_entries = sum(
+                1
+                for name in os.listdir(disk_dir)
+                if name.endswith(".json") and not name.startswith(".")
+            )
 
     def key(self, test: LitmusTest, with_sc: bool) -> str:
         return cache_key(self.model_fingerprint, test, with_sc)
@@ -178,12 +189,18 @@ class CNFCache:
             self._memory.popitem(last=False)
 
     def as_metrics(self) -> dict[str, int]:
-        """The :class:`repro.obs.Stats` protocol: raw summable counters."""
+        """The :class:`repro.obs.Stats` protocol: raw summable counters.
+
+        ``compile_warm_entries`` sums per *cache instance* — each worker
+        counts its own disk layer's pre-existing entries once — so a
+        merged nonzero value means at least one worker started warm.
+        """
         return {
             "compile_hits": self.hits,
             "compile_misses": self.misses,
             "compile_disk_hits": self.disk_hits,
             "compile_stores": self.stores,
+            "compile_warm_entries": self.warm_entries,
         }
 
     def stats(self) -> dict[str, int]:

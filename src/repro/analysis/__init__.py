@@ -53,7 +53,11 @@ from repro.analysis.obs_lint import (
     lint_trace_events,
     lint_trace_file,
 )
-from repro.analysis.pipeline_lint import lint_cnf_cache_dir, lint_oracle_options
+from repro.analysis.pipeline_lint import (
+    lint_cnf_cache_dir,
+    lint_oracle_options,
+    lint_warm_compile,
+)
 from repro.analysis.registry import (
     ClauseLintContext,
     LintPass,
@@ -96,6 +100,7 @@ __all__ = [
     "find_duplicate_tests",
     "lint_oracle_options",
     "lint_cnf_cache_dir",
+    "lint_warm_compile",
     "lint_trace_events",
     "lint_trace_file",
     "lint_trace_dir",

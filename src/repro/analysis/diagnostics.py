@@ -63,6 +63,7 @@ DIAGNOSTIC_IDS: dict[str, str] = {
     "SAT006": "unit clause in the input",
     "SAT007": "oracle knob combination that silently does nothing",
     "SAT008": "CNF cache directory holds stale or mixed entries",
+    "SAT009": "warm CNF cache produced zero compile hits",
     "DIF001": "corpus entry is stale (unregistered model or healed)",
     "DIF002": "corpus/config names an unknown model or broken mutant",
     "OBS001": "trace span begun but never closed",

@@ -18,12 +18,14 @@ SAT005   error     literal references a variable beyond ``num_vars``
 SAT006   info      unit clause in the input (fine, but worth surfacing)
 SAT007   warning   oracle configuration silently disables the CNF cache
 SAT008   warning   CNF cache directory mixes incompatible fingerprints
+SAT009   warning   warm CNF cache produced zero compile hits
 =======  ========  ==========================================================
 
-SAT007/SAT008 are collection-level checks over oracle *configurations*
-and on-disk cache directories rather than clause sets, so (like
-``find_duplicate_tests`` in the litmus family) they are plain functions:
-:func:`lint_oracle_options` and :func:`lint_cnf_cache_dir`.
+SAT007/SAT008/SAT009 are collection-level checks over oracle
+*configurations*, on-disk cache directories, and run metrics rather than
+clause sets, so (like ``find_duplicate_tests`` in the litmus family)
+they are plain functions: :func:`lint_oracle_options`,
+:func:`lint_cnf_cache_dir`, and :func:`lint_warm_compile`.
 """
 
 from __future__ import annotations
@@ -45,6 +47,7 @@ __all__ = [
     "lint_clause_context",
     "lint_oracle_options",
     "lint_cnf_cache_dir",
+    "lint_warm_compile",
     "context_from_solver",
     "context_from_dimacs",
 ]
@@ -308,3 +311,41 @@ def lint_cnf_cache_dir(directory: str) -> list[Diagnostic]:
             )
         )
     return out
+
+
+def lint_warm_compile(
+    metrics: dict, subject: str = "oracle"
+) -> list[Diagnostic]:
+    """SAT009: a warm run whose CNF compilation cache never hit.
+
+    ``metrics`` is any raw counter snapshot following the
+    :class:`repro.obs.Stats` conventions (a ``SynthesisResult``'s
+    ``oracle_stats``, a merged trace's counters, a service job's
+    per-job delta).  *Warm* means the cache's disk layer already held
+    entries when the oracle started (``compile_warm_entries > 0`` —
+    a daemon restart over a populated ``--cnf-cache-dir``, or a rerun
+    sharing one).  If such a run compiled problems (``compile_misses``)
+    yet served none from the cache, every lookup missed silently: the
+    classic signatures are a mis-pointed directory, a stale cache
+    schema, or a model-fingerprint mismatch after a model edit.
+    """
+    warm = metrics.get("compile_warm_entries", 0)
+    hits = metrics.get("compile_hits", 0)
+    misses = metrics.get("compile_misses", 0)
+    if warm and misses and not hits:
+        return [
+            Diagnostic(
+                "SAT009",
+                Severity.WARNING,
+                subject,
+                f"warm run (disk cache held {int(warm)} entries at "
+                f"start) compiled {int(misses)} problems but reports "
+                "compile_hit_rate 0.0; every cache lookup missed "
+                "silently",
+                hint="check that --cnf-cache-dir points at the directory "
+                "the previous run populated and that the model was not "
+                "edited since (a fingerprint mix in the directory is "
+                "reported as SAT008)",
+            )
+        ]
+    return []

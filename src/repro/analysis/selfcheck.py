@@ -49,6 +49,7 @@ COLLECTION_IDS: frozenset[str] = frozenset(
         "LIT006",  # cli litmus-file load errors
         "SAT007",  # pipeline_lint.lint_oracle_options
         "SAT008",  # pipeline_lint.lint_cnf_cache_dir
+        "SAT009",  # pipeline_lint.lint_warm_compile
         "DIF001",  # difftest_lint corpus checks
         "DIF002",  # difftest_lint corpus/config/mutant checks
         "OBS001",  # obs_lint span accounting

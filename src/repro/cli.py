@@ -10,6 +10,7 @@
                             [--oracle explicit|relational] [--cold-solver]
                             [--prefilter] [--cnf-cache-dir D]
                             [--trace-dir D] [--out suite.json]
+                            [--server ADDR]
     litmus-synth check --model tso test.litmus
     litmus-synth show --name MP
     litmus-synth show --file test.litmus
@@ -20,6 +21,13 @@
                           [--prefilter] [--trace-dir D] [--json]
                           [--list-mutants]
     litmus-synth report TRACE_DIR [--json]
+    litmus-synth serve (--socket PATH | --port N) [--workers N]
+                       [--recycle-after N] [--cnf-cache-dir D]
+                       [--trace-dir D]
+    litmus-synth submit --server ADDR --model tso --bound 4 [--wait]
+                        [synthesis knobs ...] [--json]
+    litmus-synth jobs --server ADDR [--status JOB | --cancel JOB |
+                      --metrics | --shutdown] [--json]
     litmus-synth lint [--all-models] [--catalog] [--model tso]
                       [--corpus-dir D] [--trace-dir D] [--format text|json]
                       [--suppress ID[:GLOB]] [tests.litmus ...]
@@ -95,10 +103,12 @@ def _cmd_table2(_args) -> int:
     return 0
 
 
-def _cmd_synthesize(args) -> int:
-    from repro.exec import CheckpointError
+def _synthesis_options(args) -> SynthesisOptions:
+    """Build the options a ``synthesize``-flavoured arg set describes.
 
-    model = get_model(args.model)
+    Shared by ``synthesize`` and ``submit`` so the same flags produce the
+    same options — and therefore the same request fingerprint, which is
+    what lets a local run and a daemon submission dedup-coalesce."""
     config = EnumerationConfig(
         max_events=args.bound,
         max_threads=args.max_threads,
@@ -106,29 +116,56 @@ def _cmd_synthesize(args) -> int:
         max_deps=args.max_deps,
         max_rmws=args.max_rmws,
     )
-    options = SynthesisOptions(
+    return SynthesisOptions(
         bound=args.bound,
         axioms=[args.axiom] if args.axiom else None,
         mode=CriterionMode(args.mode),
         config=config,
         reject=EARLY_REJECT if args.early_reject else None,
         jobs=args.jobs,
-        checkpoint_dir=args.checkpoint_dir,
+        checkpoint_dir=getattr(args, "checkpoint_dir", None),
         oracle=args.oracle,
         incremental=not args.cold_solver,
         cnf_cache_dir=args.cnf_cache_dir,
         prefilter=args.prefilter,
-        trace_dir=args.trace_dir,
+        trace_dir=getattr(args, "trace_dir", None),
     )
+
+
+def _warn_diagnostics(findings) -> None:
+    for diag in findings:
+        print(
+            f"warning: {diag.subject}: {diag.message} [{diag.id}]",
+            file=sys.stderr,
+        )
+
+
+def _cmd_synthesize(args) -> int:
+    from repro.exec import CheckpointError
+
+    model = get_model(args.model)
+    options = _synthesis_options(args)
     findings = analysis.lint_oracle_options(options)
     if args.cnf_cache_dir:
         findings += analysis.lint_cnf_cache_dir(args.cnf_cache_dir)
-    for diag in findings:
-        print(f"warning: {diag.subject}: {diag.message} [{diag.id}]", file=sys.stderr)
-    try:
-        result = synthesize(model, options)
-    except CheckpointError as exc:
-        raise _CliError(str(exc)) from exc
+    _warn_diagnostics(findings)
+    if args.server:
+        from repro.service import Client, ServiceError
+
+        try:
+            result = Client(args.server, timeout=args.timeout).synthesize(
+                args.model, options
+            )
+        except ServiceError as exc:
+            raise _file_error(args.server, str(exc)) from exc
+    else:
+        try:
+            result = synthesize(model, options)
+        except CheckpointError as exc:
+            raise _CliError(str(exc)) from exc
+    _warn_diagnostics(
+        analysis.lint_warm_compile(result.oracle_stats, subject="oracle")
+    )
     if args.json:
         print(json.dumps(result.to_json_dict(), indent=2))
     else:
@@ -383,6 +420,11 @@ def _cmd_report(args) -> int:
         payload = summarize_trace_dir(args.trace_dir)
     except (OSError, ValueError) as exc:
         raise _file_error(args.trace_dir, str(exc)) from exc
+    _warn_diagnostics(
+        analysis.lint_warm_compile(
+            payload.get("counters", {}), subject=f"trace:{args.trace_dir}"
+        )
+    )
     if args.json:
         envelope = Report(
             schema_name=TRACE_REPORT_SCHEMA_NAME,
@@ -396,6 +438,161 @@ def _cmd_report(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    import os
+    import tempfile
+
+    from repro.service import JobManager, serve
+
+    if (args.socket is None) == (args.port is None):
+        raise _CliError("serve needs exactly one of --socket or --port")
+    cnf_cache_dir = args.cnf_cache_dir
+    if cnf_cache_dir is None and not args.no_cnf_cache:
+        # A stable default so the disk cache layer survives daemon
+        # restarts — that persistence is the warm-compile story the
+        # compile_hit_rate metric (and the SAT009 lint) measures.  The
+        # pool appends one subdirectory per model, so a multi-model
+        # daemon never mixes fingerprints (SAT008).
+        cnf_cache_dir = os.path.join(tempfile.gettempdir(), "repro-serve-cnf")
+    if cnf_cache_dir is not None:
+        _warn_diagnostics(analysis.lint_cnf_cache_dir(cnf_cache_dir))
+    manager = JobManager(
+        workers=args.workers,
+        recycle_after=args.recycle_after,
+        cnf_cache_dir=cnf_cache_dir,
+        trace_dir=args.trace_dir,
+    )
+
+    def ready(address: str) -> None:
+        print(f"serving on {address} ({args.workers} worker(s))", flush=True)
+
+    try:
+        serve(
+            manager,
+            socket_path=args.socket,
+            host=args.host,
+            port=args.port,
+            ready=ready,
+        )
+    except OSError as exc:
+        raise _file_error(
+            args.socket or f"{args.host}:{args.port}",
+            f"cannot bind: {exc.strerror or exc}",
+        ) from exc
+    finally:
+        manager.close()
+    return 0
+
+
+def _service_client(args):
+    from repro.service import Client
+
+    return Client(args.server, timeout=args.timeout)
+
+
+def _print_report(report) -> None:
+    print(json.dumps(report.to_json_dict(), indent=2, sort_keys=True))
+
+
+def _cmd_submit(args) -> int:
+    from repro.service import ServiceError, SynthesisRequest
+
+    options = _synthesis_options(args)
+    _warn_diagnostics(analysis.lint_oracle_options(options))
+    request = SynthesisRequest(model=args.model, options=options)
+    client = _service_client(args)
+    try:
+        if args.wait:
+            report = client.call(
+                "submit", request=request.to_payload(), wait=True
+            )
+            if args.json:
+                _print_report(report)
+                return 0
+            from repro.service.protocol import JobResult
+
+            job = JobResult.from_payload(report.payload)
+            if job.result is None:
+                raise _CliError(
+                    f"job {job.job_id} finished {job.state}: "
+                    f"{job.error or 'no result'}"
+                )
+            print(job.result.summary())
+            return 0
+        status, deduped = client.submit(request)
+    except ServiceError as exc:
+        raise _file_error(args.server, str(exc)) from exc
+    if args.json:
+        report = status.to_report()
+        report.payload["deduped"] = deduped
+        _print_report(report)
+    else:
+        note = " (coalesced onto an identical active job)" if deduped else ""
+        print(f"{status.summary()}{note}")
+        print(
+            f"poll with: repro jobs --server {args.server} "
+            f"--status {status.job_id}"
+        )
+    return 0
+
+
+def _cmd_jobs(args) -> int:
+    from repro.service import ServiceError
+
+    client = _service_client(args)
+    try:
+        if args.cancel:
+            status = client.cancel(args.cancel)
+            if args.json:
+                _print_report(status.to_report())
+            else:
+                print(status.summary())
+            return 0
+        if args.status:
+            status = client.status(args.status)
+            if args.json:
+                _print_report(status.to_report())
+            else:
+                print(status.summary())
+                for key, value in sorted(status.metrics.items()):
+                    print(f"  {key} = {value}")
+            return 0
+        if args.metrics:
+            report = client.call("metrics")
+            if args.json:
+                _print_report(report)
+            else:
+                for key, value in sorted(
+                    report.payload.get("metrics", {}).items()
+                ):
+                    print(f"{key} = {value}")
+            return 0
+        if args.shutdown:
+            client.shutdown()
+            if not args.json:
+                print("shutdown requested")
+            return 0
+        statuses = client.jobs()
+    except ServiceError as exc:
+        raise _file_error(args.server, str(exc)) from exc
+    if args.json:
+        from repro.service.protocol import JOB_LIST_SCHEMA_NAME, envelope
+
+        _print_report(
+            envelope(
+                JOB_LIST_SCHEMA_NAME,
+                1,
+                {"jobs": [status.to_payload() for status in statuses]},
+            )
+        )
+    else:
+        if not statuses:
+            print("no jobs")
+        for status in statuses:
+            print(status.summary())
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="litmus-synth",
@@ -406,36 +603,84 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_parser("models", help="list available memory models")
     sub.add_parser("table2", help="print the relaxation applicability matrix")
 
+    def add_request_flags(p: argparse.ArgumentParser) -> None:
+        """Flags describing one synthesis request (shared between
+        ``synthesize`` and ``submit``, so equal flags build equal
+        fingerprints)."""
+        p.add_argument("--model", required=True, choices=available_models())
+        p.add_argument("--bound", type=int, default=4)
+        p.add_argument("--axiom", default=None)
+        p.add_argument(
+            "--mode",
+            default="exact",
+            choices=[m.value for m in CriterionMode],
+        )
+        p.add_argument("--max-threads", type=int, default=4)
+        p.add_argument("--max-addresses", type=int, default=3)
+        p.add_argument("--max-deps", type=int, default=2)
+        p.add_argument("--max-rmws", type=int, default=2)
+        p.add_argument(
+            "--early-reject",
+            action="store_true",
+            help="drop candidates with lint findings before any oracle call",
+        )
+        p.add_argument(
+            "--jobs",
+            type=int,
+            default=1,
+            help="worker processes; >1 runs the sharded parallel runtime "
+            "(output is identical to --jobs 1)",
+        )
+        p.add_argument(
+            "--oracle",
+            default="explicit",
+            choices=list(ORACLES),
+            help="criterion oracle: explicit enumeration (default) or the "
+            "relational SAT pipeline (identical output, paper-faithful path)",
+        )
+        p.add_argument(
+            "--cold-solver",
+            action="store_true",
+            help="relational oracle only: fresh solver per query instead of "
+            "the incremental engine (A/B baseline; much slower)",
+        )
+        p.add_argument(
+            "--prefilter",
+            action="store_true",
+            help="relational oracle only: answer fully-pinned per-axiom "
+            "queries with the polynomial static evaluator before SAT "
+            "(identical output; hit rate lands in the oracle stats)",
+        )
+        p.add_argument(
+            "--cnf-cache-dir",
+            default=None,
+            help="relational oracle only: on-disk CNF compilation cache "
+            "shared across workers and runs",
+        )
+
+    def add_server_flag(p: argparse.ArgumentParser, required: bool) -> None:
+        p.add_argument(
+            "--server",
+            required=required,
+            default=None,
+            metavar="ADDR",
+            help="synthesis daemon address: a unix socket path or host:port",
+        )
+        p.add_argument(
+            "--timeout",
+            type=float,
+            default=None,
+            help="seconds to wait on the daemon per exchange (default: "
+            "no limit)",
+        )
+
     p = sub.add_parser("synthesize", help="synthesize suites for a model")
-    p.add_argument("--model", required=True, choices=available_models())
-    p.add_argument("--bound", type=int, default=4)
-    p.add_argument("--axiom", default=None)
-    p.add_argument(
-        "--mode",
-        default="exact",
-        choices=[m.value for m in CriterionMode],
-    )
-    p.add_argument("--max-threads", type=int, default=4)
-    p.add_argument("--max-addresses", type=int, default=3)
-    p.add_argument("--max-deps", type=int, default=2)
-    p.add_argument("--max-rmws", type=int, default=2)
+    add_request_flags(p)
     p.add_argument("--out", default=None, help="write union suite JSON here")
     p.add_argument(
         "--litmus-dir",
         default=None,
         help="write one .litmus text file per synthesized test here",
-    )
-    p.add_argument(
-        "--early-reject",
-        action="store_true",
-        help="drop candidates with lint findings before any oracle call",
-    )
-    p.add_argument(
-        "--jobs",
-        type=int,
-        default=1,
-        help="worker processes; >1 runs the sharded parallel runtime "
-        "(output is identical to --jobs 1)",
     )
     p.add_argument(
         "--checkpoint-dir",
@@ -444,37 +689,12 @@ def build_parser() -> argparse.ArgumentParser:
         "options resumes from completed shards",
     )
     p.add_argument(
-        "--oracle",
-        default="explicit",
-        choices=list(ORACLES),
-        help="criterion oracle: explicit enumeration (default) or the "
-        "relational SAT pipeline (identical output, paper-faithful path)",
-    )
-    p.add_argument(
-        "--cold-solver",
-        action="store_true",
-        help="relational oracle only: fresh solver per query instead of "
-        "the incremental engine (A/B baseline; much slower)",
-    )
-    p.add_argument(
-        "--prefilter",
-        action="store_true",
-        help="relational oracle only: answer fully-pinned per-axiom "
-        "queries with the polynomial static evaluator before SAT "
-        "(identical output; hit rate lands in the oracle stats)",
-    )
-    p.add_argument(
-        "--cnf-cache-dir",
-        default=None,
-        help="relational oracle only: on-disk CNF compilation cache "
-        "shared across workers and runs",
-    )
-    p.add_argument(
         "--trace-dir",
         default=None,
         help="write a repro.obs trace here (driver/shard span timings "
         "plus a deterministic merged stream); render with `repro report`",
     )
+    add_server_flag(p, required=False)
     p.add_argument(
         "--json",
         action="store_true",
@@ -604,6 +824,100 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     p = sub.add_parser(
+        "serve",
+        help="run the synthesis-as-a-service daemon",
+        description="Starts a daemon answering synthesis requests over a "
+        "unix socket (--socket) or TCP (--port). Resident workers keep "
+        "oracle caches warm across jobs; identical concurrent "
+        "submissions coalesce onto one job. Talk to it with "
+        "`repro submit`, `repro jobs`, or `synthesize --server`.",
+    )
+    p.add_argument("--socket", default=None, help="unix socket path to bind")
+    p.add_argument("--port", type=int, default=None, help="TCP port to bind")
+    p.add_argument("--host", default="127.0.0.1", help="TCP bind host")
+    p.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="resident worker threads (each keeps its own warm caches)",
+    )
+    p.add_argument(
+        "--recycle-after",
+        type=int,
+        default=0,
+        help="recycle a worker's warm caches after this many jobs "
+        "(0 = keep forever); the disk CNF cache survives recycling",
+    )
+    p.add_argument(
+        "--cnf-cache-dir",
+        default=None,
+        help="base directory for the per-model CNF compilation caches "
+        "(default: a stable path under the system temp dir, so the "
+        "cache survives daemon restarts)",
+    )
+    p.add_argument(
+        "--no-cnf-cache",
+        action="store_true",
+        help="disable the default on-disk CNF cache",
+    )
+    p.add_argument(
+        "--trace-dir",
+        default=None,
+        help="write a repro.obs trace of served jobs here (one span per "
+        "job plus per-job oracle counters); render with `repro report`",
+    )
+
+    p = sub.add_parser(
+        "submit",
+        help="submit a synthesis request to a daemon",
+        description="Sends one synthesis request to a `repro serve` "
+        "daemon and prints the queued job (or, with --wait, the final "
+        "result). Identical requests submitted while one is active "
+        "coalesce onto the same job.",
+    )
+    add_request_flags(p)
+    add_server_flag(p, required=True)
+    p.add_argument(
+        "--wait",
+        action="store_true",
+        help="block until the job finishes and print the result",
+    )
+    p.add_argument(
+        "--json",
+        action="store_true",
+        help="print the machine-readable job-status (or, with --wait, "
+        "job-result) envelope",
+    )
+
+    p = sub.add_parser(
+        "jobs",
+        help="inspect a daemon's job queue",
+        description="Lists a `repro serve` daemon's jobs, or inspects "
+        "one (--status), cancels a queued one (--cancel), dumps service "
+        "counters (--metrics), or stops the daemon (--shutdown).",
+    )
+    add_server_flag(p, required=True)
+    group = p.add_mutually_exclusive_group()
+    group.add_argument("--status", default=None, metavar="JOB", help="show one job")
+    group.add_argument(
+        "--cancel", default=None, metavar="JOB", help="cancel a queued job"
+    )
+    group.add_argument(
+        "--metrics",
+        action="store_true",
+        help="print service counters (queue depth, dedup hits, worker "
+        "warm-cache reuse)",
+    )
+    group.add_argument(
+        "--shutdown", action="store_true", help="ask the daemon to exit"
+    )
+    p.add_argument(
+        "--json",
+        action="store_true",
+        help="print machine-readable repro.obs.Report envelopes",
+    )
+
+    p = sub.add_parser(
         "lint",
         help="lint models, catalog tests, and .litmus files",
         description="With no target, lints every registered model plus "
@@ -666,6 +980,9 @@ _COMMANDS = {
     "compare": _cmd_compare,
     "difftest": _cmd_difftest,
     "report": _cmd_report,
+    "serve": _cmd_serve,
+    "submit": _cmd_submit,
+    "jobs": _cmd_jobs,
     "lint": _cmd_lint,
 }
 

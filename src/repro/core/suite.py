@@ -32,6 +32,8 @@ __all__ = [
     "test_from_dict",
     "outcome_to_dict",
     "outcome_from_dict",
+    "entry_to_dict",
+    "entry_from_dict",
 ]
 
 
@@ -135,7 +137,7 @@ class TestSuite:
         payload = {
             "model": self.model_name,
             "label": self.label,
-            "tests": [_entry_to_dict(e) for e in self],
+            "tests": [entry_to_dict(e) for e in self],
         }
         return json.dumps(payload, indent=2)
 
@@ -144,7 +146,7 @@ class TestSuite:
         payload = json.loads(text)
         suite = cls(payload["model"], payload.get("label", "union"))
         for item in payload["tests"]:
-            test, witness, axioms = _entry_from_dict(item)
+            test, witness, axioms = entry_from_dict(item)
             suite.add(test, witness, axioms)
         return suite
 
@@ -258,14 +260,17 @@ def outcome_from_dict(item: dict) -> Outcome:
     )
 
 
-def _entry_to_dict(entry: SuiteEntry) -> dict:
+def entry_to_dict(entry: SuiteEntry) -> dict:
+    """The suite schema's entry fragment (test + witness + axioms) —
+    also the wire form :mod:`repro.service` ships results in."""
     out = test_to_dict(entry.test)
     out["witness"] = outcome_to_dict(entry.witness)
     out["axioms"] = sorted(entry.axioms)
     return out
 
 
-def _entry_from_dict(item: dict) -> tuple[LitmusTest, Outcome, set[str]]:
+def entry_from_dict(item: dict) -> tuple[LitmusTest, Outcome, set[str]]:
+    """Inverse of :func:`entry_to_dict`, as ``TestSuite.add`` arguments."""
     test = test_from_dict(item)
     witness = outcome_from_dict(item["witness"])
     return test, witness, set(item.get("axioms", []))

@@ -39,6 +39,7 @@ __all__ = [
     "RESULT_SCHEMA_VERSION",
     "ORACLES",
     "build_checker",
+    "run_sequential",
     "synthesize",
 ]
 
@@ -197,7 +198,14 @@ class SynthesisResult:
 
     @property
     def elapsed_seconds(self) -> float:
-        """Deprecated alias for :attr:`wall_seconds`."""
+        """Deprecated alias for :attr:`wall_seconds` (warns)."""
+        warnings.warn(
+            "SynthesisResult.elapsed_seconds is deprecated; read "
+            "wall_seconds (elapsed real time) or cpu_seconds (summed "
+            "worker busy time) instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         return self.wall_seconds
 
     def counts(self) -> dict:
@@ -297,6 +305,35 @@ def build_checker(
     return MinimalityChecker(model, mode)
 
 
+def _resolve_request(model, options):
+    """Map the ``SynthesisRequest`` call forms onto (model, options).
+
+    Accepts ``synthesize(request)`` (the request names its own model)
+    and ``synthesize(model, request)`` (the names must agree).  Returns
+    ``None`` when no request is involved.  The service protocol module
+    is imported lazily: it imports this module at load time, so the
+    top level here must stay request-free.
+    """
+    from repro.service.protocol import SynthesisRequest
+
+    if isinstance(model, SynthesisRequest):
+        if options is not None:
+            raise TypeError(
+                "synthesize(request) takes no second positional argument"
+            )
+        from repro.models.registry import get_model
+
+        return get_model(model.model), model.options
+    if isinstance(options, SynthesisRequest):
+        if options.model != model.name:
+            raise ValueError(
+                f"request names model {options.model!r} but synthesize() "
+                f"was called with {model.name!r}"
+            )
+        return model, options.options
+    return None
+
+
 def synthesize(
     model: MemoryModel,
     options: SynthesisOptions | int | None = None,
@@ -304,13 +341,31 @@ def synthesize(
 ) -> SynthesisResult:
     """Synthesize the comprehensive suites for one model.
 
-    Stable form: ``synthesize(model, SynthesisOptions(bound=4, ...))``.
+    Stable forms::
+
+        synthesize(model, SynthesisOptions(bound=4, ...))
+        synthesize(SynthesisRequest(model="tso", options=...))
+
+    The request form (:class:`repro.service.protocol.SynthesisRequest`)
+    is the wire-serializable shape the synthesis service daemon accepts;
+    locally it resolves the model by name and runs identically.
 
     The pre-1.1 form ``synthesize(model, bound, axioms=..., mode=...,
     config=..., exact_symmetry=..., candidates=..., progress=...,
     reject=...)`` is still accepted but deprecated; it is rewritten into
     a :class:`SynthesisOptions` and warns.
     """
+    if not isinstance(model, MemoryModel) or not isinstance(
+        options, (SynthesisOptions, int, type(None))
+    ):
+        resolved = _resolve_request(model, options)
+        if resolved is not None:
+            if legacy:
+                raise TypeError(
+                    "synthesize() takes no extra keyword arguments "
+                    f"alongside a SynthesisRequest (got {sorted(legacy)})"
+                )
+            model, options = resolved
     if isinstance(options, SynthesisOptions):
         if legacy:
             raise TypeError(
@@ -350,21 +405,39 @@ def synthesize(
         from repro.exec import run_sharded
 
         return run_sharded(model, opts)
-    return _run_sequential(model, opts)
+    return run_sequential(model, opts)
 
 
-def _run_sequential(model: MemoryModel, opts: SynthesisOptions) -> SynthesisResult:
+def run_sequential(
+    model: MemoryModel,
+    opts: SynthesisOptions,
+    checker: MinimalityChecker | None = None,
+) -> SynthesisResult:
+    """The sequential synthesis loop, optionally over a resident checker.
+
+    ``checker`` lets a long-lived host (the :mod:`repro.service` worker
+    pool) inject a warm :class:`MinimalityChecker` whose oracle caches —
+    analysis memos, incremental solver sessions, the CNF compilation
+    cache — survive across calls.  It must have been built for the same
+    model and oracle configuration as ``opts`` (see
+    :func:`build_checker`); when omitted, a fresh one is built, which is
+    exactly what ``synthesize`` does for one-shot runs.  Note that with
+    a resident checker the returned ``oracle_stats`` are the oracle's
+    *cumulative* counters, not this call's delta — residency is the
+    point.
+    """
     start = time.perf_counter()
     config = opts.resolved_config()
     axiom_names = opts.axiom_names(model)
-    checker = build_checker(
-        model,
-        opts.mode,
-        oracle=opts.oracle,
-        incremental=opts.incremental,
-        cnf_cache_dir=opts.cnf_cache_dir,
-        prefilter=opts.prefilter,
-    )
+    if checker is None:
+        checker = build_checker(
+            model,
+            opts.mode,
+            oracle=opts.oracle,
+            incremental=opts.incremental,
+            cnf_cache_dir=opts.cnf_cache_dir,
+            prefilter=opts.prefilter,
+        )
     per_axiom = {
         name: TestSuite(model.name, name, opts.exact_symmetry)
         for name in axiom_names

@@ -1,0 +1,183 @@
+"""The thin synchronous client of the synthesis daemon.
+
+One :class:`Client` per daemon address; one socket connection per call
+(the protocol is a single request line / single response line exchange,
+so holding connections open buys nothing and leaks file descriptors
+into forked test runners).  Addresses are either a filesystem path (a
+unix socket) or ``host:port``; :func:`parse_address` decides by shape.
+
+Every method unwraps the daemon's :class:`repro.obs.Report` envelope
+into the matching protocol type and converts ``service-error``
+envelopes into :class:`ServiceError` — callers never see raw wire
+documents unless they ask for them (``call``).
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+from typing import Any
+
+from repro.core.synthesis import SynthesisOptions, SynthesisResult
+from repro.obs import Report, load_report
+from repro.service.protocol import (
+    SERVICE_ERROR_SCHEMA_NAME,
+    WIRE_SCHEMA_NAME,
+    WIRE_SCHEMA_VERSION,
+    JobResult,
+    JobStatus,
+    SynthesisRequest,
+    envelope,
+)
+
+__all__ = ["Client", "ServiceError", "parse_address"]
+
+
+class ServiceError(RuntimeError):
+    """The daemon answered with a ``service-error`` envelope (or the
+    transport failed)."""
+
+
+def parse_address(address: str) -> tuple[str | None, str, int | None]:
+    """Split an address into ``(socket_path, host, port)``.
+
+    ``host:port`` shapes (exactly one colon, integer tail) are TCP;
+    everything else is a unix socket path — which keeps bare paths like
+    ``/tmp/repro.sock`` and relative ones like ``./daemon.sock`` working
+    without a scheme prefix.
+    """
+    host, sep, tail = address.rpartition(":")
+    if sep and host and "/" not in address:
+        try:
+            return None, host, int(tail)
+        except ValueError:
+            pass
+    return address, "", None
+
+
+class Client:
+    """Talk to one daemon.  ``Client("host:8765")`` or
+    ``Client("/tmp/repro.sock")``."""
+
+    def __init__(self, address: str, timeout: float | None = 60.0):
+        self.address = address
+        self.timeout = timeout
+        self._socket_path, self._host, self._port = parse_address(address)
+
+    # -- transport ---------------------------------------------------------
+
+    def _connect(self) -> socket.socket:
+        if self._socket_path is not None:
+            sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            target: Any = self._socket_path
+        else:
+            sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+            target = (self._host, self._port)
+        sock.settimeout(self.timeout)
+        try:
+            sock.connect(target)
+        except OSError as exc:
+            sock.close()
+            raise ServiceError(
+                f"cannot reach synthesis service at {self.address}: {exc}"
+            ) from exc
+        return sock
+
+    def call(self, op: str, **fields: Any) -> Report:
+        """One request/response exchange; returns the raw envelope.
+
+        Raises :class:`ServiceError` for transport failures and for
+        ``service-error`` answers."""
+        request = envelope(
+            WIRE_SCHEMA_NAME, WIRE_SCHEMA_VERSION, {"op": op, **fields}
+        )
+        line = json.dumps(request.to_json_dict(), sort_keys=True) + "\n"
+        sock = self._connect()
+        try:
+            sock.sendall(line.encode("utf-8"))
+            chunks: list[bytes] = []
+            while True:
+                try:
+                    chunk = sock.recv(65536)
+                except TimeoutError as exc:
+                    raise ServiceError(
+                        f"timed out waiting for the service at {self.address}"
+                    ) from exc
+                if not chunk:
+                    break
+                chunks.append(chunk)
+                if chunk.endswith(b"\n"):
+                    break
+        finally:
+            sock.close()
+        raw = b"".join(chunks)
+        if not raw.strip():
+            raise ServiceError(
+                f"the service at {self.address} closed the connection "
+                "without answering"
+            )
+        try:
+            report = load_report(json.loads(raw.decode("utf-8")))
+        except (UnicodeDecodeError, ValueError) as exc:
+            raise ServiceError(f"unparseable service response: {exc}") from exc
+        if report.schema_name == SERVICE_ERROR_SCHEMA_NAME:
+            raise ServiceError(str(report.payload.get("error", "unknown error")))
+        return report
+
+    # -- operations --------------------------------------------------------
+
+    def ping(self) -> bool:
+        return bool(self.call("ping").payload.get("ok"))
+
+    def submit(self, request: SynthesisRequest) -> tuple[JobStatus, bool]:
+        """Submit without waiting; returns ``(status, deduped)``."""
+        report = self.call("submit", request=request.to_payload())
+        return (
+            JobStatus.from_payload(report.payload),
+            bool(report.payload.get("deduped")),
+        )
+
+    def status(self, job_id: str) -> JobStatus:
+        return JobStatus.from_payload(self.call("status", job_id=job_id).payload)
+
+    def jobs(self) -> list[JobStatus]:
+        report = self.call("jobs")
+        return [
+            JobStatus.from_payload(item) for item in report.payload.get("jobs", [])
+        ]
+
+    def result(self, job_id: str, timeout: float | None = None) -> JobResult:
+        """Block (server-side) until the job finishes."""
+        return JobResult.from_payload(
+            self.call("result", job_id=job_id, timeout=timeout).payload
+        )
+
+    def cancel(self, job_id: str) -> JobStatus:
+        return JobStatus.from_payload(self.call("cancel", job_id=job_id).payload)
+
+    def metrics(self) -> dict[str, int | float]:
+        return dict(self.call("metrics").payload.get("metrics", {}))
+
+    def shutdown(self) -> bool:
+        return bool(self.call("shutdown").payload.get("ok"))
+
+    def synthesize(
+        self,
+        model: str,
+        options: SynthesisOptions,
+        timeout: float | None = None,
+    ) -> SynthesisResult:
+        """Submit, wait, and return the reconstructed result — the
+        remote twin of :func:`repro.synthesize` (same suites, byte for
+        byte)."""
+        request = SynthesisRequest(model=model, options=options)
+        report = self.call(
+            "submit", request=request.to_payload(), wait=True, timeout=timeout
+        )
+        job = JobResult.from_payload(report.payload)
+        if job.result is None:
+            raise ServiceError(
+                f"job {job.job_id} finished {job.state}: "
+                f"{job.error or 'no result'}"
+            )
+        return job.result

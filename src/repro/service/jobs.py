@@ -1,0 +1,373 @@
+"""The service job queue: submit, dedup, run, report.
+
+The :class:`JobManager` is the daemon's engine and is deliberately
+transport-free — plain threads, a :class:`queue.Queue`, and per-job
+:class:`threading.Event` completion latches.  The asyncio server in
+:mod:`repro.service.server` is a thin wire adapter over it, and tests
+drive it directly without any sockets.
+
+**Request deduplication.**  Submissions are keyed by
+:meth:`SynthesisRequest.fingerprint`.  While a job for a fingerprint is
+*active* (queued or running), an identical submission coalesces onto it:
+no new job, the client count bumps, and every waiter gets the same
+result.  A fingerprint whose job already finished starts a *new* job —
+re-running a warm request is exactly how cache warmth is measured, and
+serving stale results from an unbounded memo is a retention policy this
+daemon does not want.
+
+**Tracing.**  With a ``trace_dir`` the manager writes a standard
+:mod:`repro.obs` trace (``meta.json`` + ``service.jsonl``): one
+``begin``/``span`` event pair plus a counters snapshot per finished job,
+all emitted at completion time under the manager lock, because
+:class:`repro.obs.Tracer` is single-threaded by design.  ``repro
+report`` and the OBS lints read it like any other trace directory.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import os
+import queue
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.core.synthesis import SynthesisResult
+from repro.obs import Tracer, merge_metrics
+from repro.obs.report import TOOL_NAME
+from repro.obs.trace import TRACE_SCHEMA_NAME, TRACE_SCHEMA_VERSION
+from repro.service.pool import ResidentWorker
+from repro.service.protocol import (
+    JobResult,
+    JobState,
+    JobStatus,
+    SynthesisRequest,
+)
+
+__all__ = ["Job", "JobManager"]
+
+
+@dataclass
+class Job:
+    """One unit of queued synthesis work (manager-internal, mutable)."""
+
+    job_id: str
+    seq: int
+    request: SynthesisRequest
+    fingerprint: str
+    state: JobState = JobState.QUEUED
+    clients: int = 1
+    submitted: float = field(default_factory=time.perf_counter)
+    started: float | None = None
+    finished: float | None = None
+    worker: int | None = None
+    error: str | None = None
+    result: SynthesisResult | None = None
+    metrics: dict[str, float] = field(default_factory=dict)
+    done: threading.Event = field(default_factory=threading.Event)
+
+    @property
+    def queue_seconds(self) -> float | None:
+        if self.started is None:
+            return None
+        return self.started - self.submitted
+
+    @property
+    def run_seconds(self) -> float | None:
+        if self.started is None or self.finished is None:
+            return None
+        return self.finished - self.started
+
+
+class JobManager:
+    """Thread pool + queue + dedup index; the daemon minus the sockets.
+
+    Args:
+        workers: resident worker thread count.
+        recycle_after: per-worker job count before its warm checkers are
+            dropped (0 = keep forever).
+        cnf_cache_dir: base directory for the workers' per-model CNF
+            compilation caches (see
+            :meth:`repro.service.pool.ResidentWorker.effective_request`).
+        trace_dir: optional :mod:`repro.obs` trace directory.
+        worker_factory: test hook — a callable ``(index) -> worker``
+            returning anything with ``run(request)`` and ``as_metrics()``;
+            defaults to :class:`ResidentWorker`.
+    """
+
+    def __init__(
+        self,
+        workers: int = 1,
+        recycle_after: int = 0,
+        cnf_cache_dir: str | None = None,
+        trace_dir: str | None = None,
+        worker_factory: Callable[[int], Any] | None = None,
+    ):
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self._lock = threading.Lock()
+        self._queue: queue.Queue[Job | None] = queue.Queue()
+        self._jobs: dict[str, Job] = {}
+        self._active: dict[str, Job] = {}  # fingerprint -> queued/running job
+        self._seq = itertools.count(1)
+        self.dedup_hits = 0
+        self.jobs_submitted = 0
+        self.jobs_finished = 0
+        self._closed = False
+        if worker_factory is None:
+            worker_factory = lambda index: ResidentWorker(  # noqa: E731
+                index,
+                recycle_after=recycle_after,
+                cnf_cache_base=cnf_cache_dir,
+            )
+        self.workers = [worker_factory(index) for index in range(workers)]
+        self._tracer: Tracer | None = None
+        self._trace_id = itertools.count(1)
+        if trace_dir is not None:
+            os.makedirs(trace_dir, exist_ok=True)
+            with open(
+                os.path.join(trace_dir, "meta.json"), "w", encoding="utf-8"
+            ) as handle:
+                json.dump(
+                    {
+                        "schema": {
+                            "name": TRACE_SCHEMA_NAME,
+                            "version": TRACE_SCHEMA_VERSION,
+                        },
+                        "tool": TOOL_NAME,
+                        "command": "serve",
+                        "workers": workers,
+                    },
+                    handle,
+                    indent=2,
+                    sort_keys=True,
+                )
+                handle.write("\n")
+            self._tracer = Tracer(os.path.join(trace_dir, "service.jsonl"))
+        self._threads = [
+            threading.Thread(
+                target=self._worker_loop,
+                args=(worker,),
+                name=f"repro-service-worker-{worker.index}",
+                daemon=True,
+            )
+            for worker in self.workers
+        ]
+        for thread in self._threads:
+            thread.start()
+
+    # -- client-facing operations ------------------------------------------
+
+    def submit(self, request: SynthesisRequest) -> tuple[Job, bool]:
+        """Enqueue a request; returns ``(job, deduped)``.
+
+        ``deduped`` is True when the submission coalesced onto an
+        already-active identical job instead of creating a new one.
+        """
+        fingerprint = request.fingerprint()
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("job manager is closed")
+            active = self._active.get(fingerprint)
+            if active is not None and not active.state.terminal:
+                active.clients += 1
+                self.dedup_hits += 1
+                return active, True
+            seq = next(self._seq)
+            job = Job(
+                job_id=f"job-{seq:04d}",
+                seq=seq,
+                request=request,
+                fingerprint=fingerprint,
+            )
+            self._jobs[job.job_id] = job
+            self._active[fingerprint] = job
+            self.jobs_submitted += 1
+        self._queue.put(job)
+        return job, False
+
+    def status(self, job_id: str) -> JobStatus | None:
+        with self._lock:
+            job = self._jobs.get(job_id)
+            if job is None:
+                return None
+            return self._status_locked(job)
+
+    def jobs(self) -> list[JobStatus]:
+        """Every known job, submission order."""
+        with self._lock:
+            return [
+                self._status_locked(job)
+                for job in sorted(self._jobs.values(), key=lambda j: j.seq)
+            ]
+
+    def result(self, job_id: str, timeout: float | None = None) -> JobResult | None:
+        """Block until the job reaches a terminal state (or timeout).
+
+        Returns ``None`` for unknown ids; raises :class:`TimeoutError`
+        when the wait expires."""
+        with self._lock:
+            job = self._jobs.get(job_id)
+        if job is None:
+            return None
+        if not job.done.wait(timeout):
+            raise TimeoutError(f"job {job_id} still {job.state.value}")
+        with self._lock:
+            return JobResult(
+                job_id=job.job_id,
+                state=job.state.value,
+                error=job.error,
+                result=job.result,
+            )
+
+    def cancel(self, job_id: str) -> JobStatus | None:
+        """Cancel a *queued* job; running and finished jobs are left
+        alone (the synthesis loop has no safe preemption point)."""
+        with self._lock:
+            job = self._jobs.get(job_id)
+            if job is None:
+                return None
+            if job.state is JobState.QUEUED:
+                job.state = JobState.CANCELLED
+                job.error = "cancelled while queued"
+                job.finished = time.perf_counter()
+                self._active.pop(job.fingerprint, None)
+                job.done.set()
+            return self._status_locked(job)
+
+    def metrics(self) -> dict[str, int | float]:
+        """Service-level counters plus the summed worker counters."""
+        with self._lock:
+            queued = sum(
+                1 for j in self._jobs.values() if j.state is JobState.QUEUED
+            )
+            running = sum(
+                1 for j in self._jobs.values() if j.state is JobState.RUNNING
+            )
+            base: dict[str, int | float] = {
+                "jobs_submitted": self.jobs_submitted,
+                "jobs_finished": self.jobs_finished,
+                "jobs_queued": queued,
+                "jobs_running": running,
+                "dedup_hits": self.dedup_hits,
+            }
+            worker_totals = merge_metrics(
+                *(worker.as_metrics() for worker in self.workers)
+            )
+        return {**base, **worker_totals}
+
+    def close(self, timeout: float = 10.0) -> None:
+        """Stop accepting work, drain the worker threads, close the trace."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+        for _ in self._threads:
+            self._queue.put(None)
+        for thread in self._threads:
+            thread.join(timeout)
+        with self._lock:
+            if self._tracer is not None:
+                self._tracer.close()
+                self._tracer = None
+
+    def __enter__(self) -> JobManager:
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # -- internals ----------------------------------------------------------
+
+    def _status_locked(self, job: Job) -> JobStatus:
+        position = None
+        if job.state is JobState.QUEUED:
+            position = sum(
+                1
+                for other in self._jobs.values()
+                if other.state is JobState.QUEUED and other.seq < job.seq
+            )
+        return JobStatus(
+            job_id=job.job_id,
+            state=job.state.value,
+            fingerprint=job.fingerprint,
+            model=job.request.model,
+            bound=job.request.options.bound,
+            clients=job.clients,
+            position=position,
+            queue_seconds=job.queue_seconds,
+            run_seconds=job.run_seconds,
+            worker=job.worker,
+            error=job.error,
+            metrics=dict(job.metrics),
+        )
+
+    def _worker_loop(self, worker: Any) -> None:
+        while True:
+            job = self._queue.get()
+            if job is None:
+                return
+            with self._lock:
+                if job.state is not JobState.QUEUED:
+                    continue  # cancelled while queued
+                job.state = JobState.RUNNING
+                job.started = time.perf_counter()
+                job.worker = worker.index
+            try:
+                result, metrics = worker.run(job.request)
+                error = None
+            except Exception as exc:  # noqa: BLE001 - job isolation boundary
+                result, metrics, error = None, {}, f"{type(exc).__name__}: {exc}"
+            with self._lock:
+                job.finished = time.perf_counter()
+                if error is None:
+                    job.state = JobState.DONE
+                    job.result = result
+                    job.metrics = dict(metrics)
+                else:
+                    job.state = JobState.FAILED
+                    job.error = error
+                self._active.pop(job.fingerprint, None)
+                self.jobs_finished += 1
+                self._trace_job_locked(job)
+                job.done.set()
+
+    def _trace_job_locked(self, job: Job) -> None:
+        """Emit one complete begin/span pair (plus counters) per job.
+
+        The tracer is not thread-safe and a job's duration is already
+        known at completion, so both events are written here, under the
+        manager lock — every ``begin`` has its ``span``, which is what
+        the OBS001 lint checks.
+        """
+        tracer = self._tracer
+        if tracer is None:
+            return
+        span_id = next(self._trace_id)
+        tracer.event("begin", id=span_id, name="job", parent=None)
+        attrs = {
+            "job": job.job_id,
+            "model": job.request.model,
+            "bound": job.request.options.bound,
+            "state": job.state.value,
+            "clients": job.clients,
+            "worker": job.worker,
+            "queue_seconds": round(job.queue_seconds or 0.0, 6),
+        }
+        tracer.event(
+            "span",
+            id=span_id,
+            name="job",
+            parent=None,
+            wall=round(job.run_seconds or 0.0, 6),
+            attrs=attrs,
+        )
+        if job.metrics:
+            raw = {
+                key: value
+                for key, value in job.metrics.items()
+                if not key.endswith("_rate")
+            }
+            tracer.counters(raw, job=job.job_id)

@@ -1,0 +1,214 @@
+"""Resident synthesis workers: warm oracle state across service jobs.
+
+A one-shot ``synthesize`` call builds its :class:`MinimalityChecker`
+(and with it the analysis memo, the incremental-solver session LRU, and
+the CNF compilation cache), uses it for one run, and throws it away.
+The daemon's whole point is to *not* do that: a :class:`ResidentWorker`
+keeps one warm checker per oracle configuration alive across jobs, so a
+repeated request answers out of session/analysis caches and a restarted
+daemon re-reads compiled CNF from the disk cache instead of compiling.
+
+Two deliberate behaviors:
+
+* **Per-model CNF cache directories.**  When the pool has a cache base
+  and a relational-incremental request left ``cnf_cache_dir`` unset, the
+  worker fills in ``<base>/<model>`` — one directory per model, so a
+  multi-model daemon never mixes fingerprints (the SAT008 lint's
+  complaint) and the warm-entry count stays meaningful.
+* **Delta metrics.**  A resident oracle's counters are cumulative by
+  design, so per-job metrics are computed the same way
+  :func:`repro.exec.worker.compute_shard` computes per-shard metrics:
+  snapshot before, snapshot after, subtract.  ``compile_warm_entries``
+  is re-injected as an absolute value (a constant minus itself is 0,
+  which would hide exactly the warmth the SAT009 lint keys on).
+
+Recycling (``recycle_after=N``) drops every warm checker after N jobs —
+bounding memory growth of the session LRU and analysis memos, and, for
+tests, forcing the next job through the disk CNF cache.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any
+
+from repro.core.minimality import CriterionMode, MinimalityChecker
+from repro.core.synthesis import (
+    SynthesisOptions,
+    SynthesisResult,
+    build_checker,
+    run_sequential,
+    synthesize,
+)
+from repro.models.registry import get_model
+from repro.obs import derive_rates
+from repro.service.protocol import SynthesisRequest, with_cnf_cache_dir
+
+__all__ = ["ResidentWorker", "checker_key", "needs_sharded_runtime"]
+
+
+def checker_key(model: str, opts: SynthesisOptions) -> tuple:
+    """The oracle-configuration identity a warm checker can serve.
+
+    Everything :func:`repro.core.synthesis.build_checker` consumes —
+    two requests mapping to the same key are safe to answer with the
+    same resident checker, whatever their bound/axioms/config."""
+    mode = opts.mode if isinstance(opts.mode, CriterionMode) else CriterionMode(opts.mode)
+    return (
+        model,
+        mode.value,
+        opts.oracle,
+        opts.incremental,
+        opts.cnf_cache_dir,
+        opts.prefilter,
+    )
+
+
+def needs_sharded_runtime(opts: SynthesisOptions) -> bool:
+    """Mirror of ``synthesize``'s dispatch test: these options route
+    through :mod:`repro.exec`, whose subprocess workers cannot use a
+    resident checker."""
+    return (
+        opts.jobs > 1
+        or opts.shards is not None
+        or opts.checkpoint_dir is not None
+        or opts.trace_dir is not None
+    )
+
+
+def _oracle_metrics(oracle: Any) -> dict[str, int | float]:
+    as_metrics = getattr(oracle, "as_metrics", None)
+    return dict(as_metrics()) if as_metrics is not None else {}
+
+
+class ResidentWorker:
+    """One worker slot of the service pool.
+
+    Not thread-safe on its own — the :class:`repro.service.jobs.JobManager`
+    runs each worker on a dedicated thread, so a worker only ever executes
+    one job at a time.  ``as_metrics`` may race a running job by one
+    counter; the manager snapshots under its own lock.
+    """
+
+    def __init__(
+        self,
+        index: int = 0,
+        recycle_after: int = 0,
+        cnf_cache_base: str | None = None,
+    ):
+        self.index = index
+        #: drop warm checkers after this many jobs (0 = never)
+        self.recycle_after = recycle_after
+        self.cnf_cache_base = cnf_cache_base
+        self._checkers: dict[tuple, MinimalityChecker] = {}
+        self.jobs_done = 0
+        self.recycles = 0
+        self.warm_hits = 0
+        self.warm_misses = 0
+        self._lock = threading.Lock()
+
+    # -- option resolution -------------------------------------------------
+
+    def effective_request(self, request: SynthesisRequest) -> SynthesisRequest:
+        """The request as this worker will actually run it.
+
+        Fills in the pool's per-model CNF cache directory for
+        relational-incremental requests that left ``cnf_cache_dir``
+        unset; everything else passes through untouched."""
+        opts = request.options
+        if (
+            self.cnf_cache_base is not None
+            and opts.oracle == "relational"
+            and opts.incremental
+            and opts.cnf_cache_dir is None
+        ):
+            import os
+
+            return with_cnf_cache_dir(
+                request, os.path.join(self.cnf_cache_base, request.model)
+            )
+        return request
+
+    def _checker_for(self, request: SynthesisRequest) -> MinimalityChecker:
+        key = checker_key(request.model, request.options)
+        checker = self._checkers.get(key)
+        if checker is not None:
+            self.warm_hits += 1
+            return checker
+        self.warm_misses += 1
+        opts = request.options
+        mode = opts.mode if isinstance(opts.mode, CriterionMode) else CriterionMode(opts.mode)
+        checker = build_checker(
+            get_model(request.model),
+            mode,
+            oracle=opts.oracle,
+            incremental=opts.incremental,
+            cnf_cache_dir=opts.cnf_cache_dir,
+            prefilter=opts.prefilter,
+        )
+        self._checkers[key] = checker
+        return checker
+
+    def recycle(self) -> None:
+        """Drop every warm checker (sessions, memos, in-memory CNF LRU).
+        The disk CNF cache layer survives — that is what makes the next
+        job's ``compile_hit_rate`` a restart-survival measurement."""
+        with self._lock:
+            self._checkers.clear()
+            self.recycles += 1
+
+    # -- job execution -----------------------------------------------------
+
+    def run(
+        self, request: SynthesisRequest
+    ) -> tuple[SynthesisResult, dict[str, float]]:
+        """Run one job; return the result plus this job's metric delta.
+
+        Sharded-runtime options (``jobs > 1``, shards, checkpointing,
+        tracing) dispatch through plain :func:`synthesize` — the
+        subprocess workers there warm their own caches (and share the
+        disk CNF cache directory), so the resident checker stays out of
+        the way.  Everything else runs :func:`run_sequential` over the
+        warm checker.
+        """
+        request = self.effective_request(request)
+        opts = request.options
+        if needs_sharded_runtime(opts):
+            result = synthesize(get_model(request.model), opts)
+            metrics = dict(result.oracle_stats)
+        else:
+            checker = self._checker_for(request)
+            before = _oracle_metrics(checker.oracle)
+            result = run_sequential(get_model(request.model), opts, checker=checker)
+            after = _oracle_metrics(checker.oracle)
+            delta = {
+                key: value - before.get(key, 0) for key, value in after.items()
+            }
+            # warm_entries is a startup constant, not a counter; the
+            # delta zeroes it, so restore the absolute value (SAT009
+            # reads it).
+            if "compile_warm_entries" in after:
+                delta["compile_warm_entries"] = after["compile_warm_entries"]
+            metrics = {**delta, **derive_rates(delta)}
+            # The result of a resident run carries cumulative oracle
+            # counters (see run_sequential); replace them with this
+            # job's delta so the client sees per-job numbers.
+            result.oracle_stats = dict(metrics)
+        with self._lock:
+            self.jobs_done += 1
+            due = (
+                self.recycle_after > 0
+                and self.jobs_done % self.recycle_after == 0
+            )
+        if due:
+            self.recycle()
+        return result, metrics
+
+    def as_metrics(self) -> dict[str, int | float]:
+        """Raw worker counters, :class:`repro.obs.Stats` style."""
+        return {
+            "worker_jobs": self.jobs_done,
+            "worker_recycles": self.recycles,
+            "worker_warm_hits": self.warm_hits,
+            "worker_warm_misses": self.warm_misses,
+        }

@@ -168,3 +168,65 @@ class TestCnfCacheDirLint:
             d.id == "SAT008" and "unreadable" in d.message
             for d in report
         )
+
+
+class TestWarmCompileLint:
+    def test_warm_run_with_zero_hits_sat009(self):
+        from repro.analysis import lint_warm_compile
+
+        report = lint_warm_compile(
+            {
+                "compile_warm_entries": 8,
+                "compile_hits": 0,
+                "compile_misses": 8,
+            },
+            subject="oracle",
+        )
+        assert [d.id for d in report] == ["SAT009"]
+        assert "compile_hit_rate 0.0" in report[0].message
+
+    def test_cold_run_is_clean(self):
+        from repro.analysis import lint_warm_compile
+
+        # No warm entries at start: a 0.0 hit rate is expected, not a
+        # finding.
+        assert (
+            lint_warm_compile(
+                {
+                    "compile_warm_entries": 0,
+                    "compile_hits": 0,
+                    "compile_misses": 8,
+                }
+            )
+            == []
+        )
+
+    def test_warm_run_with_hits_is_clean(self):
+        from repro.analysis import lint_warm_compile
+
+        assert (
+            lint_warm_compile(
+                {
+                    "compile_warm_entries": 8,
+                    "compile_hits": 8,
+                    "compile_misses": 0,
+                }
+            )
+            == []
+        )
+
+    def test_warm_idle_run_is_clean(self):
+        from repro.analysis import lint_warm_compile
+
+        # Warm cache but nothing compiled (analysis cache answered
+        # everything): no lookups, so no silent misses to report.
+        assert (
+            lint_warm_compile(
+                {
+                    "compile_warm_entries": 8,
+                    "compile_hits": 0,
+                    "compile_misses": 0,
+                }
+            )
+            == []
+        )

@@ -10,7 +10,7 @@ from repro.core.compare import (
 )
 from repro.core.enumerator import EnumerationConfig
 from repro.core.suite import TestSuite
-from repro.core.synthesis import synthesize
+from repro.core.synthesis import SynthesisOptions, synthesize
 from repro.litmus.catalog import CATALOG
 from repro.models.registry import get_model
 
@@ -80,7 +80,11 @@ class TestCompareSuites:
     @pytest.fixture(scope="class")
     def synthesized(self):
         return synthesize(
-            TSO, 4, config=EnumerationConfig(max_events=4, max_addresses=2)
+            TSO,
+            SynthesisOptions(
+                bound=4,
+                config=EnumerationConfig(max_events=4, max_addresses=2),
+            ),
         ).union
 
     def test_table4_small_bound(self, synthesized):

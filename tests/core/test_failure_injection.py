@@ -9,7 +9,7 @@ import pytest
 from repro.core.compare import compare_suites
 from repro.core.minimality import MinimalityChecker
 from repro.core.suite import TestSuite
-from repro.core.synthesis import synthesize
+from repro.core.synthesis import SynthesisOptions, synthesize
 from repro.litmus.catalog import CATALOG
 from repro.litmus.events import read, write
 from repro.litmus.test import LitmusTest
@@ -66,7 +66,7 @@ class TestDegenerateModels:
 
         config = EnumerationConfig(max_events=3, max_addresses=1)
         for model in (PermissiveModel(), ContradictoryModel()):
-            result = synthesize(model, 3, config=config)
+            result = synthesize(model, SynthesisOptions(bound=3, config=config))
             assert len(result.union) == 0
 
 

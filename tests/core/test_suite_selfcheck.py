@@ -11,7 +11,7 @@ import pytest
 from repro.core.enumerator import EnumerationConfig
 from repro.core.minimality import MinimalityChecker
 from repro.core.oracle import ExplicitOracle
-from repro.core.synthesis import synthesize
+from repro.core.synthesis import SynthesisOptions, synthesize
 from repro.litmus.execution import project_outcome
 from repro.models.registry import get_model
 
@@ -28,8 +28,10 @@ def test_emitted_suites_satisfy_definition_1(model_name, bound, config_kwargs):
     model = get_model(model_name)
     result = synthesize(
         model,
-        bound,
-        config=EnumerationConfig(max_events=bound, **config_kwargs),
+        SynthesisOptions(
+            bound=bound,
+            config=EnumerationConfig(max_events=bound, **config_kwargs),
+        ),
     )
     assert len(result.union) > 0
     oracle = ExplicitOracle(model)
@@ -56,7 +58,11 @@ def test_emitted_suites_satisfy_definition_1(model_name, bound, config_kwargs):
 def test_per_axiom_suites_are_subsets_of_union():
     model = get_model("tso")
     result = synthesize(
-        model, 4, config=EnumerationConfig(max_events=4, max_addresses=2)
+        model,
+        SynthesisOptions(
+            bound=4,
+            config=EnumerationConfig(max_events=4, max_addresses=2),
+        ),
     )
     union_tests = set(result.union.tests())
     for suite in result.per_axiom.values():

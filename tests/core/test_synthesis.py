@@ -4,7 +4,7 @@ import pytest
 
 from repro.core.canonical import canonical_form
 from repro.core.enumerator import EnumerationConfig
-from repro.core.synthesis import synthesize
+from repro.core.synthesis import SynthesisOptions, synthesize
 from repro.litmus.catalog import CATALOG
 from repro.models.registry import get_model
 
@@ -13,8 +13,10 @@ from repro.models.registry import get_model
 def tso_bound4():
     return synthesize(
         get_model("tso"),
-        4,
-        config=EnumerationConfig(max_events=4, max_addresses=2),
+        SynthesisOptions(
+            bound=4,
+            config=EnumerationConfig(max_events=4, max_addresses=2),
+        ),
     )
 
 
@@ -69,10 +71,12 @@ class TestSaturation:
         for bound in (4, 5):
             res = synthesize(
                 get_model("tso"),
-                bound,
-                axioms=["sc_per_loc"],
-                config=EnumerationConfig(
-                    max_events=bound, max_addresses=1, max_rmws=0
+                SynthesisOptions(
+                    bound=bound,
+                    axioms=["sc_per_loc"],
+                    config=EnumerationConfig(
+                        max_events=bound, max_addresses=1, max_rmws=0
+                    ),
                 ),
             )
             counts[bound] = len(res.per_axiom["sc_per_loc"])
@@ -85,10 +89,12 @@ class TestSaturation:
         for bound in (4, 5):
             res = synthesize(
                 get_model("tso"),
-                bound,
-                axioms=["rmw_atomicity"],
-                config=EnumerationConfig(
-                    max_events=bound, max_addresses=1
+                SynthesisOptions(
+                    bound=bound,
+                    axioms=["rmw_atomicity"],
+                    config=EnumerationConfig(
+                        max_events=bound, max_addresses=1
+                    ),
                 ),
             )
             counts[bound] = len(res.per_axiom["rmw_atomicity"])
@@ -99,16 +105,20 @@ class TestSaturation:
 class TestSynthesisOptions:
     def test_explicit_candidate_stream(self):
         tests = [CATALOG["MP"].test, CATALOG["SB"].test]
-        res = synthesize(get_model("tso"), 4, candidates=tests)
+        res = synthesize(
+            get_model("tso"), SynthesisOptions(bound=4, candidates=tests)
+        )
         assert res.candidates == 2
         assert len(res.union) == 1  # only MP is minimal
 
     def test_single_axiom(self):
         res = synthesize(
             get_model("tso"),
-            3,
-            axioms=["sc_per_loc"],
-            config=EnumerationConfig(max_events=3, max_addresses=1),
+            SynthesisOptions(
+                bound=3,
+                axioms=["sc_per_loc"],
+                config=EnumerationConfig(max_events=3, max_addresses=1),
+            ),
         )
         assert list(res.per_axiom) == ["sc_per_loc"]
 
@@ -116,9 +126,11 @@ class TestSynthesisOptions:
         calls = []
         synthesize(
             get_model("tso"),
-            4,
-            config=EnumerationConfig(max_events=4, max_addresses=2),
-            progress=calls.append,
+            SynthesisOptions(
+                bound=4,
+                config=EnumerationConfig(max_events=4, max_addresses=2),
+                progress=calls.append,
+            ),
         )
         # at least one progress tick for >1000 candidates... the bound-4
         # space may be smaller; just assert no crash and monotonicity
@@ -127,8 +139,10 @@ class TestSynthesisOptions:
     def test_sc_model_synthesis(self):
         res = synthesize(
             get_model("sc"),
-            3,
-            config=EnumerationConfig(max_events=3, max_addresses=2),
+            SynthesisOptions(
+                bound=3,
+                config=EnumerationConfig(max_events=3, max_addresses=2),
+            ),
         )
         union_tests = {canonical_form(t) for t in res.union.tests()}
         assert canonical_form(CATALOG["CoWW"].test) in union_tests

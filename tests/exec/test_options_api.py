@@ -93,11 +93,13 @@ class TestResultSchema:
         assert counts["wall_seconds"] == payload["wall_seconds"]
         assert counts["cpu_seconds"] == payload["cpu_seconds"]
 
-    def test_elapsed_seconds_alias(self):
+    def test_elapsed_seconds_alias_warns(self):
         result = synthesize(
             get_model("tso"), SynthesisOptions(bound=3, config=_config())
         )
-        assert result.elapsed_seconds == result.wall_seconds
+        with pytest.deprecated_call():
+            alias = result.elapsed_seconds
+        assert alias == result.wall_seconds
 
     def test_summary_mentions_wall_and_cpu(self):
         result = synthesize(

@@ -5,7 +5,7 @@ minimal test."""
 import pytest
 
 from repro.core.enumerator import EnumerationConfig
-from repro.core.synthesis import synthesize
+from repro.core.synthesis import SynthesisOptions, synthesize
 from repro.machine.harness import run_suite
 from repro.machine.tso_machine import Bug
 from repro.models.registry import get_model
@@ -16,8 +16,10 @@ def synthesized_suite():
     tso = get_model("tso")
     result = synthesize(
         tso,
-        5,
-        config=EnumerationConfig(max_events=5, max_addresses=2),
+        SynthesisOptions(
+            bound=5,
+            config=EnumerationConfig(max_events=5, max_addresses=2),
+        ),
     )
     return tso, result.union
 

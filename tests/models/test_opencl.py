@@ -147,20 +147,22 @@ class _NoFenceOpenCL(OpenCL):
 class TestScopedSynthesis:
     def test_synthesis_emits_narrowest_sufficient_scopes(self):
         from repro.core.enumerator import EnumerationConfig
-        from repro.core.synthesis import synthesize
+        from repro.core.synthesis import SynthesisOptions, synthesize
 
         res = synthesize(
             _NoFenceOpenCL(),
-            4,
-            axioms=["causality"],
-            config=EnumerationConfig(
-                max_events=4,
-                min_events=4,
-                max_addresses=2,
-                max_threads=2,
-                max_thread_size=2,
-                max_deps=0,
-                max_rmws=0,
+            SynthesisOptions(
+                bound=4,
+                axioms=["causality"],
+                config=EnumerationConfig(
+                    max_events=4,
+                    min_events=4,
+                    max_addresses=2,
+                    max_threads=2,
+                    max_thread_size=2,
+                    max_deps=0,
+                    max_rmws=0,
+                ),
             ),
         )
         suite = list(res.per_axiom["causality"])

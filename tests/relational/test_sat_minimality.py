@@ -67,13 +67,13 @@ class TestSatSynthesis:
         """Full synthesis with the SAT oracle on a tiny bound: must
         produce exactly the explicit engine's suite."""
         from repro.core.enumerator import EnumerationConfig
-        from repro.core.synthesis import synthesize
+        from repro.core.synthesis import SynthesisOptions, synthesize
 
         tso = get_model("tso")
         config = EnumerationConfig(
             max_events=3, max_addresses=1, max_rmws=0
         )
-        explicit = synthesize(tso, 3, config=config)
+        explicit = synthesize(tso, SynthesisOptions(bound=3, config=config))
 
         candidates = None
         sat_union = set()

@@ -1,0 +1,172 @@
+"""The serve/submit/jobs CLI triple and `synthesize --server`."""
+
+import asyncio
+import json
+import threading
+
+import pytest
+
+from repro.cli import main
+from repro.service.jobs import JobManager
+from repro.service.server import serve_async
+
+
+@pytest.fixture
+def daemon(tmp_path):
+    """Daemon on a unix socket; yields the address for --server flags."""
+    socket_path = str(tmp_path / "repro.sock")
+    manager = JobManager(workers=1, cnf_cache_dir=str(tmp_path / "cnf"))
+    ready = threading.Event()
+    stop = asyncio.Event()
+    loop_holder: list[asyncio.AbstractEventLoop] = []
+
+    async def run() -> None:
+        loop_holder.append(asyncio.get_running_loop())
+        await serve_async(
+            manager,
+            socket_path=socket_path,
+            ready=lambda addr: ready.set(),
+            stop=stop,
+        )
+
+    thread = threading.Thread(target=lambda: asyncio.run(run()), daemon=True)
+    thread.start()
+    assert ready.wait(10), "daemon never came up"
+    yield socket_path
+    loop_holder[0].call_soon_threadsafe(stop.set)
+    thread.join(5)
+    manager.close()
+
+
+TINY = ["--model", "tso", "--bound", "2", "--max-addresses", "1"]
+
+
+class TestSubmit:
+    def test_submit_then_poll(self, daemon, capsys):
+        assert main(["submit", "--server", daemon, *TINY]) == 0
+        out = capsys.readouterr().out
+        assert "job-0001" in out
+        assert f"poll with: repro jobs --server {daemon}" in out
+
+        assert main(["jobs", "--server", daemon]) == 0
+        listing = capsys.readouterr().out
+        assert "job-0001" in listing
+
+    def test_submit_wait_prints_summary(self, daemon, capsys):
+        assert main(["submit", "--server", daemon, "--wait", *TINY]) == 0
+        out = capsys.readouterr().out
+        assert "union" in out
+
+    def test_submit_json_envelope_carries_dedup_flag(self, daemon, capsys):
+        assert main(["submit", "--server", daemon, "--json", *TINY]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["schema"]["name"] == "job-status"
+        assert doc["payload"]["deduped"] is False
+        assert doc["payload"]["model"] == "tso"
+
+    def test_submit_wait_json_is_job_result_envelope(self, daemon, capsys):
+        args = ["submit", "--server", daemon, "--wait", "--json", *TINY]
+        assert main(args) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["schema"]["name"] == "job-result"
+        assert doc["payload"]["state"] == "done"
+        assert doc["payload"]["result"]["union"]["tests"]
+
+
+class TestJobs:
+    def test_status_shows_metrics(self, daemon, capsys):
+        main(["submit", "--server", daemon, "--wait", *TINY])
+        capsys.readouterr()
+        assert main(["jobs", "--server", daemon, "--status", "job-0001"]) == 0
+        out = capsys.readouterr().out
+        assert "done" in out
+
+    def test_metrics_text_mode(self, daemon, capsys):
+        main(["submit", "--server", daemon, "--wait", *TINY])
+        capsys.readouterr()
+        assert main(["jobs", "--server", daemon, "--metrics"]) == 0
+        out = capsys.readouterr().out
+        assert "jobs_finished = 1" in out
+        assert "dedup_hits = 0" in out
+
+    def test_metrics_json_envelope(self, daemon, capsys):
+        assert main(["jobs", "--server", daemon, "--metrics", "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["schema"]["name"] == "service-metrics"
+        assert "jobs_submitted" in doc["payload"]["metrics"]
+
+    def test_empty_listing(self, daemon, capsys):
+        assert main(["jobs", "--server", daemon]) == 0
+        assert "no jobs" in capsys.readouterr().out
+
+    def test_jobs_json_listing_envelope(self, daemon, capsys):
+        main(["submit", "--server", daemon, *TINY])
+        capsys.readouterr()
+        assert main(["jobs", "--server", daemon, "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["schema"]["name"] == "job-list"
+        assert len(doc["payload"]["jobs"]) == 1
+
+    def test_unknown_job_is_exit_2(self, daemon, capsys):
+        code = main(["jobs", "--server", daemon, "--status", "job-9999"])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert err.startswith(f"error: {daemon}: ")
+        assert "unknown job" in err
+
+
+class TestServerErrors:
+    def test_unreachable_server_is_exit_2(self, tmp_path, capsys):
+        missing = str(tmp_path / "nothing.sock")
+        code = main(["submit", "--server", missing, *TINY])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert err.startswith(f"error: {missing}: ")
+
+    def test_synthesize_unreachable_server_is_exit_2(self, tmp_path, capsys):
+        missing = str(tmp_path / "nothing.sock")
+        code = main(["synthesize", *TINY, "--server", missing])
+        assert code == 2
+        assert capsys.readouterr().err.startswith(f"error: {missing}: ")
+
+    def test_serve_needs_exactly_one_transport(self, capsys):
+        assert main(["serve"]) == 2
+        assert "exactly one of" in capsys.readouterr().err
+        assert main(["serve", "--socket", "/tmp/x.sock", "--port", "1"]) == 2
+        assert "exactly one of" in capsys.readouterr().err
+
+
+class TestRemoteSynthesize:
+    def test_server_run_byte_identical_to_local(self, daemon, tmp_path, capsys):
+        flags = ["--model", "tso", "--bound", "3", "--max-addresses", "1"]
+        local_out = str(tmp_path / "local.json")
+        remote_out = str(tmp_path / "remote.json")
+        assert main(["synthesize", *flags, "--out", local_out]) == 0
+        assert (
+            main(
+                [
+                    "synthesize",
+                    *flags,
+                    "--server",
+                    daemon,
+                    "--out",
+                    remote_out,
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        with open(local_out, "rb") as fh:
+            local_bytes = fh.read()
+        with open(remote_out, "rb") as fh:
+            remote_bytes = fh.read()
+        assert local_bytes == remote_bytes
+
+    def test_server_json_summary_matches_local_suite(self, daemon, capsys):
+        flags = [*TINY, "--json"]
+        assert main(["synthesize", *flags]) == 0
+        local = json.loads(capsys.readouterr().out)
+        assert main(["synthesize", *flags, "--server", daemon]) == 0
+        remote = json.loads(capsys.readouterr().out)
+        for key in ("model", "bound", "minimal_tests", "suite_counts"):
+            assert remote["payload"][key] == local["payload"][key]

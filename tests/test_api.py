@@ -1,5 +1,7 @@
 """Public API surface tests."""
 
+import pytest
+
 import repro
 
 
@@ -9,15 +11,26 @@ class TestPublicAPI:
 
     def test_quickstart_flow(self):
         """The README quickstart must work verbatim."""
-        tso = repro.get_model("tso")
         result = repro.synthesize(
-            tso,
-            bound=3,
-            config=repro.EnumerationConfig(max_events=3, max_addresses=1),
+            repro.SynthesisRequest.build(
+                "tso",
+                bound=3,
+                config=repro.EnumerationConfig(max_events=3, max_addresses=1),
+            )
         )
         assert len(result.union) > 0
         for entry in result.union:
             assert entry.pretty()
+
+    def test_legacy_kwargs_form_still_works_but_warns(self):
+        tso = repro.get_model("tso")
+        with pytest.deprecated_call():
+            result = repro.synthesize(
+                tso,
+                bound=3,
+                config=repro.EnumerationConfig(max_events=3, max_addresses=1),
+            )
+        assert len(result.union) > 0
 
     def test_build_and_check_a_test(self):
         test = repro.LitmusTest(
