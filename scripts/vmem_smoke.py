@@ -1,0 +1,152 @@
+#!/usr/bin/env python
+"""CI smoke for the transistency (vmem) synthesis path.
+
+Synthesizes the two vmem-capable entry points — ``sc_vmem`` (enhanced
+candidate stream: page-table walks, mapping updates, dirty-bit updates,
+and one virtual->physical alias) and ``rvwmo`` (the newest
+consistency-only model) — at a small bound, sequentially and with
+``--jobs 4``, writes the measurement to ``BENCH_vmem.json`` (a
+``bench-vmem`` v1 Report envelope), and fails when:
+
+* either model's union suite is empty, or
+* the parallel union suite is not byte-identical to the sequential one, or
+* the sc_vmem candidate stream contained no enhanced test (vmem event
+  or alias map) — a wiring regression in the enumerator, or
+* any trace has an unclosed span or a phase with no wall time.
+
+Exit status 0 on success.  Run from the repository root:
+
+    PYTHONPATH=src python scripts/vmem_smoke.py
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import time
+
+from repro.analysis import lint_trace_dir
+from repro.core.enumerator import EnumerationConfig, enumerate_tests
+from repro.core.synthesis import SynthesisOptions, synthesize
+from repro.models.registry import get_model
+from repro.obs import Report, summarize_trace_dir
+
+BOUND = int(os.environ.get("VMEM_SMOKE_BOUND", "3"))
+JOBS = int(os.environ.get("VMEM_SMOKE_JOBS", "4"))
+OUT = os.environ.get("VMEM_SMOKE_OUT", "BENCH_vmem.json")
+TRACE_DIR = os.environ.get("VMEM_SMOKE_TRACE_DIR", "BENCH_vmem_trace")
+
+VMEM_BENCH_SCHEMA_NAME = "bench-vmem"
+VMEM_BENCH_SCHEMA = 1
+
+MODELS = ("sc_vmem", "rvwmo")
+
+
+def check_trace(label: str) -> list[str]:
+    trace_dir = os.path.join(TRACE_DIR, label)
+    failures = [
+        f"{label}: {diag.subject}: {diag.message} [{diag.id}]"
+        for diag in lint_trace_dir(trace_dir)
+    ]
+    payload = summarize_trace_dir(trace_dir)
+    for phase in payload["phases"]:
+        if not isinstance(phase.get("wall"), (int, float)):
+            failures.append(
+                f"{label}: phase {phase.get('name')!r} has no wall time"
+            )
+    return failures
+
+
+def run_model(name: str) -> tuple[dict, list[str]]:
+    model = get_model(name)
+    failures: list[str] = []
+
+    start = time.perf_counter()
+    sequential = synthesize(model, SynthesisOptions(bound=BOUND))
+    sequential_wall = time.perf_counter() - start
+
+    trace_dir = os.path.join(TRACE_DIR, name)
+    start = time.perf_counter()
+    parallel = synthesize(
+        model,
+        SynthesisOptions(bound=BOUND, jobs=JOBS, trace_dir=trace_dir),
+    )
+    parallel_wall = time.perf_counter() - start
+
+    sequential_json = sequential.union.to_json()
+    byte_identical = parallel.union.to_json() == sequential_json
+    if not len(sequential.union):
+        failures.append(f"{name}: union suite is empty at bound {BOUND}")
+    if not byte_identical:
+        failures.append(
+            f"{name}: jobs={JOBS} union differs from the sequential one"
+        )
+    failures.extend(check_trace(name))
+
+    if model.vocabulary.has_vmem:
+        config = SynthesisOptions(bound=BOUND).resolved_config(model)
+        enhanced = sum(
+            1
+            for t in enumerate_tests(model.vocabulary, config)
+            if t.addr_map is not None
+            or any(i.is_vmem for i in t.instructions)
+        )
+        if not enhanced:
+            failures.append(
+                f"{name}: candidate stream contains no enhanced test"
+            )
+    else:
+        enhanced = 0
+
+    measurement = {
+        "model": name,
+        "bound": BOUND,
+        "jobs": JOBS,
+        "candidates": sequential.candidates,
+        "enhanced_candidates": enhanced,
+        "suite_counts": {
+            axiom: len(suite)
+            for axiom, suite in sequential.per_axiom.items()
+        },
+        "union": len(sequential.union),
+        "sequential_wall_seconds": sequential_wall,
+        "parallel_wall_seconds": parallel_wall,
+        "byte_identical": byte_identical,
+    }
+    return measurement, failures
+
+
+def main() -> int:
+    measurements: dict[str, dict] = {}
+    failures: list[str] = []
+    for name in MODELS:
+        measurement, model_failures = run_model(name)
+        measurements[name] = measurement
+        failures.extend(model_failures)
+        print(
+            f"vmem smoke: model={name} bound={BOUND} jobs={JOBS} "
+            f"candidates={measurement['candidates']} "
+            f"(enhanced={measurement['enhanced_candidates']}) "
+            f"union={measurement['union']} "
+            f"seq={measurement['sequential_wall_seconds']:.2f}s "
+            f"par={measurement['parallel_wall_seconds']:.2f}s "
+            f"identical={measurement['byte_identical']}"
+        )
+    document = Report(
+        schema_name=VMEM_BENCH_SCHEMA_NAME,
+        schema_version=VMEM_BENCH_SCHEMA,
+        command="bench",
+        payload={"models": measurements},
+    ).to_json_dict()
+    with open(OUT, "w") as fh:
+        json.dump(document, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"wrote {OUT}")
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

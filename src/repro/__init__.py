@@ -73,8 +73,11 @@ from repro.litmus import (
     Order,
     Outcome,
     Scope,
+    dirty,
     fence,
+    ptwalk,
     read,
+    remap,
     write,
 )
 from repro.litmus.format import format_test, parse_test
@@ -132,8 +135,11 @@ __all__ = [
     "Order",
     "Outcome",
     "Scope",
+    "dirty",
     "fence",
+    "ptwalk",
     "read",
+    "remap",
     "write",
     # operational machine
     "Bug",

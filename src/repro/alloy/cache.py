@@ -34,14 +34,18 @@ from repro.relational.solve import CompiledProblem
 __all__ = ["CNFCache", "CACHE_SCHEMA", "cache_key", "entry_to_dict", "entry_from_dict"]
 
 #: bump when CompiledProblem's serialized shape changes
-CACHE_SCHEMA = 1
+CACHE_SCHEMA = 2
 
 
 def cache_key(model_fingerprint: str, test: LitmusTest, with_sc: bool) -> str:
     """Structural hash identifying one compiled problem.
 
     Content-derived (no salted ``hash()``), so keys agree across worker
-    processes and across runs.
+    processes and across runs.  Deps sort under an explicit key:
+    ``DepKind`` members are unordered, and two edges on the same
+    (src, dst) pair differing only in kind would otherwise make
+    ``sorted`` fall through to comparing kinds.  The address map is part
+    of the key — the compiled ``loc``/``co`` constraints depend on it.
     """
     payload = repr(
         (
@@ -49,8 +53,9 @@ def cache_key(model_fingerprint: str, test: LitmusTest, with_sc: bool) -> str:
             model_fingerprint,
             test.threads,
             sorted(test.rmw),
-            sorted(test.deps),
+            sorted(test.deps, key=lambda d: (d.src, d.dst, d.kind.value)),
             test.scopes,
+            test.addr_map,
             with_sc,
         )
     )

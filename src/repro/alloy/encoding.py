@@ -21,7 +21,7 @@ tests assert equality.
 
 from __future__ import annotations
 
-from repro.litmus.events import FenceKind
+from repro.litmus.events import EventKind, FenceKind
 from repro.litmus.execution import Execution
 from repro.litmus.test import LitmusTest
 from repro.relational import ast
@@ -68,6 +68,16 @@ class LitmusEncoding:
             unary(lambda i: i.is_write and i.order.is_release),
             arity=1,
         )
+        p.constant("Vmem", unary(lambda i: i.is_vmem), arity=1)
+        p.constant(
+            "Ptwalk", unary(lambda i: i.kind is EventKind.PTWALK), arity=1
+        )
+        p.constant(
+            "Remap", unary(lambda i: i.kind is EventKind.REMAP), arity=1
+        )
+        p.constant(
+            "Dirty", unary(lambda i: i.kind is EventKind.DIRTY), arity=1
+        )
         p.constant(
             "FenceSC",
             unary(lambda i: i.is_fence and i.fence is FenceKind.FENCE_SC),
@@ -97,7 +107,7 @@ class LitmusEncoding:
         p.constant("po", po)
         loc = {
             (a, b)
-            for addr in test.addresses
+            for addr in test.locations
             for a in test.accesses_to(addr)
             for b in test.accesses_to(addr)
         }
@@ -133,7 +143,7 @@ class LitmusEncoding:
         p.declare(RF, upper=rf_upper)
         co_upper = {
             (w1, w2)
-            for addr in test.addresses
+            for addr in test.locations
             for w1 in test.writes_to(addr)
             for w2 in test.writes_to(addr)
             if w1 != w2
@@ -172,7 +182,7 @@ class LitmusEncoding:
             co,
             [
                 tuple(test.writes_to(addr))
-                for addr in test.addresses
+                for addr in test.locations
             ],
         )
         if self.with_sc:
@@ -232,7 +242,7 @@ class LitmusEncoding:
         rf = tuple((r, rf_map[r]) for r in test.read_eids)
         co_pairs = set(instance[CO])
         co = []
-        for addr in test.addresses:
+        for addr in test.locations:
             co.append(_order_by_predecessors(test.writes_to(addr), co_pairs))
         sc: tuple[int, ...] = ()
         if self.with_sc and SC_REL in instance:

@@ -13,7 +13,16 @@ from __future__ import annotations
 from repro.alloy.encoding import LitmusEncoding
 from repro.relational import ast
 
-__all__ = ["sc_formulas", "tso_formulas", "scc_formulas", "ALLOY_MODELS"]
+__all__ = [
+    "sc_formulas",
+    "tso_formulas",
+    "scc_formulas",
+    "armv8_formulas",
+    "rvwmo_formulas",
+    "sc_vmem_formulas",
+    "tso_vmem_formulas",
+    "ALLOY_MODELS",
+]
 
 
 def _common():
@@ -88,9 +97,69 @@ def scc_formulas() -> dict[str, ast.Formula]:
     }
 
 
+def _half_barriers(po: ast.Expr) -> ast.Expr:
+    """Acquire/release half-barriers: ``Acq <: po`` and ``po :> Rel``."""
+    acquire, release = ast.Rel("Acquire", 1), ast.Rel("Release", 1)
+    return acquire.domain_restrict(po) + po.range_restrict(release)
+
+
+def armv8_formulas() -> dict[str, ast.Formula]:
+    """ARMv8 multi-copy-atomic external-visibility axioms (the
+    relational twin of :mod:`repro.models.armv8`)."""
+    rf, co, po, loc, ext, fr = _common()
+    rmw, dep = ast.Rel("rmw"), ast.Rel("dep")
+    po_loc = po & loc
+    fence = po.range_restrict(ast.Rel("F_SYNC", 1)).join(po)
+    bob = fence + _half_barriers(po)
+    rfe, coe, fre = rf & ext, co & ext, fr & ext
+    return {
+        "sc_per_loc": ast.Acyclic(rf + co + fr + po_loc),
+        "rmw_atomicity": ast.No(fre.join(coe) & rmw),
+        "external": ast.Acyclic(rfe + coe + fre + dep + bob),
+    }
+
+
+def rvwmo_formulas() -> dict[str, ast.Formula]:
+    """RVWMO global-memory-order axioms (the relational twin of
+    :mod:`repro.models.rvwmo`)."""
+    rf, co, po, loc, ext, fr = _common()
+    rmw, dep = ast.Rel("rmw"), ast.Rel("dep")
+    po_loc = po & loc
+    fence = po.range_restrict(ast.Rel("F_SYNC", 1)).join(po)
+    ppo = dep + fence + _half_barriers(po)
+    rfe, coe, fre = rf & ext, co & ext, fr & ext
+    return {
+        "sc_per_loc": ast.Acyclic(rf + co + fr + po_loc),
+        "rmw_atomicity": ast.No(fre.join(coe) & rmw),
+        "ghb": ast.Acyclic(rfe + co + fr + ppo),
+    }
+
+
+def _translation_order() -> ast.Formula:
+    """TransForm-style translation ordering over the ``Vmem`` events."""
+    rf, co, po, loc, ext, fr = _common()
+    vmem = ast.Rel("Vmem", 1)
+    po_vmem = vmem.domain_restrict(po) + po.range_restrict(vmem)
+    return ast.Acyclic(rf + co + fr + po_vmem)
+
+
+def sc_vmem_formulas() -> dict[str, ast.Formula]:
+    """``sc`` plus the transistency translation-order axiom."""
+    return {**sc_formulas(), "translation_order": _translation_order()}
+
+
+def tso_vmem_formulas() -> dict[str, ast.Formula]:
+    """``tso`` plus the transistency translation-order axiom."""
+    return {**tso_formulas(), "translation_order": _translation_order()}
+
+
 #: name -> (formula factory, needs an sc order)
 ALLOY_MODELS: dict[str, tuple] = {
     "sc": (sc_formulas, False),
     "tso": (tso_formulas, False),
     "scc": (scc_formulas, True),
+    "armv8": (armv8_formulas, False),
+    "rvwmo": (rvwmo_formulas, False),
+    "sc_vmem": (sc_vmem_formulas, False),
+    "tso_vmem": (tso_vmem_formulas, False),
 }

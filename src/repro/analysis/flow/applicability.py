@@ -85,6 +85,10 @@ def _count(name: str, test: LitmusTest, vocab: Vocabulary) -> int:
             and inst.scope in vocab.scopes
             and levels.index(inst.scope) > 0
         )
+    if name == "DV":
+        return sum(1 for inst in test.instructions if inst.is_vmem)
+    if name == "UA":
+        return len(test.addr_map or ())
     raise ValueError(f"unknown relaxation {name!r}")
 
 

@@ -110,7 +110,9 @@ def check_outcome_events(ctx: LitmusLintContext) -> Iterator[Diagnostic]:
                 hint="rf sources must be write events (or None for the "
                 "initial value)",
             )
-        elif test.instruction(src).address != test.instruction(read_eid).address:
+        elif test.location_of(
+            test.instruction(src).address
+        ) != test.location_of(test.instruction(read_eid).address):
             yield Diagnostic(
                 "LIT005",
                 Severity.ERROR,
@@ -122,7 +124,7 @@ def check_outcome_events(ctx: LitmusLintContext) -> Iterator[Diagnostic]:
             )
     for addr, w in ctx.outcome.finals:
         subject = f"{ctx.subject}:a{addr}"
-        if addr not in test.addresses:
+        if addr not in test.addresses and addr not in test.locations:
             yield Diagnostic(
                 "LIT002",
                 Severity.ERROR,

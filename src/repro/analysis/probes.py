@@ -16,7 +16,16 @@ path enumerates at most a few dozen executions.
 
 from __future__ import annotations
 
-from repro.litmus.events import DepKind, FenceKind, Order, fence, read, write
+from repro.litmus.events import (
+    DepKind,
+    FenceKind,
+    Order,
+    fence,
+    ptwalk,
+    read,
+    remap,
+    write,
+)
 from repro.litmus.test import Dep, LitmusTest
 
 __all__ = ["PROBE_BATTERY", "probe_tests"]
@@ -78,6 +87,19 @@ def _probes() -> tuple[LitmusTest, ...]:
         ),
         name="probe:SB+scorders",
     )
+    # Transistency probes (appended so earlier battery indices stay
+    # stable): a remap racing two page-table walks, and an aliased MP
+    # where the write lands on the virtual name and the read on the
+    # physical one.
+    vmem_ptw = LitmusTest(
+        ((remap(_X, 1),), (ptwalk(_X), ptwalk(_X))),
+        name="probe:PTW+remap",
+    )
+    vmem_alias = LitmusTest(
+        ((write(_Y, 1), read(_X)), (write(_X, 2),)),
+        addr_map=((_Y, _X),),
+        name="probe:CoWR+alias",
+    )
     return (
         cowr,
         mp,
@@ -88,6 +110,8 @@ def _probes() -> tuple[LitmusTest, ...]:
         w2_syncs,
         sb_scfences,
         sb_sc_orders,
+        vmem_ptw,
+        vmem_alias,
     )
 
 

@@ -90,11 +90,67 @@ def _load_litmus(path: str) -> tuple[LitmusTest, Outcome | None]:
         raise _file_error(path, str(exc)) from exc
 
 
-def _cmd_models(_args) -> int:
-    for name in available_models():
+#: payload schema of ``repro models --json`` (a repro.obs.Report
+#: envelope around the registry listing).
+MODELS_SCHEMA_NAME = "model-list"
+MODELS_SCHEMA_VERSION = 1
+
+
+def _cmd_models(args) -> int:
+    from repro.alloy.models import ALLOY_MODELS
+    from repro.relax.instruction import relaxations_for
+
+    names = available_models()
+    only = getattr(args, "model", None)
+    if only is not None:
+        if only not in names:
+            raise _CliError(
+                f"{only}: unknown model (available: {', '.join(names)})"
+            )
+        names = (only,)
+    rows = []
+    for name in names:
         model = get_model(name)
-        axioms = ", ".join(model.axiom_names())
-        print(f"{name:8s} {model.full_name}  [axioms: {axioms}]")
+        vocab = model.vocabulary
+        axioms = model.axiom_names()
+        relaxations = [r.name for r in relaxations_for(vocab)]
+        rows.append(
+            {
+                "name": name,
+                "full_name": model.full_name,
+                "axioms": list(axioms),
+                "axiom_count": len(axioms),
+                "vmem": vocab.has_vmem,
+                "relaxations": relaxations,
+                "relaxation_count": len(relaxations),
+                "relational": name in ALLOY_MODELS,
+            }
+        )
+    if getattr(args, "json", False):
+        from repro.obs import Report
+
+        report = Report(
+            schema_name=MODELS_SCHEMA_NAME,
+            schema_version=MODELS_SCHEMA_VERSION,
+            command="models",
+            payload={"models": rows},
+        )
+        print(json.dumps(report.to_json_dict(), indent=2))
+        return 0
+    width = max(len(row["name"]) for row in rows) + 2
+    print(
+        "".ljust(width)
+        + f"{'axioms':>6s} {'vmem':>5s} {'relax':>6s} {'sat':>4s}  name"
+    )
+    for row in rows:
+        print(
+            row["name"].ljust(width)
+            + f"{row['axiom_count']:>6d} "
+            + f"{'yes' if row['vmem'] else '-':>5s} "
+            + f"{row['relaxation_count']:>6d} "
+            + f"{'yes' if row['relational'] else '-':>4s}  "
+            + row["full_name"]
+        )
     return 0
 
 
@@ -109,12 +165,18 @@ def _synthesis_options(args) -> SynthesisOptions:
     Shared by ``synthesize`` and ``submit`` so the same flags produce the
     same options — and therefore the same request fingerprint, which is
     what lets a local run and a daemon submission dedup-coalesce."""
+    max_aliases = args.max_aliases
+    if max_aliases is None:
+        max_aliases = (
+            1 if get_model(args.model).vocabulary.has_vmem else 0
+        )
     config = EnumerationConfig(
         max_events=args.bound,
         max_threads=args.max_threads,
         max_addresses=args.max_addresses,
         max_deps=args.max_deps,
         max_rmws=args.max_rmws,
+        max_aliases=max_aliases,
     )
     return SynthesisOptions(
         bound=args.bound,
@@ -600,7 +662,24 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    sub.add_parser("models", help="list available memory models")
+    p = sub.add_parser(
+        "models",
+        help="list available memory models",
+        description="Lists every registered memory model with its axiom "
+        "count, transistency (vmem) support, applicable relaxation "
+        "count, and whether the relational SAT oracle covers it.",
+    )
+    p.add_argument(
+        "--model",
+        default=None,
+        help="show only this model (error if unknown)",
+    )
+    p.add_argument(
+        "--json",
+        action="store_true",
+        help="print the machine-readable registry listing as a "
+        "repro.obs.Report envelope (model-list v1)",
+    )
     sub.add_parser("table2", help="print the relaxation applicability matrix")
 
     def add_request_flags(p: argparse.ArgumentParser) -> None:
@@ -619,6 +698,13 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--max-addresses", type=int, default=3)
         p.add_argument("--max-deps", type=int, default=2)
         p.add_argument("--max-rmws", type=int, default=2)
+        p.add_argument(
+            "--max-aliases",
+            type=int,
+            default=None,
+            help="virtual->physical alias merges per candidate (default: "
+            "1 for models with transistency support, 0 otherwise)",
+        )
         p.add_argument(
             "--early-reject",
             action="store_true",

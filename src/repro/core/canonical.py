@@ -97,8 +97,33 @@ def _permuted(
         deps,
         tuple(scopes) if test.scopes is not None else None,
         test.name,
+        _renamed_addr_map(test, addr_rename),
     )
     return new_test, event_map, addr_rename
+
+
+def _renamed_addr_map(
+    test: LitmusTest, addr_rename: dict[int, int]
+) -> tuple[tuple[int, int], ...] | None:
+    """Translate the aliasing layer through an address renaming.
+
+    Which member of an alias group plays "physical" is itself a symmetry
+    (merging ``v`` into ``p`` and ``p`` into ``v`` yield the same
+    location structure), so each group is re-anchored at its minimal
+    renamed member — making the canonical form independent of the input
+    map's orientation.
+    """
+    if test.addr_map is None:
+        return None
+    groups: dict[int, list[int]] = {}
+    for v, p in test.addr_map:
+        groups.setdefault(p, []).append(v)
+    entries: list[tuple[int, int]] = []
+    for p, vs in groups.items():
+        members = sorted(addr_rename[a] for a in (p, *vs))
+        rep = members[0]
+        entries += [(m, rep) for m in members[1:]]
+    return tuple(sorted(entries))
 
 
 def _encoding(test: LitmusTest) -> tuple:
@@ -113,6 +138,7 @@ def _encoding(test: LitmusTest) -> tuple:
         tuple(sorted(test.rmw)),
         tuple(sorted((d.src, d.dst, d.kind.value) for d in test.deps)),
         test.scopes if test.scopes is not None else (),
+        test.addr_map if test.addr_map is not None else (),
     )
 
 

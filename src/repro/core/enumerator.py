@@ -42,7 +42,17 @@ from collections.abc import Callable, Iterator
 from dataclasses import dataclass
 from itertools import combinations, combinations_with_replacement, product
 
-from repro.litmus.events import DepKind, Instruction, fence, read, write
+from repro.litmus.events import (
+    DepKind,
+    EventKind,
+    Instruction,
+    dirty,
+    fence,
+    ptwalk,
+    read,
+    remap,
+    write,
+)
 from repro.litmus.test import Dep, LitmusTest
 from repro.models.base import Vocabulary
 from repro.obs import current_registry
@@ -73,6 +83,10 @@ class EnumerationConfig:
     max_thread_size: int | None = None
     require_communication: bool = True
     allow_boundary_fences: bool = False
+    #: cap on virtual->physical alias-map entries per candidate
+    #: (TransForm enhanced tests); 0 disables the aliasing axis entirely,
+    #: keeping the candidate stream byte-identical to pre-vmem output.
+    max_aliases: int = 0
 
 
 @dataclass(frozen=True)
@@ -126,6 +140,14 @@ def _slot_choices(
         for order in vocab.write_orders:
             for scope in scopes_for(order.is_atomic or order.is_release):
                 choices.append(write(addr, order=order, scope=scope))
+        # Transistency kinds are generated plain — their ordering
+        # semantics come from the translation axioms, not annotations.
+        if EventKind.PTWALK in vocab.vmem_kinds:
+            choices.append(ptwalk(addr))
+        if EventKind.REMAP in vocab.vmem_kinds:
+            choices.append(remap(addr))
+        if EventKind.DIRTY in vocab.vmem_kinds:
+            choices.append(dirty(addr))
     for kind in vocab.fence_kinds:
         for scope in scopes_for(True):
             choices.append(fence(kind, scope))
@@ -388,29 +410,95 @@ def enumerate_shard(
                         continue
                     if not _addresses_canonical(selection):
                         continue
-                    if config.require_communication and not _communicates(selection):
+                    communicates = (
+                        not config.require_communication
+                        or _communicates(selection)
+                    )
+                    if not communicates and config.max_aliases == 0:
                         continue
-                    if vocab.has_scopes:
-                        for assignment in _group_assignments(len(selection)):
-                            candidate = _assemble(selection, assignment)
-                            if reject is None:
-                                yield item, candidate
-                                continue
-                            current_registry().count("reject_checks")
-                            if not reject(candidate):
-                                yield item, candidate
-                            else:
-                                current_registry().count("early_rejects")
-                    else:
-                        candidate = _assemble(selection)
+                    for candidate in _assembled_variants(
+                        selection, vocab, config, communicates
+                    ):
                         if reject is None:
                             yield item, candidate
+                            continue
+                        current_registry().count("reject_checks")
+                        if not reject(candidate):
+                            yield item, candidate
                         else:
-                            current_registry().count("reject_checks")
-                            if not reject(candidate):
-                                yield item, candidate
-                            else:
-                                current_registry().count("early_rejects")
+                            current_registry().count("early_rejects")
+
+
+def _assembled_variants(
+    selection: tuple[ThreadUnit, ...],
+    vocab: Vocabulary,
+    config: EnumerationConfig,
+    communicates: bool,
+) -> Iterator[LitmusTest]:
+    """Assemble one selection into candidates: every scope assignment
+    (scoped models), and — when ``max_aliases`` allows — every aliased
+    variant.  A base candidate that only communicates *through* aliasing
+    (e.g. one write to ``v`` observed via ``p``) is emitted solely in its
+    aliased forms."""
+    assignments: Iterator[tuple[int, ...] | None]
+    if vocab.has_scopes:
+        assignments = _group_assignments(len(selection))
+    else:
+        assignments = iter((None,))
+    for assignment in assignments:
+        base = _assemble(selection, assignment)
+        if communicates:
+            yield base
+        if config.max_aliases:
+            for amap in _alias_maps(len(base.addresses), config.max_aliases):
+                candidate = LitmusTest(
+                    base.threads, base.rmw, base.deps, base.scopes, None, amap
+                )
+                if config.require_communication and not _communicates_locations(
+                    candidate
+                ):
+                    continue
+                yield candidate
+
+
+def _alias_maps(
+    num_addresses: int, max_aliases: int
+) -> Iterator[tuple[tuple[int, int], ...]]:
+    """Non-identity alias maps over canonical addresses ``0..n-1``.
+
+    Each map merges addresses into location groups anchored at their
+    minimal member (the canonicalizer's orientation), using at most
+    ``max_aliases`` entries.  Enumerated as restricted growth strings, so
+    the stream is deterministic and duplicate-free.
+    """
+    if num_addresses < 2:
+        return
+
+    def rec(acc: tuple[int, ...], max_used: int):
+        if len(acc) == num_addresses:
+            merges = num_addresses - (max_used + 1)
+            if 0 < merges <= max_aliases:
+                reps: dict[int, int] = {}
+                entries: list[tuple[int, int]] = []
+                for addr, g in enumerate(acc):
+                    if g in reps:
+                        entries.append((addr, reps[g]))
+                    else:
+                        reps[g] = addr
+                yield tuple(entries)
+            return
+        for g in range(max_used + 2):
+            yield from rec(acc + (g,), max(max_used, g))
+
+    yield from rec((0,), 0)
+
+
+def _communicates_locations(test: LitmusTest) -> bool:
+    """Location-aware communication prune for aliased candidates."""
+    return all(
+        len(test.accesses_to(loc)) >= 2 and len(test.writes_to(loc)) >= 1
+        for loc in test.locations
+    )
 
 
 def _group_sizes(sizes: tuple[int, ...]) -> list[tuple[int, int]]:

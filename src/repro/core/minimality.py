@@ -28,7 +28,12 @@ from __future__ import annotations
 import enum
 from dataclasses import dataclass, field
 
-from repro.litmus.execution import Execution, Outcome, project_outcome
+from repro.litmus.execution import (
+    Execution,
+    Outcome,
+    project_outcome,
+    prune_outcome,
+)
 from repro.litmus.test import LitmusTest
 from repro.models.base import MemoryModel
 from repro.core.oracle import ExplicitOracle
@@ -89,19 +94,39 @@ def perturb_execution(execution: Execution, relaxed: RelaxedTest) -> Execution:
         if new_read is None:
             continue
         new_src = None if src is None else emap[src]
+        if new_src is not None and not _same_location(
+            target, new_read, new_src
+        ):
+            # A relaxation that rewrites the address map can leave the
+            # source writing a different location than its read; the read
+            # falls back to the initial state (unconstrained treatment).
+            new_src = None
         rf.append((new_read, new_src))
     rf.sort()
-    orig_co = dict(zip(execution.test.addresses, execution.co))
-    co = tuple(
-        tuple(
-            w
-            for w in (emap[x] for x in orig_co.get(addr, ()))
-            if w is not None
-        )
-        for addr in target.addresses
-    )
+    co = []
+    for addr in target.locations:
+        order = []
+        for orig in execution.co:
+            for x in orig:
+                w = emap[x]
+                if w is None:
+                    continue
+                waddr = target.instruction(w).address
+                if waddr is not None and target.location_of(waddr) == addr:
+                    order.append(w)
+        co.append(tuple(order))
     sc = tuple(emap[f] for f in execution.sc if emap[f] is not None)
-    return Execution(target, tuple(rf), co, sc)
+    return Execution(target, tuple(rf), tuple(co), sc)
+
+
+def _same_location(test: LitmusTest, a: int, b: int) -> bool:
+    addr_a = test.instruction(a).address
+    addr_b = test.instruction(b).address
+    return (
+        addr_a is not None
+        and addr_b is not None
+        and test.location_of(addr_a) == test.location_of(addr_b)
+    )
 
 
 class MinimalityChecker:
@@ -184,7 +209,11 @@ class MinimalityChecker:
                 outcome
                 for outcome in surviving
                 if self.oracle.observable(
-                    relaxed.test, project_outcome(outcome, relaxed.event_map)
+                    relaxed.test,
+                    prune_outcome(
+                        relaxed.test,
+                        project_outcome(outcome, relaxed.event_map),
+                    ),
                 )
             ]
             if not surviving:

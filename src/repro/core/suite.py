@@ -218,7 +218,7 @@ def _instruction_from_dict(item: dict) -> Instruction:
 def test_to_dict(test: LitmusTest) -> dict:
     """JSON-serializable structural form of a test (the suite schema's
     test fragment; also the wire/checkpoint format of :mod:`repro.exec`)."""
-    return {
+    out: dict = {
         "threads": [
             [_instruction_to_dict(i) for i in thread]
             for thread in test.threads
@@ -229,6 +229,11 @@ def test_to_dict(test: LitmusTest) -> dict:
         ),
         "scopes": list(test.scopes) if test.scopes is not None else None,
     }
+    if test.addr_map is not None:
+        # omitted when absent, so consistency-only suite files are
+        # byte-identical to the pre-transistency schema
+        out["addr_map"] = [list(p) for p in test.addr_map]
+    return out
 
 
 def test_from_dict(item: dict) -> LitmusTest:
@@ -241,8 +246,14 @@ def test_from_dict(item: dict) -> LitmusTest:
         Dep(s, d, DepKind[k]) for s, d, k in item.get("deps", [])
     )
     scopes = item.get("scopes")
+    addr_map = item.get("addr_map")
     return LitmusTest(
-        threads, rmw, deps, tuple(scopes) if scopes is not None else None
+        threads,
+        rmw,
+        deps,
+        tuple(scopes) if scopes is not None else None,
+        None,
+        tuple((v, p) for v, p in addr_map) if addr_map else None,
     )
 
 

@@ -149,11 +149,24 @@ class SynthesisOptions:
                 f"unknown oracle {self.oracle!r}; choose from {ORACLES}"
             )
 
-    def resolved_config(self) -> EnumerationConfig:
-        return (
-            self.config
-            if self.config is not None
-            else EnumerationConfig(max_events=self.bound)
+    def resolved_config(
+        self, model: MemoryModel | None = None
+    ) -> EnumerationConfig:
+        """The enumeration bounds, derived from ``bound`` when no
+        explicit ``config`` was given.
+
+        Models whose vocabulary declares transistency support default to
+        ``max_aliases=1``, so enhanced candidates with one
+        virtual->physical alias join the stream; consistency-only models
+        keep the byte-identical ``max_aliases=0`` space.
+        """
+        if self.config is not None:
+            return self.config
+        max_aliases = (
+            1 if model is not None and model.vocabulary.has_vmem else 0
+        )
+        return EnumerationConfig(
+            max_events=self.bound, max_aliases=max_aliases
         )
 
     def axiom_names(self, model: MemoryModel) -> tuple[str, ...]:
@@ -427,7 +440,7 @@ def run_sequential(
     point.
     """
     start = time.perf_counter()
-    config = opts.resolved_config()
+    config = opts.resolved_config(model)
     axiom_names = opts.axiom_names(model)
     if checker is None:
         checker = build_checker(

@@ -88,7 +88,7 @@ def _worker_task(model: MemoryModel, opts: SynthesisOptions, shard_count: int) -
         bound=opts.bound,
         axioms=tuple(opts.axioms) if opts.axioms is not None else None,
         mode_value=mode.value,
-        config=opts.resolved_config(),
+        config=opts.resolved_config(model),
         shard_count=shard_count,
         reject=reject,
         oracle=opts.oracle,

@@ -7,8 +7,11 @@ from repro.litmus.events import (
     Instruction,
     Order,
     Scope,
+    dirty,
     fence,
+    ptwalk,
     read,
+    remap,
     write,
 )
 from repro.litmus.execution import (
@@ -30,6 +33,9 @@ __all__ = [
     "read",
     "write",
     "fence",
+    "ptwalk",
+    "remap",
+    "dirty",
     "Dep",
     "LitmusTest",
     "Execution",

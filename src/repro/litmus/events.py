@@ -14,6 +14,7 @@ from dataclasses import dataclass
 
 __all__ = [
     "EventKind",
+    "VMEM_KINDS",
     "Order",
     "FenceKind",
     "DepKind",
@@ -22,15 +23,44 @@ __all__ = [
     "read",
     "write",
     "fence",
+    "ptwalk",
+    "remap",
+    "dirty",
 ]
 
 
 class EventKind(enum.Enum):
-    """The three base event classes of the paper's Alloy model (Fig. 4)."""
+    """The event classes of the paper's Alloy model (Fig. 4), plus the
+    TransForm transistency extensions (PAPERS.md).
+
+    ``PTWALK`` is a hardware page-table walk: it *reads* the page-table
+    entry's location.  ``REMAP`` is a mapping update (e.g. by the OS): it
+    *writes* the entry's location.  ``DIRTY`` is a hardware dirty-bit
+    update, also a write to the entry's location.  The three transistency
+    kinds participate in ``rf``/``co``/``fr`` exactly like the base kinds
+    they refine; models distinguish them through the event-class masks.
+    """
 
     READ = "R"
     WRITE = "W"
     FENCE = "F"
+    PTWALK = "PTW"
+    REMAP = "M"
+    DIRTY = "D"
+
+
+#: Transistency event kinds — only generated when a model's vocabulary
+#: opts in (:attr:`repro.models.base.Vocabulary.vmem_kinds`), so tests
+#: over the base kinds are untouched by the extension.
+VMEM_KINDS: frozenset[EventKind] = frozenset(
+    {EventKind.PTWALK, EventKind.REMAP, EventKind.DIRTY}
+)
+
+#: Read-like and write-like kind groups (membership drives rf/co/fr).
+_READ_KINDS = frozenset({EventKind.READ, EventKind.PTWALK})
+_WRITE_KINDS = frozenset(
+    {EventKind.WRITE, EventKind.REMAP, EventKind.DIRTY}
+)
 
 
 class Order(enum.IntEnum):
@@ -125,20 +155,25 @@ class Instruction:
                 raise ValueError(f"{self.kind.value} requires an address")
             if self.fence is not None:
                 raise ValueError("memory accesses carry no fence kind")
-            if self.kind is EventKind.READ and self.value is not None:
+            if self.is_read and self.value is not None:
                 raise ValueError("reads carry no static value")
 
     @property
     def is_read(self) -> bool:
-        return self.kind is EventKind.READ
+        return self.kind in _READ_KINDS
 
     @property
     def is_write(self) -> bool:
-        return self.kind is EventKind.WRITE
+        return self.kind in _WRITE_KINDS
 
     @property
     def is_fence(self) -> bool:
         return self.kind is EventKind.FENCE
+
+    @property
+    def is_vmem(self) -> bool:
+        """True for the TransForm transistency kinds."""
+        return self.kind in VMEM_KINDS
 
     def with_order(self, order: Order) -> Instruction:
         """Copy of this instruction with a different memory order."""
@@ -172,9 +207,14 @@ class Instruction:
             else f"a{self.address}"
         )
         if self.is_read:
-            return f"Ld{suffix} [{name}]"
+            op = "Ptw" if self.kind is EventKind.PTWALK else "Ld"
+            return f"{op}{suffix} [{name}]"
         val = "?" if self.value is None else str(self.value)
-        return f"St{suffix} [{name}], {val}"
+        op = {
+            EventKind.REMAP: "Map",
+            EventKind.DIRTY: "Drt",
+        }.get(self.kind, "St")
+        return f"{op}{suffix} [{name}], {val}"
 
 
 def read(
@@ -197,3 +237,22 @@ def write(
 def fence(kind: FenceKind, scope: Scope | None = None) -> Instruction:
     """Convenience constructor for a fence."""
     return Instruction(EventKind.FENCE, fence=kind, scope=scope)
+
+
+def ptwalk(address: int, order: Order = Order.PLAIN) -> Instruction:
+    """A page-table walk: a read of the translation entry's location."""
+    return Instruction(EventKind.PTWALK, address, order)
+
+
+def remap(
+    address: int, value: int | None = None, order: Order = Order.PLAIN
+) -> Instruction:
+    """A mapping update: a write to the translation entry's location."""
+    return Instruction(EventKind.REMAP, address, order, value=value)
+
+
+def dirty(
+    address: int, value: int | None = None, order: Order = Order.PLAIN
+) -> Instruction:
+    """A hardware dirty-bit update: a write to the entry's location."""
+    return Instruction(EventKind.DIRTY, address, order, value=value)

@@ -26,7 +26,13 @@ from functools import cached_property
 
 from repro.litmus.test import LitmusTest
 
-__all__ = ["Execution", "Outcome", "project_outcome", "remap_outcome"]
+__all__ = [
+    "Execution",
+    "Outcome",
+    "project_outcome",
+    "prune_outcome",
+    "remap_outcome",
+]
 
 
 @dataclass(frozen=True)
@@ -36,9 +42,10 @@ class Outcome:
     Attributes:
         rf_sources: for each read, ``(read_eid, write_eid_or_None)`` — the
             write the read returned, or ``None`` for the initial value.
-        finals: for each address, ``(address, write_eid_or_None)`` — the
+        finals: for each location, ``(location, write_eid_or_None)`` — the
             coherence-final write, or ``None`` when no write touches the
-            address (final value is the initial 0).
+            location (final value is the initial 0).  Locations equal
+            addresses for tests without an aliasing layer.
     """
 
     rf_sources: tuple[tuple[int, int | None], ...]
@@ -53,8 +60,9 @@ class Outcome:
 
     def final_value(self, test: LitmusTest, address: int) -> int:
         """The final integer value of ``address`` in this outcome."""
+        loc = test.location_of(address)
         for addr, w in self.finals:
-            if addr == address:
+            if addr == loc:
                 return 0 if w is None else test.write_values[w]
         raise KeyError(f"address {address} not in this outcome")
 
@@ -81,8 +89,9 @@ class Execution:
         test: the litmus test being executed.
         rf: ``(read_eid, write_eid_or_None)`` per read, in event-id order.
             ``None`` means the read returned the initial value.
-        co: one tuple per address (in :attr:`LitmusTest.addresses` order)
-            giving that address's writes in coherence order.
+        co: one tuple per location (in :attr:`LitmusTest.locations` order)
+            giving that location's writes in coherence order — aliased
+            addresses share a single order.
         sc: total order over ``FenceSC`` events for models with an ``sc``
             relation (SCC, C11); empty for other models.
     """
@@ -106,8 +115,8 @@ class Execution:
     def outcome(self) -> Outcome:
         """Project this execution onto its observable outcome."""
         finals = tuple(
-            (addr, order[-1] if order else None)
-            for addr, order in zip(self.test.addresses, self.co)
+            (loc, order[-1] if order else None)
+            for loc, order in zip(self.test.locations, self.co)
         )
         return Outcome(rf_sources=self.rf, finals=finals)
 
@@ -156,6 +165,49 @@ def project_outcome(
         if new_w is None:
             continue  # final write removed: constraint vanishes
         finals.append((addr, new_w))
+    return Outcome(tuple(rf_sources), tuple(finals))
+
+
+def prune_outcome(test: LitmusTest, outcome: Outcome) -> Outcome:
+    """Drop constraints a relaxed test can no longer express.
+
+    Projection through an event map keeps every constraint whose events
+    survive, but a relaxation that also rewrites the *address-map* layer
+    (e.g. un-aliasing a virtual address) can leave structurally
+    ill-formed constraints behind: an ``rf`` edge whose surviving source
+    now writes a different location than its read, or a final-value
+    constraint keyed by a location the relaxed test no longer merges.
+    Such constraints are unobservable by construction, so they are
+    dropped — the read (or location) becomes unconstrained, mirroring
+    the removed-source rule of :func:`project_outcome`.  For relaxations
+    that keep the address map intact this is the identity.
+    """
+    rf_sources = []
+    for read_eid, src in outcome.rf_sources:
+        if src is not None:
+            r = test.instruction(read_eid)
+            w = test.instruction(src)
+            if (
+                not w.is_write
+                or not r.is_read
+                or test.location_of(w.address) != test.location_of(r.address)
+            ):
+                continue  # source no longer writes the read's location
+        rf_sources.append((read_eid, src))
+    locs = set(test.locations)
+    finals: list[tuple[int, int | None]] = []
+    for a, w in outcome.finals:
+        loc = test.location_of(a)
+        if w is not None:
+            inst = test.instruction(w)
+            if (
+                loc not in locs
+                or not inst.is_write
+                or test.location_of(inst.address) != loc
+            ):
+                continue  # constraint names a write of some other location
+        if (loc, w) not in finals:
+            finals.append((loc, w))
     return Outcome(tuple(rf_sources), tuple(finals))
 
 

@@ -22,6 +22,12 @@ Syntax:
 * ``dep: P1:0 addr P1:1`` adds a dependency edge (kinds: ``addr``,
   ``data``, ``ctrl``, ``ctrlisync``);
 * ``scope: P0=0 P1=0 P2=1`` assigns scope groups to threads;
+* transistency events (TransForm-style enhanced tests): ``PTW <addr>``
+  is a page-table walk (read-like, binds a register), ``MAP <addr>
+  [<value>]`` a mapping update and ``DRT <addr> [<value>]`` a dirty-bit
+  update (both write-like);
+* ``map: y=x`` records a virtual->physical alias: accesses to ``y``
+  resolve to the location of ``x``;
 * ``forbidden: r0=1 r1=0 x=2`` records the forbidden outcome —
   register constraints and final-value constraints in one list.
 
@@ -35,12 +41,16 @@ import re
 from repro.litmus.catalog import outcome_from_values
 from repro.litmus.events import (
     DepKind,
+    EventKind,
     FenceKind,
     Instruction,
     Order,
     Scope,
+    dirty,
     fence,
+    ptwalk,
     read,
+    remap,
     write,
 )
 from repro.litmus.execution import Outcome
@@ -95,6 +105,7 @@ def parse_test(text: str) -> tuple[LitmusTest, Outcome | None]:
     rmw: set[tuple[str, str]] = set()
     deps: set[tuple[str, str, DepKind]] = set()
     scopes: dict[int, int] = {}
+    aliases: list[tuple[str, str]] = []
     forbidden_clause: str | None = None
     final_clause_present = False
 
@@ -131,6 +142,12 @@ def parse_test(text: str) -> tuple[LitmusTest, Outcome | None]:
                 if label not in thread_names:
                     raise ParseError(f"unknown thread in scope: {label}")
                 scopes[thread_names[label]] = int(group)
+        elif line.startswith("map:"):
+            for item in line.split(":", 1)[1].split():
+                virt, _, phys = item.partition("=")
+                if not phys:
+                    raise ParseError(f"bad map entry {item!r}")
+                aliases.append((virt, phys))
         elif line.startswith("forbidden:"):
             forbidden_clause = line.split(":", 1)[1].strip()
             final_clause_present = True
@@ -157,6 +174,15 @@ def parse_test(text: str) -> tuple[LitmusTest, Outcome | None]:
             raise ParseError(f"location {loc!r} out of range")
         return sum(len(threads[t]) for t in range(tid)) + index
 
+    addr_map = None
+    if aliases:
+        entries = []
+        for virt, phys in aliases:
+            if virt not in addr_ids or phys not in addr_ids:
+                raise ParseError(f"map names unused address: {virt}={phys}")
+            entries.append((addr_ids[virt], addr_ids[phys]))
+        addr_map = tuple(sorted(entries))
+
     test = LitmusTest(
         tuple(tuple(t) for t in threads),
         frozenset((resolve(a), resolve(b)) for a, b in rmw),
@@ -165,6 +191,7 @@ def parse_test(text: str) -> tuple[LitmusTest, Outcome | None]:
         if scopes
         else None,
         name,
+        addr_map,
     )
 
     outcome = None
@@ -205,18 +232,30 @@ def _parse_instruction(
         if suffix not in _ORDER_SUFFIXES:
             raise ParseError(f"unknown order suffix {suffix!r}")
         order = _ORDER_SUFFIXES[suffix]
-    if op == "R":
+    if op in ("R", "PTW"):
         if len(tokens) != 2:
             raise ParseError(f"read takes one address: {line!r}")
         addr = addr_ids.setdefault(tokens[1], len(addr_ids))
+        if op == "PTW":
+            if scope is not None:
+                raise ParseError("page-table walks take no scope")
+            return ptwalk(addr, order), reg
         return read(addr, order, scope), reg
-    if op == "W":
+    if op in ("W", "MAP", "DRT"):
         if len(tokens) not in (2, 3):
             raise ParseError(f"write takes address [value]: {line!r}")
         if reg is not None:
             raise ParseError("writes bind no register")
         addr = addr_ids.setdefault(tokens[1], len(addr_ids))
         value = int(tokens[2]) if len(tokens) == 3 else None
+        if op == "MAP":
+            if scope is not None:
+                raise ParseError("mapping updates take no scope")
+            return remap(addr, value, order), None
+        if op == "DRT":
+            if scope is not None:
+                raise ParseError("dirty-bit updates take no scope")
+            return dirty(addr, value, order), None
         return write(addr, value, order, scope), None
     raise ParseError(f"unknown opcode {op!r}")
 
@@ -271,13 +310,18 @@ def format_test(test: LitmusTest, outcome: Outcome | None = None) -> str:
                 assert inst.fence is not None
                 lines.append(f"  F.{fence_names[inst.fence]}{at}")
             elif inst.is_read:
+                op = "PTW" if inst.kind is EventKind.PTWALK else "R"
                 lines.append(
-                    f"  r{eid} = R{suffix}{at} {addr_names[inst.address]}"
+                    f"  r{eid} = {op}{suffix}{at} {addr_names[inst.address]}"
                 )
             else:
+                op = {
+                    EventKind.REMAP: "MAP",
+                    EventKind.DIRTY: "DRT",
+                }.get(inst.kind, "W")
                 value = test.write_values[eid]
                 lines.append(
-                    f"  W{suffix}{at} {addr_names[inst.address]} {value}"
+                    f"  {op}{suffix}{at} {addr_names[inst.address]} {value}"
                 )
     for r, w in sorted(test.rmw):
         lines.append(
@@ -295,6 +339,11 @@ def format_test(test: LitmusTest, outcome: Outcome | None = None) -> str:
             f"P{tid}={g}" for tid, g in enumerate(test.scopes)
         )
         lines.append(f"scope: {groups}")
+    if test.addr_map is not None:
+        entries = " ".join(
+            f"{addr_names[v]}={addr_names[p]}" for v, p in test.addr_map
+        )
+        lines.append(f"map: {entries}")
     if outcome is not None:
         parts = [
             f"r{eid}={outcome.read_value(test, eid)}"

@@ -46,6 +46,12 @@ class LitmusTest:
         scopes: optional thread -> scope-group assignment for scoped
             models; ``None`` means the test is unscoped.
         name: optional human-readable name (e.g. ``"MP"``).
+        addr_map: optional virtual-to-physical aliasing layer (TransForm
+            enhanced tests): sorted ``(virtual, physical)`` pairs declaring
+            that the virtual address maps onto the physical address's
+            location.  Unmapped addresses are their own location (identity),
+            so ``None`` — the default for every consistency-only test — is
+            exactly the pre-transistency semantics.
     """
 
     threads: tuple[tuple[Instruction, ...], ...]
@@ -53,12 +59,15 @@ class LitmusTest:
     deps: frozenset[Dep] = frozenset()
     scopes: tuple[int, ...] | None = None
     name: str | None = field(default=None, compare=False)
+    addr_map: tuple[tuple[int, int], ...] | None = None
 
     def __post_init__(self) -> None:
         if not self.threads or any(not t for t in self.threads):
             raise ValueError("a litmus test needs at least one non-empty thread")
         if self.scopes is not None and len(self.scopes) != len(self.threads):
             raise ValueError("scopes must assign a group to every thread")
+        if self.addr_map is not None:
+            self._check_addr_map()
         n = self.num_events
         for r, w in self.rmw:
             if not (0 <= r < n and 0 <= w < n):
@@ -80,6 +89,33 @@ class LitmusTest:
                 raise ValueError("data dependencies target writes")
             if dep.kind is DepKind.ADDR and self.instruction(dep.dst).is_fence:
                 raise ValueError("address dependencies target memory accesses")
+
+    def _check_addr_map(self) -> None:
+        assert self.addr_map is not None
+        used = {
+            inst.address
+            for t in self.threads
+            for inst in t
+            if inst.address is not None
+        }
+        if list(self.addr_map) != sorted(set(self.addr_map)):
+            raise ValueError("addr_map entries must be sorted and unique")
+        keys = {v for v, _ in self.addr_map}
+        if len(keys) != len(self.addr_map):
+            raise ValueError("addr_map maps each virtual address once")
+        for v, p in self.addr_map:
+            if v == p:
+                raise ValueError(f"addr_map entry {v}->{p} is an identity")
+            if v not in used or p not in used:
+                raise ValueError(
+                    f"addr_map entry {v}->{p} names an address the test "
+                    "never accesses"
+                )
+            if p in keys:
+                raise ValueError(
+                    f"addr_map entry {v}->{p} chains through another "
+                    "mapped address; map directly to the representative"
+                )
 
     # -- event geometry ------------------------------------------------------
 
@@ -170,20 +206,58 @@ class LitmusTest:
                 seen.append(inst.address)
         return tuple(seen)
 
+    # -- locations (virtual -> physical aliasing) -----------------------------
+
+    @cached_property
+    def _location_map(self) -> dict[int, int]:
+        return dict(self.addr_map) if self.addr_map is not None else {}
+
+    def location_of(self, address: int) -> int:
+        """Physical location of an address (identity when unmapped)."""
+        return self._location_map.get(address, address)
+
+    @cached_property
+    def locations(self) -> tuple[int, ...]:
+        """Distinct physical locations in first-use order.
+
+        Equal to :attr:`addresses` for every test without an aliasing
+        layer; coherence orders and final-state constraints are keyed by
+        location, never by (virtual) address.
+        """
+        seen: list[int] = []
+        for addr in self.addresses:
+            loc = self.location_of(addr)
+            if loc not in seen:
+                seen.append(loc)
+        return tuple(seen)
+
+    def aliases_of(self, address: int) -> tuple[int, ...]:
+        """All addresses sharing ``address``'s location, first-use order."""
+        loc = self.location_of(address)
+        return tuple(
+            a for a in self.addresses if self.location_of(a) == loc
+        )
+
     def writes_to(self, address: int) -> tuple[int, ...]:
-        """Event ids of writes to ``address`` in event-id order."""
+        """Event ids of writes to ``address``'s *location*, in event-id
+        order (aliased addresses share one write set)."""
+        loc = self.location_of(address)
         return tuple(
             e
             for e, inst in enumerate(self.instructions)
-            if inst.is_write and inst.address == address
+            if inst.is_write
+            and inst.address is not None
+            and self.location_of(inst.address) == loc
         )
 
     def accesses_to(self, address: int) -> tuple[int, ...]:
-        """Event ids of all accesses to ``address``."""
+        """Event ids of all accesses to ``address``'s location."""
+        loc = self.location_of(address)
         return tuple(
             e
             for e, inst in enumerate(self.instructions)
-            if inst.address == address
+            if inst.address is not None
+            and self.location_of(inst.address) == loc
         )
 
     @cached_property
@@ -191,14 +265,14 @@ class LitmusTest:
         """Value stored by each write event.
 
         Writes with an explicit value keep it; writes without one are
-        auto-assigned ``1, 2, ...`` per address in event-id order, skipping
-        values already claimed explicitly at that address, so that every
-        write to an address stores a distinct non-zero value (the paper's
-        convention — distinct values make ``rf`` recoverable from the
-        outcome).
+        auto-assigned ``1, 2, ...`` per *location* in event-id order,
+        skipping values already claimed explicitly at that location, so
+        that every write to a location stores a distinct non-zero value
+        (the paper's convention — distinct values make ``rf`` recoverable
+        from the outcome, aliased addresses included).
         """
         values: dict[int, int] = {}
-        for addr in self.addresses:
+        for addr in self.locations:
             explicit = {
                 self.instructions[e].value
                 for e in self.writes_to(addr)
@@ -275,7 +349,10 @@ class LitmusTest:
 
     def with_name(self, name: str) -> LitmusTest:
         """Copy of this test carrying a name."""
-        return LitmusTest(self.threads, self.rmw, self.deps, self.scopes, name)
+        return LitmusTest(
+            self.threads, self.rmw, self.deps, self.scopes, name,
+            self.addr_map,
+        )
 
     def __repr__(self) -> str:
         label = self.name or f"{len(self.threads)}thr/{self.num_events}ev"

@@ -1,6 +1,7 @@
 """Axiomatic memory consistency models (paper §2.2, §6)."""
 
 from repro.models.armv7 import ARMv7
+from repro.models.armv8 import ARMv8
 from repro.models.base import Axiom, MemoryModel, Vocabulary
 from repro.models.c11 import C11
 from repro.models.opencl import OpenCL
@@ -10,7 +11,9 @@ from repro.models.registry import (
     available_models,
     get_model,
     register_model,
+    validate_model_class,
 )
+from repro.models.rvwmo import RVWMO
 from repro.models.sc import SC
 from repro.models.scc import SCC
 from repro.models.tso import TSO
@@ -23,6 +26,8 @@ __all__ = [
     "TSO",
     "Power",
     "ARMv7",
+    "ARMv8",
+    "RVWMO",
     "SCC",
     "C11",
     "OpenCL",
@@ -30,4 +35,5 @@ __all__ = [
     "available_models",
     "get_model",
     "register_model",
+    "validate_model_class",
 ]

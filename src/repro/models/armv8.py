@@ -1,0 +1,83 @@
+"""ARMv8 (AArch64), multi-copy-atomic formulation.
+
+ARMv8's 2018 revision made the architecture *multi-copy atomic*
+(Pulte et al. 2018, "Simplifying ARM concurrency"): once any other
+thread observes a write, all threads do.  Axiomatically this collapses
+the Power-style propagation machinery into a single *external
+visibility* axiom over an ordered-before relation:
+
+* ``sc_per_loc``:    ``acyclic(rf + co + fr + po_loc)``
+* ``rmw_atomicity``: ``no (fre . coe) & rmw``
+* ``external``:      ``acyclic(rfe + coe + fre + dob + bob)`` where
+  ``dob`` (dependency-ordered-before) covers the dependency edges and
+  ``bob`` (barrier-ordered-before) covers ``dmb`` fences plus the
+  acquire/release half-barriers (``Acq -> po`` and ``po -> Rel``).
+
+The formulation is deliberately the simplified aarch64.cat skeleton —
+the same shape the relational twin in :mod:`repro.alloy.models` states
+over free ``rf``/``co``, which is what the cross-oracle agreement tests
+check.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+
+from repro.litmus.events import DepKind, FenceKind, Order
+from repro.models.base import Axiom, MemoryModel, Vocabulary
+from repro.semantics.rel import Rel
+from repro.semantics.relations import RelationView
+
+__all__ = ["ARMv8", "armv8_ob"]
+
+
+class ARMv8(MemoryModel):
+    """ARMv8 / AArch64 (multi-copy-atomic, Pulte et al. 2018)."""
+
+    name = "armv8"
+    full_name = "ARMv8 AArch64 (multi-copy atomic)"
+
+    @property
+    def vocabulary(self) -> Vocabulary:
+        return Vocabulary(
+            read_orders=(Order.PLAIN, Order.ACQ),
+            write_orders=(Order.PLAIN, Order.REL),
+            fence_kinds=(FenceKind.SYNC,),  # dmb ish
+            dep_kinds=(DepKind.ADDR, DepKind.DATA, DepKind.CTRL),
+            allows_rmw=True,
+            order_demotions={
+                Order.ACQ: (Order.PLAIN,),
+                Order.REL: (Order.PLAIN,),
+            },
+        )
+
+    def axioms(self) -> Mapping[str, Axiom]:
+        return {
+            "sc_per_loc": _sc_per_loc,
+            "rmw_atomicity": _rmw_atomicity,
+            "external": _external,
+        }
+
+
+def armv8_ob(v: RelationView) -> Rel:
+    """The external part of ordered-before: communication seen by other
+    threads plus dependency- and barrier-ordering."""
+    dob = v.all_deps
+    bob = (
+        v.fence_rel(FenceKind.SYNC)
+        | v.po.restrict_domain(v.acquires)
+        | v.po.restrict_range(v.releases)
+    )
+    return v.rfe | v.coe | v.fre | dob | bob
+
+
+def _sc_per_loc(v: RelationView) -> bool:
+    return (v.rf | v.co | v.fr | v.po_loc).is_acyclic()
+
+
+def _rmw_atomicity(v: RelationView) -> bool:
+    return (v.fre.join(v.coe) & v.rmw).is_empty()
+
+
+def _external(v: RelationView) -> bool:
+    return armv8_ob(v).is_acyclic()

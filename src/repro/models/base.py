@@ -17,7 +17,14 @@ import abc
 from collections.abc import Callable, Mapping
 from dataclasses import dataclass, field
 
-from repro.litmus.events import DepKind, FenceKind, Order, Scope
+from repro.litmus.events import (
+    VMEM_KINDS,
+    DepKind,
+    EventKind,
+    FenceKind,
+    Order,
+    Scope,
+)
 from repro.litmus.execution import Execution
 from repro.semantics.relations import RelationView
 
@@ -47,12 +54,19 @@ class Vocabulary:
         default_factory=dict
     )
     scopes: tuple[Scope, ...] = ()
+    #: Transistency event kinds (TransForm enhanced tests) the model
+    #: gives semantics to; empty for consistency-only models, which keeps
+    #: their candidate space — and synthesized suites — byte-identical.
+    vmem_kinds: tuple[EventKind, ...] = ()
 
     def __post_init__(self) -> None:
         for src, dsts in self.order_demotions.items():
             for dst in dsts:
                 if dst >= src:
                     raise ValueError(f"demotion {src} -> {dst} does not weaken")
+        for kind in self.vmem_kinds:
+            if kind not in VMEM_KINDS:
+                raise ValueError(f"{kind} is not a transistency event kind")
 
     @property
     def has_orders(self) -> bool:
@@ -70,6 +84,11 @@ class Vocabulary:
     @property
     def has_scopes(self) -> bool:
         return bool(self.scopes)
+
+    @property
+    def has_vmem(self) -> bool:
+        """True when the model supports transistency-enhanced tests."""
+        return bool(self.vmem_kinds)
 
 
 class MemoryModel(abc.ABC):

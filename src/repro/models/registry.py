@@ -1,29 +1,76 @@
-"""Model registry: name -> MemoryModel factory."""
+"""Model registry: name -> MemoryModel factory.
+
+Every class that enters the registry — the built-ins below and anything
+added through :func:`register_model` — passes a structural self-check at
+registration time (import time for the built-ins): it must instantiate,
+carry a consistent name, expose a :class:`Vocabulary`, and declare at
+least one callable axiom.  A model that would only blow up mid-synthesis
+instead fails the moment it is registered, and ``repro lint`` runs the
+full MDL battery over exactly this registry.
+"""
 
 from __future__ import annotations
 
+from collections.abc import Mapping
+
 from repro.models.armv7 import ARMv7
-from repro.models.base import MemoryModel
+from repro.models.armv8 import ARMv8
+from repro.models.base import MemoryModel, Vocabulary
 from repro.models.c11 import C11
 from repro.models.opencl import OpenCL
 from repro.models.power import Power
+from repro.models.rvwmo import RVWMO
 from repro.models.sc import SC
 from repro.models.scc import SCC
 from repro.models.tso import TSO
+from repro.vmem.models import SCVmem, TSOVmem
 
-__all__ = ["MODEL_CLASSES", "get_model", "available_models", "register_model"]
+__all__ = [
+    "MODEL_CLASSES",
+    "get_model",
+    "available_models",
+    "register_model",
+    "validate_model_class",
+]
 
-MODEL_CLASSES: dict[str, type[MemoryModel]] = {
-    cls.name: cls for cls in (SC, TSO, Power, ARMv7, SCC, C11, OpenCL)
-}
+MODEL_CLASSES: dict[str, type[MemoryModel]] = {}
+
+
+def validate_model_class(cls: type[MemoryModel]) -> None:
+    """Structural registry self-check; raises ``ValueError`` on defects."""
+    if not cls.name:
+        raise ValueError("model classes must define a non-empty name")
+    try:
+        model = cls()
+    except Exception as exc:  # noqa: BLE001 - rewrap with the culprit's name
+        raise ValueError(
+            f"model {cls.name!r} failed to instantiate: {exc}"
+        ) from exc
+    if not isinstance(model.vocabulary, Vocabulary):
+        raise ValueError(f"model {cls.name!r} must expose a Vocabulary")
+    axioms = model.axioms()
+    if not isinstance(axioms, Mapping) or not axioms:
+        raise ValueError(
+            f"model {cls.name!r} must declare a non-empty axiom mapping"
+        )
+    for axiom_name, fn in axioms.items():
+        if not axiom_name or not callable(fn):
+            raise ValueError(
+                f"model {cls.name!r} axiom {axiom_name!r} is not a named "
+                "callable"
+            )
 
 
 def register_model(cls: type[MemoryModel]) -> type[MemoryModel]:
     """Register an additional model class (usable as a decorator)."""
-    if not cls.name:
-        raise ValueError("model classes must define a non-empty name")
+    validate_model_class(cls)
     MODEL_CLASSES[cls.name] = cls
     return cls
+
+
+for _cls in (SC, TSO, Power, ARMv7, SCC, C11, OpenCL, ARMv8, RVWMO,
+             SCVmem, TSOVmem):
+    register_model(_cls)
 
 
 def get_model(name: str) -> MemoryModel:

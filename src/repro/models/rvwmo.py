@@ -1,0 +1,80 @@
+"""RISC-V Weak Memory Ordering (RVWMO).
+
+The RISC-V unprivileged specification (chapter 17 + appendix A) states
+RVWMO as a global-memory-order model; the equivalent herd-style
+axiomatization (riscv.cat) is:
+
+* ``sc_per_loc``:    ``acyclic(rf + co + fr + po_loc)`` (load value /
+  coherence axioms)
+* ``rmw_atomicity``: ``no (fre . coe) & rmw`` (atomicity axiom for
+  ``lr``/``sc`` pairs)
+* ``ghb``:           ``acyclic(rfe + co + fr + ppo)`` (main model) with
+  preserved program order covering syntactic dependencies (PPO rules
+  9-11), ``fence rw,rw`` (rule 4), and the RCsc acquire/release
+  annotations (rules 5-7).
+
+Like ARMv8, RVWMO is multi-copy atomic, so only external reads-from
+enters the global-happens-before cycle check.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+
+from repro.litmus.events import DepKind, FenceKind, Order
+from repro.models.base import Axiom, MemoryModel, Vocabulary
+from repro.semantics.rel import Rel
+from repro.semantics.relations import RelationView
+
+__all__ = ["RVWMO", "rvwmo_ppo"]
+
+
+class RVWMO(MemoryModel):
+    """RISC-V Weak Memory Ordering (RISC-V spec chapter 17)."""
+
+    name = "rvwmo"
+    full_name = "RISC-V Weak Memory Ordering (RVWMO)"
+
+    @property
+    def vocabulary(self) -> Vocabulary:
+        return Vocabulary(
+            read_orders=(Order.PLAIN, Order.ACQ),
+            write_orders=(Order.PLAIN, Order.REL),
+            fence_kinds=(FenceKind.SYNC,),  # fence rw,rw
+            dep_kinds=(DepKind.ADDR, DepKind.DATA, DepKind.CTRL),
+            allows_rmw=True,
+            order_demotions={
+                Order.ACQ: (Order.PLAIN,),
+                Order.REL: (Order.PLAIN,),
+            },
+        )
+
+    def axioms(self) -> Mapping[str, Axiom]:
+        return {
+            "sc_per_loc": _sc_per_loc,
+            "rmw_atomicity": _rmw_atomicity,
+            "ghb": _ghb,
+        }
+
+
+def rvwmo_ppo(v: RelationView) -> Rel:
+    """Preserved program order: dependencies, full fences, and the RCsc
+    acquire/release half-orderings."""
+    return (
+        v.all_deps
+        | v.fence_rel(FenceKind.SYNC)
+        | v.po.restrict_domain(v.acquires)
+        | v.po.restrict_range(v.releases)
+    )
+
+
+def _sc_per_loc(v: RelationView) -> bool:
+    return (v.rf | v.co | v.fr | v.po_loc).is_acyclic()
+
+
+def _rmw_atomicity(v: RelationView) -> bool:
+    return (v.fre.join(v.coe) & v.rmw).is_empty()
+
+
+def _ghb(v: RelationView) -> bool:
+    return (v.rfe | v.co | v.fr | rvwmo_ppo(v)).is_acyclic()

@@ -17,6 +17,7 @@ from repro.relax.instruction import (
     RemoveInstruction,
     relaxations_for,
 )
+from repro.relax.transistency import DemoteVmemEvent, UnaliasAddress
 
 __all__ = [
     "Application",
@@ -28,6 +29,8 @@ __all__ = [
     "DecomposeRMW",
     "RemoveDependency",
     "DemoteScope",
+    "DemoteVmemEvent",
+    "UnaliasAddress",
     "ALL_RELAXATIONS",
     "relaxations_for",
     "Applicability",

@@ -90,13 +90,19 @@ def rebuild(
     deps: frozenset[Dep] | None = None,
     scopes: tuple[int, ...] | None = None,
 ) -> LitmusTest:
-    """Copy of ``test`` with selected components replaced."""
+    """Copy of ``test`` with selected components replaced.
+
+    The aliasing layer is carried through unchanged — relaxations that
+    rebuild keep every instruction's address in place, so the map stays
+    well-formed.
+    """
     return LitmusTest(
         threads=threads,
         rmw=test.rmw if rmw is None else rmw,
         deps=test.deps if deps is None else deps,
         scopes=test.scopes if scopes is None else scopes,
         name=None,
+        addr_map=test.addr_map,
     )
 
 
@@ -140,8 +146,39 @@ def remove_event(test: LitmusTest, target: int) -> RelaxedTest:
         if remap(d.src) is not None and remap(d.dst) is not None
     )
     scopes = tuple(new_scopes) if test.scopes is not None else None
-    relaxed = LitmusTest(tuple(new_threads), rmw, deps, scopes)
+    threads = tuple(new_threads)
+    relaxed = LitmusTest(
+        threads, rmw, deps, scopes, None, _surviving_addr_map(test, threads)
+    )
     return RelaxedTest(relaxed, event_map)
+
+
+def _surviving_addr_map(
+    test: LitmusTest, threads: tuple[tuple[Instruction, ...], ...]
+) -> tuple[tuple[int, int], ...] | None:
+    """Restrict the aliasing layer to addresses the relaxed test still
+    uses.  An alias group whose anchor ("physical") address lost its last
+    access is re-anchored at a surviving member so the remaining aliases
+    stay merged; groups reduced to one member dissolve."""
+    if test.addr_map is None:
+        return None
+    used = {
+        inst.address
+        for thread in threads
+        for inst in thread
+        if inst.address is not None
+    }
+    groups: dict[int, list[int]] = {}
+    for v, p in test.addr_map:
+        groups.setdefault(p, []).append(v)
+    entries: list[tuple[int, int]] = []
+    for p, vs in groups.items():
+        members = [a for a in (p, *vs) if a in used]
+        if len(members) < 2:
+            continue
+        rep = p if p in used else min(members)
+        entries += [(m, rep) for m in members if m != rep]
+    return tuple(sorted(entries)) or None
 
 
 def identity_map(test: LitmusTest) -> dict[int, int | None]:

@@ -6,6 +6,9 @@
 * DRMW  — Decompose atomic Read-Modify-Write
 * RD    — Remove Dependency
 * DS    — Demote Scope
+
+The transistency families (DV, UA) live in
+:mod:`repro.relax.transistency` and join :data:`ALL_RELAXATIONS` here.
 """
 
 from __future__ import annotations
@@ -23,6 +26,7 @@ from repro.relax.base import (
     rebuild,
     remove_event,
 )
+from repro.relax.transistency import DemoteVmemEvent, UnaliasAddress
 
 __all__ = [
     "RemoveInstruction",
@@ -132,7 +136,7 @@ class DecomposeRMW(Relaxation):
         deps = test.deps
         if DepKind.DATA in vocab.dep_kinds:
             deps = deps | {Dep(pair[0], pair[1], DepKind.DATA)}
-        relaxed = LitmusTest(test.threads, rmw, deps, test.scopes)
+        relaxed = rebuild(test, test.threads, rmw=rmw, deps=deps)
         return RelaxedTest(relaxed, identity_map(test))
 
     def applies_to(self, vocab: Vocabulary) -> bool:
@@ -163,7 +167,7 @@ class RemoveDependency(Relaxation):
     ) -> RelaxedTest:
         deps = frozenset(d for d in test.deps if d.src != app.target)
         rmw = frozenset(p for p in test.rmw if p[0] != app.target)
-        relaxed = LitmusTest(test.threads, rmw, deps, test.scopes)
+        relaxed = rebuild(test, test.threads, rmw=rmw, deps=deps)
         return RelaxedTest(relaxed, identity_map(test))
 
     def applies_to(self, vocab: Vocabulary) -> bool:
@@ -206,6 +210,8 @@ ALL_RELAXATIONS: tuple[Relaxation, ...] = (
     DemoteMemoryOrder(),
     RemoveDependency(),
     DemoteScope(),
+    DemoteVmemEvent(),
+    UnaliasAddress(),
 )
 
 

@@ -1,0 +1,117 @@
+"""Transistency relaxations (TransForm-style enhanced tests).
+
+TransForm's minimality notion quantifies over structural reductions of
+the *virtual-memory* dimension as well as the consistency dimension.
+Two relaxation families cover it here:
+
+* DV — Demote Vmem event: a ``ptwalk`` becomes a plain read, a
+  ``remap``/``dirty`` a plain write.  The access shape is untouched;
+  only the event's membership in the translation event class (and hence
+  the reach of axioms like ``translation_order``) weakens.
+* UA — Unalias Address: remove one virtual->physical alias-map entry,
+  splitting the merged location back into two.  Outcome constraints
+  that crossed the alias (an ``rf`` edge from a write to ``v`` observed
+  through ``p``, a final-value constraint over the merged location)
+  become unobservable and are pruned by
+  :func:`repro.litmus.execution.prune_outcome`.
+
+Both families apply only to vocabularies that declare transistency
+support, so the paper's Table 2 matrix for consistency-only models is
+unchanged.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+from repro.litmus.test import LitmusTest
+from repro.models.base import Vocabulary
+from repro.relax.base import (
+    Application,
+    RelaxedTest,
+    Relaxation,
+    identity_map,
+    rebuild,
+)
+from repro.vmem.enhanced import demote_instruction
+
+__all__ = ["DemoteVmemEvent", "UnaliasAddress"]
+
+
+class DemoteVmemEvent(Relaxation):
+    """DV: demote a transistency event to its base read/write kind."""
+
+    name = "DV"
+
+    def applications(
+        self, test: LitmusTest, vocab: Vocabulary
+    ) -> Iterator[Application]:
+        for eid, inst in enumerate(test.instructions):
+            if inst.is_vmem:
+                yield Application(self.name, eid, inst.kind.value)
+
+    def apply(
+        self, test: LitmusTest, app: Application, vocab: Vocabulary
+    ) -> RelaxedTest:
+        target = test.instruction(app.target)
+        if not target.is_vmem:
+            raise ValueError(f"event {app.target} is not a vmem event")
+        threads = tuple(
+            tuple(
+                demote_instruction(inst)
+                if test.eid(tid, i) == app.target
+                else inst
+                for i, inst in enumerate(thread)
+            )
+            for tid, thread in enumerate(test.threads)
+        )
+        return RelaxedTest(rebuild(test, threads), identity_map(test))
+
+    def applies_to(self, vocab: Vocabulary) -> bool:
+        return vocab.has_vmem
+
+
+class UnaliasAddress(Relaxation):
+    """UA: drop one alias-map entry, splitting the merged location.
+
+    ``Application.target`` is the event id of the first access to the
+    virtual address (targets must be events); the entry itself rides in
+    ``detail`` as ``"a<virtual>-a<physical>"``.
+    """
+
+    name = "UA"
+
+    def applications(
+        self, test: LitmusTest, vocab: Vocabulary
+    ) -> Iterator[Application]:
+        for v, p in test.addr_map or ():
+            target = min(
+                e
+                for e, inst in enumerate(test.instructions)
+                if inst.address == v
+            )
+            yield Application(self.name, target, f"a{v}-a{p}")
+
+    def apply(
+        self, test: LitmusTest, app: Application, vocab: Vocabulary
+    ) -> RelaxedTest:
+        virtual = test.instruction(app.target).address
+        entries = tuple(
+            (v, p) for v, p in test.addr_map or () if v != virtual
+        )
+        if test.addr_map is None or len(entries) == len(test.addr_map):
+            raise ValueError(
+                f"event {app.target} addresses no aliased location"
+            )
+        relaxed = LitmusTest(
+            test.threads,
+            test.rmw,
+            test.deps,
+            test.scopes,
+            None,
+            entries or None,
+        )
+        return RelaxedTest(relaxed, identity_map(test))
+
+    def applies_to(self, vocab: Vocabulary) -> bool:
+        return vocab.has_vmem

@@ -45,7 +45,7 @@ def enumerate_executions(
         [(r, src) for src in _sources(test, r)] for r in test.read_eids
     ]
     co_choices = [
-        list(permutations(test.writes_to(addr))) for addr in test.addresses
+        list(permutations(test.writes_to(addr))) for addr in test.locations
     ]
     if with_sc:
         sc_events = [
@@ -68,7 +68,7 @@ def count_executions(test: LitmusTest, with_sc: bool = False) -> int:
     total = 1
     for r in test.read_eids:
         total *= len(_sources(test, r))
-    for addr in test.addresses:
+    for addr in test.locations:
         total *= _factorial(len(test.writes_to(addr)))
     if with_sc:
         n_sc = sum(

@@ -19,7 +19,7 @@ from __future__ import annotations
 from collections import OrderedDict
 from functools import cached_property
 
-from repro.litmus.events import DepKind, FenceKind, Order
+from repro.litmus.events import DepKind, EventKind, FenceKind, Order
 from repro.litmus.execution import Execution
 from repro.litmus.test import LitmusTest
 from repro.semantics.rel import Rel
@@ -73,6 +73,23 @@ class StaticRelations:
         """Writes annotated release-or-stronger."""
         return self.test.mask_of(lambda i: i.is_write and i.order.is_release)
 
+    @cached_property
+    def vmem(self) -> int:
+        """Transistency events (ptwalk / remap / dirty-bit)."""
+        return self.test.mask_of(lambda i: i.is_vmem)
+
+    @cached_property
+    def ptwalks(self) -> int:
+        return self.test.mask_of(lambda i: i.kind is EventKind.PTWALK)
+
+    @cached_property
+    def remaps(self) -> int:
+        return self.test.mask_of(lambda i: i.kind is EventKind.REMAP)
+
+    @cached_property
+    def dirties(self) -> int:
+        return self.test.mask_of(lambda i: i.kind is EventKind.DIRTY)
+
     # -- structural relations ------------------------------------------------------
 
     @cached_property
@@ -92,9 +109,10 @@ class StaticRelations:
 
     @cached_property
     def loc(self) -> Rel:
-        """Same-address relation over memory accesses."""
+        """Same-location relation over memory accesses (aliased virtual
+        addresses share a location, so they are ``loc``-related)."""
         pairs = []
-        for addr in self.test.addresses:
+        for addr in self.test.locations:
             events = self.test.accesses_to(addr)
             pairs += [(a, b) for a in events for b in events]
         return Rel.from_pairs(self.n, pairs)
@@ -102,6 +120,14 @@ class StaticRelations:
     @cached_property
     def po_loc(self) -> Rel:
         return self.po & self.loc
+
+    @cached_property
+    def po_vmem(self) -> Rel:
+        """Program-order edges touching a transistency event on either
+        end — the ordering TransForm's translation axioms preserve."""
+        return self.po.restrict_domain(self.vmem) | self.po.restrict_range(
+            self.vmem
+        )
 
     @cached_property
     def int_(self) -> Rel:
@@ -220,12 +246,32 @@ class RelationView:
         return self.static.releases
 
     @property
+    def vmem(self) -> int:
+        return self.static.vmem
+
+    @property
+    def ptwalks(self) -> int:
+        return self.static.ptwalks
+
+    @property
+    def remaps(self) -> int:
+        return self.static.remaps
+
+    @property
+    def dirties(self) -> int:
+        return self.static.dirties
+
+    @property
     def po(self) -> Rel:
         return self.static.po
 
     @property
     def po_imm(self) -> Rel:
         return self.static.po_imm
+
+    @property
+    def po_vmem(self) -> Rel:
+        return self.static.po_vmem
 
     @property
     def loc(self) -> Rel:

@@ -1,0 +1,34 @@
+"""Transistency-enhanced litmus tests (TransForm, ISCA 2020).
+
+Memory *transistency* extends consistency with virtual-memory effects:
+address translation (page-table walks), remapping, and dirty-bit
+updates.  This subsystem provides the pieces the synthesis pipeline
+needs to cover that dimension:
+
+* :mod:`repro.vmem.addrmap` — the virtual->physical aliasing layer:
+  enumeration of alias maps and application to plain tests;
+* :mod:`repro.vmem.enhanced` — predicates and lowering for enhanced
+  tests (tests using ``ptwalk``/``remap``/``dirty`` events or an alias
+  map);
+* :mod:`repro.vmem.models` — transistency-enhanced model variants
+  (``sc_vmem``, ``tso_vmem``) adding the ``translation_order`` axiom.
+
+The extension is strictly opt-in: models whose vocabulary declares no
+``vmem_kinds`` never see enhanced candidates, and a test without an
+alias map or vmem event behaves exactly as before the subsystem existed.
+"""
+
+from repro.vmem.addrmap import alias_maps, apply_alias_map
+from repro.vmem.enhanced import is_enhanced, lower_test, vmem_events
+from repro.vmem.models import SCVmem, TSOVmem, translation_order
+
+__all__ = [
+    "alias_maps",
+    "apply_alias_map",
+    "is_enhanced",
+    "lower_test",
+    "vmem_events",
+    "SCVmem",
+    "TSOVmem",
+    "translation_order",
+]

@@ -1,0 +1,59 @@
+"""The virtual -> physical aliasing layer of enhanced litmus tests.
+
+An alias map is the :attr:`repro.litmus.test.LitmusTest.addr_map` value:
+sorted ``(virtual, physical)`` pairs merging the virtual address into
+the physical address's location.  Maps are anchored — every group's
+representative is its minimal member and never itself appears as a key —
+matching the canonicalizer's orientation so enumeration emits canonical
+forms directly.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+from repro.litmus.test import LitmusTest
+
+__all__ = ["alias_maps", "apply_alias_map"]
+
+
+def alias_maps(
+    num_addresses: int, max_aliases: int
+) -> Iterator[tuple[tuple[int, int], ...]]:
+    """Non-identity alias maps over canonical addresses ``0..n-1``.
+
+    Each map partitions the addresses into location groups anchored at
+    their minimal member, using at most ``max_aliases`` entries (one
+    entry per merged address).  Enumerated as restricted growth strings,
+    so the stream is deterministic and duplicate-free.
+    """
+    if num_addresses < 2 or max_aliases < 1:
+        return
+
+    def rec(acc: tuple[int, ...], max_used: int):
+        if len(acc) == num_addresses:
+            merges = num_addresses - (max_used + 1)
+            if 0 < merges <= max_aliases:
+                reps: dict[int, int] = {}
+                entries: list[tuple[int, int]] = []
+                for addr, g in enumerate(acc):
+                    if g in reps:
+                        entries.append((addr, reps[g]))
+                    else:
+                        reps[g] = addr
+                yield tuple(entries)
+            return
+        for g in range(max_used + 2):
+            yield from rec(acc + (g,), max(max_used, g))
+
+    yield from rec((0,), 0)
+
+
+def apply_alias_map(
+    test: LitmusTest, addr_map: tuple[tuple[int, int], ...] | None
+) -> LitmusTest:
+    """Copy of ``test`` with the given aliasing layer (validated by the
+    :class:`LitmusTest` constructor)."""
+    return LitmusTest(
+        test.threads, test.rmw, test.deps, test.scopes, test.name, addr_map
+    )

@@ -1,0 +1,53 @@
+"""Predicates and lowering for transistency-enhanced tests.
+
+An *enhanced* test (TransForm's terminology) is a litmus test that uses
+the transistency extension: a virtual->physical alias map, a ``ptwalk``
+/ ``remap`` / ``dirty`` event, or both.  ``lower_test`` strips the
+extension — demoting every vmem event to its base read/write kind and
+dropping the alias map — which is both a debugging aid and the engine of
+the DV/UA relaxations in :mod:`repro.relax.transistency`.
+"""
+
+from __future__ import annotations
+
+from repro.litmus.events import EventKind, Instruction
+from repro.litmus.test import LitmusTest
+
+__all__ = ["is_enhanced", "vmem_events", "lower_test", "demote_instruction"]
+
+
+def is_enhanced(test: LitmusTest) -> bool:
+    """Does the test use the transistency extension at all?"""
+    return test.addr_map is not None or bool(vmem_events(test))
+
+
+def vmem_events(test: LitmusTest) -> tuple[int, ...]:
+    """Event ids of transistency events, in event-id order."""
+    return tuple(
+        e for e, inst in enumerate(test.instructions) if inst.is_vmem
+    )
+
+
+def demote_instruction(inst: Instruction) -> Instruction:
+    """The base-kind twin of a vmem instruction (identity otherwise).
+
+    ``ptwalk`` demotes to a plain read; ``remap`` and ``dirty`` demote
+    to plain writes — the access shape is preserved exactly, only the
+    event class changes.
+    """
+    if not inst.is_vmem:
+        return inst
+    kind = EventKind.READ if inst.is_read else EventKind.WRITE
+    return Instruction(
+        kind, inst.address, inst.order, inst.fence, inst.value, inst.scope
+    )
+
+
+def lower_test(test: LitmusTest) -> LitmusTest:
+    """Strip the transistency extension from a test entirely: every vmem
+    event becomes its base read/write and the alias map is dropped."""
+    threads = tuple(
+        tuple(demote_instruction(inst) for inst in thread)
+        for thread in test.threads
+    )
+    return LitmusTest(threads, test.rmw, test.deps, test.scopes, test.name)

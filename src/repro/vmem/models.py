@@ -1,0 +1,71 @@
+"""Transistency-enhanced model variants (TransForm-style).
+
+``sc_vmem`` and ``tso_vmem`` extend the base consistency models with the
+transistency vocabulary (``ptwalk``/``remap``/``dirty`` events, alias
+maps) and one additional axiom:
+
+* ``translation_order``: ``acyclic(rf + co + fr + po_vmem)`` — the
+  communication relations must embed into an order that respects program
+  order *around translation events*.  This is the load-bearing fragment
+  of TransForm's transistency axioms: a page-table walk cannot be
+  reordered with the accesses that depend on its translation, and a
+  remap/dirty-bit update is ordered with the surrounding accesses of its
+  thread.
+
+Because ``po_vmem`` is empty for any test without vmem events, the
+variants decide plain tests exactly as their base models do — the
+enhanced suites are a strict extension.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+from dataclasses import replace
+
+from repro.litmus.events import EventKind
+from repro.models.base import Axiom, Vocabulary
+from repro.models.sc import SC
+from repro.models.tso import TSO
+from repro.semantics.relations import RelationView
+
+__all__ = ["SCVmem", "TSOVmem", "translation_order", "VMEM_VOCAB_KINDS"]
+
+#: The kinds the enhanced variants generate, in enumeration order.
+VMEM_VOCAB_KINDS: tuple[EventKind, ...] = (
+    EventKind.PTWALK,
+    EventKind.REMAP,
+    EventKind.DIRTY,
+)
+
+
+def translation_order(v: RelationView) -> bool:
+    """``acyclic(rf + co + fr + po_vmem)``."""
+    return (v.rf | v.co | v.fr | v.po_vmem).is_acyclic()
+
+
+class SCVmem(SC):
+    """Sequential consistency over transistency-enhanced tests."""
+
+    name = "sc_vmem"
+    full_name = "Sequential Consistency + transistency (TransForm-style)"
+
+    @property
+    def vocabulary(self) -> Vocabulary:
+        return replace(super().vocabulary, vmem_kinds=VMEM_VOCAB_KINDS)
+
+    def axioms(self) -> Mapping[str, Axiom]:
+        return {**super().axioms(), "translation_order": translation_order}
+
+
+class TSOVmem(TSO):
+    """x86-TSO over transistency-enhanced tests."""
+
+    name = "tso_vmem"
+    full_name = "Total Store Order + transistency (TransForm-style)"
+
+    @property
+    def vocabulary(self) -> Vocabulary:
+        return replace(super().vocabulary, vmem_kinds=VMEM_VOCAB_KINDS)
+
+    def axioms(self) -> Mapping[str, Axiom]:
+        return {**super().axioms(), "translation_order": translation_order}

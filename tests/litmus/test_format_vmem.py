@@ -1,0 +1,63 @@
+"""Text-format round trips for transistency-enhanced tests."""
+
+import pytest
+
+from repro.litmus.events import EventKind
+from repro.litmus.format import ParseError, format_test, parse_test
+
+VMEM_MP = """\
+name: vmem-mp
+thread P0:
+  MAP x 1
+  DRT y 1
+thread P1:
+  r2 = PTW x
+  r3 = R y
+map: x=y
+forbidden: r2=1 r3=0
+"""
+
+
+class TestParseVmem:
+    def test_parses_kinds(self):
+        test, outcome = parse_test(VMEM_MP)
+        kinds = [i.kind for i in test.instructions]
+        assert kinds == [
+            EventKind.REMAP,
+            EventKind.DIRTY,
+            EventKind.PTWALK,
+            EventKind.READ,
+        ]
+        assert outcome is not None
+
+    def test_parses_map_clause(self):
+        test, _ = parse_test(VMEM_MP)
+        assert test.addr_map == ((0, 1),)
+        assert test.locations == (1,)
+
+    def test_round_trip(self):
+        test, outcome = parse_test(VMEM_MP)
+        rendered = format_test(test, outcome)
+        again, outcome_again = parse_test(rendered)
+        assert again == test
+        assert outcome_again == outcome
+
+    def test_round_trip_is_stable(self):
+        test, outcome = parse_test(VMEM_MP)
+        rendered = format_test(test, outcome)
+        assert format_test(*parse_test(rendered)) == rendered
+
+    def test_map_requires_used_addresses(self):
+        bad = "thread P0:\n  W x 1\nmap: y=x\n"
+        with pytest.raises(ParseError):
+            parse_test(bad)
+
+    def test_map_entry_needs_equals(self):
+        bad = "thread P0:\n  W x 1\n  R y\nmap: y\n"
+        with pytest.raises(ParseError):
+            parse_test(bad)
+
+    def test_ptwalk_rejects_scope(self):
+        bad = "thread P0:\n  r0 = PTW@wg x\n"
+        with pytest.raises(ParseError):
+            parse_test(bad)

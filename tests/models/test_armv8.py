@@ -1,0 +1,73 @@
+"""ARMv8 semantics: multi-copy-atomic judgments on catalog tests."""
+
+import pytest
+
+from repro.litmus.catalog import CATALOG, outcome_from_values
+from repro.litmus.events import FenceKind, Order, read, write
+from repro.litmus.test import LitmusTest
+from repro.models.armv8 import ARMv8
+
+from tests.models.conftest import observable
+
+#: weak without barriers: the classic shapes are all observable
+ALLOWED = ["MP", "SB", "LB", "IRIW", "WRC"]
+
+#: coherence and barrier-restored shapes stay forbidden
+FORBIDDEN = ["CoWW", "CoRR", "CoWR", "MP+syncs", "LB+datas", "SB+syncs"]
+
+
+class TestARMv8Judgments:
+    @pytest.mark.parametrize("name", ALLOWED)
+    def test_allowed(self, oracles, name):
+        assert observable(oracles("armv8"), name), (
+            f"{name} must be allowed under ARMv8"
+        )
+
+    @pytest.mark.parametrize("name", FORBIDDEN)
+    def test_forbidden(self, oracles, name):
+        assert not observable(oracles("armv8"), name), (
+            f"{name} must be forbidden under ARMv8"
+        )
+
+    def test_mp_relacq_forbidden(self, oracles):
+        mp = LitmusTest(
+            (
+                (write(0, 1), write(1, 1, Order.REL)),
+                (read(1, Order.ACQ), read(0)),
+            ),
+            name="MP+relacq",
+        )
+        forbidden = outcome_from_values(mp, {2: 1, 3: 0}, {})
+        assert not oracles("armv8").observable(mp, forbidden), (
+            "release/acquire half-barriers must restore MP ordering"
+        )
+
+
+class TestARMv8Model:
+    def test_axiom_names(self):
+        assert ARMv8().axiom_names() == (
+            "sc_per_loc",
+            "rmw_atomicity",
+            "external",
+        )
+
+    def test_vocabulary(self):
+        vocab = ARMv8().vocabulary
+        assert vocab.fence_kinds == (FenceKind.SYNC,)
+        assert Order.ACQ in vocab.read_orders
+        assert Order.REL in vocab.write_orders
+        assert vocab.allows_rmw
+        assert vocab.has_deps
+        assert vocab.has_orders
+        assert not vocab.has_vmem
+
+    def test_external_validates_catalog_entry(self):
+        mp = CATALOG["MP"].test
+        model = ARMv8()
+        from repro.litmus.execution import Execution
+
+        ok = Execution(mp, ((2, 1), (3, 0)), ((0,), (1,)))
+        assert model.is_valid(ok)
+        # the r0=1, r1=0 execution is weak but externally consistent
+        weak = Execution(mp, ((2, 1), (3, None)), ((0,), (1,)))
+        assert model.is_valid(weak)

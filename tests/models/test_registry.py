@@ -17,9 +17,13 @@ class TestRegistry:
             "tso",
             "power",
             "armv7",
+            "armv8",
+            "rvwmo",
             "scc",
             "c11",
             "opencl",
+            "sc_vmem",
+            "tso_vmem",
         }
 
     def test_get_model_fresh_instances(self):

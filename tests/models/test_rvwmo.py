@@ -1,0 +1,59 @@
+"""RVWMO semantics: global-memory-order judgments on catalog tests."""
+
+import pytest
+
+from repro.litmus.events import FenceKind, Order, read, write
+from repro.litmus.catalog import outcome_from_values
+from repro.litmus.test import LitmusTest
+from repro.models.rvwmo import RVWMO
+
+from tests.models.conftest import observable
+
+ALLOWED = ["MP", "SB", "LB", "IRIW", "WRC"]
+
+FORBIDDEN = ["CoWW", "CoRR", "CoWR", "MP+syncs", "LB+datas", "SB+syncs"]
+
+
+class TestRVWMOJudgments:
+    @pytest.mark.parametrize("name", ALLOWED)
+    def test_allowed(self, oracles, name):
+        assert observable(oracles("rvwmo"), name), (
+            f"{name} must be allowed under RVWMO"
+        )
+
+    @pytest.mark.parametrize("name", FORBIDDEN)
+    def test_forbidden(self, oracles, name):
+        assert not observable(oracles("rvwmo"), name), (
+            f"{name} must be forbidden under RVWMO"
+        )
+
+    def test_mp_relacq_forbidden(self, oracles):
+        mp = LitmusTest(
+            (
+                (write(0, 1), write(1, 1, Order.REL)),
+                (read(1, Order.ACQ), read(0)),
+            ),
+            name="MP+relacq",
+        )
+        forbidden = outcome_from_values(mp, {2: 1, 3: 0}, {})
+        assert not oracles("rvwmo").observable(mp, forbidden), (
+            "RCsc annotations must restore MP ordering under RVWMO"
+        )
+
+
+class TestRVWMOModel:
+    def test_axiom_names(self):
+        assert RVWMO().axiom_names() == (
+            "sc_per_loc",
+            "rmw_atomicity",
+            "ghb",
+        )
+
+    def test_vocabulary(self):
+        vocab = RVWMO().vocabulary
+        assert vocab.fence_kinds == (FenceKind.SYNC,)
+        assert Order.ACQ in vocab.read_orders
+        assert Order.REL in vocab.write_orders
+        assert vocab.allows_rmw
+        assert vocab.has_deps
+        assert not vocab.has_vmem

@@ -1,0 +1,104 @@
+"""Transistency-enhanced sc/tso variants: the translation_order axiom.
+
+The discriminating shape: store buffering built from transistency events.
+Plain SB is allowed under TSO, but when the participating events are
+page-table walks or mapping updates, every ``po`` edge touching them
+joins ``translation_order``'s acyclicity check, so the cycle closes and
+the outcome flips to forbidden.  DV-demoting the events back to plain
+reads/writes recovers the allowed verdict — exactly the weakening the
+minimality criterion quantifies over.
+"""
+
+import pytest
+
+from repro.core.oracle import ExplicitOracle
+from repro.litmus.catalog import outcome_from_values
+from repro.litmus.events import ptwalk, read, remap, write
+from repro.litmus.test import LitmusTest
+from repro.models.registry import get_model
+from repro.relax.transistency import DemoteVmemEvent
+from repro.vmem.models import SCVmem, TSOVmem
+
+
+def sb_outcome(test):
+    return outcome_from_values(test, {1: 0, 3: 0}, {})
+
+
+SB_PTWS = LitmusTest(
+    ((write(0, 1), ptwalk(1)), (write(1, 1), ptwalk(0))),
+    name="SB+ptws",
+)
+SB_REMAPS = LitmusTest(
+    ((remap(0, 1), read(1)), (remap(1, 1), read(0))),
+    name="SB+remaps",
+)
+SB_PLAIN = LitmusTest(
+    ((write(0, 1), read(1)), (write(1, 1), read(0))),
+    name="SB",
+)
+
+
+class TestTranslationOrder:
+    @pytest.mark.parametrize("test", [SB_PTWS, SB_REMAPS], ids=lambda t: t.name)
+    def test_vmem_sb_forbidden(self, test):
+        oracle = ExplicitOracle(get_model("tso_vmem"))
+        assert not oracle.observable(test, sb_outcome(test)), (
+            f"{test.name} must be forbidden by translation_order"
+        )
+
+    def test_plain_sb_still_allowed(self):
+        oracle = ExplicitOracle(get_model("tso_vmem"))
+        assert oracle.observable(SB_PLAIN, sb_outcome(SB_PLAIN)), (
+            "tso_vmem must not strengthen the consistency fragment"
+        )
+
+    def test_base_tso_allows_vmem_sb(self):
+        oracle = ExplicitOracle(get_model("tso"))
+        assert oracle.observable(SB_PTWS, sb_outcome(SB_PTWS))
+
+    def test_dv_demotion_recovers_allowed(self):
+        vocab = get_model("tso_vmem").vocabulary
+        dv = DemoteVmemEvent()
+        demoted = SB_PTWS
+        for app in sorted(
+            dv.applications(SB_PTWS, vocab), key=lambda a: a.target
+        ):
+            demoted = dv.apply(demoted, app, vocab).test
+        assert not any(i.is_vmem for i in demoted.instructions)
+        oracle = ExplicitOracle(get_model("tso_vmem"))
+        assert oracle.observable(demoted, sb_outcome(demoted))
+
+
+class TestVmemVocabulary:
+    @pytest.mark.parametrize("cls", [SCVmem, TSOVmem])
+    def test_declares_vmem(self, cls):
+        model = cls()
+        assert model.vocabulary.has_vmem
+        assert len(model.vocabulary.vmem_kinds) == 3
+
+    def test_axiom_names(self):
+        assert SCVmem().axiom_names() == (
+            "sequential_consistency",
+            "rmw_atomicity",
+            "translation_order",
+        )
+        assert TSOVmem().axiom_names() == (
+            "sc_per_loc",
+            "rmw_atomicity",
+            "causality",
+            "translation_order",
+        )
+
+    def test_aliased_coherence(self):
+        # write through the virtual name, read back through the physical
+        # one: same location, so coherence binds them.
+        cowr = LitmusTest(
+            ((write(1, 1), read(0)), (write(0, 2),)),
+            addr_map=((1, 0),),
+        )
+        outcome = outcome_from_values(cowr, {1: 2}, {0: 1})
+        oracle = ExplicitOracle(get_model("sc_vmem"))
+        assert not oracle.observable(cowr, outcome), (
+            "reading the interferer but finalizing the aliased write "
+            "violates coherence over the merged location"
+        )

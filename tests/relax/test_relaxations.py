@@ -255,8 +255,9 @@ class TestRelaxationsFor:
         assert names == {"RI", "DRMW", "DF", "DMO", "RD"}
 
     def test_all_relaxations_distinct_names(self):
+        # the paper's six plus the transistency pair (DV, UA)
         names = [r.name for r in ALL_RELAXATIONS]
-        assert len(names) == len(set(names)) == 6
+        assert len(names) == len(set(names)) == 8
 
     def test_describe(self):
         ri = RemoveInstruction()

@@ -57,7 +57,8 @@ class TestPublicAPI:
             assert getattr(repro, name) is not None
 
     def test_relaxations_exported(self):
-        assert len(repro.ALL_RELAXATIONS) == 6
+        # the paper's six plus the transistency pair (DV, UA)
+        assert len(repro.ALL_RELAXATIONS) == 8
         table = repro.applicability_table()
         assert "tso" in table
 

@@ -1,0 +1,62 @@
+"""Alias-map enumeration and application."""
+
+import pytest
+
+from repro.litmus.events import read, write
+from repro.litmus.test import LitmusTest
+from repro.vmem.addrmap import alias_maps, apply_alias_map
+
+
+class TestAliasMaps:
+    def test_zero_budget_yields_nothing(self):
+        assert list(alias_maps(3, 0)) == []
+
+    def test_single_address_cannot_alias(self):
+        assert list(alias_maps(1, 2)) == []
+
+    def test_two_addresses_one_merge(self):
+        assert list(alias_maps(2, 1)) == [((1, 0),)]
+
+    def test_three_addresses_budget_one(self):
+        maps = list(alias_maps(3, 1))
+        assert ((1, 0),) in maps
+        assert ((2, 0),) in maps
+        assert ((2, 1),) in maps
+        assert len(maps) == 3
+
+    def test_budget_two_includes_full_merge(self):
+        maps = list(alias_maps(3, 2))
+        assert ((1, 0), (2, 0)) in maps
+        assert len(maps) == 4  # three single merges + the triple group
+
+    def test_maps_are_canonical(self):
+        # every group is anchored at its minimal member and entries sort
+        for amap in alias_maps(4, 3):
+            assert amap == tuple(sorted(amap))
+            reps = {p for _, p in amap}
+            keys = {v for v, _ in amap}
+            assert not reps & keys, "no chains"
+            for v, p in amap:
+                assert p < v, "groups anchor at their minimal member"
+
+
+class TestApplyAliasMap:
+    def test_merges_locations(self):
+        t = LitmusTest(((write(0, 1),), (read(1),)))
+        aliased = apply_alias_map(t, ((1, 0),))
+        assert aliased.addr_map == ((1, 0),)
+        assert aliased.locations == (0,)
+        assert aliased.location_of(1) == 0
+        assert set(aliased.aliases_of(0)) == {0, 1}
+
+    def test_identity_preserved(self):
+        t = LitmusTest(((write(0, 1),), (read(1),)))
+        aliased = apply_alias_map(t, ((1, 0),))
+        assert aliased.threads == t.threads
+        assert aliased.rmw == t.rmw
+        assert aliased.deps == t.deps
+
+    def test_rejects_unused_address(self):
+        t = LitmusTest(((write(0, 1),), (read(1),)))
+        with pytest.raises(ValueError):
+            apply_alias_map(t, ((2, 0),))

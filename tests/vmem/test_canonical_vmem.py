@@ -1,0 +1,154 @@
+"""Canonicalization over enhanced tests: idempotence and invariance.
+
+The canonicalizer treats the alias map as part of the symmetry class:
+renaming addresses re-anchors each alias group at its minimal renamed
+member, so both orientations of a merge land on one canonical form.
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.canonical import canonical_form
+from repro.litmus.events import (
+    Instruction,
+    dirty,
+    ptwalk,
+    read,
+    remap,
+    write,
+)
+from repro.litmus.test import LitmusTest
+
+
+def _instruction():
+    addr = st.integers(0, 2)
+    return st.one_of(
+        st.builds(read, addr),
+        st.builds(write, addr, st.none()),
+        st.builds(ptwalk, addr),
+        st.builds(remap, addr, st.none()),
+        st.builds(dirty, addr, st.none()),
+    )
+
+
+_base = (
+    st.lists(
+        st.lists(_instruction(), min_size=1, max_size=3).map(tuple),
+        min_size=1,
+        max_size=3,
+    )
+    .map(tuple)
+    .filter(lambda ts: 2 <= sum(len(t) for t in ts) <= 5)
+    .map(LitmusTest)
+)
+
+
+@st.composite
+def enhanced_tests(draw):
+    test = draw(_base)
+    addrs = sorted(test.addresses)
+    if len(addrs) >= 2 and draw(st.booleans()):
+        pairs = [(a, b) for a in addrs for b in addrs if a != b]
+        v, p = draw(st.sampled_from(pairs))
+        test = LitmusTest(
+            test.threads,
+            test.rmw,
+            test.deps,
+            test.scopes,
+            None,
+            ((v, p),),
+        )
+    return test
+
+
+def permute_threads(test, seed):
+    rng = random.Random(seed)
+    order = list(range(len(test.threads)))
+    rng.shuffle(order)
+    return LitmusTest(
+        tuple(test.threads[t] for t in order),
+        test.rmw,
+        test.deps,
+        test.scopes,
+        None,
+        test.addr_map,
+    )
+
+
+def rename_addresses(test, seed):
+    rng = random.Random(seed)
+    addrs = list(test.addresses)
+    renamed = addrs[:]
+    rng.shuffle(renamed)
+    mapping = dict(zip(addrs, renamed))
+    threads = tuple(
+        tuple(
+            inst
+            if inst.address is None
+            else Instruction(
+                inst.kind,
+                mapping[inst.address],
+                inst.order,
+                inst.fence,
+                inst.value,
+                inst.scope,
+            )
+            for inst in thread
+        )
+        for thread in test.threads
+    )
+    addr_map = test.addr_map
+    if addr_map is not None:
+        addr_map = tuple(
+            sorted((mapping[v], mapping[p]) for v, p in addr_map)
+        )
+    return LitmusTest(
+        threads, test.rmw, test.deps, test.scopes, None, addr_map
+    )
+
+
+@given(enhanced_tests())
+@settings(max_examples=80, deadline=None)
+def test_idempotent(test):
+    once = canonical_form(test)
+    assert canonical_form(once) == once
+
+
+@given(enhanced_tests(), st.integers(0, 1000))
+@settings(max_examples=60, deadline=None)
+def test_thread_permutation_invariant(test, seed):
+    assert canonical_form(test) == canonical_form(
+        permute_threads(test, seed)
+    )
+
+
+@given(enhanced_tests(), st.integers(0, 1000))
+@settings(max_examples=60, deadline=None)
+def test_alias_orientation_is_a_symmetry(test, seed):
+    # flipping one entry's orientation (v<->p) names the same merged
+    # location, so both spellings canonicalize identically
+    if test.addr_map is None:
+        return
+    ((v, p),) = test.addr_map
+    flipped = LitmusTest(
+        test.threads,
+        test.rmw,
+        test.deps,
+        test.scopes,
+        None,
+        ((p, v),),
+    )
+    assert canonical_form(test) == canonical_form(flipped)
+
+
+@given(enhanced_tests())
+@settings(max_examples=60, deadline=None)
+def test_canonical_preserves_vmem_shape(test):
+    canon = canonical_form(test)
+    assert canon.num_events == test.num_events
+    assert sorted(i.kind.value for i in canon.instructions) == sorted(
+        i.kind.value for i in test.instructions
+    )
+    assert (canon.addr_map is None) == (test.addr_map is None)

@@ -1,0 +1,121 @@
+"""Enhanced-test helpers: demotion, lowering, and outcome pruning."""
+
+import pytest
+
+from repro.litmus.events import (
+    EventKind,
+    dirty,
+    ptwalk,
+    read,
+    remap,
+    write,
+)
+from repro.litmus.execution import Outcome, prune_outcome
+from repro.litmus.test import LitmusTest
+from repro.models.registry import get_model
+from repro.relax.base import remove_event
+from repro.relax.transistency import DemoteVmemEvent, UnaliasAddress
+from repro.vmem.enhanced import (
+    demote_instruction,
+    is_enhanced,
+    lower_test,
+    vmem_events,
+)
+
+
+ENHANCED = LitmusTest(
+    ((remap(0, 1), dirty(1, 1)), (ptwalk(0), read(1))),
+    name="enhanced",
+)
+
+ALIASED = LitmusTest(
+    ((write(1, 1), read(0)), (write(0, 2),)),
+    addr_map=((1, 0),),
+    name="aliased",
+)
+
+
+class TestEnhancedPredicates:
+    def test_is_enhanced(self):
+        assert is_enhanced(ENHANCED)
+        assert is_enhanced(ALIASED)
+        assert not is_enhanced(LitmusTest(((write(0, 1),), (read(0),))))
+
+    def test_vmem_events(self):
+        assert vmem_events(ENHANCED) == (0, 1, 2)
+
+    def test_demote_instruction(self):
+        assert demote_instruction(ptwalk(0)).kind is EventKind.READ
+        assert demote_instruction(remap(0, 1)).kind is EventKind.WRITE
+        assert demote_instruction(dirty(0, 1)).kind is EventKind.WRITE
+        # addresses and values survive the demotion
+        assert demote_instruction(remap(2, 7)).address == 2
+        assert demote_instruction(remap(2, 7)).value == 7
+
+    def test_lower_test(self):
+        lowered = lower_test(ENHANCED)
+        assert not is_enhanced(lowered)
+        assert lowered.num_events == ENHANCED.num_events
+        lowered_aliased = lower_test(ALIASED)
+        assert lowered_aliased.addr_map is None
+
+
+class TestPruneOutcome:
+    def test_noop_on_well_formed(self):
+        t = LitmusTest(((write(0, 1),), (read(0),)))
+        outcome = Outcome(((1, 0),), ((0, 0),))
+        assert prune_outcome(t, outcome) == outcome
+
+    def test_drops_cross_location_rf_after_unalias(self):
+        vocab = get_model("sc_vmem").vocabulary
+        ua = UnaliasAddress()
+        (app,) = ua.applications(ALIASED, vocab)
+        split = ua.apply(ALIASED, app, vocab).test
+        assert split.addr_map is None
+        # the read of 0 can no longer observe the write to 1
+        outcome = Outcome(((1, 0),), ())
+        assert prune_outcome(split, outcome) == Outcome((), ())
+
+    def test_keeps_initial_value_constraints(self):
+        t = LitmusTest(((write(0, 1),), (read(0),)))
+        outcome = Outcome(((1, None),), ((0, None),))
+        assert prune_outcome(t, outcome) == outcome
+
+
+class TestTransistencyRelaxations:
+    def test_dv_applications_cover_all_vmem_events(self):
+        vocab = get_model("sc_vmem").vocabulary
+        apps = list(DemoteVmemEvent().applications(ENHANCED, vocab))
+        assert [a.target for a in apps] == [0, 1, 2]
+
+    def test_dv_apply_demotes_exactly_one(self):
+        vocab = get_model("sc_vmem").vocabulary
+        dv = DemoteVmemEvent()
+        apps = list(dv.applications(ENHANCED, vocab))
+        relaxed = dv.apply(ENHANCED, apps[0], vocab).test
+        assert relaxed.instruction(0).kind is EventKind.WRITE
+        assert relaxed.instruction(1).kind is EventKind.DIRTY
+        assert relaxed.instruction(2).kind is EventKind.PTWALK
+
+    def test_ua_splits_the_location(self):
+        vocab = get_model("sc_vmem").vocabulary
+        ua = UnaliasAddress()
+        (app,) = ua.applications(ALIASED, vocab)
+        split = ua.apply(ALIASED, app, vocab).test
+        assert split.addr_map is None
+        assert set(split.locations) == {0, 1}
+
+    def test_not_applicable_without_vmem(self):
+        vocab = get_model("sc").vocabulary
+        assert not DemoteVmemEvent().applies_to(vocab)
+        assert not UnaliasAddress().applies_to(vocab)
+
+
+class TestRemoveEventAddrMap:
+    def test_map_survives_unrelated_removal(self):
+        relaxed = remove_event(ALIASED, 1)  # drop the plain read
+        assert relaxed.test.addr_map == ((1, 0),)
+
+    def test_map_dissolves_when_alias_loses_access(self):
+        relaxed = remove_event(ALIASED, 0)  # drop the write to virtual 1
+        assert relaxed.test.addr_map is None
