@@ -10,10 +10,15 @@ Boots `repro.service` on a unix socket with one resident worker, then:
   ``synthesize`` run with the same options,
 * restarts the daemon over the same CNF cache directory and asserts the
   repeated request reports a warm compile layer
-  (``compile_hit_rate > 0`` over ``compile_warm_entries``),
+  (``compile_hit_rate > 0`` over ``compile_warm_entries``) while
+  streaming live progress events (at least ``start`` and ``finish``),
+* races two CPU-bound relational jobs (tso + sc) through a two-worker
+  thread daemon and a two-worker process daemon (fresh CNF dirs each)
+  and asserts the process pool is at least 1.3x faster wall-clock,
+  byte-identical, and that every job streamed >= 1 progress event,
 * lints the emitted service trace directory (no orphan spans, every
   span timed) and writes the combined measurement to
-  ``BENCH_serve.json``.
+  ``BENCH_serve.json`` (``bench-serve`` v2 adds the ``pools`` block).
 
 Exit status 0 on success.  Run from the repository root:
 
@@ -28,10 +33,11 @@ import os
 import sys
 import tempfile
 import threading
+import time
 
 from repro.analysis import lint_trace_dir
 from repro.core.enumerator import EnumerationConfig
-from repro.core.synthesis import synthesize
+from repro.core.synthesis import OracleSpec, synthesize
 from repro.models.registry import get_model
 from repro.obs import Report
 from repro.service import Client, JobManager, SynthesisRequest, serve_async
@@ -39,14 +45,17 @@ from repro.service import Client, JobManager, SynthesisRequest, serve_async
 BOUND = int(os.environ.get("SERVE_SMOKE_BOUND", "4"))
 OUT = os.environ.get("SERVE_SMOKE_OUT", "BENCH_serve.json")
 TRACE_DIR = os.environ.get("SERVE_SMOKE_TRACE_DIR", "BENCH_serve_trace")
+#: the process pool must beat the GIL-bound thread pool by this factor
+#: on the two-job concurrent workload
+MIN_POOL_SPEEDUP = float(os.environ.get("SERVE_SMOKE_MIN_SPEEDUP", "1.3"))
 
 
-def request(bound: int = BOUND) -> SynthesisRequest:
+def request(bound: int = BOUND, model: str = "tso") -> SynthesisRequest:
     return SynthesisRequest.build(
-        "tso",
+        model,
         bound=bound,
         config=EnumerationConfig(max_events=bound, max_addresses=2),
-        oracle="relational",
+        oracle_spec=OracleSpec(oracle="relational"),
     )
 
 
@@ -85,6 +94,63 @@ class Daemon:
         self._loop.call_soon_threadsafe(self._stop.set)
         self._thread.join(10)
         self.manager.close()
+
+
+def race_pool(
+    pool: str, workdir: str, failures: list[str]
+) -> tuple[float, dict]:
+    """Race the tso + sc jobs through a two-worker ``pool`` daemon.
+
+    Returns the wall-clock seconds from first submission to last result
+    plus the per-job measurement block.  Each arm gets its own socket
+    and a fresh CNF cache directory so both pools do the same (cold,
+    CPU-bound) work.
+    """
+    socket_path = os.path.join(workdir, f"repro-{pool}.sock")
+    jobs_block: dict = {}
+    with Daemon(
+        socket_path,
+        workers=2,
+        pool=pool,
+        cnf_cache_dir=os.path.join(workdir, f"cnf-{pool}"),
+    ):
+        client = Client(socket_path)
+        t0 = time.perf_counter()
+        submitted = [
+            (model, client.submit(request(model=model))[0])
+            for model in ("tso", "sc")
+        ]
+        results = {
+            model: client.result(status.job_id, timeout=600)
+            for model, status in submitted
+        }
+        wall = time.perf_counter() - t0
+        for model, status in submitted:
+            result = results[model]
+            if result.state != "done":
+                failures.append(
+                    f"{pool} pool: {model} job finished "
+                    f"{result.state}: {result.error}"
+                )
+                continue
+            final = client.status(status.job_id)
+            if final.progress_events < 1:
+                failures.append(
+                    f"{pool} pool: {model} job streamed "
+                    f"{final.progress_events} progress events"
+                )
+            local = synthesize(
+                get_model(model), request(model=model).options
+            )
+            if result.result.union.to_json() != local.union.to_json():
+                failures.append(
+                    f"{pool} pool: {model} union differs from local run"
+                )
+            jobs_block[model] = {
+                "job_id": status.job_id,
+                "progress_events": final.progress_events,
+            }
+    return wall, jobs_block
 
 
 def main() -> int:
@@ -140,7 +206,17 @@ def main() -> int:
         socket_path, workers=1, cnf_cache_dir=cnf_dir
     ):
         client = Client(socket_path)
-        warm = client.synthesize("tso", request().options, timeout=600)
+        events: list[dict] = []
+        warm = client.synthesize(
+            "tso", request().options, timeout=600, on_progress=events.append
+        )
+        phases = [event.get("phase") for event in events]
+        measurement["streamed_progress_events"] = len(events)
+        if len(events) < 1 or phases[0] != "start" or phases[-1] != "finish":
+            failures.append(
+                f"streamed synthesize saw phases {phases} (want start.."
+                "finish)"
+            )
         warm_stats = dict(warm.oracle_stats)
         measurement["warm_oracle_stats"] = warm_stats
         if warm_stats.get("compile_warm_entries", 0) <= 0:
@@ -156,6 +232,38 @@ def main() -> int:
         if warm.union.to_json() != local.union.to_json():
             failures.append("warm daemon union differs from local run")
 
+    # --- thread vs process pool on a concurrent workload ---------------
+    thread_wall, thread_jobs = race_pool("thread", workdir, failures)
+    process_wall, process_jobs = race_pool("process", workdir, failures)
+    speedup = thread_wall / process_wall if process_wall else 0.0
+    # a process pool cannot beat the GIL without a second CPU to run on;
+    # record the skip instead of failing on starved runners
+    cpus = (
+        len(os.sched_getaffinity(0))
+        if hasattr(os, "sched_getaffinity")
+        else (os.cpu_count() or 1)
+    )
+    measurement["pools"] = {
+        "workload": {"models": ["tso", "sc"], "bound": BOUND, "workers": 2},
+        "thread": {"wall_seconds": thread_wall, "jobs": thread_jobs},
+        "process": {"wall_seconds": process_wall, "jobs": process_jobs},
+        "speedup": speedup,
+        "cpus": cpus,
+        "speedup_enforced": cpus >= 2,
+    }
+    if cpus >= 2 and speedup < MIN_POOL_SPEEDUP:
+        failures.append(
+            f"process pool speedup {speedup:.2f}x over the thread pool "
+            f"(want >= {MIN_POOL_SPEEDUP}x; thread {thread_wall:.2f}s, "
+            f"process {process_wall:.2f}s)"
+        )
+    elif cpus < 2:
+        print(
+            f"note: single-CPU runner ({cpus} usable); measured "
+            f"{speedup:.2f}x but not enforcing the "
+            f">= {MIN_POOL_SPEEDUP}x pool speedup",
+        )
+
     # --- the trace the first daemon emitted must lint clean ------------
     findings = lint_trace_dir(TRACE_DIR)
     measurement["trace_findings"] = [f.id for f in findings]
@@ -164,7 +272,7 @@ def main() -> int:
 
     report = Report(
         schema_name="bench-serve",
-        schema_version=1,
+        schema_version=2,
         command="serve-smoke",
         payload=measurement,
     )
@@ -181,7 +289,8 @@ def main() -> int:
     rate = measurement["warm_oracle_stats"]["compile_hit_rate"]
     print(
         f"serve smoke OK: dedup_hits={dedup}, "
-        f"warm compile_hit_rate={rate:.2f}"
+        f"warm compile_hit_rate={rate:.2f}, "
+        f"process pool speedup {speedup:.2f}x"
     )
     return 0
 

@@ -47,6 +47,7 @@ from repro.core import (
     ExplicitOracle,
     MinimalityChecker,
     MinimalityResult,
+    OracleSpec,
     SuiteEntry,
     SynthesisOptions,
     SynthesisResult,
@@ -91,13 +92,15 @@ from repro.relax import ALL_RELAXATIONS, applicability_table, relaxations_for
 # SynthesisRequest lazily to keep the cycle one-directional).
 from repro.service import (
     Client,
+    JobProgress,
     JobResult,
     JobStatus,
+    QuotaExceededError,
     ServiceError,
     SynthesisRequest,
 )
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "__version__",
@@ -108,6 +111,7 @@ __all__ = [
     "ExplicitOracle",
     "MinimalityChecker",
     "MinimalityResult",
+    "OracleSpec",
     "SuiteEntry",
     "SynthesisOptions",
     "SynthesisResult",
@@ -158,7 +162,9 @@ __all__ = [
     # service
     "SynthesisRequest",
     "JobStatus",
+    "JobProgress",
     "JobResult",
+    "QuotaExceededError",
     "Client",
     "ServiceError",
     # relaxations

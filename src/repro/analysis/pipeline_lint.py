@@ -187,15 +187,19 @@ def lint_clause_context(ctx: ClauseLintContext) -> Iterable[Diagnostic]:
 def lint_oracle_options(opts) -> list[Diagnostic]:
     """SAT007: oracle knob combinations that silently do nothing.
 
-    Takes anything with ``oracle``/``incremental``/``cnf_cache_dir``
-    attributes (a :class:`repro.core.synthesis.SynthesisOptions`).  The
-    dangerous shapes are the ones where a user *asked* for caching or
-    tuned a relational-only knob and the pipeline quietly ignores it.
+    Takes an :class:`repro.core.synthesis.OracleSpec`, anything with an
+    ``oracle_spec`` attribute (a
+    :class:`repro.core.synthesis.SynthesisOptions`), or any object with
+    the loose ``oracle``/``incremental``/``cnf_cache_dir``/``prefilter``
+    attributes.  The dangerous shapes are the ones where a user *asked*
+    for caching or tuned a relational-only knob and the pipeline quietly
+    ignores it.
     """
-    oracle = getattr(opts, "oracle", "explicit")
-    incremental = getattr(opts, "incremental", True)
-    cache_dir = getattr(opts, "cnf_cache_dir", None)
-    prefilter = getattr(opts, "prefilter", False)
+    target = getattr(opts, "oracle_spec", opts)
+    oracle = getattr(target, "oracle", "explicit")
+    incremental = getattr(target, "incremental", True)
+    cache_dir = getattr(target, "cnf_cache_dir", None)
+    prefilter = getattr(target, "prefilter", False)
     out: list[Diagnostic] = []
     if oracle == "relational":
         if not incremental and cache_dir is not None:

@@ -12,7 +12,7 @@ import os
 import time
 
 from repro.core.enumerator import EnumerationConfig
-from repro.core.synthesis import SynthesisOptions, synthesize
+from repro.core.synthesis import OracleSpec, SynthesisOptions, synthesize
 from repro.models.registry import get_model
 from repro.obs import Report
 
@@ -77,10 +77,12 @@ def oracle_workload_report(
         opts = SynthesisOptions(
             bound=bound,
             config=config,
-            oracle="relational",
-            incremental=incremental,
-            cnf_cache_dir=cnf_cache_dir if incremental else None,
-            prefilter=prefilter,
+            oracle_spec=OracleSpec(
+                oracle="relational",
+                incremental=incremental,
+                cnf_cache_dir=cnf_cache_dir if incremental else None,
+                prefilter=prefilter,
+            ),
             trace_dir=(
                 os.path.join(trace_dir, arm) if trace_dir is not None else None
             ),

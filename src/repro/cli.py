@@ -21,8 +21,9 @@
                           [--prefilter] [--trace-dir D] [--json]
                           [--list-mutants]
     litmus-synth report TRACE_DIR [--json]
-    litmus-synth serve (--socket PATH | --port N) [--workers N]
-                       [--recycle-after N] [--cnf-cache-dir D]
+    litmus-synth serve (--socket PATH | --port N) [--pool-workers N]
+                       [--pool thread|process] [--recycle-after N]
+                       [--max-queued-per-client N] [--cnf-cache-dir D]
                        [--trace-dir D]
     litmus-synth submit --server ADDR --model tso --bound 4 [--wait]
                         [synthesis knobs ...] [--json]
@@ -48,7 +49,13 @@ from repro.analysis import selfcheck
 from repro.core.compare import compare_suites
 from repro.core.enumerator import EnumerationConfig
 from repro.core.minimality import CriterionMode, MinimalityChecker
-from repro.core.synthesis import EARLY_REJECT, ORACLES, SynthesisOptions, synthesize
+from repro.core.synthesis import (
+    EARLY_REJECT,
+    ORACLES,
+    OracleSpec,
+    SynthesisOptions,
+    synthesize,
+)
 from repro.litmus.catalog import (
     CATALOG,
     cambridge_power_suite,
@@ -60,7 +67,7 @@ from repro.litmus.test import LitmusTest
 from repro.models.registry import available_models, get_model
 from repro.relax.applicability import format_table
 
-__all__ = ["main"]
+__all__ = ["add_oracle_args", "main", "oracle_spec_from_args"]
 
 
 class _CliError(Exception):
@@ -159,6 +166,54 @@ def _cmd_table2(_args) -> int:
     return 0
 
 
+def add_oracle_args(parser: argparse.ArgumentParser) -> None:
+    """The four oracle-configuration flags, exactly one
+    :class:`OracleSpec` worth.
+
+    Every subcommand that builds a request adds these through this one
+    helper and reads them back through :func:`oracle_spec_from_args`, so
+    a daemon submission and a local run parse the same flags into the
+    same spec — and therefore the same request fingerprint — by
+    construction."""
+    parser.add_argument(
+        "--oracle",
+        default="explicit",
+        choices=list(ORACLES),
+        help="criterion oracle: explicit enumeration (default) or the "
+        "relational SAT pipeline (identical output, paper-faithful path)",
+    )
+    parser.add_argument(
+        "--cold-solver",
+        action="store_true",
+        help="relational oracle only: fresh solver per query instead of "
+        "the incremental engine (A/B baseline; much slower)",
+    )
+    parser.add_argument(
+        "--prefilter",
+        action="store_true",
+        help="relational oracle only: answer fully-pinned per-axiom "
+        "queries with the polynomial static evaluator before SAT "
+        "(identical output; hit rate lands in the oracle stats)",
+    )
+    parser.add_argument(
+        "--cnf-cache-dir",
+        default=None,
+        help="relational oracle only: on-disk CNF compilation cache "
+        "shared across workers and runs",
+    )
+
+
+def oracle_spec_from_args(args) -> OracleSpec:
+    """The :class:`OracleSpec` an :func:`add_oracle_args` flag set
+    describes (the inverse of the parser half of the pair)."""
+    return OracleSpec(
+        oracle=args.oracle,
+        incremental=not args.cold_solver,
+        cnf_cache_dir=args.cnf_cache_dir,
+        prefilter=args.prefilter,
+    )
+
+
 def _synthesis_options(args) -> SynthesisOptions:
     """Build the options a ``synthesize``-flavoured arg set describes.
 
@@ -186,10 +241,7 @@ def _synthesis_options(args) -> SynthesisOptions:
         reject=EARLY_REJECT if args.early_reject else None,
         jobs=args.jobs,
         checkpoint_dir=getattr(args, "checkpoint_dir", None),
-        oracle=args.oracle,
-        incremental=not args.cold_solver,
-        cnf_cache_dir=args.cnf_cache_dir,
-        prefilter=args.prefilter,
+        oracle_spec=oracle_spec_from_args(args),
         trace_dir=getattr(args, "trace_dir", None),
     )
 
@@ -449,7 +501,7 @@ def _cmd_difftest(args) -> int:
             mutants=mutants,
             corpus_dir=args.corpus_dir,
             jobs=args.jobs,
-            prefilter=args.prefilter,
+            oracle_spec=OracleSpec(prefilter=args.prefilter),
             trace_dir=args.trace_dir,
             generator=GeneratorConfig(
                 max_events=args.max_events,
@@ -519,14 +571,20 @@ def _cmd_serve(args) -> int:
     if cnf_cache_dir is not None:
         _warn_diagnostics(analysis.lint_cnf_cache_dir(cnf_cache_dir))
     manager = JobManager(
-        workers=args.workers,
+        workers=args.pool_workers,
         recycle_after=args.recycle_after,
         cnf_cache_dir=cnf_cache_dir,
         trace_dir=args.trace_dir,
+        pool=args.pool,
+        max_queued_per_client=args.max_queued_per_client,
     )
 
     def ready(address: str) -> None:
-        print(f"serving on {address} ({args.workers} worker(s))", flush=True)
+        print(
+            f"serving on {address} "
+            f"({args.pool_workers} {args.pool} worker(s))",
+            flush=True,
+        )
 
     try:
         serve(
@@ -565,15 +623,43 @@ def _cmd_submit(args) -> int:
     client = _service_client(args)
     try:
         if args.wait:
-            report = client.call(
-                "submit", request=request.to_payload(), wait=True
+            from repro.service.protocol import (
+                JOB_PROGRESS_SCHEMA_NAME,
+                JOB_RESULT_SCHEMA_NAME,
+                JobProgress,
+                JobResult,
             )
+
             if args.json:
+                report = client.call(
+                    "submit", request=request.to_payload(), wait=True
+                )
                 _print_report(report)
                 return 0
-            from repro.service.protocol import JobResult
-
-            job = JobResult.from_payload(report.payload)
+            # Text mode rides the streamed exchange: progress events go
+            # to stderr as they arrive, the result summary to stdout.
+            job = None
+            for report in client.stream(
+                "submit", request=request.to_payload(), stream=True
+            ):
+                if report.schema_name == JOB_PROGRESS_SCHEMA_NAME:
+                    event = JobProgress.from_payload(report.payload).event
+                    detail = " ".join(
+                        f"{key}={event[key]}"
+                        for key in sorted(event)
+                        if key != "phase"
+                    )
+                    print(
+                        f"progress: {event.get('phase', '?')} "
+                        f"{detail}".rstrip(),
+                        file=sys.stderr,
+                    )
+                elif report.schema_name == JOB_RESULT_SCHEMA_NAME:
+                    job = JobResult.from_payload(report.payload)
+            if job is None:
+                raise _CliError(
+                    f"{args.server}: stream ended without a job-result"
+                )
             if job.result is None:
                 raise _CliError(
                     f"job {job.job_id} finished {job.state}: "
@@ -717,32 +803,7 @@ def build_parser() -> argparse.ArgumentParser:
             help="worker processes; >1 runs the sharded parallel runtime "
             "(output is identical to --jobs 1)",
         )
-        p.add_argument(
-            "--oracle",
-            default="explicit",
-            choices=list(ORACLES),
-            help="criterion oracle: explicit enumeration (default) or the "
-            "relational SAT pipeline (identical output, paper-faithful path)",
-        )
-        p.add_argument(
-            "--cold-solver",
-            action="store_true",
-            help="relational oracle only: fresh solver per query instead of "
-            "the incremental engine (A/B baseline; much slower)",
-        )
-        p.add_argument(
-            "--prefilter",
-            action="store_true",
-            help="relational oracle only: answer fully-pinned per-axiom "
-            "queries with the polynomial static evaluator before SAT "
-            "(identical output; hit rate lands in the oracle stats)",
-        )
-        p.add_argument(
-            "--cnf-cache-dir",
-            default=None,
-            help="relational oracle only: on-disk CNF compilation cache "
-            "shared across workers and runs",
-        )
+        add_oracle_args(p)
 
     def add_server_flag(p: argparse.ArgumentParser, required: bool) -> None:
         p.add_argument(
@@ -922,10 +983,29 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--port", type=int, default=None, help="TCP port to bind")
     p.add_argument("--host", default="127.0.0.1", help="TCP bind host")
     p.add_argument(
+        "--pool-workers",
         "--workers",
+        dest="pool_workers",
         type=int,
         default=1,
-        help="resident worker threads (each keeps its own warm caches)",
+        help="resident workers (each keeps its own warm caches); "
+        "--workers is the pre-1.2 spelling",
+    )
+    p.add_argument(
+        "--pool",
+        default="process",
+        choices=["thread", "process"],
+        help="worker species: process (default) runs each worker in its "
+        "own interpreter for true parallelism; thread keeps the pre-1.2 "
+        "in-process pool (output is byte-identical either way)",
+    )
+    p.add_argument(
+        "--max-queued-per-client",
+        type=int,
+        default=0,
+        metavar="N",
+        help="reject a client's submission once it already has N jobs "
+        "queued (0 = no quota; coalesced duplicates never count)",
     )
     p.add_argument(
         "--recycle-after",

@@ -37,6 +37,7 @@ from repro.core.suite import (
 from repro.core.synthesis import (
     EARLY_REJECT,
     RESULT_SCHEMA_VERSION,
+    OracleSpec,
     SynthesisOptions,
     SynthesisResult,
     synthesize,
@@ -70,6 +71,7 @@ __all__ = [
     "outcome_from_dict",
     "EARLY_REJECT",
     "RESULT_SCHEMA_VERSION",
+    "OracleSpec",
     "SynthesisOptions",
     "SynthesisResult",
     "synthesize",

@@ -10,11 +10,16 @@ The stable call form takes a :class:`SynthesisOptions` value::
 
     result = synthesize(model, SynthesisOptions(bound=4, jobs=4))
 
-The pre-1.1 keyword form (``synthesize(model, bound, axioms=..., ...)``)
-still works through a shim but emits a :class:`DeprecationWarning`.
-``jobs > 1`` (or a ``checkpoint_dir``) routes the run through the sharded
-multiprocess runtime in :mod:`repro.exec`; its merged output is
-byte-identical to the sequential run.
+Oracle configuration travels as one :class:`OracleSpec` value
+(``SynthesisOptions(bound=4, oracle_spec=OracleSpec(oracle="relational"))``);
+the four loose fields (``oracle``/``incremental``/``cnf_cache_dir``/
+``prefilter``) still work through a shim but emit a
+:class:`DeprecationWarning`.  The pre-1.1 loose-keyword call form
+(``synthesize(model, bound, axioms=..., ...)``) was removed in 1.2 and
+now raises :class:`TypeError`.  ``jobs > 1`` (or a ``checkpoint_dir``)
+routes the run through the sharded multiprocess runtime in
+:mod:`repro.exec`; its merged output is byte-identical to the
+sequential run.
 """
 
 from __future__ import annotations
@@ -22,7 +27,7 @@ from __future__ import annotations
 import time
 import warnings
 from collections.abc import Callable, Iterable, Sequence
-from dataclasses import dataclass, field, fields
+from dataclasses import dataclass, field
 
 from repro.litmus.test import LitmusTest
 from repro.models.base import MemoryModel
@@ -33,6 +38,7 @@ from repro.core.minimality import CriterionMode, MinimalityChecker
 from repro.core.suite import TestSuite
 
 __all__ = [
+    "OracleSpec",
     "SynthesisOptions",
     "SynthesisResult",
     "RESULT_SCHEMA_NAME",
@@ -61,6 +67,70 @@ RESULT_SCHEMA_VERSION = 3
 EARLY_REJECT = "early-reject"
 
 
+@dataclass(frozen=True)
+class OracleSpec:
+    """The oracle configuration of one synthesis run, as a single value.
+
+    Bundles everything that selects and tunes the criterion oracle —
+    the four knobs that used to travel as loose
+    :class:`SynthesisOptions` fields.  One ``OracleSpec`` is consumed
+    identically by the sequential loop, every shard worker, and the
+    service daemon's resident pools, so the same value always resolves
+    to the same pipeline (and the same request fingerprint).
+
+    Attributes:
+        oracle: which execution oracle answers criterion queries —
+            ``"explicit"`` (enumeration, the default) or ``"relational"``
+            (the SAT/model-finding stack; only for models with an Alloy
+            encoding).
+        incremental: with the relational oracle, reuse one warm
+            incremental solver per test (default).  False forces the
+            cold-solver baseline — one fresh solver per query — kept for
+            A/B benchmarking; results are identical either way.
+        cnf_cache_dir: optional on-disk CNF compilation cache directory
+            for the relational oracle, shared across worker processes
+            and across runs.
+        prefilter: with the relational oracle in incremental mode,
+            answer fully-pinned per-axiom queries with the polynomial
+            static evaluator (:mod:`repro.analysis.flow`) before falling
+            back to SAT.  Output is identical with or without it; the
+            hit/fallback counters land in the oracle stats.
+    """
+
+    oracle: str = "explicit"
+    incremental: bool = True
+    cnf_cache_dir: str | None = None
+    prefilter: bool = False
+
+    def __post_init__(self) -> None:
+        if self.oracle not in ORACLES:
+            raise ValueError(
+                f"unknown oracle {self.oracle!r}; choose from {ORACLES}"
+            )
+
+    def to_payload(self) -> dict:
+        """The JSON-safe wire form (see :mod:`repro.service.protocol`)."""
+        return {
+            "oracle": self.oracle,
+            "incremental": self.incremental,
+            "cnf_cache_dir": self.cnf_cache_dir,
+            "prefilter": self.prefilter,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> OracleSpec:
+        unknown = set(payload) - {
+            "oracle", "incremental", "cnf_cache_dir", "prefilter"
+        }
+        if unknown:
+            raise ValueError(f"unknown oracle spec fields {sorted(unknown)}")
+        return cls(**payload)
+
+
+#: the loose ``SynthesisOptions`` names the deprecation shim still accepts
+_SPEC_FIELDS = ("oracle", "incremental", "cnf_cache_dir", "prefilter")
+
+
 @dataclass
 class SynthesisOptions:
     """Everything ``synthesize`` needs besides the model itself.
@@ -78,6 +148,13 @@ class SynthesisOptions:
         progress: callback invoked with the running candidate count —
             every 1000 candidates sequentially, after each completed
             shard in parallel runs.
+        progress_events: callback invoked with structured progress
+            event dicts (always carrying a ``"phase"`` key) — periodic
+            ``enumerate`` events plus a final ``finish`` event
+            sequentially, one ``shard`` event per completed shard in
+            parallel runs.  Process-local (never serializes); the
+            service daemon wires it to the streamed ``job-progress``
+            wire messages.
         reject: opt-in early filter passed to the enumerator; candidates
             it returns True for are skipped before any oracle call.  Pass
             the :data:`EARLY_REJECT` sentinel to build the lint-based
@@ -91,22 +168,12 @@ class SynthesisOptions:
         shards: total shard count for parallel runs (default:
             ``4 * jobs`` — small enough to amortize worker warm-up,
             large enough for balance and useful checkpoint granularity).
-        oracle: which execution oracle answers criterion queries —
-            ``"explicit"`` (enumeration, the default) or ``"relational"``
-            (the SAT/model-finding stack; only for models with an Alloy
-            encoding).
-        incremental: with the relational oracle, reuse one warm
-            incremental solver per test (default).  False forces the
-            cold-solver baseline — one fresh solver per query — kept for
-            A/B benchmarking; results are identical either way.
-        cnf_cache_dir: optional on-disk CNF compilation cache directory
-            for the relational oracle, shared across worker processes
-            and across runs.
-        prefilter: with the relational oracle in incremental mode,
-            answer fully-pinned per-axiom queries with the polynomial
-            static evaluator (:mod:`repro.analysis.flow`) before falling
-            back to SAT.  Output is identical with or without it; the
-            hit/fallback counters land in the oracle stats.
+        oracle_spec: the oracle configuration (:class:`OracleSpec`) —
+            backend choice plus the relational oracle's incremental /
+            CNF-cache / prefilter knobs.  The loose constructor
+            arguments ``oracle=`` / ``incremental=`` / ``cnf_cache_dir=``
+            / ``prefilter=`` (and the matching read-only attributes)
+            still work but are deprecated shims over this field.
         trace_dir: optional directory for :mod:`repro.obs` trace files
             (driver phase spans, per-shard span/counter streams, and the
             deterministic ``merged.jsonl``).  Setting it routes the run
@@ -122,14 +189,12 @@ class SynthesisOptions:
     exact_symmetry: bool = True
     candidates: Iterable[LitmusTest] | None = None
     progress: Callable[[int], None] | None = None
+    progress_events: Callable[[dict], None] | None = None
     reject: Callable[[LitmusTest], bool] | str | None = None
     jobs: int = 1
     checkpoint_dir: str | None = None
     shards: int | None = None
-    oracle: str = "explicit"
-    incremental: bool = True
-    cnf_cache_dir: str | None = None
-    prefilter: bool = False
+    oracle_spec: OracleSpec = field(default_factory=OracleSpec)
     trace_dir: str | None = None
 
     def __post_init__(self) -> None:
@@ -144,9 +209,10 @@ class SynthesisOptions:
                 f"unknown reject spec {self.reject!r} "
                 f"(the only named filter is {EARLY_REJECT!r})"
             )
-        if self.oracle not in ORACLES:
-            raise ValueError(
-                f"unknown oracle {self.oracle!r}; choose from {ORACLES}"
+        if not isinstance(self.oracle_spec, OracleSpec):
+            raise TypeError(
+                "oracle_spec must be an OracleSpec, got "
+                f"{type(self.oracle_spec).__name__}"
             )
 
     def resolved_config(
@@ -182,6 +248,60 @@ class SynthesisOptions:
 
             return analysis.early_reject(model)
         return self.reject  # a callable or None
+
+
+# -- the deprecated loose-field shim over SynthesisOptions.oracle_spec --------
+#
+# Pre-1.2 code wrote ``SynthesisOptions(bound=4, oracle="relational")`` and
+# read ``opts.oracle``.  Both still work — the constructor folds the loose
+# keywords into an OracleSpec and matching read-only properties alias into
+# it — but each direction warns, because OracleSpec is the one
+# non-deprecated way to carry oracle configuration.
+
+_dataclass_options_init = SynthesisOptions.__init__
+
+
+def _options_init(self: SynthesisOptions, *args: object, **kwargs: object) -> None:
+    loose = {name: kwargs.pop(name) for name in _SPEC_FIELDS if name in kwargs}
+    if loose:
+        if "oracle_spec" in kwargs:
+            raise TypeError(
+                "pass either oracle_spec or the loose oracle fields "
+                f"({sorted(loose)}), not both"
+            )
+        warnings.warn(
+            "passing oracle/incremental/cnf_cache_dir/prefilter to "
+            "SynthesisOptions is deprecated; bundle them as "
+            "SynthesisOptions(oracle_spec=OracleSpec(...))",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        kwargs["oracle_spec"] = OracleSpec(**loose)  # type: ignore[arg-type]
+    _dataclass_options_init(self, *args, **kwargs)  # type: ignore[arg-type]
+
+
+_options_init.__name__ = "__init__"
+SynthesisOptions.__init__ = _options_init  # type: ignore[method-assign]
+
+
+def _spec_alias(name: str) -> property:
+    def _get(self: SynthesisOptions) -> object:
+        warnings.warn(
+            f"SynthesisOptions.{name} is deprecated; read "
+            f"options.oracle_spec.{name} instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return getattr(self.oracle_spec, name)
+
+    _get.__name__ = name
+    _get.__doc__ = f"Deprecated alias for ``oracle_spec.{name}`` (warns)."
+    return property(_get)
+
+
+for _name in _SPEC_FIELDS:
+    setattr(SynthesisOptions, _name, _spec_alias(_name))
+del _name
 
 
 @dataclass
@@ -284,23 +404,20 @@ class SynthesisResult:
         return "\n".join(lines)
 
 
-_OPTION_FIELDS = frozenset(f.name for f in fields(SynthesisOptions))
-
-
 def build_checker(
     model: MemoryModel,
     mode: CriterionMode,
-    oracle: str = "explicit",
-    incremental: bool = True,
-    cnf_cache_dir: str | None = None,
-    prefilter: bool = False,
+    spec: OracleSpec | None = None,
 ) -> MinimalityChecker:
-    """Build the minimality checker for one oracle configuration.
+    """Build the minimality checker for one :class:`OracleSpec`.
 
-    Shared by the sequential loop and every shard worker, so both paths
-    resolve an options tuple to the exact same pipeline.
+    Shared by the sequential loop, every shard worker, and the service
+    daemon's resident pools, so every path resolves the same spec to
+    the exact same pipeline.
     """
-    if oracle == "relational":
+    if spec is None:
+        spec = OracleSpec()
+    if spec.oracle == "relational":
         if mode is CriterionMode.EXECUTION_WA:
             raise ValueError(
                 "the Fig. 19 workaround criterion needs the explicit "
@@ -310,9 +427,9 @@ def build_checker(
 
         backend = AlloyOracle(
             model.name,
-            incremental=incremental,
-            cnf_cache_dir=cnf_cache_dir,
-            prefilter=prefilter,
+            incremental=spec.incremental,
+            cnf_cache_dir=spec.cnf_cache_dir,
+            prefilter=spec.prefilter,
         )
         return MinimalityChecker(model, mode, oracle=backend)
     return MinimalityChecker(model, mode)
@@ -349,8 +466,7 @@ def _resolve_request(model, options):
 
 def synthesize(
     model: MemoryModel,
-    options: SynthesisOptions | int | None = None,
-    **legacy,
+    options: SynthesisOptions | None = None,
 ) -> SynthesisResult:
     """Synthesize the comprehensive suites for one model.
 
@@ -363,51 +479,23 @@ def synthesize(
     is the wire-serializable shape the synthesis service daemon accepts;
     locally it resolves the model by name and runs identically.
 
-    The pre-1.1 form ``synthesize(model, bound, axioms=..., mode=...,
-    config=..., exact_symmetry=..., candidates=..., progress=...,
-    reject=...)`` is still accepted but deprecated; it is rewritten into
-    a :class:`SynthesisOptions` and warns.
+    The pre-1.1 loose-keyword form (``synthesize(model, bound,
+    axioms=..., ...)``) completed its deprecation window and was
+    removed in 1.2; it now raises :class:`TypeError`.
     """
     if not isinstance(model, MemoryModel) or not isinstance(
-        options, (SynthesisOptions, int, type(None))
+        options, (SynthesisOptions, type(None))
     ):
         resolved = _resolve_request(model, options)
         if resolved is not None:
-            if legacy:
-                raise TypeError(
-                    "synthesize() takes no extra keyword arguments "
-                    f"alongside a SynthesisRequest (got {sorted(legacy)})"
-                )
             model, options = resolved
-    if isinstance(options, SynthesisOptions):
-        if legacy:
-            raise TypeError(
-                "synthesize() takes no extra keyword arguments alongside "
-                f"SynthesisOptions (got {sorted(legacy)})"
-            )
-        opts = options
-    else:
-        if options is not None:
-            if "bound" in legacy:
-                raise TypeError("synthesize() got bound twice")
-            legacy["bound"] = options
-        unknown = set(legacy) - _OPTION_FIELDS
-        if unknown:
-            raise TypeError(
-                f"synthesize() got unexpected keyword arguments {sorted(unknown)}"
-            )
-        if "bound" not in legacy:
-            raise TypeError(
-                "synthesize() needs a bound: pass SynthesisOptions(bound=...)"
-            )
-        warnings.warn(
-            "calling synthesize() with loose keyword arguments is "
-            "deprecated; pass a SynthesisOptions instead "
-            "(synthesize(model, SynthesisOptions(bound=..., ...)))",
-            DeprecationWarning,
-            stacklevel=2,
+    if not isinstance(options, SynthesisOptions):
+        raise TypeError(
+            "synthesize() takes a SynthesisOptions (or a SynthesisRequest); "
+            "the loose-keyword form was removed in 1.2 — build the options "
+            "value explicitly: synthesize(model, SynthesisOptions(bound=...))"
         )
-        opts = SynthesisOptions(**legacy)
+    opts = options
 
     if (
         opts.jobs > 1
@@ -443,14 +531,7 @@ def run_sequential(
     config = opts.resolved_config(model)
     axiom_names = opts.axiom_names(model)
     if checker is None:
-        checker = build_checker(
-            model,
-            opts.mode,
-            oracle=opts.oracle,
-            incremental=opts.incremental,
-            cnf_cache_dir=opts.cnf_cache_dir,
-            prefilter=opts.prefilter,
-        )
+        checker = build_checker(model, opts.mode, opts.oracle_spec)
     per_axiom = {
         name: TestSuite(model.name, name, opts.exact_symmetry)
         for name in axiom_names
@@ -466,14 +547,18 @@ def run_sequential(
         )
     )
     progress = opts.progress
+    events = opts.progress_events
     seen: set[LitmusTest] = set()
     n_candidates = 0
     n_unique = 0
     n_minimal = 0
     for test in stream:
         n_candidates += 1
-        if progress is not None and n_candidates % 1000 == 0:
-            progress(n_candidates)
+        if n_candidates % 1000 == 0:
+            if progress is not None:
+                progress(n_candidates)
+            if events is not None:
+                events({"phase": "enumerate", "candidates": n_candidates})
         canon = canonical_form(test)
         if canon in seen:
             continue
@@ -495,6 +580,15 @@ def run_sequential(
             union.add(test, witness, minimal_for)
 
     elapsed = time.perf_counter() - start
+    if events is not None:
+        events(
+            {
+                "phase": "finish",
+                "candidates": n_candidates,
+                "unique": n_unique,
+                "minimal": n_minimal,
+            }
+        )
     registry = current_registry()
     registry.count("candidates", n_candidates)
     registry.count("unique_candidates", n_unique)

@@ -25,8 +25,10 @@ from __future__ import annotations
 
 import json
 import os
+import warnings
 from dataclasses import asdict, dataclass, field
 
+from repro.core.synthesis import OracleSpec
 from repro.difftest.corpus import Corpus
 from repro.difftest.discrepancy import KINDS, Discrepancy, discrepancy_fingerprint
 from repro.difftest.generator import GeneratorConfig, TestGenerator
@@ -82,9 +84,12 @@ class CampaignOptions:
     generator: GeneratorConfig = field(default_factory=GeneratorConfig)
     #: cross-check the minimality criterion through both oracles
     minimality: bool = True
-    #: route the relational oracle through the polynomial static
-    #: prefilter (also exercises its agreement with the explicit oracle)
-    prefilter: bool = False
+    #: the oracle configuration (only ``prefilter`` steers a campaign
+    #: today: route the relational oracle through the polynomial static
+    #: prefilter, which also exercises its agreement with the explicit
+    #: oracle).  The loose ``prefilter=`` argument and attribute remain
+    #: as deprecated shims over this field.
+    oracle_spec: OracleSpec = field(default_factory=OracleSpec)
     #: optional :mod:`repro.obs` trace directory (driver phase spans +
     #: the deterministic merged discrepancy stream)
     trace_dir: str | None = None
@@ -94,6 +99,52 @@ class CampaignOptions:
             raise ValueError(f"budget must be >= 0, got {self.budget}")
         if self.jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {self.jobs}")
+        if not isinstance(self.oracle_spec, OracleSpec):
+            raise TypeError(
+                "oracle_spec must be an OracleSpec, got "
+                f"{type(self.oracle_spec).__name__}"
+            )
+
+
+# -- the deprecated loose-field shim (mirrors SynthesisOptions's) -------------
+
+_dataclass_campaign_init = CampaignOptions.__init__
+
+
+def _campaign_init(self: CampaignOptions, *args: object, **kwargs: object) -> None:
+    if "prefilter" in kwargs:
+        if "oracle_spec" in kwargs:
+            raise TypeError(
+                "pass either oracle_spec or the loose prefilter field, "
+                "not both"
+            )
+        warnings.warn(
+            "passing prefilter to CampaignOptions is deprecated; bundle "
+            "it as CampaignOptions(oracle_spec=OracleSpec(prefilter=...))",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        kwargs["oracle_spec"] = OracleSpec(
+            prefilter=bool(kwargs.pop("prefilter"))
+        )
+    _dataclass_campaign_init(self, *args, **kwargs)  # type: ignore[arg-type]
+
+
+_campaign_init.__name__ = "__init__"
+CampaignOptions.__init__ = _campaign_init  # type: ignore[method-assign]
+
+
+def _campaign_prefilter(self: CampaignOptions) -> bool:
+    warnings.warn(
+        "CampaignOptions.prefilter is deprecated; read "
+        "options.oracle_spec.prefilter instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return self.oracle_spec.prefilter
+
+
+CampaignOptions.prefilter = property(_campaign_prefilter)  # type: ignore[attr-defined]
 
 
 @dataclass
@@ -224,7 +275,7 @@ def _setup_worker(payload: _ShardPayload):
         opts.model,
         mutants=opts.mutants,
         minimality=opts.minimality,
-        prefilter=opts.prefilter,
+        prefilter=opts.oracle_spec.prefilter,
     )
     generator = TestGenerator(harness.model.vocabulary, opts.generator)
     return payload, harness, generator
@@ -322,7 +373,7 @@ def _run_campaign(options: CampaignOptions, tracer: Tracer) -> CampaignReport:
         options.model,
         mutants=options.mutants,
         minimality=options.minimality,
-        prefilter=options.prefilter,
+        prefilter=options.oracle_spec.prefilter,
     )
     corpus = Corpus(options.corpus_dir) if options.corpus_dir else None
 

@@ -28,7 +28,14 @@ from repro.exec.checkpoint import (
     run_fingerprint,
     saved_shard_count,
 )
-from repro.exec.fanout import FanoutTask, run_fanout
+from repro.exec.fanout import (
+    FanoutTask,
+    RemoteJobError,
+    ResidentProcess,
+    ResidentTask,
+    WorkerDied,
+    run_fanout,
+)
 from repro.exec.merge import merge_shards
 from repro.exec.runtime import run_sharded
 from repro.exec.sharding import DEFAULT_SHARDS_PER_JOB, ShardPlan, plan_shards
@@ -40,6 +47,10 @@ __all__ = [
     "run_fingerprint",
     "saved_shard_count",
     "FanoutTask",
+    "RemoteJobError",
+    "ResidentProcess",
+    "ResidentTask",
+    "WorkerDied",
     "run_fanout",
     "merge_shards",
     "run_sharded",

@@ -65,7 +65,7 @@ def run_fingerprint(task: WorkerTask, opts: SynthesisOptions) -> dict:
         # the knob equivalence claims are made against), so a resume must
         # not switch it mid-run; ``incremental``/``cnf_cache_dir`` are
         # pure wall-clock knobs and stay out, like ``jobs``
-        "oracle": task.oracle,
+        "oracle": task.spec.oracle,
     }
 
 

@@ -18,6 +18,13 @@ by shard index, so the caller's merge is independent of pool scheduling.
 ``jobs=1`` runs in-process with no pool at all — the two paths produce
 identical results, which is what lets callers promise ``--jobs N``
 output is byte-identical to sequential.
+
+A second shape lives here for long-lived hosts: :class:`ResidentProcess`
+runs a :class:`ResidentTask` in one dedicated child process that
+*persists across jobs* (per-process setup runs once, warm state
+survives), streams structured progress events back over the pipe while
+a job runs, and is individually restartable — the bridge the service
+daemon's process-backed worker pool is built on.
 """
 
 from __future__ import annotations
@@ -26,7 +33,14 @@ from collections.abc import Callable
 from dataclasses import dataclass
 from typing import Any
 
-__all__ = ["FanoutTask", "run_fanout"]
+__all__ = [
+    "FanoutTask",
+    "ResidentProcess",
+    "ResidentTask",
+    "RemoteJobError",
+    "WorkerDied",
+    "run_fanout",
+]
 
 
 @dataclass(frozen=True)
@@ -72,6 +86,155 @@ def run_fanout(task: FanoutTask, jobs: int = 1) -> list[Any]:
         )
     indexed.sort(key=lambda pair: pair[0])
     return [result for _, result in indexed]
+
+
+# -- resident worker processes ------------------------------------------------
+
+
+class WorkerDied(RuntimeError):
+    """The resident child process vanished mid-job (killed, crashed, or
+    closed its pipe).  The job it was running is lost; the parent-side
+    :class:`ResidentProcess` stays usable — the next job spawns a fresh
+    child."""
+
+
+class RemoteJobError(RuntimeError):
+    """A job raised inside the resident child process.
+
+    The child stays alive (its warm state intact); only the one job
+    failed.  ``exc_type`` is the remote exception's class name — the
+    exception object itself never crosses the pipe, so arbitrary
+    unpicklable errors still report cleanly.
+    """
+
+    def __init__(self, exc_type: str, message: str):
+        super().__init__(f"{exc_type}: {message}")
+        self.exc_type = exc_type
+
+
+@dataclass(frozen=True)
+class ResidentTask:
+    """A long-lived workload: per-process setup plus per-job work.
+
+    Like :class:`FanoutTask`, ``setup`` and ``work`` must be
+    module-level functions and ``payload`` picklable.  ``work`` takes
+    ``(state, job, emit)`` where ``emit`` publishes one JSON-safe event
+    dict back to the parent mid-job.
+    """
+
+    setup: Callable[[Any], Any]
+    work: Callable[[Any, Any, Callable[[dict], None]], Any]
+    payload: Any
+
+
+def _resident_main(task: ResidentTask, conn: Any) -> None:
+    """Child-process loop: one job in, events out, one answer per job."""
+    try:
+        state = task.setup(task.payload)
+        while True:
+            try:
+                job = conn.recv()
+            except EOFError:
+                return
+            if job is None:  # shutdown sentinel
+                return
+            try:
+                result = task.work(
+                    state, job, lambda event: conn.send(("event", event))
+                )
+            except Exception as exc:  # noqa: BLE001 — report, keep serving
+                conn.send(("error", (type(exc).__name__, str(exc))))
+            else:
+                conn.send(("result", result))
+    finally:
+        conn.close()
+
+
+class ResidentProcess:
+    """One resident child process running :class:`ResidentTask` jobs.
+
+    The child is spawned lazily on the first job and persists across
+    jobs, so state built by ``task.setup`` (warm checkers, solver
+    sessions) is reused.  A child that dies mid-job raises
+    :class:`WorkerDied` for that job only; the next job transparently
+    spawns a replacement.  :meth:`restart` recycles the child on
+    purpose — on-disk state (CNF caches) survives, in-memory state is
+    rebuilt.
+    """
+
+    def __init__(self, task: ResidentTask):
+        self.task = task
+        self._proc: Any = None
+        self._conn: Any = None
+
+    @property
+    def pid(self) -> int | None:
+        """The live child's PID (None before first use / after close)."""
+        return self._proc.pid if self._proc is not None else None
+
+    def _ensure(self) -> None:
+        if self._proc is not None and self._proc.is_alive():
+            return
+        self._reap()
+        import multiprocessing as mp
+
+        parent, child = mp.Pipe()
+        proc = mp.Process(
+            target=_resident_main, args=(self.task, child), daemon=True
+        )
+        proc.start()
+        child.close()
+        self._proc, self._conn = proc, parent
+
+    def _reap(self) -> None:
+        if self._conn is not None:
+            self._conn.close()
+        if self._proc is not None:
+            self._proc.join(timeout=5.0)
+            if self._proc.is_alive():
+                self._proc.terminate()
+                self._proc.join(timeout=5.0)
+        self._proc = self._conn = None
+
+    def run(
+        self, job: Any, on_event: Callable[[dict], None] | None = None
+    ) -> Any:
+        """Run one job in the resident child, streaming events out.
+
+        Raises :class:`RemoteJobError` when the job itself raised (child
+        survives) and :class:`WorkerDied` when the child vanished (job
+        lost, next ``run`` respawns).
+        """
+        self._ensure()
+        try:
+            self._conn.send(job)
+            while True:
+                kind, value = self._conn.recv()
+                if kind == "event":
+                    if on_event is not None:
+                        on_event(value)
+                elif kind == "result":
+                    return value
+                else:
+                    raise RemoteJobError(*value)
+        except (EOFError, OSError, BrokenPipeError) as exc:
+            self._reap()
+            raise WorkerDied(
+                f"resident worker died mid-job ({type(exc).__name__})"
+            ) from exc
+
+    def restart(self) -> None:
+        """Recycle the child: shut it down; the next job respawns."""
+        self.close()
+
+    def close(self) -> None:
+        """Shut the child down (graceful sentinel, then terminate)."""
+        if self._conn is not None:
+            try:
+                self._conn.send(None)
+            except (OSError, BrokenPipeError):
+                pass
+        self._reap()
 
 
 # -- pool plumbing (mirrors repro.exec.worker) --------------------------------

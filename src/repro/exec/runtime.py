@@ -64,7 +64,7 @@ def _write_trace_meta(trace_dir: str, model: MemoryModel, opts: SynthesisOptions
         "command": "synthesize",
         "model": model.name,
         "bound": opts.bound,
-        "oracle": opts.oracle,
+        "oracle": opts.oracle_spec.oracle,
     }
     with open(os.path.join(trace_dir, "meta.json"), "w", encoding="utf-8") as fh:
         json.dump(meta, fh, indent=2, sort_keys=True)
@@ -91,10 +91,7 @@ def _worker_task(model: MemoryModel, opts: SynthesisOptions, shard_count: int) -
         config=opts.resolved_config(model),
         shard_count=shard_count,
         reject=reject,
-        oracle=opts.oracle,
-        incremental=opts.incremental,
-        cnf_cache_dir=opts.cnf_cache_dir,
-        prefilter=opts.prefilter,
+        spec=opts.oracle_spec,
         trace_dir=opts.trace_dir,
     )
 
@@ -135,6 +132,7 @@ def run_sharded(model: MemoryModel, opts: SynthesisOptions) -> SynthesisResult:
             pending = [i for i in plan.indices() if i not in completed]
 
         progress = opts.progress
+        events = opts.progress_events
         candidates_done = sum(
             r["stats"]["candidates"] for r in completed.values()
         )
@@ -147,6 +145,18 @@ def run_sharded(model: MemoryModel, opts: SynthesisOptions) -> SynthesisResult:
                 store.record(result)
             if progress is not None:
                 progress(candidates_done)
+            if events is not None:
+                events(
+                    {
+                        "phase": "shard",
+                        "shard": result["shard"],
+                        "shards": plan.count,
+                        "candidates": result["stats"]["candidates"],
+                        "unique": result["stats"]["unique"],
+                        "minimal": len(result["records"]),
+                        "total_candidates": candidates_done,
+                    }
+                )
 
         with tracer.span("shards", pending=len(pending)):
             if opts.jobs == 1:

@@ -25,14 +25,14 @@ from __future__ import annotations
 import hashlib
 import os
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any
 
 from repro.core.canonical import canonical_form
 from repro.core.enumerator import EnumerationConfig, enumerate_shard
 from repro.core.minimality import CriterionMode
 from repro.core.suite import outcome_to_dict, test_to_dict
-from repro.core.synthesis import SynthesisOptions, build_checker
+from repro.core.synthesis import OracleSpec, SynthesisOptions, build_checker
 from repro.litmus.test import LitmusTest
 from repro.models.registry import get_model
 from repro.obs import MetricsRegistry, Tracer, null_tracer, use_registry
@@ -56,10 +56,7 @@ class WorkerTask:
     config: EnumerationConfig
     shard_count: int
     reject: Any = None  # None | EARLY_REJECT | picklable callable
-    oracle: str = "explicit"
-    incremental: bool = True
-    cnf_cache_dir: str | None = None
-    prefilter: bool = False
+    spec: OracleSpec = field(default_factory=OracleSpec)
     trace_dir: str | None = None
 
 
@@ -90,12 +87,7 @@ class _WorkerState:
         self.task = task
         self.model = get_model(task.model_name)
         self.checker = build_checker(
-            self.model,
-            CriterionMode(task.mode_value),
-            oracle=task.oracle,
-            incremental=task.incremental,
-            cnf_cache_dir=task.cnf_cache_dir,
-            prefilter=task.prefilter,
+            self.model, CriterionMode(task.mode_value), task.spec
         )
         self.axiom_names = (
             task.axioms if task.axioms is not None else self.model.axiom_names()

@@ -21,11 +21,13 @@ the wire entry-by-entry and are reassembled in candidate order, so
 
 from repro.service.client import Client, ServiceError, parse_address
 from repro.service.jobs import Job, JobManager
-from repro.service.pool import ResidentWorker
+from repro.service.pool import ProcessResidentWorker, ResidentWorker
 from repro.service.protocol import (
+    JobProgress,
     JobResult,
     JobState,
     JobStatus,
+    QuotaExceededError,
     SynthesisRequest,
     result_from_payload,
     result_to_payload,
@@ -36,11 +38,14 @@ __all__ = [
     "SynthesisRequest",
     "JobState",
     "JobStatus",
+    "JobProgress",
     "JobResult",
+    "QuotaExceededError",
     "result_to_payload",
     "result_from_payload",
     "Job",
     "JobManager",
+    "ProcessResidentWorker",
     "ResidentWorker",
     "Client",
     "ServiceError",

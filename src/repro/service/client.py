@@ -16,14 +16,17 @@ from __future__ import annotations
 
 import json
 import socket
-from typing import Any
+from typing import Any, Callable, Iterator
 
 from repro.core.synthesis import SynthesisOptions, SynthesisResult
 from repro.obs import Report, load_report
 from repro.service.protocol import (
+    JOB_PROGRESS_SCHEMA_NAME,
+    JOB_RESULT_SCHEMA_NAME,
     SERVICE_ERROR_SCHEMA_NAME,
     WIRE_SCHEMA_NAME,
     WIRE_SCHEMA_VERSION,
+    JobProgress,
     JobResult,
     JobStatus,
     SynthesisRequest,
@@ -35,7 +38,16 @@ __all__ = ["Client", "ServiceError", "parse_address"]
 
 class ServiceError(RuntimeError):
     """The daemon answered with a ``service-error`` envelope (or the
-    transport failed)."""
+    transport failed).
+
+    ``code`` carries the envelope's machine-readable error class when
+    the daemon sent one (``"quota-exceeded"`` for per-client queue
+    quota rejections), else None.
+    """
+
+    def __init__(self, message: str, code: str | None = None):
+        super().__init__(message)
+        self.code = code
 
 
 def parse_address(address: str) -> tuple[str | None, str, int | None]:
@@ -121,17 +133,82 @@ class Client:
         except (UnicodeDecodeError, ValueError) as exc:
             raise ServiceError(f"unparseable service response: {exc}") from exc
         if report.schema_name == SERVICE_ERROR_SCHEMA_NAME:
-            raise ServiceError(str(report.payload.get("error", "unknown error")))
+            raise ServiceError(
+                str(report.payload.get("error", "unknown error")),
+                code=report.payload.get("code"),
+            )
         return report
+
+    def stream(self, op: str, **fields: Any) -> Iterator[Report]:
+        """One request, many response envelopes, on one connection.
+
+        Yields each envelope as it arrives; the iterator ends after the
+        terminal ``job-result``.  ``service-error`` envelopes raise
+        :class:`ServiceError` (carrying the wire ``code``), exactly like
+        :meth:`call`.
+        """
+        request = envelope(
+            WIRE_SCHEMA_NAME, WIRE_SCHEMA_VERSION, {"op": op, **fields}
+        )
+        line = json.dumps(request.to_json_dict(), sort_keys=True) + "\n"
+        sock = self._connect()
+        try:
+            sock.sendall(line.encode("utf-8"))
+            buffer = b""
+            closed = False
+            while True:
+                newline = buffer.find(b"\n")
+                if newline < 0:
+                    if closed:
+                        if buffer.strip():
+                            raise ServiceError(
+                                f"the service at {self.address} closed the "
+                                "stream mid-envelope"
+                            )
+                        return  # clean end without a job-result: hangup
+                    try:
+                        chunk = sock.recv(65536)
+                    except TimeoutError as exc:
+                        raise ServiceError(
+                            "timed out waiting for the next streamed "
+                            f"envelope from {self.address}"
+                        ) from exc
+                    if not chunk:
+                        closed = True
+                    buffer += chunk
+                    continue
+                raw, buffer = buffer[:newline], buffer[newline + 1 :]
+                if not raw.strip():
+                    continue
+                try:
+                    report = load_report(json.loads(raw.decode("utf-8")))
+                except (UnicodeDecodeError, ValueError) as exc:
+                    raise ServiceError(
+                        f"unparseable streamed response: {exc}"
+                    ) from exc
+                if report.schema_name == SERVICE_ERROR_SCHEMA_NAME:
+                    raise ServiceError(
+                        str(report.payload.get("error", "unknown error")),
+                        code=report.payload.get("code"),
+                    )
+                yield report
+                if report.schema_name == JOB_RESULT_SCHEMA_NAME:
+                    return
+        finally:
+            sock.close()
 
     # -- operations --------------------------------------------------------
 
     def ping(self) -> bool:
         return bool(self.call("ping").payload.get("ok"))
 
-    def submit(self, request: SynthesisRequest) -> tuple[JobStatus, bool]:
+    def submit(
+        self, request: SynthesisRequest, client: str = "anonymous"
+    ) -> tuple[JobStatus, bool]:
         """Submit without waiting; returns ``(status, deduped)``."""
-        report = self.call("submit", request=request.to_payload())
+        report = self.call(
+            "submit", request=request.to_payload(), client=client
+        )
         return (
             JobStatus.from_payload(report.payload),
             bool(report.payload.get("deduped")),
@@ -166,15 +243,47 @@ class Client:
         model: str,
         options: SynthesisOptions,
         timeout: float | None = None,
+        on_progress: Callable[[dict], None] | None = None,
+        client: str = "anonymous",
     ) -> SynthesisResult:
         """Submit, wait, and return the reconstructed result — the
         remote twin of :func:`repro.synthesize` (same suites, byte for
-        byte)."""
+        byte).
+
+        With ``on_progress`` the exchange switches to the streaming
+        protocol: the callback receives each of the job's progress
+        event dicts (``{"phase": "start", ...}`` and friends) live as
+        the daemon emits them, and the final result is identical to the
+        blocking exchange's.
+        """
         request = SynthesisRequest(model=model, options=options)
-        report = self.call(
-            "submit", request=request.to_payload(), wait=True, timeout=timeout
-        )
-        job = JobResult.from_payload(report.payload)
+        if on_progress is None:
+            report = self.call(
+                "submit",
+                request=request.to_payload(),
+                wait=True,
+                timeout=timeout,
+                client=client,
+            )
+            job = JobResult.from_payload(report.payload)
+        else:
+            job = None
+            for report in self.stream(
+                "submit",
+                request=request.to_payload(),
+                stream=True,
+                timeout=timeout,
+                client=client,
+            ):
+                if report.schema_name == JOB_PROGRESS_SCHEMA_NAME:
+                    on_progress(JobProgress.from_payload(report.payload).event)
+                elif report.schema_name == JOB_RESULT_SCHEMA_NAME:
+                    job = JobResult.from_payload(report.payload)
+            if job is None:
+                raise ServiceError(
+                    f"the service at {self.address} ended the stream "
+                    "without a job-result"
+                )
         if job.result is None:
             raise ServiceError(
                 f"job {job.job_id} finished {job.state}: "

@@ -38,11 +38,12 @@ from repro.core.synthesis import SynthesisResult
 from repro.obs import Tracer, merge_metrics
 from repro.obs.report import TOOL_NAME
 from repro.obs.trace import TRACE_SCHEMA_NAME, TRACE_SCHEMA_VERSION
-from repro.service.pool import ResidentWorker
+from repro.service.pool import ProcessResidentWorker, ResidentWorker
 from repro.service.protocol import (
     JobResult,
     JobState,
     JobStatus,
+    QuotaExceededError,
     SynthesisRequest,
 )
 
@@ -59,6 +60,8 @@ class Job:
     fingerprint: str
     state: JobState = JobState.QUEUED
     clients: int = 1
+    client: str = "anonymous"
+    events: list[dict] = field(default_factory=list)
     submitted: float = field(default_factory=time.perf_counter)
     started: float | None = None
     finished: float | None = None
@@ -85,16 +88,29 @@ class JobManager:
     """Thread pool + queue + dedup index; the daemon minus the sockets.
 
     Args:
-        workers: resident worker thread count.
+        workers: resident worker count (threads or processes, per
+            ``pool``).
         recycle_after: per-worker job count before its warm checkers are
-            dropped (0 = keep forever).
+            dropped (0 = keep forever).  Thread workers drop their
+            checker dict; process workers restart their child process.
         cnf_cache_dir: base directory for the workers' per-model CNF
             compilation caches (see
             :meth:`repro.service.pool.ResidentWorker.effective_request`).
         trace_dir: optional :mod:`repro.obs` trace directory.
+        pool: ``"thread"`` (workers share this interpreter — CPU-bound
+            jobs serialize on the GIL) or ``"process"`` (each worker is
+            a :class:`~repro.service.pool.ProcessResidentWorker` hosting
+            its warm state in a dedicated child process — concurrent
+            jobs run truly in parallel).  Suites are byte-identical
+            either way.
+        max_queued_per_client: reject a submission with
+            :class:`~repro.service.protocol.QuotaExceededError` when the
+            submitting client already has this many jobs *queued*
+            (0 = unlimited).  Dedup-coalesced submissions never count —
+            they add no queue entry.
         worker_factory: test hook — a callable ``(index) -> worker``
-            returning anything with ``run(request)`` and ``as_metrics()``;
-            defaults to :class:`ResidentWorker`.
+            returning anything with ``run(request, progress=...)`` and
+            ``as_metrics()``; overrides ``pool``.
     """
 
     def __init__(
@@ -103,11 +119,27 @@ class JobManager:
         recycle_after: int = 0,
         cnf_cache_dir: str | None = None,
         trace_dir: str | None = None,
+        pool: str = "thread",
+        max_queued_per_client: int = 0,
         worker_factory: Callable[[int], Any] | None = None,
     ):
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
+        if pool not in ("thread", "process"):
+            raise ValueError(
+                f"unknown pool kind {pool!r}; choose 'thread' or 'process'"
+            )
+        if max_queued_per_client < 0:
+            raise ValueError(
+                "max_queued_per_client must be >= 0, got "
+                f"{max_queued_per_client}"
+            )
+        self.pool = pool
+        self.max_queued_per_client = max_queued_per_client
         self._lock = threading.Lock()
+        #: shares the manager lock; notified on every appended progress
+        #: event and every terminal state transition
+        self._events = threading.Condition(self._lock)
         self._queue: queue.Queue[Job | None] = queue.Queue()
         self._jobs: dict[str, Job] = {}
         self._active: dict[str, Job] = {}  # fingerprint -> queued/running job
@@ -115,9 +147,13 @@ class JobManager:
         self.dedup_hits = 0
         self.jobs_submitted = 0
         self.jobs_finished = 0
+        self.quota_rejections = 0
         self._closed = False
         if worker_factory is None:
-            worker_factory = lambda index: ResidentWorker(  # noqa: E731
+            worker_cls = (
+                ResidentWorker if pool == "thread" else ProcessResidentWorker
+            )
+            worker_factory = lambda index: worker_cls(  # noqa: E731
                 index,
                 recycle_after=recycle_after,
                 cnf_cache_base=cnf_cache_dir,
@@ -160,11 +196,18 @@ class JobManager:
 
     # -- client-facing operations ------------------------------------------
 
-    def submit(self, request: SynthesisRequest) -> tuple[Job, bool]:
+    def submit(
+        self, request: SynthesisRequest, client: str = "anonymous"
+    ) -> tuple[Job, bool]:
         """Enqueue a request; returns ``(job, deduped)``.
 
         ``deduped`` is True when the submission coalesced onto an
         already-active identical job instead of creating a new one.
+        ``client`` is the submitter's self-declared identity the
+        per-client queue quota counts against; a submission that would
+        create a new job while the client already has
+        ``max_queued_per_client`` jobs queued raises
+        :class:`~repro.service.protocol.QuotaExceededError`.
         """
         fingerprint = request.fingerprint()
         with self._lock:
@@ -175,12 +218,27 @@ class JobManager:
                 active.clients += 1
                 self.dedup_hits += 1
                 return active, True
+            if self.max_queued_per_client > 0:
+                queued = sum(
+                    1
+                    for other in self._jobs.values()
+                    if other.state is JobState.QUEUED
+                    and other.client == client
+                )
+                if queued >= self.max_queued_per_client:
+                    self.quota_rejections += 1
+                    raise QuotaExceededError(
+                        f"client {client!r} already has {queued} jobs "
+                        f"queued (limit {self.max_queued_per_client}); "
+                        "wait for one to start or finish"
+                    )
             seq = next(self._seq)
             job = Job(
                 job_id=f"job-{seq:04d}",
                 seq=seq,
                 request=request,
                 fingerprint=fingerprint,
+                client=client,
             )
             self._jobs[job.job_id] = job
             self._active[fingerprint] = job
@@ -222,6 +280,36 @@ class JobManager:
                 result=job.result,
             )
 
+    def wait_events(
+        self, job_id: str, start: int = 0, timeout: float | None = None
+    ) -> tuple[list[dict], bool] | None:
+        """Block until job ``job_id`` has progress events past ``start``
+        (or reaches a terminal state); return ``(new_events, terminal)``.
+
+        The streaming server polls this in a loop, advancing ``start``
+        by however many events each call returned; ``([], True)`` means
+        the stream is over.  Returns ``None`` for unknown ids and raises
+        :class:`TimeoutError` when ``timeout`` expires first.
+        """
+        deadline = (
+            None if timeout is None else time.monotonic() + timeout
+        )
+        with self._events:
+            job = self._jobs.get(job_id)
+            if job is None:
+                return None
+            while True:
+                if len(job.events) > start or job.state.terminal:
+                    return list(job.events[start:]), job.state.terminal
+                remaining = (
+                    None if deadline is None else deadline - time.monotonic()
+                )
+                if remaining is not None and remaining <= 0:
+                    raise TimeoutError(
+                        f"job {job_id} produced no new events in time"
+                    )
+                self._events.wait(remaining)
+
     def cancel(self, job_id: str) -> JobStatus | None:
         """Cancel a *queued* job; running and finished jobs are left
         alone (the synthesis loop has no safe preemption point)."""
@@ -235,6 +323,7 @@ class JobManager:
                 job.finished = time.perf_counter()
                 self._active.pop(job.fingerprint, None)
                 job.done.set()
+                self._events.notify_all()
             return self._status_locked(job)
 
     def metrics(self) -> dict[str, int | float]:
@@ -252,6 +341,7 @@ class JobManager:
                 "jobs_queued": queued,
                 "jobs_running": running,
                 "dedup_hits": self.dedup_hits,
+                "quota_rejections": self.quota_rejections,
             }
             worker_totals = merge_metrics(
                 *(worker.as_metrics() for worker in self.workers)
@@ -268,6 +358,10 @@ class JobManager:
             self._queue.put(None)
         for thread in self._threads:
             thread.join(timeout)
+        for worker in self.workers:
+            close_worker = getattr(worker, "close", None)
+            if close_worker is not None:
+                close_worker()
         with self._lock:
             if self._tracer is not None:
                 self._tracer.close()
@@ -301,6 +395,7 @@ class JobManager:
             run_seconds=job.run_seconds,
             worker=job.worker,
             error=job.error,
+            progress_events=len(job.events),
             metrics=dict(job.metrics),
         )
 
@@ -315,8 +410,14 @@ class JobManager:
                 job.state = JobState.RUNNING
                 job.started = time.perf_counter()
                 job.worker = worker.index
+
+            def emit(event: dict, job: Job = job) -> None:
+                with self._events:
+                    job.events.append(dict(event))
+                    self._events.notify_all()
+
             try:
-                result, metrics = worker.run(job.request)
+                result, metrics = worker.run(job.request, progress=emit)
                 error = None
             except Exception as exc:  # noqa: BLE001 - job isolation boundary
                 result, metrics, error = None, {}, f"{type(exc).__name__}: {exc}"
@@ -333,6 +434,7 @@ class JobManager:
                 self.jobs_finished += 1
                 self._trace_job_locked(job)
                 job.done.set()
+                self._events.notify_all()
 
     def _trace_job_locked(self, job: Job) -> None:
         """Emit one complete begin/span pair (plus counters) per job.
@@ -354,6 +456,7 @@ class JobManager:
             "state": job.state.value,
             "clients": job.clients,
             "worker": job.worker,
+            "progress_events": len(job.events),
             "queue_seconds": round(job.queue_seconds or 0.0, 6),
         }
         tracer.event(

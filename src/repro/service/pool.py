@@ -25,11 +25,25 @@ Two deliberate behaviors:
 Recycling (``recycle_after=N``) drops every warm checker after N jobs —
 bounding memory growth of the session LRU and analysis memos, and, for
 tests, forcing the next job through the disk CNF cache.
+
+Two worker species share one interface (``run(request, progress=...)``
+/ ``recycle()`` / ``as_metrics()``):
+
+* :class:`ResidentWorker` — in-process, checker warm in this
+  interpreter.  CPU-bound jobs on sibling workers serialize on the GIL.
+* :class:`ProcessResidentWorker` — the same worker hosted in one
+  dedicated child process via :class:`repro.exec.fanout.ResidentProcess`.
+  Sibling workers run truly in parallel; warm checkers live in the
+  child, the disk CNF cache is shared, and recycling restarts the child
+  (so recycled memory is *really* returned).  Progress events stream
+  back over the pipe while the job runs.
 """
 
 from __future__ import annotations
 
 import threading
+from collections.abc import Callable
+from dataclasses import replace
 from typing import Any
 
 from repro.core.minimality import CriterionMode, MinimalityChecker
@@ -40,11 +54,22 @@ from repro.core.synthesis import (
     run_sequential,
     synthesize,
 )
+from repro.exec.fanout import ResidentProcess, ResidentTask
 from repro.models.registry import get_model
 from repro.obs import derive_rates
-from repro.service.protocol import SynthesisRequest, with_cnf_cache_dir
+from repro.service.protocol import (
+    SynthesisRequest,
+    result_from_payload,
+    result_to_payload,
+    with_cnf_cache_dir,
+)
 
-__all__ = ["ResidentWorker", "checker_key", "needs_sharded_runtime"]
+__all__ = [
+    "ProcessResidentWorker",
+    "ResidentWorker",
+    "checker_key",
+    "needs_sharded_runtime",
+]
 
 
 def checker_key(model: str, opts: SynthesisOptions) -> tuple:
@@ -54,14 +79,7 @@ def checker_key(model: str, opts: SynthesisOptions) -> tuple:
     two requests mapping to the same key are safe to answer with the
     same resident checker, whatever their bound/axioms/config."""
     mode = opts.mode if isinstance(opts.mode, CriterionMode) else CriterionMode(opts.mode)
-    return (
-        model,
-        mode.value,
-        opts.oracle,
-        opts.incremental,
-        opts.cnf_cache_dir,
-        opts.prefilter,
-    )
+    return (model, mode.value, opts.oracle_spec)
 
 
 def needs_sharded_runtime(opts: SynthesisOptions) -> bool:
@@ -115,12 +133,12 @@ class ResidentWorker:
         Fills in the pool's per-model CNF cache directory for
         relational-incremental requests that left ``cnf_cache_dir``
         unset; everything else passes through untouched."""
-        opts = request.options
+        spec = request.options.oracle_spec
         if (
             self.cnf_cache_base is not None
-            and opts.oracle == "relational"
-            and opts.incremental
-            and opts.cnf_cache_dir is None
+            and spec.oracle == "relational"
+            and spec.incremental
+            and spec.cnf_cache_dir is None
         ):
             import os
 
@@ -138,14 +156,7 @@ class ResidentWorker:
         self.warm_misses += 1
         opts = request.options
         mode = opts.mode if isinstance(opts.mode, CriterionMode) else CriterionMode(opts.mode)
-        checker = build_checker(
-            get_model(request.model),
-            mode,
-            oracle=opts.oracle,
-            incremental=opts.incremental,
-            cnf_cache_dir=opts.cnf_cache_dir,
-            prefilter=opts.prefilter,
-        )
+        checker = build_checker(get_model(request.model), mode, opts.oracle_spec)
         self._checkers[key] = checker
         return checker
 
@@ -160,9 +171,17 @@ class ResidentWorker:
     # -- job execution -----------------------------------------------------
 
     def run(
-        self, request: SynthesisRequest
+        self,
+        request: SynthesisRequest,
+        progress: Callable[[dict], None] | None = None,
     ) -> tuple[SynthesisResult, dict[str, float]]:
         """Run one job; return the result plus this job's metric delta.
+
+        ``progress`` receives the job's structured progress events: one
+        ``{"phase": "start", ...}`` up front, then whatever the
+        synthesis loop emits through ``progress_events`` (periodic
+        ``enumerate`` events and a terminal ``finish`` sequentially,
+        per-shard ``shard`` events under the sharded runtime).
 
         Sharded-runtime options (``jobs > 1``, shards, checkpointing,
         tracing) dispatch through plain :func:`synthesize` — the
@@ -173,6 +192,15 @@ class ResidentWorker:
         """
         request = self.effective_request(request)
         opts = request.options
+        if progress is not None:
+            progress(
+                {
+                    "phase": "start",
+                    "model": request.model,
+                    "bound": opts.bound,
+                }
+            )
+            opts = replace(opts, progress_events=progress)
         if needs_sharded_runtime(opts):
             result = synthesize(get_model(request.model), opts)
             metrics = dict(result.oracle_stats)
@@ -211,4 +239,124 @@ class ResidentWorker:
             "worker_recycles": self.recycles,
             "worker_warm_hits": self.warm_hits,
             "worker_warm_misses": self.warm_misses,
+        }
+
+
+# -- the process-backed worker ------------------------------------------------
+#
+# The child process hosts a plain ResidentWorker (recycle_after=0 — the
+# *parent* recycles by restarting the whole child, which is the stronger
+# guarantee).  Both bridge functions are module-level so the ResidentTask
+# pickles by reference under fork and spawn alike.
+
+
+def _process_setup(payload: dict) -> ResidentWorker:
+    return ResidentWorker(
+        index=payload["index"],
+        recycle_after=0,
+        cnf_cache_base=payload["cnf_cache_base"],
+    )
+
+
+def _process_work(
+    worker: ResidentWorker, job: dict, emit: Callable[[dict], None]
+) -> tuple[dict, dict, dict]:
+    request = SynthesisRequest.from_payload(job)
+    result, metrics = worker.run(request, progress=emit)
+    return result_to_payload(result), metrics, worker.as_metrics()
+
+
+class ProcessResidentWorker:
+    """A :class:`ResidentWorker` hosted in its own child process.
+
+    Same interface and same per-model CNF cache policy (the child runs
+    the exact same ``ResidentWorker`` code), but CPU-bound jobs on
+    sibling workers no longer share a GIL.  Results cross the pipe in
+    the wire form (:func:`repro.service.protocol.result_to_payload`),
+    whose reconstruction is byte-identical by construction — the same
+    marshalling every remote client already gets.
+
+    ``recycle()`` restarts the child process; the on-disk CNF cache
+    survives, everything in child memory is rebuilt.  A child killed
+    mid-job raises :class:`repro.exec.fanout.WorkerDied` for that job;
+    the next job spawns a fresh child.
+    """
+
+    def __init__(
+        self,
+        index: int = 0,
+        recycle_after: int = 0,
+        cnf_cache_base: str | None = None,
+    ):
+        self.index = index
+        self.recycle_after = recycle_after
+        self.cnf_cache_base = cnf_cache_base
+        self.jobs_done = 0
+        self.recycles = 0
+        self._warm_hits = 0
+        self._warm_misses = 0
+        #: the child's counter snapshot at the end of its previous job —
+        #: resets with the child, so parent-side totals survive restarts
+        self._last_child: dict[str, int | float] = {}
+        self._lock = threading.Lock()
+        self._proc = ResidentProcess(
+            ResidentTask(
+                setup=_process_setup,
+                work=_process_work,
+                payload={"index": index, "cnf_cache_base": cnf_cache_base},
+            )
+        )
+
+    @property
+    def pid(self) -> int | None:
+        """The live child's PID (None before the first job)."""
+        return self._proc.pid
+
+    def recycle(self) -> None:
+        """Restart the child process (next job respawns it warm-free)."""
+        with self._lock:
+            self._proc.restart()
+            self._last_child = {}
+            self.recycles += 1
+
+    def run(
+        self,
+        request: SynthesisRequest,
+        progress: Callable[[dict], None] | None = None,
+    ) -> tuple[SynthesisResult, dict[str, float]]:
+        try:
+            payload, metrics, child_counters = self._proc.run(
+                request.to_payload(), on_event=progress
+            )
+        except Exception:
+            with self._lock:
+                self._last_child = {}  # whatever died took its counters
+            raise
+        with self._lock:
+            self._warm_hits += child_counters.get(
+                "worker_warm_hits", 0
+            ) - self._last_child.get("worker_warm_hits", 0)
+            self._warm_misses += child_counters.get(
+                "worker_warm_misses", 0
+            ) - self._last_child.get("worker_warm_misses", 0)
+            self._last_child = dict(child_counters)
+            self.jobs_done += 1
+            due = (
+                self.recycle_after > 0
+                and self.jobs_done % self.recycle_after == 0
+            )
+        if due:
+            self.recycle()
+        return result_from_payload(payload), dict(metrics)
+
+    def close(self) -> None:
+        """Shut the child down for good (daemon shutdown path)."""
+        self._proc.close()
+
+    def as_metrics(self) -> dict[str, int | float]:
+        return {
+            "worker_jobs": self.jobs_done,
+            "worker_recycles": self.recycles,
+            "worker_warm_hits": self._warm_hits,
+            "worker_warm_misses": self._warm_misses,
         }

@@ -15,6 +15,13 @@ of three payload schemas:
 ``job-status`` (v1)
     a :class:`JobStatus`: queue/run state, timings, dedup client count,
     and the per-job oracle metric delta.
+``job-progress`` (v1)
+    a :class:`JobProgress`: one streamed progress event — the structured
+    dict a worker's ``progress_events`` callback emitted (enumeration /
+    shard / oracle counters, always carrying a ``"phase"`` key) plus its
+    per-job sequence number.  Only sent on streaming submissions
+    (``"stream": true``), between the initial ``job-status`` and the
+    terminal ``job-result``.
 ``job-result`` (v1)
     a :class:`JobResult`: terminal state plus the full
     :class:`~repro.core.synthesis.SynthesisResult` — suites serialized
@@ -40,6 +47,7 @@ from repro.core.minimality import CriterionMode
 from repro.core.suite import TestSuite, entry_from_dict, entry_to_dict
 from repro.core.synthesis import (
     EARLY_REJECT,
+    OracleSpec,
     SynthesisOptions,
     SynthesisResult,
 )
@@ -50,6 +58,8 @@ __all__ = [
     "REQUEST_SCHEMA_VERSION",
     "JOB_STATUS_SCHEMA_NAME",
     "JOB_STATUS_SCHEMA_VERSION",
+    "JOB_PROGRESS_SCHEMA_NAME",
+    "JOB_PROGRESS_SCHEMA_VERSION",
     "JOB_RESULT_SCHEMA_NAME",
     "JOB_RESULT_SCHEMA_VERSION",
     "JOB_LIST_SCHEMA_NAME",
@@ -59,8 +69,10 @@ __all__ = [
     "WIRE_SCHEMA_NAME",
     "WIRE_SCHEMA_VERSION",
     "JobState",
+    "QuotaExceededError",
     "SynthesisRequest",
     "JobStatus",
+    "JobProgress",
     "JobResult",
     "envelope",
     "error_envelope",
@@ -72,6 +84,8 @@ REQUEST_SCHEMA_NAME = "synthesis-request"
 REQUEST_SCHEMA_VERSION = 1
 JOB_STATUS_SCHEMA_NAME = "job-status"
 JOB_STATUS_SCHEMA_VERSION = 1
+JOB_PROGRESS_SCHEMA_NAME = "job-progress"
+JOB_PROGRESS_SCHEMA_VERSION = 1
 JOB_RESULT_SCHEMA_NAME = "job-result"
 JOB_RESULT_SCHEMA_VERSION = 1
 JOB_LIST_SCHEMA_NAME = "job-list"
@@ -83,7 +97,20 @@ WIRE_SCHEMA_NAME = "service-request"
 WIRE_SCHEMA_VERSION = 1
 
 #: SynthesisOptions fields that never serialize (process-local values)
-_LOCAL_ONLY = ("candidates", "progress")
+_LOCAL_ONLY = ("candidates", "progress", "progress_events")
+
+
+class QuotaExceededError(RuntimeError):
+    """A submission was rejected by the per-client queue quota.
+
+    Raised daemon-side by :meth:`repro.service.jobs.JobManager.submit`
+    when the submitting client already has ``--max-queued-per-client``
+    jobs queued; crosses the wire as a ``service-error`` envelope whose
+    ``code`` is :attr:`code`, which the client surfaces as a
+    :class:`repro.service.client.ServiceError` with that same code.
+    """
+
+    code = "quota-exceeded"
 
 
 class JobState(str, enum.Enum):
@@ -115,11 +142,19 @@ def envelope(
     )
 
 
-def error_envelope(message: str, command: str = "service") -> Report:
-    """The one failure shape the daemon answers with."""
-    return envelope(
-        SERVICE_ERROR_SCHEMA_NAME, 1, {"error": message}, command=command
-    )
+def error_envelope(
+    message: str, command: str = "service", code: str | None = None
+) -> Report:
+    """The one failure shape the daemon answers with.
+
+    ``code`` carries a machine-readable error class (today only
+    ``"quota-exceeded"``) so clients can react without string-matching
+    the message.
+    """
+    payload: dict[str, Any] = {"error": message}
+    if code is not None:
+        payload["code"] = code
+    return envelope(SERVICE_ERROR_SCHEMA_NAME, 1, payload, command=command)
 
 
 @dataclass(frozen=True)
@@ -171,10 +206,7 @@ class SynthesisRequest:
                 "jobs": opts.jobs,
                 "checkpoint_dir": opts.checkpoint_dir,
                 "shards": opts.shards,
-                "oracle": opts.oracle,
-                "incremental": opts.incremental,
-                "cnf_cache_dir": opts.cnf_cache_dir,
-                "prefilter": opts.prefilter,
+                "oracle_spec": opts.oracle_spec.to_payload(),
                 "trace_dir": opts.trace_dir,
             },
         }
@@ -198,22 +230,38 @@ class SynthesisRequest:
             "jobs",
             "checkpoint_dir",
             "shards",
-            "oracle",
-            "incremental",
-            "cnf_cache_dir",
-            "prefilter",
+            "oracle_spec",
             "trace_dir",
         }
+        # pre-1.2 clients sent the oracle knobs as loose option keys;
+        # fold them into the nested oracle_spec object (mixing both
+        # shapes in one payload is an error, not a merge)
+        loose = {
+            name: raw.pop(name)
+            for name in ("oracle", "incremental", "cnf_cache_dir", "prefilter")
+            if name in raw
+        }
+        spec_payload = raw.pop("oracle_spec", None)
+        if loose and spec_payload is not None:
+            raise ValueError(
+                "synthesis request mixes the nested oracle_spec object "
+                f"with loose oracle fields {sorted(loose)}"
+            )
         unknown = set(raw) - known
         if unknown:
             raise ValueError(
                 f"unknown synthesis option fields {sorted(unknown)}"
             )
+        if spec_payload is not None:
+            spec = OracleSpec.from_payload(dict(spec_payload))
+        else:
+            spec = OracleSpec(**loose)
         axioms = raw.pop("axioms", None)
         options = SynthesisOptions(
             mode=CriterionMode(mode),
             config=EnumerationConfig(**config) if config is not None else None,
             axioms=tuple(axioms) if axioms is not None else None,
+            oracle_spec=spec,
             **raw,
         )
         return cls(model=model, options=options)
@@ -254,6 +302,7 @@ class JobStatus:
     run_seconds: float | None = None
     worker: int | None = None
     error: str | None = None
+    progress_events: int = 0
     metrics: dict[str, float] = field(default_factory=dict)
 
     def to_payload(self) -> dict[str, Any]:
@@ -269,6 +318,7 @@ class JobStatus:
             "run_seconds": self.run_seconds,
             "worker": self.worker,
             "error": self.error,
+            "progress_events": self.progress_events,
             "metrics": dict(self.metrics),
         }
 
@@ -286,6 +336,7 @@ class JobStatus:
             run_seconds=payload.get("run_seconds"),
             worker=payload.get("worker"),
             error=payload.get("error"),
+            progress_events=int(payload.get("progress_events", 0)),
             metrics=dict(payload.get("metrics", {})),
         )
 
@@ -307,6 +358,40 @@ class JobStatus:
         if self.error:
             bits.append(f"error={self.error}")
         return "  ".join(bits)
+
+
+@dataclass(frozen=True)
+class JobProgress:
+    """One streamed progress event of one running job.
+
+    ``event`` is the structured dict the worker's ``progress_events``
+    callback emitted — always carrying a ``"phase"`` key (``start`` /
+    ``enumerate`` / ``shard`` / ``finish``) plus phase-specific
+    counters.  ``seq`` is the 0-based position in the job's event
+    stream, so a client resuming a dropped stream can dedup.
+    """
+
+    job_id: str
+    seq: int
+    event: dict[str, Any]
+
+    def to_payload(self) -> dict[str, Any]:
+        return {"job_id": self.job_id, "seq": self.seq, "event": dict(self.event)}
+
+    @classmethod
+    def from_payload(cls, payload: Mapping[str, Any]) -> JobProgress:
+        return cls(
+            job_id=str(payload["job_id"]),
+            seq=int(payload["seq"]),
+            event=dict(payload.get("event", {})),
+        )
+
+    def to_report(self) -> Report:
+        return envelope(
+            JOB_PROGRESS_SCHEMA_NAME,
+            JOB_PROGRESS_SCHEMA_VERSION,
+            self.to_payload(),
+        )
 
 
 # -- result marshalling ------------------------------------------------------------
@@ -426,9 +511,13 @@ def with_cnf_cache_dir(
 ) -> SynthesisRequest:
     """A copy of ``request`` with the daemon's default CNF cache
     directory filled in (only when the request left it unset)."""
-    if request.options.cnf_cache_dir is not None:
+    spec = request.options.oracle_spec
+    if spec.cnf_cache_dir is not None:
         return request
     return SynthesisRequest(
         model=request.model,
-        options=replace(request.options, cnf_cache_dir=directory),
+        options=replace(
+            request.options,
+            oracle_spec=replace(spec, cnf_cache_dir=directory),
+        ),
     )

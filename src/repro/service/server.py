@@ -20,7 +20,8 @@ Operations (request payload → response schema):
 op         extra payload fields                   response schema
 =========  =====================================  ====================
 submit     ``request`` (synthesis-request          job-status
-           payload), optional ``wait`` (bool)      (job-result if wait)
+           payload), optional ``wait`` (bool),     (job-result if wait)
+           ``stream`` (bool), ``client`` (str)
 status     ``job_id``                              job-status
 result     ``job_id``, optional ``timeout``        job-result
 cancel     ``job_id``                              job-status
@@ -29,13 +30,21 @@ metrics    —                                       service-metrics
 ping       —                                       service-info
 shutdown   —                                       service-info
 =========  =====================================  ====================
+
+A submit with ``"stream": true`` is the one multi-envelope exchange:
+the response is a *sequence* of lines on the same connection — one
+``job-status`` (with ``deduped``), zero or more ``job-progress`` events
+as the job runs, and a terminal ``job-result`` — so a client renders
+live progress without polling.  ``client`` names the submitter for the
+per-client queue quota; an over-quota submission answers with a
+``service-error`` envelope whose ``code`` is ``"quota-exceeded"``.
 """
 
 from __future__ import annotations
 
 import asyncio
 import json
-from typing import Any, Callable
+from typing import Any, AsyncIterator, Callable
 
 from repro.obs import Report, load_report
 from repro.service.jobs import JobManager
@@ -44,6 +53,8 @@ from repro.service.protocol import (
     SERVICE_INFO_SCHEMA_NAME,
     SERVICE_METRICS_SCHEMA_NAME,
     WIRE_SCHEMA_NAME,
+    JobProgress,
+    QuotaExceededError,
     SynthesisRequest,
     envelope,
     error_envelope,
@@ -61,7 +72,9 @@ async def _op_submit(manager: JobManager, payload: dict[str, Any]) -> Report:
     if not isinstance(raw, dict):
         return error_envelope("submit needs a 'request' payload")
     request = SynthesisRequest.from_payload(raw)
-    job, deduped = manager.submit(request)
+    job, deduped = manager.submit(
+        request, client=str(payload.get("client", "anonymous"))
+    )
     if payload.get("wait"):
         result = await asyncio.to_thread(
             manager.result, job.job_id, payload.get("timeout")
@@ -73,6 +86,54 @@ async def _op_submit(manager: JobManager, payload: dict[str, Any]) -> Report:
     report = status.to_report()
     report.payload["deduped"] = deduped
     return report
+
+
+async def _op_submit_stream(
+    manager: JobManager, payload: dict[str, Any]
+) -> AsyncIterator[Report]:
+    """The streaming submit exchange: status, progress events, result."""
+    raw = payload.get("request")
+    if not isinstance(raw, dict):
+        yield error_envelope("submit needs a 'request' payload")
+        return
+    try:
+        request = SynthesisRequest.from_payload(raw)
+        job, deduped = manager.submit(
+            request, client=str(payload.get("client", "anonymous"))
+        )
+    except QuotaExceededError as exc:
+        yield error_envelope(str(exc), code=exc.code)
+        return
+    except (ValueError, TypeError, RuntimeError) as exc:
+        yield error_envelope(str(exc))
+        return
+    status = manager.status(job.job_id)
+    assert status is not None
+    head = status.to_report()
+    head.payload["deduped"] = deduped
+    yield head
+    start = 0
+    timeout = payload.get("timeout")
+    while True:
+        try:
+            waited = await asyncio.to_thread(
+                manager.wait_events, job.job_id, start, timeout
+            )
+        except TimeoutError as exc:
+            yield error_envelope(str(exc))
+            return
+        assert waited is not None  # the id came from this submit
+        events, terminal = waited
+        for event in events:
+            yield JobProgress(
+                job_id=job.job_id, seq=start, event=event
+            ).to_report()
+            start += 1
+        if terminal and not events:
+            break
+    result = await asyncio.to_thread(manager.result, job.job_id)
+    assert result is not None
+    yield result.to_report()
 
 
 async def _op_status(manager: JobManager, payload: dict[str, Any]) -> Report:
@@ -163,8 +224,29 @@ async def handle_request(
         return await handler(manager, payload)
     except (ValueError, TypeError) as exc:
         return error_envelope(str(exc))
+    except QuotaExceededError as exc:
+        return error_envelope(str(exc), code=exc.code)
     except RuntimeError as exc:  # manager closed mid-shutdown
         return error_envelope(str(exc))
+
+
+def _stream_payload(line: bytes) -> dict[str, Any] | None:
+    """The payload of a well-formed streaming-submit line, else None.
+
+    Anything that is not exactly a streaming submit (bad JSON, wrong
+    schema, other ops) falls through to :func:`handle_request`, which
+    owns all the error reporting.
+    """
+    try:
+        report = load_report(json.loads(line.decode("utf-8")))
+    except (UnicodeDecodeError, ValueError):
+        return None
+    if report.schema_name != WIRE_SCHEMA_NAME:
+        return None
+    payload = report.payload
+    if payload.get("op") == "submit" and payload.get("stream"):
+        return payload
+    return None
 
 
 async def serve_async(
@@ -209,6 +291,17 @@ async def serve_async(
                     break
                 if not line.strip():
                     break  # EOF or blank line = polite hangup
+                streaming = _stream_payload(line)
+                if streaming is not None:
+                    async for response in _op_submit_stream(manager, streaming):
+                        writer.write(
+                            json.dumps(
+                                response.to_json_dict(), sort_keys=True
+                            ).encode("utf-8")
+                            + b"\n"
+                        )
+                        await writer.drain()
+                    continue
                 response = await handle_request(manager, line, stop)
                 writer.write(
                     json.dumps(

@@ -44,7 +44,7 @@ from repro.analysis.registry import LitmusLintContext, run_family
 from repro.analysis.selfcheck import id_registry_problems
 from repro.core.enumerator import EnumerationConfig, enumerate_tests
 from repro.core.oracle import ExplicitOracle
-from repro.core.synthesis import SynthesisOptions, synthesize
+from repro.core.synthesis import OracleSpec, SynthesisOptions, synthesize
 from repro.litmus.catalog import CATALOG
 from repro.litmus.events import read, write
 from repro.litmus.test import LitmusTest
@@ -320,7 +320,9 @@ def _synth(model_name, bound, config, oracle, prefilter=False):
     return synthesize(
         get_model(model_name),
         SynthesisOptions(
-            bound=bound, config=config, oracle=oracle, prefilter=prefilter
+            bound=bound,
+            config=config,
+            oracle_spec=OracleSpec(oracle=oracle, prefilter=prefilter),
         ),
     )
 
@@ -473,7 +475,7 @@ class TestEmptyFrSkip:
                 seed=0,
                 budget=30,
                 mutants=("empty:fr",),
-                prefilter=True,
+                oracle_spec=OracleSpec(prefilter=True),
             )
         )
         assert report.mutant_skips > 0

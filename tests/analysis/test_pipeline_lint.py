@@ -80,9 +80,9 @@ class TestContextBuilders:
 
 class TestOracleOptionsLint:
     def _opts(self, **kw):
-        from repro.core.synthesis import SynthesisOptions
+        from repro.core.synthesis import OracleSpec, SynthesisOptions
 
-        return SynthesisOptions(bound=3, **kw)
+        return SynthesisOptions(bound=3, oracle_spec=OracleSpec(**kw))
 
     def test_effective_configs_are_clean(self):
         from repro.analysis import lint_oracle_options

@@ -19,18 +19,15 @@ def _config(bound: int = 3) -> EnumerationConfig:
 
 
 class TestSynthesisOptions:
-    def test_legacy_kwargs_warn_but_match(self):
-        tso = get_model("tso")
-        modern = synthesize(
-            tso, SynthesisOptions(bound=3, config=_config())
-        )
-        with pytest.deprecated_call():
-            legacy = synthesize(tso, bound=3, config=_config())
-        assert modern.union.to_json() == legacy.union.to_json()
-        assert modern.candidates == legacy.candidates
+    def test_loose_kwargs_form_raises(self):
+        # The pre-1.1 shim (synthesize(model, bound=3, ...)) finished its
+        # deprecation window; since 1.2 only the options-object and
+        # request forms exist.
+        with pytest.raises(TypeError, match="bound"):
+            synthesize(get_model("tso"), bound=3, config=_config())
 
     def test_options_plus_kwargs_is_an_error(self):
-        with pytest.raises(TypeError, match="alongside"):
+        with pytest.raises(TypeError, match="bound"):
             synthesize(
                 get_model("tso"),
                 SynthesisOptions(bound=3, config=_config()),
@@ -40,6 +37,10 @@ class TestSynthesisOptions:
     def test_unknown_kwarg_is_an_error(self):
         with pytest.raises(TypeError, match="max_bound"):
             synthesize(get_model("tso"), max_bound=3)
+
+    def test_missing_options_names_the_replacement(self):
+        with pytest.raises(TypeError, match="removed in 1.2"):
+            synthesize(get_model("tso"), None)
 
     def test_options_validation(self):
         with pytest.raises(ValueError):

@@ -13,7 +13,7 @@ import functools
 import pytest
 
 from repro.core.enumerator import EnumerationConfig
-from repro.core.synthesis import SynthesisOptions, synthesize
+from repro.core.synthesis import OracleSpec, SynthesisOptions, synthesize
 from repro.models.registry import get_model
 
 GRID = [
@@ -46,8 +46,7 @@ def _grid_point(model_name, bound, oracle, prefilter):
         SynthesisOptions(
             bound=bound,
             config=config,
-            oracle=oracle,
-            prefilter=prefilter,
+            oracle_spec=OracleSpec(oracle=oracle, prefilter=prefilter),
         ),
     )
     return result, _suites(result)

@@ -11,7 +11,12 @@ import pytest
 from repro.alloy import AlloyOracle, CNFCache, LitmusEncoding
 from repro.alloy.cache import cache_key, entry_from_dict, entry_to_dict
 from repro.core.enumerator import EnumerationConfig, enumerate_tests
-from repro.core.synthesis import SynthesisOptions, build_checker, synthesize
+from repro.core.synthesis import (
+    OracleSpec,
+    SynthesisOptions,
+    build_checker,
+    synthesize,
+)
 from repro.litmus.catalog import CATALOG
 from repro.models.registry import get_model
 from repro.relational.solve import ModelFinder, compile_snapshot
@@ -71,7 +76,9 @@ class TestIncrementalEquivalence:
             return synthesize(
                 model,
                 SynthesisOptions(
-                    bound=3, config=config, oracle="relational", **kw
+                    bound=3,
+                    config=config,
+                    oracle_spec=OracleSpec(oracle="relational", **kw),
                 ),
             )
 
@@ -233,7 +240,11 @@ class TestStatsSurface:
         )
         result = synthesize(
             model,
-            SynthesisOptions(bound=3, config=config, oracle="relational"),
+            SynthesisOptions(
+                bound=3,
+                config=config,
+                oracle_spec=OracleSpec(oracle="relational"),
+            ),
         )
         doc = result.to_json_dict()["payload"]["oracle"]
         for key in (
@@ -261,9 +272,9 @@ class TestStatsSurface:
             build_checker(
                 get_model("scc"),
                 CriterionMode.EXECUTION_WA,
-                oracle="relational",
+                OracleSpec(oracle="relational"),
             )
 
     def test_options_validation(self):
         with pytest.raises(ValueError):
-            SynthesisOptions(bound=3, oracle="quantum")
+            OracleSpec(oracle="quantum")

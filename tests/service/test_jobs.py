@@ -6,7 +6,7 @@ import time
 import pytest
 
 from repro.core.enumerator import EnumerationConfig
-from repro.core.synthesis import SynthesisOptions, synthesize
+from repro.core.synthesis import OracleSpec, SynthesisOptions, synthesize
 from repro.models.registry import get_model
 from repro.service.jobs import JobManager
 from repro.service.pool import ResidentWorker
@@ -15,6 +15,13 @@ from repro.service.protocol import JobState, SynthesisRequest
 
 def tiny_request(bound: int = 2, **knobs) -> SynthesisRequest:
     knobs.setdefault("config", EnumerationConfig(max_events=bound))
+    spec_knobs = {
+        key: knobs.pop(key)
+        for key in ("oracle", "incremental", "cnf_cache_dir", "prefilter")
+        if key in knobs
+    }
+    if spec_knobs:
+        knobs["oracle_spec"] = OracleSpec(**spec_knobs)
     return SynthesisRequest.build("tso", bound=bound, **knobs)
 
 
@@ -27,7 +34,7 @@ class BlockingWorker:
         self.release = threading.Event()
         self.started = threading.Event()
 
-    def run(self, request):
+    def run(self, request, progress=None):
         self.started.set()
         assert self.release.wait(30), "test never released the worker"
         result = synthesize(get_model(request.model), request.options)
@@ -75,7 +82,7 @@ class TestLifecycle:
             "tso",
             SynthesisOptions(
                 bound=2,
-                oracle="relational",
+                oracle_spec=OracleSpec(oracle="relational"),
                 mode=CriterionMode.EXECUTION_WA,
             ),
         )
@@ -265,12 +272,14 @@ class TestResidentWorker:
     def test_per_model_cache_dir_injected(self, tmp_path):
         worker = ResidentWorker(cnf_cache_base=str(tmp_path))
         effective = worker.effective_request(tiny_request(oracle="relational"))
-        assert effective.options.cnf_cache_dir == str(tmp_path / "tso")
+        assert effective.options.oracle_spec.cnf_cache_dir == str(
+            tmp_path / "tso"
+        )
 
     def test_explicit_oracle_gets_no_cache_dir(self, tmp_path):
         worker = ResidentWorker(cnf_cache_base=str(tmp_path))
         effective = worker.effective_request(tiny_request(oracle="explicit"))
-        assert effective.options.cnf_cache_dir is None
+        assert effective.options.oracle_spec.cnf_cache_dir is None
 
     def test_caller_supplied_cache_dir_wins(self, tmp_path):
         worker = ResidentWorker(cnf_cache_base=str(tmp_path))
@@ -278,7 +287,9 @@ class TestResidentWorker:
             oracle="relational", cnf_cache_dir=str(tmp_path / "mine")
         )
         effective = worker.effective_request(request)
-        assert effective.options.cnf_cache_dir == str(tmp_path / "mine")
+        assert effective.options.oracle_spec.cnf_cache_dir == str(
+            tmp_path / "mine"
+        )
 
 
 class TestTrace:

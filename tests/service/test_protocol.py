@@ -6,7 +6,12 @@ import pytest
 
 from repro.core.enumerator import EnumerationConfig
 from repro.core.minimality import CriterionMode
-from repro.core.synthesis import EARLY_REJECT, SynthesisOptions, synthesize
+from repro.core.synthesis import (
+    EARLY_REJECT,
+    OracleSpec,
+    SynthesisOptions,
+    synthesize,
+)
 from repro.models.registry import get_model
 from repro.obs import load_report
 from repro.service.protocol import (
@@ -29,8 +34,7 @@ class TestSynthesisRequest:
             axioms=["sc_per_loc"],
             mode=CriterionMode.EXACT,
             config=EnumerationConfig(max_events=3, max_addresses=1),
-            oracle="relational",
-            prefilter=True,
+            oracle_spec=OracleSpec(oracle="relational", prefilter=True),
             reject=EARLY_REJECT,
         )
         back = SynthesisRequest.from_payload(req.to_payload())
@@ -42,15 +46,20 @@ class TestSynthesisRequest:
         assert back.options.mode is req.options.mode
 
     def test_fingerprint_is_content_derived_and_stable(self):
-        a = _request(oracle="relational")
+        a = _request(oracle_spec=OracleSpec(oracle="relational"))
         b = SynthesisRequest(
-            "tso", SynthesisOptions(bound=3, oracle="relational")
+            "tso",
+            SynthesisOptions(
+                bound=3, oracle_spec=OracleSpec(oracle="relational")
+            ),
         )
         assert a.fingerprint() == b.fingerprint()
-        assert a.fingerprint() != _request(oracle="explicit").fingerprint()
+        assert a.fingerprint() != _request().fingerprint()
         assert (
             a.fingerprint()
-            != SynthesisRequest.build("sc", bound=3, oracle="relational").fingerprint()
+            != SynthesisRequest.build(
+                "sc", bound=3, oracle_spec=OracleSpec(oracle="relational")
+            ).fingerprint()
         )
 
     def test_json_serializable(self):

@@ -7,7 +7,7 @@ import threading
 import pytest
 
 from repro.core.enumerator import EnumerationConfig
-from repro.core.synthesis import SynthesisOptions, synthesize
+from repro.core.synthesis import OracleSpec, SynthesisOptions, synthesize
 from repro.models.registry import get_model
 from repro.obs import load_report
 from repro.service.client import Client, ServiceError, parse_address
@@ -82,7 +82,9 @@ class TestWireProtocol:
 
     def test_synthesize_round_trip_byte_identical(self, daemon):
         client, _ = daemon
-        options = tiny_options(bound=3, oracle="relational")
+        options = tiny_options(
+            bound=3, oracle_spec=OracleSpec(oracle="relational")
+        )
         remote = client.synthesize("tso", options)
         local = synthesize(get_model("tso"), options)
         assert remote.union.to_json() == local.union.to_json()

@@ -22,15 +22,21 @@ class TestPublicAPI:
         for entry in result.union:
             assert entry.pretty()
 
-    def test_legacy_kwargs_form_still_works_but_warns(self):
+    def test_loose_kwargs_form_was_removed(self):
+        # The pre-1.1 loose-keyword shim is gone since 1.2: only the
+        # options-object and SynthesisRequest forms are accepted.
         tso = repro.get_model("tso")
-        with pytest.deprecated_call():
-            result = repro.synthesize(
+        with pytest.raises(TypeError):
+            repro.synthesize(
                 tso,
                 bound=3,
                 config=repro.EnumerationConfig(max_events=3, max_addresses=1),
             )
-        assert len(result.union) > 0
+
+    def test_loose_oracle_fields_warn_but_bundle_into_spec(self):
+        with pytest.deprecated_call():
+            options = repro.SynthesisOptions(bound=3, oracle="relational")
+        assert options.oracle_spec == repro.OracleSpec(oracle="relational")
 
     def test_build_and_check_a_test(self):
         test = repro.LitmusTest(
